@@ -1,0 +1,66 @@
+"""Ablation: layered (LBP) vs flooding scheduling.
+
+The paper adopts layered BP (ref [6]) because it converges roughly twice
+as fast as flooding — fewer iterations means proportionally higher
+throughput (§III-E: T ∝ 1/I) and lower energy per frame.
+"""
+
+import numpy as np
+from conftest import monte_carlo_frames
+
+from repro.analysis.reporting import save_exhibit
+from repro.channel import AWGNChannel, BPSKModulator, ChannelFrontend
+from repro.codes import get_code
+from repro.decoder import DecoderConfig, FloodingDecoder, LayeredDecoder
+from repro.encoder import make_encoder
+from repro.utils.tables import Table
+
+
+def _run_ablation():
+    code = get_code("802.16e:1/2:z24")
+    encoder = make_encoder(code)
+    frames = monte_carlo_frames(200)
+    rows = []
+    for ebn0 in (2.0, 2.5, 3.0):
+        rng = np.random.default_rng(int(ebn0 * 1000))
+        info, codewords = encoder.random_codewords(frames, rng)
+        frontend = ChannelFrontend(
+            BPSKModulator(), AWGNChannel.from_ebn0(ebn0, code.rate, rng=rng)
+        )
+        llr = frontend.run(codewords)
+        config = DecoderConfig(max_iterations=25, early_termination="syndrome")
+        layered = LayeredDecoder(code, config).decode(llr)
+        flooding = FloodingDecoder(code, config).decode(llr)
+        rows.append(
+            {
+                "ebn0": ebn0,
+                "layered_iters": layered.average_iterations,
+                "flooding_iters": flooding.average_iterations,
+                "speedup": flooding.average_iterations
+                / layered.average_iterations,
+            }
+        )
+    return rows, frames
+
+
+def bench_ablation_schedule(benchmark):
+    rows, frames = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+
+    table = Table(
+        ["Eb/N0 (dB)", "layered iters", "flooding iters",
+         "convergence speedup"],
+        title=f"Ablation: layered vs flooding (N=576, {frames} frames/point,"
+        " syndrome stop)",
+    )
+    for row in rows:
+        table.add_row(
+            [row["ebn0"], row["layered_iters"], row["flooding_iters"],
+             f"{row['speedup']:.2f}x"]
+        )
+    rendered = table.render()
+    save_exhibit("ablation_schedule", rendered)
+    print("\n" + rendered)
+
+    # Layered converges materially faster at every operating point
+    # (nominally ~2x; relaxed bound for Monte-Carlo noise).
+    assert all(row["speedup"] > 1.4 for row in rows)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 1 (block-structured parity-check matrix)."""
+
+from repro.experiments import fig1
+
+
+def bench_fig1(benchmark, exhibit_saver):
+    results = benchmark.pedantic(fig1.run, rounds=1, iterations=1)
+    rendered = fig1.render(results)
+    exhibit_saver("fig1_block_structured_h", rendered)
+
+    assert (
+        results["wimax_blocks_are_permutations"]
+        == results["wimax_total_blocks"]
+        == 76
+    )
+    assert results["demo_summary"]["j"] == 4
+    assert results["demo_summary"]["k"] == 8

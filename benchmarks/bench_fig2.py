@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 2 (block-serial scheduling)."""
+
+from repro.experiments import fig2
+
+
+def bench_fig2(benchmark, exhibit_saver):
+    results = benchmark.pedantic(fig2.run, rounds=1, iterations=1)
+    rendered = fig2.render(results)
+    exhibit_saver("fig2_block_serial_schedule", rendered)
+
+    assert results["total_blocks"] == results["expected_blocks"]
+    # Sub-iterations = j layers, each processed in sequence.
+    assert len(results["rows"]) == 12
+    starts = [row["read_start"] for row in results["rows"]]
+    assert starts == sorted(starts)

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 3 (Radix-2 SISO decoder, bit-exactness)."""
+
+from repro.experiments import fig3
+
+
+def bench_fig3(benchmark, exhibit_saver):
+    results = benchmark.pedantic(
+        fig3.run, kwargs={"trials": 25}, rounds=1, iterations=1
+    )
+    rendered = fig3.render(results)
+    exhibit_saver("fig3_radix2_siso", rendered)
+
+    for row in results["rows"]:
+        assert row["exact_trials"] == row["trials"]
+        assert row["cycles"] == [row["expected_cycles"]]
+    assert len(results["lut_plus"]) == 8  # 3-bit LUTs (Eq. 2 / ref [9])

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 4 (pipelined schedule, stalls, reordering)."""
+
+from repro.experiments import fig4
+
+
+def bench_fig4(benchmark, exhibit_saver):
+    results = benchmark.pedantic(fig4.run, rounds=1, iterations=1)
+    rendered = fig4.render(results)
+    exhibit_saver("fig4_pipelined_schedule", rendered)
+
+    # The paper: overlap nearly halves the cycles, and layer reordering
+    # (ref [10]) removes almost all stalls for the WiMax code.
+    assert results["speedup_overlap"] > 2.0
+    assert results["natural_stalls"] > 10
+    assert results["optimized_stalls"] <= 4

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 5 (look-ahead transform equivalence)."""
+
+from repro.experiments import fig5
+
+
+def bench_fig5(benchmark, exhibit_saver):
+    results = benchmark.pedantic(
+        fig5.run, kwargs={"trials": 200}, rounds=1, iterations=1
+    )
+    rendered = fig5.render(results)
+    exhibit_saver("fig5_lookahead_transform", rendered)
+
+    assert results["assoc_err"] < 1e-9
+    assert results["mismatches"] == 0

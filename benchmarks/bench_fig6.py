@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 6 (Radix-4 SISO, 2x speedup)."""
+
+from repro.experiments import fig6
+
+
+def bench_fig6(benchmark, exhibit_saver):
+    results = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+    rendered = fig6.render(results)
+    exhibit_saver("fig6_radix4_siso", rendered)
+
+    for row in results["unit_rows"]:
+        if row["degree"] % 2 == 0:
+            assert row["speedup"] == 2.0
+        else:
+            assert 1.5 <= row["speedup"] < 2.0
+    wimax = next(
+        r for r in results["code_rows"] if r["mode"] == "802.16e:1/2:z96"
+    )
+    assert wimax["speedup"] > 1.5

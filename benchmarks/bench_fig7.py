@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 7 (scalable datapath, cycle-accurate)."""
+
+from repro.experiments import fig7
+
+
+def bench_fig7(benchmark, exhibit_saver):
+    results = benchmark.pedantic(
+        fig7.run, kwargs={"frames": 8, "iterations": 5}, rounds=1, iterations=1
+    )
+    rendered = fig7.render(results)
+    exhibit_saver("fig7_scalable_datapath", rendered)
+
+    assert results["matches"] == results["frames"]
+    activity = results["activity"]
+    assert activity["lambda_reads"] == results["expected_block_accesses"]
+    assert activity["lambda_writes"] == results["expected_block_accesses"]
+    assert activity["shifter_routes"] == 2 * results["expected_block_accesses"]

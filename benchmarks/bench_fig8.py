@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 8 (chip area breakdown, 3.5 mm²)."""
+
+import pytest
+
+from repro.experiments import fig8
+
+
+def bench_fig8(benchmark, exhibit_saver):
+    results = benchmark.pedantic(fig8.run, rounds=1, iterations=1)
+    rendered = fig8.render(results)
+    exhibit_saver("fig8_area_breakdown", rendered)
+
+    assert results["total_mm2"] == pytest.approx(3.5, abs=0.05)
+    rows = dict((name, area) for name, area, _ in results["rows"])
+    # The layout is dominated by the 96 R4-SISO + Λ-memory tiles.
+    assert rows["R4-SISO array + distributed Λ-mem"] > 0.5 * results["total_mm2"]

@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Fig. 9a (early-termination power vs Eb/N0).
+
+This is the paper's headline power experiment: WiMax N=2304, max 10
+iterations, AWGN sweep 0-5 dB.  The average-iteration curve is measured
+by real Monte-Carlo decoding with the paper's two-condition ET rule; the
+power conversion uses the calibrated model (410 mW peak / 60 mW idle).
+"""
+
+from conftest import monte_carlo_frames
+
+from repro.experiments import fig9a
+
+
+def bench_fig9a(benchmark, exhibit_saver):
+    frames = monte_carlo_frames(150)
+    results = benchmark.pedantic(
+        fig9a.run,
+        kwargs={
+            "ebn0_list": (0.0, 1.0, 2.0, 3.0, 4.0, 5.0),
+            "frames_per_point": frames,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rendered = fig9a.render(results)
+    exhibit_saver("fig9a_early_termination_power", rendered)
+
+    curve = results["curve"]
+    powers = curve.power_with_et_mw
+    # Shape claims: monotone decreasing, peak at 0 dB, big saving at 5 dB.
+    assert powers[0] == max(powers)
+    assert all(a >= b for a, b in zip(powers, powers[1:]))
+    assert powers[0] > 380  # ~peak power at 0 dB (paper: 410)
+    assert powers[-1] < 200  # converged regime (paper: ~140)
+    assert 0.5 <= results["max_saving"] <= 0.75  # paper: up to 65 %

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig. 9b (power vs block size, bank gating)."""
+
+import pytest
+
+from repro.experiments import fig9b
+
+
+def bench_fig9b(benchmark, exhibit_saver):
+    results = benchmark.pedantic(fig9b.run, rounds=1, iterations=1)
+    rendered = fig9b.render(results)
+    exhibit_saver("fig9b_power_vs_blocksize", rendered)
+
+    rows = results["rows"]
+    # All 19 WiMax expansion factors are swept.
+    assert len(rows) == 19
+    powers = [row["power_mw"] for row in rows]
+    assert powers == sorted(powers)  # monotone in block size
+    assert rows[0]["power_mw"] == pytest.approx(252, abs=10)  # paper ~260
+    assert rows[-1]["power_mw"] == pytest.approx(410, abs=5)  # paper ~425
+    # Every paper sample point within 10 %.
+    for row in rows:
+        if row["paper_mw"] is not None:
+            assert row["power_mw"] == pytest.approx(row["paper_mw"], rel=0.10)

@@ -1,0 +1,70 @@
+"""Microbenchmarks: the hot kernels of the Monte-Carlo harness.
+
+These time the boxplus arithmetic, the check-node kernels and one full
+layered decode of the WiMax N=2304 code — useful for tracking the
+library's simulation performance over time (pytest-benchmark statistics).
+"""
+
+import numpy as np
+
+from repro.channel import AWGNChannel, BPSKModulator, ChannelFrontend
+from repro.codes import get_code
+from repro.decoder import DecoderConfig, LayeredDecoder
+from repro.decoder.siso import BPSumSubKernel, MinSumKernel
+from repro.encoder import make_encoder
+from repro.fixedpoint import FixedBoxOps, QFormat, boxplus
+
+
+def bench_boxplus_float(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.normal(0, 4, 100_000)
+    b = rng.normal(0, 4, 100_000)
+    benchmark(boxplus, a, b)
+
+
+def bench_boxplus_fixed(benchmark):
+    ops = FixedBoxOps(QFormat(8, 2))
+    rng = np.random.default_rng(0)
+    a = ops.qformat.quantize(rng.normal(0, 4, 100_000))
+    b = ops.qformat.quantize(rng.normal(0, 4, 100_000))
+    benchmark(ops.boxplus, a, b)
+
+
+def bench_checknode_bp(benchmark):
+    rng = np.random.default_rng(1)
+    lam = rng.normal(0, 4, (64, 7, 96))
+    benchmark(BPSumSubKernel(256.0), lam)
+
+
+def bench_checknode_minsum(benchmark):
+    rng = np.random.default_rng(1)
+    lam = rng.normal(0, 4, (64, 7, 96))
+    benchmark(MinSumKernel(normalization=0.75), lam)
+
+
+def _wimax_decode_setup():
+    code = get_code("802.16e:1/2:z96")
+    encoder = make_encoder(code)
+    rng = np.random.default_rng(2)
+    info, codewords = encoder.random_codewords(32, rng)
+    frontend = ChannelFrontend(
+        BPSKModulator(), AWGNChannel.from_ebn0(2.0, code.rate, rng=rng)
+    )
+    llr = frontend.run(codewords)
+    decoder = LayeredDecoder(code, DecoderConfig())
+    return decoder, llr
+
+
+def bench_layered_decode_n2304(benchmark):
+    decoder, llr = _wimax_decode_setup()
+    result = benchmark(decoder.decode, llr)
+    assert result.batch_size == 32
+
+
+def bench_encoder_n2304(benchmark):
+    code = get_code("802.16e:1/2:z96")
+    encoder = make_encoder(code)
+    rng = np.random.default_rng(3)
+    info = rng.integers(0, 2, (64, code.n_info), dtype=np.uint8)
+    codewords = benchmark(encoder.encode, info)
+    assert code.is_codeword(codewords).all()

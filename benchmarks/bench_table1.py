@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 1 (H design parameters per standard)."""
+
+from repro.experiments import table1
+
+
+def bench_table1(benchmark, exhibit_saver):
+    results = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    rendered = table1.render(results)
+    exhibit_saver("table1_design_parameters", rendered)
+
+    rows = {row["standard"]: row for row in results["rows"]}
+    assert rows["802.16e"]["j_range"] == "4-12"
+    assert rows["802.16e"]["k"] == 24
+    assert rows["802.16e"]["z_range"] == "24-96"
+    assert rows["802.11n"]["z_range"] == "27-81"
+    assert rows["DMB-T"]["z_range"] == "127-127"

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 2 (R2/R4 SISO area and efficiency η)."""
+
+import pytest
+
+from repro.experiments import table2
+
+
+def bench_table2(benchmark, exhibit_saver):
+    results = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    rendered = table2.render(results)
+    exhibit_saver("table2_siso_area_eta", rendered)
+
+    # The three paper anchor rows must reproduce exactly.
+    by_freq = {row["fclk_mhz"]: row for row in results["rows"]}
+    assert by_freq[450.0]["r2_um2"] == pytest.approx(6978, rel=1e-4)
+    assert by_freq[450.0]["r4_um2"] == pytest.approx(12774, rel=1e-4)
+    assert by_freq[450.0]["eta"] == pytest.approx(1.09, abs=0.01)
+    assert by_freq[325.0]["eta"] == pytest.approx(1.26, abs=0.01)
+    assert by_freq[200.0]["eta"] == pytest.approx(1.39, abs=0.01)

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Table 3 (decoder architecture comparison)."""
+
+import pytest
+
+from repro.experiments import table3
+
+
+def bench_table3(benchmark, exhibit_saver):
+    results = benchmark.pedantic(table3.run, rounds=1, iterations=1)
+    rendered = table3.render(results)
+    exhibit_saver("table3_comparison", rendered)
+
+    ours = results["ours"]
+    # The paper's headline row: ~1 Gbps, 3.5 mm2, 450 MHz, 410 mW.
+    assert ours["throughput_simulated_gbps"] > 1.0
+    low, high = ours["throughput_shifter_gbps"]
+    assert low >= 1.0  # >= 1 Gbps even at the worst shifter penalty
+    assert ours["area_mm2"] == pytest.approx(3.5, abs=0.05)
+    assert ours["power_mw"] == pytest.approx(410, abs=2)
+    assert ours["fmax_mhz"] == 450.0
+
+    # Who-wins ordering vs the cited chips (Table 3's argument).
+    ref3 = results["references"]["[3] Shih VLSI'07"]
+    ref4 = results["references"]["[4] Mansour JSSC'06"]
+    ours_mbps = ours["throughput_simulated_gbps"] * 1000
+    assert ours_mbps > ref4["throughput_mbps"] > ref3["throughput_mbps"]
+    assert ours["area_mm2"] < ref3["area_mm2"] < ref4["area_mm2"]
+    assert ours["power_mw"] < ref4["power_mw"]

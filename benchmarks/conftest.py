@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper exhibit (table or figure), asserts
+its reproduction claims, and persists the rendered output under
+``benchmarks/results/``.  Monte-Carlo sample counts scale with the
+``REPRO_BENCH_FRAMES`` environment variable (default 200).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def monte_carlo_frames(default: int = 200) -> int:
+    """Frames per Monte-Carlo point (override with REPRO_BENCH_FRAMES)."""
+    return int(os.environ.get("REPRO_BENCH_FRAMES", default))
+
+
+@pytest.fixture
+def exhibit_saver():
+    """Persist a rendered exhibit and echo it to the terminal."""
+    from repro.analysis.reporting import save_exhibit
+
+    def _save(name: str, content: str):
+        path = save_exhibit(name, content)
+        print(f"\n{content}\n[saved to {path}]")
+        return path
+
+    return _save

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Architecture design-space exploration beyond the paper's design point.
+
+The paper fixes one configuration (96 R4 SISOs @ 450 MHz).  This example
+uses the same models to explore the neighbourhood:
+
+1. radix x frequency: throughput, SISO-array area, and the Table 2
+   efficiency η;
+2. the scalability claim: what a DMB-T-capable datapath (z_max = 127)
+   would cost;
+3. iteration budget vs throughput (the paper's T ∝ 1/I trade).
+
+Usage::
+
+    python examples/architecture_explorer.py
+"""
+
+from repro import DatapathParams, get_code
+from repro.arch import (
+    analyze_pipeline,
+    build_schedule,
+    estimate_throughput,
+    optimize_layer_order,
+    pipeline_stall_cost,
+)
+from repro.arch.datapath import DMBT_CHIP, PAPER_CHIP
+from repro.power import PowerModel, chip_area_breakdown, radix4_efficiency
+from repro.utils.tables import Table
+
+
+def radix_frequency_sweep() -> None:
+    code = get_code("802.16e:1/2:z96")
+    table = Table(
+        ["radix", "f_clk (MHz)", "cycles/iter", "throughput (Gbps)",
+         "chip area (mm2)", "eta"],
+        title="Design space: radix x frequency (WiMax N=2304, I=10, "
+        "stall-optimized layer order)",
+    )
+    for radix in ("R2", "R4"):
+        for fclk in (200.0, 325.0, 450.0):
+            params = DatapathParams(radix=radix, fclk_mhz=fclk)
+            order = optimize_layer_order(
+                code.base, cost=pipeline_stall_cost(code.base, params)
+            )
+            report = analyze_pipeline(
+                code.base, params, build_schedule(code.base, layer_order=order)
+            )
+            estimate = estimate_throughput(code, params, 10, report)
+            area = chip_area_breakdown(params).total_mm2
+            table.add_row(
+                [
+                    radix, fclk, report.cycles_per_iteration,
+                    f"{estimate.simulated_gbps:.2f}", f"{area:.2f}",
+                    f"{radix4_efficiency(fclk):.2f}",
+                ]
+            )
+    print(table.render())
+    print("(eta = R4 speedup / R4 area overhead, per paper Table 2)\n")
+
+
+def dmbt_scaling_study() -> None:
+    table = Table(
+        ["datapath", "z_max", "k_max", "area (mm2)", "peak power (mW)",
+         "DMB-T capable"],
+        title="Scalability: the paper's chip vs a DMB-T-capable variant",
+    )
+    dmbt_code = get_code("DMB-T:0.6:z127")
+    for name, params in [("paper chip", PAPER_CHIP), ("DMB-T variant", DMBT_CHIP)]:
+        area = chip_area_breakdown(params).total_mm2
+        # Lane power scales with the wider array.
+        power = PowerModel(params).active_power_mw(
+            active_lanes=params.z_max
+        ).total_mw
+        capable = params.supports_code(dmbt_code)
+        table.add_row(
+            [name, params.z_max, params.k_max, f"{area:.2f}", f"{power:.0f}",
+             "yes" if capable else "no"]
+        )
+    print(table.render())
+    print()
+
+
+def iteration_budget_study() -> None:
+    code = get_code("802.16e:1/2:z96")
+    params = PAPER_CHIP
+    report = analyze_pipeline(code.base, params)
+    table = Table(
+        ["max iterations I", "throughput (Gbps)", ">= 1 Gbps?"],
+        title="Iteration budget vs throughput (T = 2kzR*fclk/(E*I))",
+    )
+    for iterations in (5, 8, 10, 12, 15, 20):
+        estimate = estimate_throughput(code, params, iterations, report)
+        table.add_row(
+            [
+                iterations, f"{estimate.simulated_gbps:.2f}",
+                "yes" if estimate.simulated_gbps >= 1.0 else "no",
+            ]
+        )
+    print(table.render())
+
+
+def main() -> None:
+    radix_frequency_sweep()
+    dmbt_scaling_study()
+    iteration_budget_study()
+
+
+if __name__ == "__main__":
+    main()

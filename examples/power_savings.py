@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Reproduce both of the paper's power-saving schemes (Fig. 9).
+
+(a) Early termination: measure average iterations vs Eb/N0 with the
+    paper's two-condition stop rule, convert to power with the calibrated
+    model (410 mW peak / 60 mW idle).
+(b) Distributed SISO decoding and memory banking: power vs block size as
+    unused lanes/banks are gated off.
+
+Usage::
+
+    python examples/power_savings.py [frames_per_point]
+"""
+
+import sys
+
+from repro import PAPER_CHIP, get_code
+from repro.analysis import ascii_curve, et_power_curve, profile_iterations
+from repro.codes.wimax import WIMAX_Z_VALUES
+from repro.power import PowerModel
+from repro.utils.tables import Table
+
+
+def early_termination_study(frames: int) -> None:
+    code = get_code("802.16e:1/2:z96")
+    profile = profile_iterations(
+        code, (0.0, 1.0, 2.0, 3.0, 4.0, 5.0), frames_per_point=frames, seed=3
+    )
+    curve = et_power_curve(profile, PAPER_CHIP)
+
+    table = Table(
+        ["Eb/N0 (dB)", "avg iters", "P with ET (mW)", "P w/o ET (mW)",
+         "saving"],
+        title=f"(a) Early termination (block={code.n}, max iter="
+        f"{profile.max_iterations}, {frames} frames/point)",
+    )
+    for i, ebn0 in enumerate(curve.ebn0_db):
+        saving = 1 - curve.power_with_et_mw[i] / curve.power_without_et_mw[i]
+        table.add_row(
+            [
+                ebn0, f"{curve.average_iterations[i]:.2f}",
+                f"{curve.power_with_et_mw[i]:.0f}",
+                f"{curve.power_without_et_mw[i]:.0f}",
+                f"{100 * saving:.0f}%",
+            ]
+        )
+    print(table.render())
+    print(f"max saving: {100 * curve.max_saving_fraction:.0f}% "
+          "(paper: up to 65%)\n")
+
+
+def bank_gating_study() -> None:
+    model = PowerModel(PAPER_CHIP)
+    table = Table(
+        ["block size", "active lanes z", "P gated (mW)", "P ungated (mW)"],
+        title="(b) Distributed SISO decoding and memory banking",
+    )
+    sizes, powers = [], []
+    for z in WIMAX_Z_VALUES:
+        gated = model.power_vs_block_size(z)
+        table.add_row([24 * z, z, f"{gated:.0f}",
+                       f"{model.power_without_bank_gating():.0f}"])
+        sizes.append(24 * z)
+        powers.append(gated)
+    print(table.render())
+    print()
+    print(ascii_curve(sizes, powers, x_label="block size (bits)",
+                      y_label="P (mW)"))
+
+
+def main(frames: int = 150) -> None:
+    early_termination_study(frames)
+    bank_gating_study()
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    main(n)

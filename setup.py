@@ -1,0 +1,22 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so
+that fully offline environments without the ``wheel`` package can still do
+an editable install via the legacy path::
+
+    pip install -e . --no-build-isolation
+
+(pip falls back to ``setup.py develop`` when PEP 660 wheel building is
+unavailable).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

@@ -1,0 +1,70 @@
+"""repro — reproduction of Sun & Cavallaro, "A Low-Power 1-Gbps
+Reconfigurable LDPC Decoder Design for Multiple 4G Wireless Standards"
+(SOCC 2008).
+
+The library has four layers:
+
+- **codes / encoder / channel** — QC-LDPC codes for 802.11n / 802.16e /
+  DMB-T, linear-time encoding and an AWGN transmit chain;
+- **decoder / fixedpoint** — the paper's layered belief-propagation
+  decoder (Algorithm 1) in float and 8-bit fixed point, plus the
+  min-sum / linear-approximation baselines and early termination;
+- **arch** — a cycle-accurate model of the reconfigurable chip (SISO
+  units, circular shifter, memory banks, pipeline stalls, mode ROM);
+- **power / analysis / experiments** — calibrated area/power models and
+  the harnesses regenerating every table and figure of the paper.
+
+Quickstart::
+
+    from repro import get_code, make_encoder, DecoderConfig, LayeredDecoder
+    from repro.channel import AWGNChannel, BPSKModulator, ChannelFrontend
+
+    code = get_code("802.16e:1/2:z96")           # WiMax N=2304
+    encoder = make_encoder(code)
+    info, tx = encoder.random_codewords(10, rng)
+    llr = ChannelFrontend(BPSKModulator(),
+                          AWGNChannel.from_ebn0(2.0, code.rate)).run(tx)
+    result = LayeredDecoder(code, DecoderConfig()).decode(llr)
+"""
+
+from repro.arch import DecoderChip, PAPER_CHIP, DatapathParams
+from repro.codes import (
+    BaseMatrix,
+    QCLDPCCode,
+    get_code,
+    list_modes,
+    standards_summary,
+)
+from repro.decoder import (
+    DecodeResult,
+    DecoderConfig,
+    FloodingDecoder,
+    LayeredDecoder,
+)
+from repro.encoder import GenericEncoder, SystematicQCEncoder, make_encoder
+from repro.fixedpoint import QFormat
+from repro.power import PowerModel, chip_area_breakdown
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaseMatrix",
+    "DatapathParams",
+    "DecodeResult",
+    "DecoderChip",
+    "DecoderConfig",
+    "FloodingDecoder",
+    "GenericEncoder",
+    "LayeredDecoder",
+    "PAPER_CHIP",
+    "PowerModel",
+    "QCLDPCCode",
+    "QFormat",
+    "SystematicQCEncoder",
+    "__version__",
+    "chip_area_breakdown",
+    "get_code",
+    "list_modes",
+    "make_encoder",
+    "standards_summary",
+]

@@ -1,0 +1,34 @@
+"""Monte-Carlo analysis: BER/FER harness, iteration profiles, sweeps."""
+
+from repro.analysis.ber import BERSimulator, SnrPoint
+from repro.analysis.density_evolution import (
+    DegreeDistribution,
+    de_converges,
+    decoding_threshold_db,
+)
+from repro.analysis.iterations import (
+    EtPowerCurve,
+    IterationProfile,
+    et_power_curve,
+    profile_iterations,
+)
+from repro.analysis.reporting import ascii_curve, ber_table, results_dir, save_exhibit
+from repro.analysis.sweep import SweepResult, run_sweep
+
+__all__ = [
+    "BERSimulator",
+    "DegreeDistribution",
+    "EtPowerCurve",
+    "IterationProfile",
+    "SnrPoint",
+    "SweepResult",
+    "ascii_curve",
+    "ber_table",
+    "de_converges",
+    "decoding_threshold_db",
+    "et_power_curve",
+    "profile_iterations",
+    "results_dir",
+    "run_sweep",
+    "save_exhibit",
+]

@@ -1,0 +1,174 @@
+"""Monte-Carlo BER/FER simulation harness.
+
+Drives the encode -> modulate -> AWGN -> decode chain in batches until
+either an error budget or a frame budget is met per Eb/N0 point, and
+collects the statistics every experiment needs: BER, FER, average
+iterations (the Fig. 9a driver), convergence and ET rates.
+
+The harness is deterministic given a seed: per-SNR child RNG streams are
+spawned so results do not depend on the sweep order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.awgn import AWGNChannel
+from repro.channel.llr import ChannelFrontend
+from repro.channel.modulation import BPSKModulator
+from repro.codes.qc import QCLDPCCode
+from repro.decoder.api import DecoderConfig
+from repro.decoder.flooding import FloodingDecoder
+from repro.decoder.layered import LayeredDecoder
+from repro.encoder import make_encoder
+from repro.errors import SimulationError
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass
+class SnrPoint:
+    """Statistics accumulated at one Eb/N0 operating point."""
+
+    ebn0_db: float
+    frames: int = 0
+    bit_errors: int = 0
+    frame_errors: int = 0
+    iterations_sum: float = 0.0
+    iterations_hist: dict[int, int] = field(default_factory=dict)
+    converged_frames: int = 0
+    et_frames: int = 0
+    info_bits_per_frame: int = 0
+
+    @property
+    def ber(self) -> float:
+        total = self.frames * self.info_bits_per_frame
+        return self.bit_errors / total if total else 0.0
+
+    @property
+    def fer(self) -> float:
+        return self.frame_errors / self.frames if self.frames else 0.0
+
+    @property
+    def average_iterations(self) -> float:
+        return self.iterations_sum / self.frames if self.frames else 0.0
+
+    @property
+    def convergence_rate(self) -> float:
+        return self.converged_frames / self.frames if self.frames else 0.0
+
+    @property
+    def et_rate(self) -> float:
+        return self.et_frames / self.frames if self.frames else 0.0
+
+
+class BERSimulator:
+    """Batch Monte-Carlo simulator for one (code, decoder) pair.
+
+    Parameters
+    ----------
+    code:
+        The LDPC code under test.
+    config:
+        Decoder configuration (paper defaults if omitted).
+    schedule:
+        ``"layered"`` (default) or ``"flooding"``.
+    modulator:
+        Defaults to BPSK (the Fig. 9a setting).
+    seed:
+        Master seed; every Eb/N0 point gets an independent child stream.
+
+    Examples
+    --------
+    >>> from repro.codes import get_code
+    >>> sim = BERSimulator(get_code("802.16e:1/2:z24"), seed=1)
+    >>> point = sim.run_point(2.0, max_frames=20, batch_size=20)
+    >>> point.frames
+    20
+    """
+
+    def __init__(
+        self,
+        code: QCLDPCCode,
+        config: DecoderConfig | None = None,
+        schedule: str = "layered",
+        modulator=None,
+        seed: int = 0,
+    ):
+        self.code = code
+        self.config = config if config is not None else DecoderConfig()
+        if schedule == "layered":
+            self.decoder = LayeredDecoder(code, self.config)
+        elif schedule == "flooding":
+            self.decoder = FloodingDecoder(code, self.config)
+        else:
+            raise SimulationError(f"unknown schedule {schedule!r}")
+        self.modulator = modulator if modulator is not None else BPSKModulator()
+        self.encoder = make_encoder(code)
+        self.seed = seed
+
+    def _point_rng(self, ebn0_db: float) -> np.random.Generator:
+        # Derive a unique, order-independent stream per SNR point.
+        key = int(np.float64(ebn0_db).view(np.uint64)) % (2**31)
+        children = spawn_rngs(self.seed, 2)
+        mixed = int(children[0].integers(0, 2**31)) ^ key
+        return np.random.default_rng(mixed)
+
+    def run_point(
+        self,
+        ebn0_db: float,
+        max_frames: int = 1000,
+        min_frame_errors: int = 50,
+        batch_size: int = 100,
+    ) -> SnrPoint:
+        """Simulate one Eb/N0 point.
+
+        Stops after ``min_frame_errors`` frame errors or ``max_frames``
+        frames, whichever comes first.
+        """
+        if max_frames < 1 or batch_size < 1:
+            raise SimulationError("max_frames and batch_size must be >= 1")
+        rng = self._point_rng(ebn0_db)
+        channel = AWGNChannel.from_ebn0(
+            ebn0_db, self.code.rate, self.modulator.bits_per_symbol, rng=rng
+        )
+        frontend = ChannelFrontend(self.modulator, channel)
+        point = SnrPoint(ebn0_db=ebn0_db, info_bits_per_frame=self.code.n_info)
+
+        while point.frames < max_frames and point.frame_errors < min_frame_errors:
+            batch = min(batch_size, max_frames - point.frames)
+            info, codewords = self.encoder.random_codewords(batch, rng)
+            llr = frontend.run(codewords)
+            result = self.decoder.decode(llr)
+
+            point.frames += batch
+            point.bit_errors += result.bit_errors(info)
+            point.frame_errors += result.frame_errors(info)
+            point.iterations_sum += float(np.sum(result.iterations))
+            point.converged_frames += int(np.count_nonzero(result.converged))
+            point.et_frames += int(np.count_nonzero(result.et_stopped))
+            values, counts = np.unique(result.iterations, return_counts=True)
+            for v, c in zip(values, counts):
+                point.iterations_hist[int(v)] = (
+                    point.iterations_hist.get(int(v), 0) + int(c)
+                )
+        return point
+
+    def run_sweep(
+        self,
+        ebn0_list,
+        max_frames: int = 1000,
+        min_frame_errors: int = 50,
+        batch_size: int = 100,
+    ) -> list[SnrPoint]:
+        """Simulate a list of Eb/N0 points (independent streams each)."""
+        return [
+            self.run_point(
+                float(ebn0),
+                max_frames=max_frames,
+                min_frame_errors=min_frame_errors,
+                batch_size=batch_size,
+            )
+            for ebn0 in ebn0_list
+        ]

@@ -1,0 +1,116 @@
+"""Iteration statistics vs channel quality — the engine behind Fig. 9a.
+
+The paper's early-termination power saving is entirely determined by how
+the *average* number of decoding iterations falls as Eb/N0 improves.
+:func:`profile_iterations` measures that curve with the paper's ET rule
+enabled, and :func:`et_power_curve` converts it to power with the
+calibrated :class:`~repro.power.model.PowerModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ber import BERSimulator, SnrPoint
+from repro.arch.datapath import DatapathParams
+from repro.codes.qc import QCLDPCCode
+from repro.decoder.api import DecoderConfig
+from repro.power.model import PowerModel
+
+
+@dataclass(frozen=True)
+class IterationProfile:
+    """Average-iteration curve for one decoder configuration."""
+
+    ebn0_db: tuple[float, ...]
+    average_iterations: tuple[float, ...]
+    fer: tuple[float, ...]
+    et_rate: tuple[float, ...]
+    max_iterations: int
+
+    def as_rows(self) -> list[tuple[float, float, float, float]]:
+        return list(
+            zip(self.ebn0_db, self.average_iterations, self.fer, self.et_rate)
+        )
+
+
+def profile_iterations(
+    code: QCLDPCCode,
+    ebn0_list,
+    config: DecoderConfig | None = None,
+    frames_per_point: int = 200,
+    seed: int = 0,
+) -> IterationProfile:
+    """Measure average iterations vs Eb/N0 with early termination.
+
+    Parameters
+    ----------
+    code:
+        Code under test (the paper uses WiMax N=2304, rate 1/2).
+    ebn0_list:
+        Operating points in dB (the paper sweeps 0..5).
+    config:
+        Decoder configuration; defaults to the paper's (BP, ET on,
+        10 iterations).
+    frames_per_point:
+        Monte-Carlo frames per point (iteration averages converge much
+        faster than BER, so a few hundred frames suffice).
+    """
+    config = config if config is not None else DecoderConfig()
+    simulator = BERSimulator(code, config, seed=seed)
+    points: list[SnrPoint] = simulator.run_sweep(
+        ebn0_list,
+        max_frames=frames_per_point,
+        min_frame_errors=frames_per_point + 1,  # never stop early
+        batch_size=min(frames_per_point, 100),
+    )
+    return IterationProfile(
+        ebn0_db=tuple(p.ebn0_db for p in points),
+        average_iterations=tuple(p.average_iterations for p in points),
+        fer=tuple(p.fer for p in points),
+        et_rate=tuple(p.et_rate for p in points),
+        max_iterations=config.max_iterations,
+    )
+
+
+@dataclass(frozen=True)
+class EtPowerCurve:
+    """Fig. 9a data: power vs Eb/N0 with and without early termination."""
+
+    ebn0_db: tuple[float, ...]
+    power_with_et_mw: tuple[float, ...]
+    power_without_et_mw: tuple[float, ...]
+    average_iterations: tuple[float, ...]
+
+    @property
+    def max_saving_fraction(self) -> float:
+        """Best-case relative power reduction (the paper: up to 65 %)."""
+        savings = [
+            1.0 - with_et / without
+            for with_et, without in zip(
+                self.power_with_et_mw, self.power_without_et_mw
+            )
+        ]
+        return max(savings)
+
+
+def et_power_curve(
+    profile: IterationProfile,
+    params: DatapathParams,
+    active_lanes: int | None = None,
+) -> EtPowerCurve:
+    """Convert an iteration profile into the Fig. 9a power curves."""
+    model = PowerModel(params)
+    without = model.active_power_mw(active_lanes).total_mw
+    with_et = [
+        model.early_termination_power_mw(
+            avg, profile.max_iterations, active_lanes
+        )
+        for avg in profile.average_iterations
+    ]
+    return EtPowerCurve(
+        ebn0_db=profile.ebn0_db,
+        power_with_et_mw=tuple(with_et),
+        power_without_et_mw=tuple(without for _ in profile.ebn0_db),
+        average_iterations=profile.average_iterations,
+    )

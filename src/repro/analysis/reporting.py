@@ -1,0 +1,74 @@
+"""Result formatting shared by experiments and benchmarks.
+
+Also owns the on-disk results directory: every benchmark writes its
+regenerated table/figure data under ``benchmarks/results/`` so the run
+artefacts survive the pytest session and can be pasted into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.analysis.ber import SnrPoint
+from repro.utils.tables import Table
+
+
+def ber_table(points: list[SnrPoint], title: str | None = None) -> Table:
+    """Standard BER sweep table."""
+    table = Table(
+        ["Eb/N0 (dB)", "frames", "BER", "FER", "avg iters", "conv", "ET rate"],
+        title=title,
+        float_format=".4g",
+    )
+    for p in points:
+        table.add_row(
+            [p.ebn0_db, p.frames, p.ber, p.fer, p.average_iterations,
+             p.convergence_rate, p.et_rate]
+        )
+    return table
+
+
+def results_dir() -> Path:
+    """The benchmark results directory (created on demand).
+
+    Override with the ``REPRO_RESULTS_DIR`` environment variable.
+    """
+    root = os.environ.get("REPRO_RESULTS_DIR")
+    if root is None:
+        path = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    else:
+        path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def save_exhibit(name: str, content: str) -> Path:
+    """Persist one regenerated exhibit (table/figure data) as text."""
+    path = results_dir() / f"{name}.txt"
+    path.write_text(content + "\n")
+    return path
+
+
+def ascii_curve(
+    xs, ys, width: int = 60, height: int = 16, x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render a simple ASCII scatter/line plot for figure exhibits."""
+    xs = list(map(float, xs))
+    ys = list(map(float, ys))
+    if not xs or len(xs) != len(ys):
+        raise ValueError("xs and ys must be equal-length, non-empty")
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_min) / x_span * (width - 1))
+        row = height - 1 - int((y - y_min) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = [f"{y_label} [{y_min:.3g} .. {y_max:.3g}]"]
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(f" {x_label}: {x_min:.3g} .. {x_max:.3g}")
+    return "\n".join(lines)

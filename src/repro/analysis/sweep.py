@@ -1,0 +1,61 @@
+"""Generic parameter-sweep utility used by benches and examples.
+
+A sweep maps a list of parameter values through a runner callable,
+collects per-value result dicts, and renders them as a table.  Runners
+are plain callables so every experiment stays import-light and testable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of :func:`run_sweep`."""
+
+    parameter: str
+    values: tuple
+    rows: tuple[dict, ...]
+
+    def column(self, key: str) -> list:
+        """Extract one result column across the sweep."""
+        return [row[key] for row in self.rows]
+
+    def to_table(self, columns: Sequence[str], title: str | None = None) -> Table:
+        """Render selected columns (parameter first) as a Table."""
+        table = Table([self.parameter, *columns], title=title)
+        for value, row in zip(self.values, self.rows):
+            table.add_row([value, *[row[c] for c in columns]])
+        return table
+
+
+def run_sweep(
+    parameter: str,
+    values: Iterable,
+    runner: Callable[[object], dict],
+) -> SweepResult:
+    """Run ``runner(value)`` for each value and collect the result dicts.
+
+    Parameters
+    ----------
+    parameter:
+        Name of the swept parameter (table header).
+    values:
+        Parameter values.
+    runner:
+        Callable returning a flat dict of metrics for one value.
+    """
+    values = tuple(values)
+    rows = []
+    for value in values:
+        row = runner(value)
+        if not isinstance(row, dict):
+            raise TypeError(
+                f"sweep runner must return a dict, got {type(row).__name__}"
+            )
+        rows.append(row)
+    return SweepResult(parameter=parameter, values=values, rows=tuple(rows))

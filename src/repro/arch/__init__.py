@@ -1,0 +1,60 @@
+"""Cycle-accurate architecture model of the reconfigurable decoder."""
+
+from repro.arch.chip import ChipDecodeResult, DecoderChip
+from repro.arch.datapath import DMBT_CHIP, PAPER_CHIP, RADIX_FACTORS, DatapathParams
+from repro.arch.memory import Fifo, LambdaMemoryArray, MemoryBank
+from repro.arch.mode_rom import ModeEntry, ModeROM
+from repro.arch.pipeline import (
+    LayerTiming,
+    PipelineReport,
+    analyze_pipeline,
+    ascii_timeline,
+    pipeline_stall_cost,
+)
+from repro.arch.scheduler import (
+    BlockSchedule,
+    build_schedule,
+    layer_overlap_cost,
+    optimize_layer_order,
+)
+from repro.arch.shifter import CircularShifter
+from repro.arch.siso_unit import FloatBoxOps, SISOUnitArray, make_siso_array
+from repro.arch.throughput import (
+    SHIFTER_OVERHEAD_RANGE,
+    ThroughputEstimate,
+    estimate_throughput,
+    paper_throughput_bps,
+    simulated_throughput_bps,
+)
+
+__all__ = [
+    "BlockSchedule",
+    "ChipDecodeResult",
+    "CircularShifter",
+    "DMBT_CHIP",
+    "DatapathParams",
+    "DecoderChip",
+    "Fifo",
+    "FloatBoxOps",
+    "LambdaMemoryArray",
+    "LayerTiming",
+    "MemoryBank",
+    "ModeEntry",
+    "ModeROM",
+    "PAPER_CHIP",
+    "PipelineReport",
+    "RADIX_FACTORS",
+    "SHIFTER_OVERHEAD_RANGE",
+    "SISOUnitArray",
+    "ThroughputEstimate",
+    "analyze_pipeline",
+    "ascii_timeline",
+    "build_schedule",
+    "estimate_throughput",
+    "layer_overlap_cost",
+    "make_siso_array",
+    "optimize_layer_order",
+    "paper_throughput_bps",
+    "pipeline_stall_cost",
+    "simulated_throughput_bps",
+]

@@ -1,0 +1,346 @@
+"""Top-level cycle-accurate model of the reconfigurable decoder chip.
+
+Wires together the architecture of Fig. 7/8: the central L-memory, the
+``z_max`` distributed Λ-banks, the circular shifter, the SISO array and
+the mode-ROM-driven control, and executes the block-serial layered
+schedule for one frame at a time, exactly as the silicon would:
+
+1. **configure(mode)** — dynamic reconfiguration: look up the mode entry
+   (geometry, shifts, optimized layer order, pipeline schedule), activate
+   ``z`` SISO lanes / Λ-banks and power-gate the rest (Fig. 9b's saving);
+2. **decode(llr)** — for each layer: read the participating L words,
+   route them through the shifter, subtract the stored Λ, stream the λ
+   values through the SISO array (R2: 1/cycle, R4: 2/cycle), then drain
+   ``Λ'``, form ``L' = λ + Λ'``, route back and write.  Early termination
+   (paper §IV) is evaluated by the controller after each iteration.
+
+Timing comes from the hazard-aware pipeline analysis (stalls included);
+data comes from the actual component models, so the result is bit-exact
+with the functional fixed-point layered decoder — the integration tests
+assert this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.datapath import PAPER_CHIP, DatapathParams
+from repro.arch.memory import LambdaMemoryArray, MemoryBank
+from repro.arch.mode_rom import ModeEntry, ModeROM
+from repro.arch.shifter import CircularShifter
+from repro.arch.siso_unit import SISOUnitArray, make_siso_array
+from repro.arch.throughput import ThroughputEstimate, estimate_throughput
+from repro.errors import ArchitectureError, ReconfigurationError
+from repro.fixedpoint.quantize import QFormat
+
+
+@dataclass
+class ChipDecodeResult:
+    """Outcome of one cycle-accurate frame decode.
+
+    Attributes
+    ----------
+    bits:
+        ``(N,)`` hard decisions.
+    converged:
+        True when the final word satisfies every parity check.
+    iterations:
+        Full iterations executed (early termination included).
+    cycles:
+        Clock cycles consumed (pipeline fill + iterations, stalls
+        included).
+    et_stopped:
+        Whether early termination fired.
+    activity:
+        Component activity counters for the energy model.
+    """
+
+    bits: np.ndarray
+    converged: bool
+    iterations: int
+    cycles: int
+    et_stopped: bool
+    activity: dict = field(default_factory=dict)
+
+    def decode_time_s(self, fclk_hz: float) -> float:
+        """Wall-clock decode latency at a given clock."""
+        return self.cycles / fclk_hz
+
+    def info_throughput_bps(self, fclk_hz: float, n_info: int) -> float:
+        """Achieved information throughput for this frame."""
+        return n_info / self.decode_time_s(fclk_hz)
+
+
+class DecoderChip:
+    """The reconfigurable multi-standard LDPC decoder (Figs. 7-8).
+
+    Parameters
+    ----------
+    params:
+        Datapath constants; default is the paper's 96-lane Radix-4 chip.
+    frac_bits:
+        Binary point of the message format (Q``msg_bits``.``frac_bits``).
+    rom:
+        Optional pre-built :class:`ModeROM` (shared across chips to reuse
+        optimized schedules).
+    checknode:
+        SISO organization: ``"sum-sub"`` (the paper's f-then-g core,
+        Fig. 3/6 — architecture-faithful but BER-fragile in fixed point,
+        see ``bench_ablation_checknode``) or ``"forward-backward"`` (the
+        bidirectional core of comparison chip [4]; same cycle counts,
+        floating-point-grade BER).
+
+    Examples
+    --------
+    >>> chip = DecoderChip()
+    >>> entry = chip.configure("802.16e:1/2:z96")
+    >>> entry.pipeline.cycles_per_iteration >= 38
+    True
+    """
+
+    def __init__(
+        self,
+        params: DatapathParams = PAPER_CHIP,
+        frac_bits: int = 2,
+        rom: ModeROM | None = None,
+        checknode: str = "sum-sub",
+    ):
+        if checknode not in ("sum-sub", "forward-backward"):
+            raise ArchitectureError(
+                f"checknode must be 'sum-sub' or 'forward-backward', "
+                f"got {checknode!r}"
+            )
+        self.checknode = checknode
+        self.params = params
+        self.qformat = QFormat(params.msg_bits, frac_bits)
+        self.app_qformat = QFormat(params.app_bits, frac_bits)
+        self.rom = rom if rom is not None else ModeROM(params)
+        self.l_memory = MemoryBank(
+            words=params.k_max,
+            lanes=params.z_max,
+            width_bits=params.app_bits,
+            ports=2,
+            name="L-mem",
+        )
+        self.lambda_memory = LambdaMemoryArray(
+            z_max=params.z_max, e_max=params.e_max, msg_bits=params.msg_bits
+        )
+        self.shifter = CircularShifter(params.z_max)
+        self.siso: SISOUnitArray | None = None
+        self.entry: ModeEntry | None = None
+        self._entry_offsets: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Reconfiguration
+    # ------------------------------------------------------------------
+    def configure(self, mode) -> ModeEntry:
+        """Switch the chip to a new LDPC mode (registry string or code)."""
+        entry = self.rom.lookup(mode)
+        code = entry.code
+        self.entry = entry
+        self.lambda_memory.set_active_lanes(code.z)
+        self.siso = make_siso_array(
+            self.params.radix,
+            lanes=code.z,
+            qformat=self.qformat,
+            fifo_depth=max(32, code.max_layer_degree),
+            organization=self.checknode,
+        )
+        # Λ-bank entry offsets: one entry per non-zero block, laid out in
+        # schedule order.
+        offsets = []
+        cursor = 0
+        for blocks in entry.schedule.block_orders:
+            offsets.append(cursor)
+            cursor += len(blocks)
+        if cursor > self.params.e_max:
+            raise ReconfigurationError(
+                f"{code.name}: {cursor} blocks exceed Λ-bank depth "
+                f"{self.params.e_max}"
+            )
+        self._entry_offsets = offsets
+        self.l_memory.data[:] = 0
+        return entry
+
+    @property
+    def active_lanes(self) -> int:
+        """Currently powered SISO lanes (= the mode's z)."""
+        if self.entry is None:
+            raise ArchitectureError("chip is not configured")
+        return self.entry.code.z
+
+    # ------------------------------------------------------------------
+    # Cycle-accurate decode
+    # ------------------------------------------------------------------
+    def _load_frame(self, llr: np.ndarray) -> None:
+        code = self.entry.code
+        z = code.z
+        quantized = self.qformat.quantize(np.asarray(llr, dtype=np.float64))
+        for column in range(code.base.k):
+            word = np.zeros(self.params.z_max, dtype=np.int32)
+            word[:z] = quantized[column * z : (column + 1) * z]
+            self.l_memory.begin_cycle()  # one input-buffer word per cycle
+            self.l_memory.write(column, word)
+
+    def _read_app(self) -> np.ndarray:
+        code = self.entry.code
+        z = code.z
+        out = np.empty(code.n, dtype=np.int32)
+        for column in range(code.base.k):
+            out[column * z : (column + 1) * z] = self.l_memory.data[column, :z]
+        return out
+
+    def _process_layer(self, position: int) -> None:
+        """Run one layer through shifter -> SISO -> write-back."""
+        code = self.entry.code
+        z = code.z
+        blocks = self.entry.schedule.block_orders[position]
+        offset = self._entry_offsets[position]
+
+        lam_rows = []
+        self.siso.start_row(len(blocks))
+        pending = []
+        for q, block in enumerate(blocks):
+            # Each block read occupies its own schedule slot; the hazard
+            # analysis guarantees at most one read + one write per cycle
+            # on the dual-ported L-memory.
+            self.l_memory.begin_cycle()
+            word = self.l_memory.read(block.column)[:z]
+            routed = self.shifter.gather(word, block.shift, z)
+            stored_lambda = self.lambda_memory.read(offset + q, z)
+            lam = self.qformat.saturate(
+                routed.astype(np.int64) - stored_lambda
+            )
+            lam_rows.append(lam)
+            pending.append(lam)
+            if len(pending) == self.params.messages_per_cycle:
+                self.siso.feed(np.stack(pending))
+                pending = []
+        if pending:
+            self.siso.feed(np.stack(pending))
+
+        outputs = []
+        while len(outputs) < len(blocks):
+            chunk = self.siso.drain()
+            outputs.extend(chunk)
+        if self.siso.output_order == "reverse":
+            outputs = outputs[::-1]
+        for q, block in enumerate(blocks):
+            lambda_new = outputs[q]
+            self.lambda_memory.write(offset + q, lambda_new)
+            l_new = self.app_qformat.saturate(
+                lam_rows[q].astype(np.int64) + lambda_new
+            )
+            word = self.l_memory.data[block.column].copy()
+            word[:z] = self.shifter.scatter(l_new, block.shift, z)
+            self.l_memory.begin_cycle()
+            self.l_memory.write(block.column, word)
+
+    def decode(
+        self,
+        llr: np.ndarray,
+        max_iterations: int = 10,
+        early_termination: str = "paper",
+        et_threshold: float = 1.0,
+    ) -> ChipDecodeResult:
+        """Decode one frame, cycle-accurately.
+
+        Parameters
+        ----------
+        llr:
+            ``(N,)`` channel LLRs (floats; quantized at the input buffer).
+        max_iterations:
+            Iteration budget ``I`` (paper: 10).
+        early_termination:
+            ``"paper"`` (two-condition rule) or ``"none"``.
+        et_threshold:
+            LLR-unit threshold of the rule's confidence condition.
+        """
+        if self.entry is None:
+            raise ArchitectureError("configure() the chip before decoding")
+        if early_termination not in ("paper", "none"):
+            raise ArchitectureError(
+                "chip early termination is 'paper' or 'none'"
+            )
+        code = self.entry.code
+        llr = np.asarray(llr, dtype=np.float64)
+        if llr.shape != (code.n,):
+            raise ArchitectureError(
+                f"chip decodes one frame of shape ({code.n},); got {llr.shape}"
+            )
+        self._reset_activity()
+        # Algorithm 1 initialization: Λ_mn = 0 for every edge, fresh frame.
+        self.lambda_memory.data[:] = 0
+        self._load_frame(llr)
+
+        raw_threshold = int(np.rint(et_threshold * self.qformat.scale))
+        previous_hard = (
+            self._read_app()[: code.n_info] < 0
+        ).astype(np.uint8)
+
+        iterations_done = 0
+        et_fired = False
+        for _ in range(max_iterations):
+            for position in range(len(self.entry.schedule.block_orders)):
+                self._process_layer(position)
+            iterations_done += 1
+            if early_termination == "paper" and iterations_done < max_iterations:
+                app = self._read_app()
+                info = app[: code.n_info]
+                hard = (info < 0).astype(np.uint8)
+                stable = not np.any(hard ^ previous_hard)
+                confident = int(np.min(np.abs(info))) > raw_threshold
+                previous_hard = hard
+                if stable and confident:
+                    et_fired = True
+                    break
+
+        app = self._read_app()
+        bits = (app < 0).astype(np.uint8)
+        converged = bool(code.is_codeword(bits))
+        cycles = self.entry.pipeline.total_cycles(iterations_done)
+        cycles += self.shifter.latency_cycles * 2  # in/out routing of the frame
+        return ChipDecodeResult(
+            bits=bits,
+            converged=converged,
+            iterations=iterations_done,
+            cycles=cycles,
+            et_stopped=et_fired,
+            activity=self._collect_activity(),
+        )
+
+    # ------------------------------------------------------------------
+    # Accounting / estimation
+    # ------------------------------------------------------------------
+    def _reset_activity(self) -> None:
+        self.l_memory.reset_counters()
+        self.lambda_memory.reset_counters()
+        self.shifter.reset_counters()
+        if self.siso is not None:
+            self.siso.reset_counters()
+
+    def _collect_activity(self) -> dict:
+        return {
+            "l_mem_reads": self.l_memory.read_count,
+            "l_mem_writes": self.l_memory.write_count,
+            "lambda_reads": self.lambda_memory.read_count,
+            "lambda_writes": self.lambda_memory.write_count,
+            "shifter_routes": self.shifter.route_count,
+            "siso_f_ops": self.siso.f_op_count if self.siso else 0,
+            "siso_g_ops": self.siso.g_op_count if self.siso else 0,
+            "active_lanes": self.active_lanes,
+        }
+
+    def throughput(self, iterations: int = 10) -> ThroughputEstimate:
+        """Closed-form + simulated throughput for the configured mode."""
+        if self.entry is None:
+            raise ArchitectureError("configure() the chip first")
+        return estimate_throughput(
+            self.entry.code,
+            self.params,
+            iterations=iterations,
+            report=self.entry.pipeline,
+            mode=self.entry.mode,
+        )

@@ -1,0 +1,96 @@
+"""Datapath parameterization of the reconfigurable decoder chip.
+
+The paper's implemented chip (Fig. 8, Table 3) instantiates ``z_max = 96``
+Radix-4 SISO decoders with distributed Λ-memories, a central L-memory of
+``k_max = 24`` words, and a 96 x 96 circular shifter — enough for every
+IEEE 802.11n and IEEE 802.16e mode.  The architecture itself is scalable:
+a DMB-T variant needs ``z_max = 127, k_max = 59``.
+
+:class:`DatapathParams` captures those design-time constants; run-time
+(mode) state lives in :class:`repro.arch.chip.DecoderChip`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchitectureError
+
+#: Radix options: messages consumed per SISO per cycle.
+RADIX_FACTORS = {"R2": 1, "R4": 2}
+
+
+@dataclass(frozen=True)
+class DatapathParams:
+    """Design-time datapath constants.
+
+    Parameters
+    ----------
+    z_max:
+        Number of SISO cores / Λ-memory banks / shifter lanes.
+    k_max:
+        L-memory depth in ``[1 x z]`` block words.
+    e_max:
+        Λ-memory bank depth (non-zero blocks of the largest mode).
+    msg_bits:
+        Extrinsic message width (the paper's 8-bit buses).
+    app_bits:
+        APP (L) word width per lane (wider accumulator; see
+        ``DecoderConfig.app_extra_bits``).
+    radix:
+        ``"R2"`` (one message/cycle) or ``"R4"`` (two, via look-ahead).
+    pipeline_latency:
+        Cycles between the last read of a row and its first write-back
+        (f-unit + g-unit register stages; Fig. 4's decode gap).
+    overlap_layers:
+        Enable the two-layer overlapped schedule of Fig. 4 (requires
+        dual-port memories).
+    fclk_mhz:
+        Nominal clock; the paper signs off 450 MHz.
+    """
+
+    z_max: int = 96
+    k_max: int = 24
+    e_max: int = 96
+    msg_bits: int = 8
+    app_bits: int = 10
+    radix: str = "R4"
+    pipeline_latency: int = 2
+    overlap_layers: bool = True
+    fclk_mhz: float = 450.0
+
+    def __post_init__(self):
+        if self.radix not in RADIX_FACTORS:
+            raise ArchitectureError(
+                f"radix must be one of {sorted(RADIX_FACTORS)}, got {self.radix!r}"
+            )
+        if self.z_max < 1 or self.k_max < 2 or self.e_max < 1:
+            raise ArchitectureError("z_max, k_max, e_max must be positive")
+        if self.msg_bits < 2 or self.app_bits < self.msg_bits:
+            raise ArchitectureError(
+                "need msg_bits >= 2 and app_bits >= msg_bits"
+            )
+        if self.pipeline_latency < 0:
+            raise ArchitectureError("pipeline_latency must be non-negative")
+        if self.fclk_mhz <= 0:
+            raise ArchitectureError("fclk_mhz must be positive")
+
+    @property
+    def messages_per_cycle(self) -> int:
+        """Messages each SISO consumes per cycle (1 for R2, 2 for R4)."""
+        return RADIX_FACTORS[self.radix]
+
+    def supports_code(self, code) -> bool:
+        """True when a code fits this datapath."""
+        return (
+            code.z <= self.z_max
+            and code.base.k <= self.k_max
+            and code.base.num_blocks <= self.e_max
+        )
+
+
+#: The chip as implemented in the paper (802.11n + 802.16e, Radix-4).
+PAPER_CHIP = DatapathParams()
+
+#: A scaled-up variant that also covers DMB-T (architecture study only).
+DMBT_CHIP = DatapathParams(z_max=127, k_max=59, e_max=256)

@@ -1,0 +1,206 @@
+"""Memory models: central L-memory, distributed Λ-banks, SISO FIFOs.
+
+The decoder's memory system (Fig. 7) has three tiers:
+
+- **L-memory**: one central bank, ``k_max`` words of ``z_max *
+  app_bits`` each — one word per block column, read/written once per
+  non-zero block per layer.  Dual-ported to support the overlapped
+  two-layer schedule (Fig. 4).
+- **Λ-memories**: ``z_max`` small banks distributed next to their SISO
+  cores, depth ``e_max`` (one entry per non-zero block), ``msg_bits``
+  wide.  Banks are *deactivatable*: for a code with ``z < z_max`` the
+  unused banks are power-gated (the paper's second power-saving scheme,
+  Fig. 9b).
+- **FIFOs** inside each SISO core holding the row's λ values between the
+  f and g phases (Fig. 3).
+
+Every access is counted per cycle for port-conflict checking and for the
+energy model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ArchitectureError, MemoryPortConflictError
+
+
+class MemoryBank:
+    """A single- or dual-port synchronous memory of vector words.
+
+    Parameters
+    ----------
+    words:
+        Depth (addressable words).
+    lanes:
+        Vector width of one word (the ``z`` dimension); scalar banks use 1.
+    width_bits:
+        Bits per lane (for the area/energy models).
+    ports:
+        1 (single) or 2 (dual).  Port usage is tracked per cycle: more
+        simultaneous accesses than ports raises
+        :class:`MemoryPortConflictError`.
+    name:
+        Label used in error messages and reports.
+    """
+
+    def __init__(
+        self,
+        words: int,
+        lanes: int = 1,
+        width_bits: int = 8,
+        ports: int = 2,
+        name: str = "mem",
+    ):
+        if words < 1 or lanes < 1 or width_bits < 1:
+            raise ArchitectureError("words, lanes and width_bits must be positive")
+        if ports not in (1, 2):
+            raise ArchitectureError("ports must be 1 or 2")
+        self.words = words
+        self.lanes = lanes
+        self.width_bits = width_bits
+        self.ports = ports
+        self.name = name
+        self.data = np.zeros((words, lanes), dtype=np.int32)
+        self.active = True
+        self.read_count = 0
+        self.write_count = 0
+        self._ports_used_this_cycle = 0
+
+    @property
+    def total_bits(self) -> int:
+        """Storage capacity in bits (area model input)."""
+        return self.words * self.lanes * self.width_bits
+
+    def begin_cycle(self) -> None:
+        """Start a new cycle: reset the port-usage tracker."""
+        self._ports_used_this_cycle = 0
+
+    def _use_port(self) -> None:
+        if not self.active:
+            raise ArchitectureError(
+                f"{self.name}: access to a deactivated (power-gated) bank"
+            )
+        if self._ports_used_this_cycle >= self.ports:
+            raise MemoryPortConflictError(
+                f"{self.name}: {self._ports_used_this_cycle + 1} accesses in "
+                f"one cycle on a {self.ports}-port memory"
+            )
+        self._ports_used_this_cycle += 1
+
+    def read(self, address: int) -> np.ndarray:
+        """Read one word (copy) through a port."""
+        if not 0 <= address < self.words:
+            raise ArchitectureError(f"{self.name}: address {address} out of range")
+        self._use_port()
+        self.read_count += 1
+        return self.data[address].copy()
+
+    def write(self, address: int, value: np.ndarray) -> None:
+        """Write one word through a port."""
+        if not 0 <= address < self.words:
+            raise ArchitectureError(f"{self.name}: address {address} out of range")
+        value = np.asarray(value)
+        if value.shape != (self.lanes,):
+            raise ArchitectureError(
+                f"{self.name}: word shape {value.shape} != ({self.lanes},)"
+            )
+        self._use_port()
+        self.write_count += 1
+        self.data[address] = value
+
+    def deactivate(self) -> None:
+        """Power-gate the bank (contents considered lost)."""
+        self.active = False
+
+    def activate(self) -> None:
+        self.active = True
+        self.data[:] = 0
+
+    def reset_counters(self) -> None:
+        self.read_count = 0
+        self.write_count = 0
+
+
+class LambdaMemoryArray:
+    """The ``z_max`` distributed Λ-banks with an activation mask.
+
+    The decoder reads/writes all *active* banks in lock-step (one Λ entry
+    per SISO per block), so the array exposes vectorized access across the
+    lane dimension while accounting per-bank activity.
+    """
+
+    def __init__(self, z_max: int, e_max: int, msg_bits: int):
+        self.z_max = z_max
+        self.e_max = e_max
+        self.msg_bits = msg_bits
+        self.data = np.zeros((e_max, z_max), dtype=np.int32)
+        self.active_lanes = z_max
+        self.read_count = 0
+        self.write_count = 0
+
+    @property
+    def total_bits(self) -> int:
+        return self.z_max * self.e_max * self.msg_bits
+
+    def set_active_lanes(self, z: int) -> None:
+        """Activate the first ``z`` banks, power-gate the rest (Fig. 9b)."""
+        if not 1 <= z <= self.z_max:
+            raise ArchitectureError(f"active lane count {z} out of [1, {self.z_max}]")
+        self.active_lanes = z
+        self.data[:] = 0
+
+    def read(self, entry: int, z: int) -> np.ndarray:
+        """Read Λ entry ``entry`` from the first ``z`` banks."""
+        if z > self.active_lanes:
+            raise ArchitectureError(
+                f"read of {z} lanes but only {self.active_lanes} banks active"
+            )
+        if not 0 <= entry < self.e_max:
+            raise ArchitectureError(f"Λ entry {entry} out of range")
+        self.read_count += 1
+        return self.data[entry, :z].copy()
+
+    def write(self, entry: int, values: np.ndarray) -> None:
+        values = np.asarray(values)
+        z = values.shape[0]
+        if z > self.active_lanes:
+            raise ArchitectureError(
+                f"write of {z} lanes but only {self.active_lanes} banks active"
+            )
+        if not 0 <= entry < self.e_max:
+            raise ArchitectureError(f"Λ entry {entry} out of range")
+        self.write_count += 1
+        self.data[entry, :z] = values
+
+    def reset_counters(self) -> None:
+        self.read_count = 0
+        self.write_count = 0
+
+
+class Fifo:
+    """A simple depth-bounded FIFO of lane vectors (the SISO's λ store)."""
+
+    def __init__(self, depth: int, name: str = "fifo"):
+        if depth < 1:
+            raise ArchitectureError("FIFO depth must be positive")
+        self.depth = depth
+        self.name = name
+        self._queue: list[np.ndarray] = []
+
+    def push(self, value: np.ndarray) -> None:
+        if len(self._queue) >= self.depth:
+            raise ArchitectureError(f"{self.name}: overflow (depth {self.depth})")
+        self._queue.append(np.asarray(value).copy())
+
+    def pop(self) -> np.ndarray:
+        if not self._queue:
+            raise ArchitectureError(f"{self.name}: underflow")
+        return self._queue.pop(0)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue

@@ -1,0 +1,122 @@
+"""Mode ROM and dynamic reconfiguration control.
+
+The chip's control path (Fig. 8: "CTRL" + "ROM") stores one configuration
+record per supported LDPC mode: the base-matrix geometry, the shift
+values, the optimized layer order and the resulting cycle schedule.
+Switching modes is a control-register update — no datapath change — which
+is what the paper means by *dynamically reconfigurable*.
+
+:class:`ModeROM` is the software analogue: it resolves registry modes,
+verifies they fit the datapath, optimizes their layer order once, and
+caches the derived :class:`~repro.arch.pipeline.PipelineReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.datapath import DatapathParams
+from repro.arch.pipeline import PipelineReport, analyze_pipeline, pipeline_stall_cost
+from repro.arch.scheduler import BlockSchedule, build_schedule, optimize_layer_order
+from repro.codes.qc import QCLDPCCode
+from repro.codes.registry import get_code
+from repro.errors import ReconfigurationError
+
+
+@dataclass(frozen=True)
+class ModeEntry:
+    """One ROM record: everything the controller needs for a mode."""
+
+    mode: str
+    code: QCLDPCCode
+    layer_order: tuple[int, ...]
+    schedule: BlockSchedule
+    pipeline: PipelineReport
+
+    @property
+    def rom_bits(self) -> int:
+        """Approximate ROM storage for this record.
+
+        Shift values (9 bits each, enough for z <= 127), the layer order
+        (4 bits/layer) and per-mode geometry words.
+        """
+        base = self.code.base
+        return base.num_blocks * 9 + base.j * 4 + 32
+
+
+class ModeROM:
+    """Lazy, caching store of mode configurations for one datapath.
+
+    Parameters
+    ----------
+    params:
+        The chip datapath the modes must fit.
+    optimize:
+        Optimize the layer order for minimal pipeline stalls when True
+        (the paper's stall-avoidance reordering); natural order when
+        False.
+    block_ordering:
+        Block ordering passed to the scheduler.
+    """
+
+    def __init__(
+        self,
+        params: DatapathParams,
+        optimize: bool = True,
+        block_ordering: str = "natural",
+    ):
+        self.params = params
+        self.optimize = optimize
+        self.block_ordering = block_ordering
+        self._entries: dict[str, ModeEntry] = {}
+
+    def lookup(self, mode: "str | QCLDPCCode") -> ModeEntry:
+        """Resolve (and cache) the configuration for a mode.
+
+        Accepts a registry mode string or an already-built code (useful
+        for synthetic codes in tests).
+
+        Raises
+        ------
+        ReconfigurationError
+            When the code does not fit the datapath.
+        """
+        key = mode if isinstance(mode, str) else f"code:{mode.name}"
+        if key in self._entries:
+            return self._entries[key]
+        code = get_code(mode) if isinstance(mode, str) else mode
+        if not self.params.supports_code(code):
+            raise ReconfigurationError(
+                f"mode {key!r} (z={code.z}, k={code.base.k}, "
+                f"E={code.base.num_blocks}) does not fit datapath "
+                f"(z_max={self.params.z_max}, k_max={self.params.k_max}, "
+                f"e_max={self.params.e_max})"
+            )
+        if self.optimize:
+            order = optimize_layer_order(
+                code.base, cost=pipeline_stall_cost(code.base, self.params)
+            )
+        else:
+            order = tuple(range(code.base.j))
+        schedule = build_schedule(
+            code.base, layer_order=order, block_ordering=self.block_ordering
+        )
+        pipeline = analyze_pipeline(code.base, self.params, schedule)
+        entry = ModeEntry(
+            mode=key,
+            code=code,
+            layer_order=order,
+            schedule=schedule,
+            pipeline=pipeline,
+        )
+        self._entries[key] = entry
+        return entry
+
+    @property
+    def loaded_modes(self) -> tuple[str, ...]:
+        return tuple(self._entries)
+
+    @property
+    def rom_bits(self) -> int:
+        """Total ROM bits for the currently loaded modes."""
+        return sum(entry.rom_bits for entry in self._entries.values())

@@ -1,0 +1,218 @@
+"""Pipelined timing of the block-serial schedule — *when* things happen.
+
+Implements the paper's Fig. 4 timing: with dual-port memories, the read
+(+ f-recursion) phase of layer ``l+1`` overlaps the write (g/output)
+phase of layer ``l``.  A data dependency — layer ``l+1`` reading a block
+column before layer ``l`` has written it back — stalls the read phase
+("typically data dependencies between layers will occasionally stall the
+pipeline for one or more cycles"), and reordering the layers removes most
+stalls (ref [10]).
+
+Timing model (cycles; ``r`` = messages per cycle, 1 for R2 / 2 for R4):
+
+- layer ``l`` at position ``p`` starts reading at ``s_p``; its ``q``-th
+  block is read at ``s_p + q // r``;
+- read phase length ``c_p = ceil(d_p / r)``;
+- its ``q``-th block is written back at
+  ``s_p + c_p + Lat + q // r`` (Lat = f->g register latency);
+- overlap: ``s_{p+1} >= s_p + c_p`` plus any hazard stalls;
+- no-overlap: ``s_{p+1} = s_p + 2 c_p + Lat``.
+
+The steady-state cycles/iteration is measured by unrolling two iterations
+(the wrap-around hazard from the last layer back to the first matters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.datapath import DatapathParams
+from repro.arch.scheduler import BlockSchedule, build_schedule
+from repro.codes.base_matrix import BaseMatrix
+
+
+@dataclass(frozen=True)
+class LayerTiming:
+    """Timing of one layer instance in the unrolled schedule.
+
+    Attributes
+    ----------
+    position:
+        Index in the unrolled layer sequence.
+    layer:
+        Base-matrix layer id.
+    start:
+        First read cycle.
+    read_cycles:
+        Length of the read phase (``ceil(d / r)``).
+    write_start:
+        First write-back cycle.
+    stall:
+        Stall cycles inserted before this layer's read phase.
+    """
+
+    position: int
+    layer: int
+    start: int
+    read_cycles: int
+    write_start: int
+    stall: int
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Result of :func:`analyze_pipeline`.
+
+    Attributes
+    ----------
+    cycles_per_iteration:
+        Steady-state cycles for one full iteration (includes stalls).
+    stalls_per_iteration:
+        Steady-state stall cycles per iteration.
+    fill_cycles:
+        Extra cycles before the steady state (pipeline fill).
+    timings:
+        Per-layer timings of the first unrolled iteration.
+    overlap:
+        Whether the two-layer overlap was enabled.
+    radix:
+        ``"R2"`` or ``"R4"``.
+    """
+
+    cycles_per_iteration: int
+    stalls_per_iteration: int
+    fill_cycles: int
+    timings: tuple[LayerTiming, ...]
+    overlap: bool
+    radix: str
+
+    def total_cycles(self, iterations: int) -> int:
+        """Cycles to run ``iterations`` full iterations (with fill)."""
+        return self.fill_cycles + iterations * self.cycles_per_iteration
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def analyze_pipeline(
+    base: BaseMatrix,
+    params: DatapathParams,
+    schedule: BlockSchedule | None = None,
+) -> PipelineReport:
+    """Compute steady-state cycle counts and stalls for a schedule.
+
+    Parameters
+    ----------
+    base:
+        The code's base matrix.
+    params:
+        Datapath parameters (radix, latency, overlap).
+    schedule:
+        Block schedule; defaults to the natural order.
+    """
+    if schedule is None:
+        schedule = build_schedule(base)
+    rate = params.messages_per_cycle
+    latency = params.pipeline_latency
+    j = schedule.num_layers
+
+    # Unroll two iterations to capture the wrap-around dependency.
+    sequence = list(range(j)) * 2
+    starts: list[int] = []
+    stalls: list[int] = []
+    timings: list[LayerTiming] = []
+
+    # Per block-column, the cycle at which its latest write-back lands.
+    last_write: dict[int, int] = {}
+
+    cursor = 0
+    for position, sched_pos in enumerate(sequence):
+        blocks = schedule.block_orders[sched_pos]
+        layer = schedule.layer_order[sched_pos]
+        read_cycles = _ceil_div(len(blocks), rate)
+
+        if params.overlap_layers:
+            earliest = cursor
+            # Hazards: our q-th read must not precede the writer's
+            # write-back of the same column.
+            for q, block in enumerate(blocks):
+                writer = last_write.get(block.column)
+                if writer is not None:
+                    # start + q//r >= writer + 1
+                    earliest = max(earliest, writer + 1 - q // rate)
+            stall = earliest - cursor
+            start = earliest
+            next_cursor = start + read_cycles
+        else:
+            stall = 0
+            start = cursor
+            next_cursor = start + 2 * read_cycles + latency
+
+        write_start = start + read_cycles + latency
+        for q, block in enumerate(blocks):
+            last_write[block.column] = write_start + q // rate
+
+        starts.append(start)
+        stalls.append(stall)
+        if position < j:
+            timings.append(
+                LayerTiming(
+                    position=position,
+                    layer=layer,
+                    start=start,
+                    read_cycles=read_cycles,
+                    write_start=write_start,
+                    stall=stall,
+                )
+            )
+        cursor = next_cursor
+
+    cycles_per_iteration = starts[j] - starts[0]
+    stalls_steady = sum(stalls[j:])
+    fill = starts[0] + (0 if params.overlap_layers else 0)
+    # The drain of the last layer extends past the next iteration's start
+    # only in overlap mode; steady-state accounting already covers it.
+    return PipelineReport(
+        cycles_per_iteration=cycles_per_iteration,
+        stalls_per_iteration=stalls_steady,
+        fill_cycles=fill,
+        timings=tuple(timings),
+        overlap=params.overlap_layers,
+        radix=params.radix,
+    )
+
+
+def pipeline_stall_cost(base: BaseMatrix, params: DatapathParams):
+    """A cost function over layer orders for the scheduler's search.
+
+    Returns a callable ``order -> stalls_per_iteration`` suitable for
+    :func:`repro.arch.scheduler.optimize_layer_order`.
+    """
+
+    def cost(order) -> int:
+        schedule = build_schedule(base, layer_order=tuple(order))
+        return analyze_pipeline(base, params, schedule).stalls_per_iteration
+
+    return cost
+
+
+def ascii_timeline(report: PipelineReport, width: int = 72) -> str:
+    """Fig. 4-style text timeline of the first iteration's layers."""
+    if not report.timings:
+        return "(empty schedule)"
+    span = max(t.write_start + t.read_cycles for t in report.timings)
+    scale = max(1, _ceil_div(span, width))
+    lines = [
+        f"pipeline timeline ({report.radix}, overlap={report.overlap}, "
+        f"1 char = {scale} cycle(s))"
+    ]
+    for t in report.timings:
+        row = [" "] * _ceil_div(span, scale)
+        for c in range(t.start, t.start + t.read_cycles):
+            row[c // scale] = "R"
+        for c in range(t.write_start, t.write_start + t.read_cycles):
+            row[c // scale] = "W" if row[c // scale] == " " else "*"
+        stall_marker = f" (+{t.stall} stall)" if t.stall else ""
+        lines.append(f"layer {t.layer:2d} |{''.join(row)}|{stall_marker}")
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Block-serial (BS) scheduling — *what* is processed in which order.
+
+Paper Fig. 2: one full iteration is split into ``j`` sub-iterations; each
+layer's non-zero ``z x z`` blocks form a macro processed block-serially
+(one block per cycle for R2, two for R4) by the ``z`` parallel SISO
+decoders.
+
+This module decides the *orders*:
+
+- the **layer order** (paper §III-C cites ref [10]: shuffling the layers
+  avoids pipeline stalls), and
+- the **block order within a layer** (writing hazard-shared columns early
+  and reading them late gives the overlapped pipeline more slack).
+
+Timing (the *when*) lives in :mod:`repro.arch.pipeline`; the two are kept
+separate so ablation benches can sweep orders against one timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+
+from repro.codes.base_matrix import BaseMatrix, BlockEntry
+from repro.errors import ArchitectureError
+
+#: Exhaustive layer-order search bound (8! = 40320 schedules).
+_EXHAUSTIVE_LIMIT = 8
+
+
+@dataclass(frozen=True)
+class BlockSchedule:
+    """The complete processing order for one iteration.
+
+    Attributes
+    ----------
+    layer_order:
+        Processing order of the ``j`` layers.
+    block_orders:
+        For each *position* in ``layer_order``, the layer's blocks in
+        processing order.
+    """
+
+    layer_order: tuple[int, ...]
+    block_orders: tuple[tuple[BlockEntry, ...], ...]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layer_order)
+
+    def layer_degree(self, position: int) -> int:
+        return len(self.block_orders[position])
+
+
+def _natural_blocks(base: BaseMatrix, layer: int) -> tuple[BlockEntry, ...]:
+    return tuple(base.layer_blocks(layer))
+
+
+def _hazard_aware_blocks(
+    base: BaseMatrix, layer: int, previous_layer: int, next_layer: int
+) -> tuple[BlockEntry, ...]:
+    """Reorder one layer's blocks to relax inter-layer hazards.
+
+    Columns shared with the *previous* layer are read as late as possible
+    (their fresh values arrive late); columns shared with the *next*
+    layer keep their natural position so they are written early.
+    """
+    blocks = list(base.layer_blocks(layer))
+    previous_cols = set(base.layer_columns(previous_layer))
+    blocks.sort(key=lambda blk: (blk.column in previous_cols, blk.column))
+    return tuple(blocks)
+
+
+def build_schedule(
+    base: BaseMatrix,
+    layer_order: "tuple[int, ...] | list[int] | None" = None,
+    block_ordering: str = "natural",
+) -> BlockSchedule:
+    """Build the block-serial schedule for one iteration.
+
+    Parameters
+    ----------
+    base:
+        The code's base matrix.
+    layer_order:
+        Optional layer permutation (default: natural order).
+    block_ordering:
+        ``"natural"`` (column order) or ``"hazard-aware"``.
+    """
+    if layer_order is None:
+        layer_order = tuple(range(base.j))
+    else:
+        layer_order = tuple(int(l) for l in layer_order)
+        if sorted(layer_order) != list(range(base.j)):
+            raise ArchitectureError(
+                f"layer order {layer_order} is not a permutation of 0..{base.j - 1}"
+            )
+    if block_ordering not in ("natural", "hazard-aware"):
+        raise ArchitectureError(
+            f"unknown block ordering {block_ordering!r}"
+        )
+
+    block_orders = []
+    j = len(layer_order)
+    for position, layer in enumerate(layer_order):
+        if block_ordering == "natural":
+            block_orders.append(_natural_blocks(base, layer))
+        else:
+            previous_layer = layer_order[(position - 1) % j]
+            next_layer = layer_order[(position + 1) % j]
+            block_orders.append(
+                _hazard_aware_blocks(base, layer, previous_layer, next_layer)
+            )
+    return BlockSchedule(layer_order=layer_order, block_orders=tuple(block_orders))
+
+
+def layer_overlap_cost(base: BaseMatrix, order: "tuple[int, ...]") -> int:
+    """Cheap stall proxy: shared block-columns between adjacent layers.
+
+    Two consecutive layers sharing many columns force the overlapped
+    pipeline to wait for write-backs; this counts the shared columns over
+    the cyclic layer sequence (the exact stall count comes from
+    :mod:`repro.arch.pipeline`, but this proxy is monotone enough to
+    guide the search and much cheaper).
+    """
+    j = len(order)
+    columns = [set(base.layer_columns(layer)) for layer in range(base.j)]
+    return sum(
+        len(columns[order[i]] & columns[order[(i + 1) % j]]) for i in range(j)
+    )
+
+
+def optimize_layer_order(
+    base: BaseMatrix,
+    cost=None,
+    method: str = "auto",
+) -> tuple[int, ...]:
+    """Find a layer order minimizing pipeline stalls (paper ref [10]).
+
+    Parameters
+    ----------
+    base:
+        The code's base matrix.
+    cost:
+        Callable ``order -> number`` to minimize; defaults to
+        :func:`layer_overlap_cost`.  Pass the exact stall count from
+        :func:`repro.arch.pipeline.analyze_pipeline` for a tighter (but
+        slower) search.
+    method:
+        ``"exhaustive"``, ``"greedy"`` or ``"auto"`` (exhaustive for
+        ``j <= 8``, greedy + 2-opt beyond).
+
+    Returns
+    -------
+    tuple of int
+        The best order found (deterministic).
+    """
+    if cost is None:
+        def cost(order):
+            return layer_overlap_cost(base, order)
+
+    j = base.j
+    if method not in ("exhaustive", "greedy", "auto"):
+        raise ArchitectureError(f"unknown method {method!r}")
+    if method == "auto":
+        method = "exhaustive" if j <= _EXHAUSTIVE_LIMIT else "greedy"
+
+    if method == "exhaustive":
+        # Fix layer 0 first: the schedule is cyclic, so rotations of an
+        # order have equal cost and searching them is wasted work.
+        best_order = tuple(range(j))
+        best_cost = cost(best_order)
+        for tail in permutations(range(1, j)):
+            order = (0, *tail)
+            c = cost(order)
+            if c < best_cost:
+                best_cost = c
+                best_order = order
+        return best_order
+
+    # Greedy construction: repeatedly append the layer sharing the fewest
+    # columns with the current tail.
+    columns = [set(base.layer_columns(layer)) for layer in range(j)]
+    remaining = set(range(1, j))
+    order = [0]
+    while remaining:
+        tail = order[-1]
+        nxt = min(
+            sorted(remaining),
+            key=lambda cand: len(columns[tail] & columns[cand]),
+        )
+        order.append(nxt)
+        remaining.remove(nxt)
+
+    # 2-opt refinement on the full cost.
+    best = tuple(order)
+    best_cost = cost(best)
+    improved = True
+    while improved:
+        improved = False
+        for i in range(1, j - 1):
+            for k in range(i + 1, j):
+                candidate = best[:i] + best[i : k + 1][::-1] + best[k + 1 :]
+                c = cost(candidate)
+                if c < best_cost:
+                    best, best_cost = candidate, c
+                    improved = True
+    return best

@@ -1,0 +1,336 @@
+"""Cycle-stepped SISO decoder units (paper Figs. 3-6).
+
+The Radix-2 unit (Fig. 3) consumes one λ per cycle: during the first
+``d_m`` cycles the f(·) unit folds the incoming messages into the ⊞ sum
+``S_m`` while a FIFO retains the raw λ values; during the next ``d_m``
+cycles the g(·) unit emits ``Λ_mn = S_m ⊟ λ_mn`` in arrival order.
+
+The Radix-4 unit (Fig. 6) applies the one-level look-ahead transform of
+Fig. 5 — two f(·) units in series fold *two* messages per cycle — halving
+both phases.
+
+Both units are modelled as a **lane array**: the ``z`` parallel SISO
+decoders of one layer execute identical control with different data, so
+one object steps vectors of ``z`` lanes per cycle.  Ping-pong row contexts
+let a new row's read phase overlap the previous row's write phase, which
+is what enables the two-layer overlapped schedule (Fig. 4).
+
+Data semantics are *identical* to the functional
+:class:`~repro.decoder.siso.FixedBPSumSubKernel` (or its float analogue);
+the unit tests assert bit-exactness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.memory import Fifo
+from repro.errors import ArchitectureError
+from repro.fixedpoint.boxplus import FixedBoxOps, boxminus, boxplus
+from repro.fixedpoint.quantize import QFormat
+
+
+class FloatBoxOps:
+    """Float ⊞/⊟ with clipping, shaped like :class:`FixedBoxOps`."""
+
+    def __init__(self, clip: float = 256.0):
+        self.clip = clip
+
+    def boxplus(self, a, b):
+        return boxplus(a, b, clip=self.clip)
+
+    def boxminus(self, a, b):
+        return boxminus(a, b, clip=self.clip)
+
+
+class _RowContext:
+    """In-flight state of one row: the running ⊞ sum and the λ FIFO."""
+
+    def __init__(self, degree: int, lanes: int, fifo_depth: int):
+        self.degree = degree
+        self.lanes = lanes
+        self.fed = 0
+        self.drained = 0
+        self.total: np.ndarray | None = None
+        self.fifo = Fifo(fifo_depth, name="siso-fifo")
+
+    @property
+    def feed_done(self) -> bool:
+        return self.fed >= self.degree
+
+    @property
+    def drain_done(self) -> bool:
+        return self.drained >= self.degree
+
+
+class SISOUnitArray:
+    """A lane array of R2 or R4 SISO units.
+
+    Parameters
+    ----------
+    radix:
+        ``"R2"`` (1 message/cycle) or ``"R4"`` (2 messages/cycle).
+    ops:
+        A :class:`FixedBoxOps` (integer datapath) or :class:`FloatBoxOps`.
+    lanes:
+        Number of parallel SISO decoders (= active ``z``).
+    fifo_depth:
+        λ-FIFO depth; must cover the largest row degree.
+
+    Usage protocol (one row)::
+
+        unit.start_row(d)
+        while feeding:  unit.feed(lam_chunk)   # (r, lanes) per cycle
+        while draining: out = unit.drain()     # (r, lanes) per cycle
+
+    ``feed`` for the *next* row may begin while the current row drains
+    (ping-pong contexts); starting a third row before the first finished
+    draining raises :class:`ArchitectureError`.
+    """
+
+    #: Order in which drained outputs correspond to fed inputs.
+    output_order = "forward"
+
+    def __init__(self, radix: str, ops, lanes: int, fifo_depth: int = 32):
+        if radix not in ("R2", "R4"):
+            raise ArchitectureError(f"radix must be R2 or R4, got {radix!r}")
+        self.radix = radix
+        self.rate = 1 if radix == "R2" else 2
+        self.ops = ops
+        self.lanes = lanes
+        self.fifo_depth = fifo_depth
+        self._feeding: _RowContext | None = None
+        self._draining: _RowContext | None = None
+        self.f_op_count = 0
+        self.g_op_count = 0
+
+    # ------------------------------------------------------------------
+    # Row lifecycle
+    # ------------------------------------------------------------------
+    def start_row(self, degree: int) -> None:
+        """Open a new row of ``degree`` messages for feeding."""
+        if degree < 2:
+            raise ArchitectureError("row degree must be >= 2")
+        if degree > self.fifo_depth:
+            raise ArchitectureError(
+                f"row degree {degree} exceeds FIFO depth {self.fifo_depth}"
+            )
+        if self._feeding is not None and not self._feeding.feed_done:
+            raise ArchitectureError("previous row is still feeding")
+        if self._draining is not None and not self._draining.drain_done:
+            if self._feeding is not None:
+                raise ArchitectureError(
+                    "both row contexts busy: drain the previous row first"
+                )
+        self._promote()
+        self._feeding = _RowContext(degree, self.lanes, self.fifo_depth)
+
+    def _promote(self) -> None:
+        """Move a fully fed row to the drain side when it is free."""
+        if self._feeding is not None and self._feeding.feed_done:
+            if self._draining is None or self._draining.drain_done:
+                self._draining = self._feeding
+                self._feeding = None
+
+    # ------------------------------------------------------------------
+    # Cycle-level data movement
+    # ------------------------------------------------------------------
+    def feed(self, lam_chunk: np.ndarray) -> None:
+        """Feed one cycle's worth of messages: shape ``(r, lanes)``.
+
+        The final chunk of an odd-degree row on R4 carries one row:
+        shape ``(1, lanes)`` is accepted whenever fewer than ``r``
+        messages remain.
+        """
+        ctx = self._feeding
+        if ctx is None or ctx.feed_done:
+            raise ArchitectureError("no row open for feeding")
+        lam_chunk = np.atleast_2d(np.asarray(lam_chunk))
+        remaining = ctx.degree - ctx.fed
+        if lam_chunk.shape[0] > min(self.rate, remaining):
+            raise ArchitectureError(
+                f"fed {lam_chunk.shape[0]} messages in one cycle "
+                f"(rate {self.rate}, remaining {remaining})"
+            )
+        if lam_chunk.shape[1] != self.lanes:
+            raise ArchitectureError(
+                f"lam chunk has {lam_chunk.shape[1]} lanes, expected {self.lanes}"
+            )
+        for row in lam_chunk:
+            ctx.fifo.push(row)
+            if ctx.total is None:
+                ctx.total = row.copy()
+            else:
+                ctx.total = self.ops.boxplus(ctx.total, row)
+                self.f_op_count += 1
+            ctx.fed += 1
+        self._promote()
+
+    def drain(self) -> np.ndarray:
+        """Emit one cycle's worth of outputs: shape ``(r, lanes)``."""
+        self._promote()
+        ctx = self._draining
+        if ctx is None or ctx.drain_done:
+            raise ArchitectureError("no row ready for draining")
+        outputs = []
+        for _ in range(min(self.rate, ctx.degree - ctx.drained)):
+            lam = ctx.fifo.pop()
+            outputs.append(self.ops.boxminus(ctx.total, lam))
+            self.g_op_count += 1
+            ctx.drained += 1
+        self._promote()
+        return np.stack(outputs)
+
+    # ------------------------------------------------------------------
+    # Convenience / accounting
+    # ------------------------------------------------------------------
+    def process_row(self, lam: np.ndarray) -> tuple[np.ndarray, int]:
+        """Run a whole row through the unit; returns ``(Lambda, cycles)``.
+
+        ``lam`` has shape ``(d, lanes)``.  Cycle count covers the feed and
+        drain phases (``2 * ceil(d / r)``), exclusive of pipeline overlap.
+        Outputs are returned in *input* order regardless of the unit's
+        physical :attr:`output_order`.
+        """
+        lam = np.asarray(lam)
+        degree = lam.shape[0]
+        self.start_row(degree)
+        cycles = 0
+        i = 0
+        while i < degree:
+            chunk = lam[i : i + self.rate]
+            self.feed(chunk)
+            i += chunk.shape[0]
+            cycles += 1
+        collected = []
+        while not self._draining.drain_done:
+            collected.append(self.drain())
+            cycles += 1
+        outputs = np.concatenate(collected, axis=0)
+        if self.output_order == "reverse":
+            outputs = outputs[::-1]
+        return outputs, cycles
+
+    def reset_counters(self) -> None:
+        self.f_op_count = 0
+        self.g_op_count = 0
+
+
+class BidirectionalSISOArray(SISOUnitArray):
+    """Forward-backward SISO array (the organization of ref [4]).
+
+    Same interface and cycle counts as :class:`SISOUnitArray`, but the
+    check messages are produced by an *exclusive* forward/backward ⊞
+    combine instead of the ⊞-sum-then-⊟ of the paper's R2/R4 core:
+
+    - **feed phase** (``ceil(d/r)`` cycles): each incoming λ is pushed to
+      the row store and the running *forward* prefix ⊞ is latched per
+      position;
+    - **drain phase** (``ceil(d/r)`` cycles): the row store is walked in
+      *reverse* while a backward accumulator folds in one λ per step;
+      ``Λ_i = fwd[i-1] ⊞ bwd_acc`` pops out in reverse input order.
+
+    The arithmetic is exactly :class:`repro.decoder.siso
+    .FixedBPForwardBackwardKernel` (or its float analogue), which — unlike
+    the ⊟ path — has no ill-conditioned reconstruction and therefore keeps
+    the fixed-point BER at the floating-point level (see
+    ``benchmarks/bench_ablation_checknode.py``).
+
+    Because outputs emerge reversed, :attr:`output_order` is
+    ``"reverse"``; the chip reorders them before write-back.  The pipeline
+    hazard model conservatively keeps the natural write-order assumption
+    (reversed write-back can only shift individual writes within the same
+    write window).
+    """
+
+    output_order = "reverse"
+
+    def start_row(self, degree: int) -> None:
+        super().start_row(degree)
+        self._feeding.fwd_prefixes = []
+
+    def feed(self, lam_chunk: np.ndarray) -> None:
+        ctx = self._feeding
+        if ctx is None or ctx.feed_done:
+            raise ArchitectureError("no row open for feeding")
+        lam_chunk = np.atleast_2d(np.asarray(lam_chunk))
+        remaining = ctx.degree - ctx.fed
+        if lam_chunk.shape[0] > min(self.rate, remaining):
+            raise ArchitectureError(
+                f"fed {lam_chunk.shape[0]} messages in one cycle "
+                f"(rate {self.rate}, remaining {remaining})"
+            )
+        if lam_chunk.shape[1] != self.lanes:
+            raise ArchitectureError(
+                f"lam chunk has {lam_chunk.shape[1]} lanes, expected {self.lanes}"
+            )
+        for row in lam_chunk:
+            ctx.fifo.push(row)
+            if ctx.total is None:
+                ctx.total = row.copy()
+            else:
+                ctx.total = self.ops.boxplus(ctx.total, row)
+                self.f_op_count += 1
+            # Latch the forward prefix *including* this message.
+            ctx.fwd_prefixes.append(ctx.total.copy())
+            ctx.fed += 1
+        self._promote()
+
+    def drain(self) -> np.ndarray:
+        self._promote()
+        ctx = self._draining
+        if ctx is None or ctx.drain_done:
+            raise ArchitectureError("no row ready for draining")
+        if not hasattr(ctx, "bwd_acc"):
+            ctx.bwd_acc = None
+            ctx.lam_stack = []
+            while not ctx.fifo.empty:
+                ctx.lam_stack.append(ctx.fifo.pop())
+        outputs = []
+        for _ in range(min(self.rate, ctx.degree - ctx.drained)):
+            index = ctx.degree - 1 - ctx.drained
+            lam_i = ctx.lam_stack[index]
+            if ctx.bwd_acc is None:
+                out = ctx.fwd_prefixes[index - 1]
+            elif index == 0:
+                out = ctx.bwd_acc
+            else:
+                out = self.ops.boxplus(ctx.fwd_prefixes[index - 1], ctx.bwd_acc)
+            outputs.append(np.asarray(out))
+            ctx.bwd_acc = (
+                lam_i.copy()
+                if ctx.bwd_acc is None
+                else self.ops.boxplus(ctx.bwd_acc, lam_i)
+            )
+            # One lane-cycle of g-side work per message (the combine and
+            # the backward fold run as two parallel operators in hardware).
+            self.g_op_count += 1
+            ctx.drained += 1
+        self._promote()
+        return np.stack(outputs)
+
+
+def make_siso_array(
+    radix: str,
+    lanes: int,
+    qformat: QFormat | None = None,
+    clip: float = 256.0,
+    fifo_depth: int = 32,
+    organization: str = "sum-sub",
+) -> SISOUnitArray:
+    """Build a SISO array with integer (qformat) or float (clip) ops.
+
+    Parameters
+    ----------
+    organization:
+        ``"sum-sub"`` — the paper's f-then-g core (Fig. 3/6);
+        ``"forward-backward"`` — the bidirectional core of ref [4].
+    """
+    ops = FixedBoxOps(qformat) if qformat is not None else FloatBoxOps(clip)
+    if organization == "sum-sub":
+        return SISOUnitArray(radix, ops, lanes, fifo_depth)
+    if organization == "forward-backward":
+        return BidirectionalSISOArray(radix, ops, lanes, fifo_depth)
+    raise ArchitectureError(
+        f"unknown SISO organization {organization!r}"
+    )

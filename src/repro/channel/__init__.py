@@ -1,0 +1,22 @@
+"""Modulation, AWGN channel and LLR formation."""
+
+from repro.channel.awgn import AWGNChannel, ebn0_to_noise_var, noise_var_to_ebn0
+from repro.channel.llr import ChannelFrontend, bpsk_llr
+from repro.channel.modulation import (
+    BPSKModulator,
+    QAM16Modulator,
+    QPSKModulator,
+    make_modulator,
+)
+
+__all__ = [
+    "AWGNChannel",
+    "BPSKModulator",
+    "ChannelFrontend",
+    "QAM16Modulator",
+    "QPSKModulator",
+    "bpsk_llr",
+    "ebn0_to_noise_var",
+    "make_modulator",
+    "noise_var_to_ebn0",
+]

@@ -1,0 +1,77 @@
+"""AWGN channel with Eb/N0 bookkeeping.
+
+Fig. 9a sweeps Eb/N0 from 0 to 5 dB for the rate-1/2, N=2304 WiMax code;
+the conversion between Eb/N0, Es/N0 and per-dimension noise variance must
+match the paper's convention (information-bit energy, code rate included):
+
+``E_s = R * m * E_b``  with ``m`` bits/symbol and ``E_s = 1``, so
+
+``sigma^2 = N_0 / 2 = 1 / (2 * R * m * 10^(EbN0_dB/10))``  (real dimension).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+
+def ebn0_to_noise_var(ebn0_db: float, rate: float, bits_per_symbol: int = 1) -> float:
+    """Per-real-dimension noise variance for a given Eb/N0 in dB."""
+    if rate <= 0 or rate > 1:
+        raise ValueError(f"code rate {rate} outside (0, 1]")
+    if bits_per_symbol < 1:
+        raise ValueError("bits_per_symbol must be >= 1")
+    ebn0 = 10.0 ** (ebn0_db / 10.0)
+    return 1.0 / (2.0 * rate * bits_per_symbol * ebn0)
+
+
+def noise_var_to_ebn0(noise_var: float, rate: float, bits_per_symbol: int = 1) -> float:
+    """Inverse of :func:`ebn0_to_noise_var` (returns dB)."""
+    if noise_var <= 0:
+        raise ValueError("noise variance must be positive")
+    ebn0 = 1.0 / (2.0 * rate * bits_per_symbol * noise_var)
+    return 10.0 * np.log10(ebn0)
+
+
+class AWGNChannel:
+    """Additive white Gaussian noise channel.
+
+    Parameters
+    ----------
+    noise_var:
+        Per-real-dimension noise variance ``sigma^2``.
+    rng:
+        Seed or generator for reproducible noise.
+
+    Notes
+    -----
+    Use :meth:`from_ebn0` to construct from an Eb/N0 operating point.
+    Complex inputs receive independent noise of variance ``sigma^2`` per
+    real dimension (total ``2 sigma^2`` per complex symbol).
+    """
+
+    def __init__(self, noise_var: float, rng=None):
+        if noise_var < 0:
+            raise ValueError("noise variance must be non-negative")
+        self.noise_var = float(noise_var)
+        self._rng = make_rng(rng)
+
+    @classmethod
+    def from_ebn0(
+        cls, ebn0_db: float, rate: float, bits_per_symbol: int = 1, rng=None
+    ) -> "AWGNChannel":
+        """Construct the channel for an (Eb/N0, rate, modulation) point."""
+        return cls(ebn0_to_noise_var(ebn0_db, rate, bits_per_symbol), rng=rng)
+
+    def transmit(self, symbols: np.ndarray) -> np.ndarray:
+        """Add white Gaussian noise to real or complex symbols."""
+        symbols = np.asarray(symbols)
+        sigma = np.sqrt(self.noise_var)
+        if np.iscomplexobj(symbols):
+            noise = self._rng.normal(0.0, sigma, symbols.shape) + 1j * self._rng.normal(
+                0.0, sigma, symbols.shape
+            )
+        else:
+            noise = self._rng.normal(0.0, sigma, symbols.shape)
+        return symbols + noise

@@ -1,0 +1,56 @@
+"""Channel LLR formation and the decoder input frontend.
+
+Bridges the floating-point channel to the decoder: exact LLR computation
+(the paper's initialization ``L_n = 2 y_n / sigma^2``) and optional
+saturating quantization into the fixed-point datapath format (Fig. 3 uses
+8-bit messages).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.quantize import QFormat
+
+
+def bpsk_llr(received: np.ndarray, noise_var: float) -> np.ndarray:
+    """Paper initialization: ``L_n = 2 y_n / sigma^2`` for BPSK/AWGN."""
+    if noise_var <= 0:
+        raise ValueError("noise variance must be positive")
+    return 2.0 * np.asarray(received, dtype=np.float64) / noise_var
+
+
+class ChannelFrontend:
+    """Transmit-side + LLR pipeline for one (modulator, channel) pair.
+
+    Parameters
+    ----------
+    modulator:
+        Any object with ``modulate``/``llr``/``bits_per_symbol`` (see
+        :mod:`repro.channel.modulation`).
+    channel:
+        An :class:`repro.channel.awgn.AWGNChannel`.
+    qformat:
+        Optional fixed-point format; when given, :meth:`llrs` returns
+        quantized integer LLRs ready for the fixed-point decoder.
+    """
+
+    def __init__(self, modulator, channel, qformat: QFormat | None = None):
+        self.modulator = modulator
+        self.channel = channel
+        self.qformat = qformat
+
+    def transmit(self, codewords: np.ndarray) -> np.ndarray:
+        """Modulate and pass through the channel."""
+        return self.channel.transmit(self.modulator.modulate(codewords))
+
+    def llrs(self, received: np.ndarray) -> np.ndarray:
+        """Compute channel LLRs (quantized if a QFormat is configured)."""
+        llr = self.modulator.llr(received, self.channel.noise_var)
+        if self.qformat is not None:
+            return self.qformat.quantize(llr)
+        return llr
+
+    def run(self, codewords: np.ndarray) -> np.ndarray:
+        """Full pipeline: codewords -> channel LLRs at the decoder input."""
+        return self.llrs(self.transmit(codewords))

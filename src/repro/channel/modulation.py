@@ -1,0 +1,134 @@
+"""Digital modulators used by the Monte-Carlo harness.
+
+The paper's decoder is modulation-agnostic (it consumes channel LLRs), but
+the evaluation needs a transmit chain: BPSK for the power/iteration
+experiments (Fig. 9a uses Eb/N0 on an AWGN channel) and QPSK/16-QAM for
+the multi-standard examples.
+
+Conventions
+-----------
+- bit 0 maps to +1 (so ``LLR = log P(0)/P(1) > 0`` for a clean +1);
+- symbol energy is normalized to ``E_s = 1`` for every constellation;
+- complex constellations are returned as ``numpy.complex128``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SQRT2_INV = 1.0 / np.sqrt(2.0)
+_QAM16_LEVELS = np.array([3.0, 1.0, -1.0, -3.0]) / np.sqrt(10.0)
+
+
+class BPSKModulator:
+    """Binary phase-shift keying, 1 bit/symbol, real-valued."""
+
+    bits_per_symbol = 1
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        """Map bits {0,1} to symbols {+1,-1} (any shape)."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        return 1.0 - 2.0 * bits.astype(np.float64)
+
+    def llr(self, received: np.ndarray, noise_var: np.ndarray | float) -> np.ndarray:
+        """Exact channel LLRs for an AWGN channel with per-dim variance.
+
+        ``LLR = 2 y / sigma^2`` with the bit-0 -> +1 convention.
+        """
+        return 2.0 * np.asarray(received, dtype=np.float64) / noise_var
+
+
+class QPSKModulator:
+    """Gray-mapped QPSK, 2 bits/symbol, unit symbol energy.
+
+    Bit 0 of each pair drives the I component, bit 1 the Q component;
+    each behaves as independent BPSK at half the symbol energy.
+    """
+
+    bits_per_symbol = 2
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape[-1] % 2:
+            raise ValueError("QPSK needs an even number of bits")
+        pairs = bits.reshape(*bits.shape[:-1], -1, 2)
+        i_component = 1.0 - 2.0 * pairs[..., 0].astype(np.float64)
+        q_component = 1.0 - 2.0 * pairs[..., 1].astype(np.float64)
+        return (i_component + 1j * q_component) * _SQRT2_INV
+
+    def llr(self, received: np.ndarray, noise_var: np.ndarray | float) -> np.ndarray:
+        """Per-bit LLRs; ``noise_var`` is the per-real-dimension variance."""
+        received = np.asarray(received, dtype=np.complex128)
+        scale = 2.0 * _SQRT2_INV / noise_var
+        llr_i = scale * received.real
+        llr_q = scale * received.imag
+        out = np.empty((*received.shape[:-1], received.shape[-1] * 2))
+        out[..., 0::2] = llr_i
+        out[..., 1::2] = llr_q
+        return out
+
+
+class QAM16Modulator:
+    """Gray-mapped 16-QAM, 4 bits/symbol, unit symbol energy.
+
+    Per-axis Gray mapping (b0 b1) -> level: 00->+3, 01->+1, 11->-1,
+    10->-3 (scaled by 1/sqrt(10)).  LLRs use the max-log approximation,
+    which is what a practical receiver frontend would feed the decoder.
+    """
+
+    bits_per_symbol = 4
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape[-1] % 4:
+            raise ValueError("16-QAM needs a multiple of 4 bits")
+        quads = bits.reshape(*bits.shape[:-1], -1, 4)
+        i_level = self._axis_level(quads[..., 0], quads[..., 1])
+        q_level = self._axis_level(quads[..., 2], quads[..., 3])
+        return i_level + 1j * q_level
+
+    @staticmethod
+    def _axis_level(b0: np.ndarray, b1: np.ndarray) -> np.ndarray:
+        index = (b0.astype(np.int64) << 1) | (b0 ^ b1).astype(np.int64)
+        return _QAM16_LEVELS[index]
+
+    def llr(self, received: np.ndarray, noise_var: np.ndarray | float) -> np.ndarray:
+        received = np.asarray(received, dtype=np.complex128)
+        llr_axis_i = self._axis_llr(received.real, noise_var)
+        llr_axis_q = self._axis_llr(received.imag, noise_var)
+        out = np.empty((*received.shape[:-1], received.shape[-1] * 4))
+        out[..., 0::4] = llr_axis_i[0]
+        out[..., 1::4] = llr_axis_i[1]
+        out[..., 2::4] = llr_axis_q[0]
+        out[..., 3::4] = llr_axis_q[1]
+        return out
+
+    @staticmethod
+    def _axis_llr(y: np.ndarray, noise_var: np.ndarray | float) -> tuple[np.ndarray, np.ndarray]:
+        """Max-log LLRs for the (b0, b1) Gray pair of one axis.
+
+        With this Gray map, ``b0 = 0`` labels the positive levels and
+        ``b1 = 0`` labels the *outer* levels (|level| = 3a), so
+        ``LLR_b1 ∝ |y| - 2a``.
+        """
+        a = 1.0 / np.sqrt(10.0)
+        llr_b0 = 4.0 * a * y / noise_var
+        llr_b1 = 4.0 * a * (np.abs(y) - 2.0 * a) / noise_var
+        return llr_b0, llr_b1
+
+
+MODULATORS = {
+    "bpsk": BPSKModulator,
+    "qpsk": QPSKModulator,
+    "qam16": QAM16Modulator,
+}
+
+
+def make_modulator(name: str):
+    """Instantiate a modulator by name (``bpsk``, ``qpsk``, ``qam16``)."""
+    try:
+        return MODULATORS[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown modulation {name!r}; valid: {sorted(MODULATORS)}"
+        ) from None

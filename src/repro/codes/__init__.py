@@ -1,0 +1,52 @@
+"""Block-structured (quasi-cyclic) LDPC codes for 4G-era standards.
+
+Public surface:
+
+- :class:`BaseMatrix`, :class:`QCLDPCCode` — prototype and expanded codes;
+- :func:`get_code`, :func:`list_modes`, :func:`describe_mode` — the mode
+  registry (the software analogue of the chip's mode ROM);
+- per-standard constructors (:func:`wifi_base_matrix`,
+  :func:`wimax_base_matrix`, :func:`dmbt_base_matrix`);
+- :func:`build_qc_base_matrix` — the synthetic 4-cycle-free constructor;
+- :func:`validate_code` — structural validation.
+"""
+
+from repro.codes.base_matrix import ZERO_BLOCK, BaseMatrix, BlockEntry
+from repro.codes.construction import build_qc_base_matrix, count_base_four_cycles
+from repro.codes.dmbt import dmbt_base_matrix, dmbt_block_length, dmbt_rates
+from repro.codes.qc import QCLDPCCode
+from repro.codes.registry import (
+    ModeDescriptor,
+    describe_mode,
+    get_code,
+    list_modes,
+    standards_summary,
+)
+from repro.codes.validation import ValidationReport, validate_code
+from repro.codes.wifi import WIFI_Z_VALUES, wifi_base_matrix, wifi_rates
+from repro.codes.wimax import WIMAX_Z_VALUES, wimax_base_matrix, wimax_rates
+
+__all__ = [
+    "BaseMatrix",
+    "BlockEntry",
+    "ModeDescriptor",
+    "QCLDPCCode",
+    "ValidationReport",
+    "WIFI_Z_VALUES",
+    "WIMAX_Z_VALUES",
+    "ZERO_BLOCK",
+    "build_qc_base_matrix",
+    "count_base_four_cycles",
+    "describe_mode",
+    "dmbt_base_matrix",
+    "dmbt_block_length",
+    "dmbt_rates",
+    "get_code",
+    "list_modes",
+    "standards_summary",
+    "validate_code",
+    "wifi_base_matrix",
+    "wifi_rates",
+    "wimax_base_matrix",
+    "wimax_rates",
+]

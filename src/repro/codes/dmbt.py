@@ -1,0 +1,67 @@
+"""DMB-T (Chinese digital terrestrial broadcast) LDPC codes.
+
+DMB-T uses quasi-cyclic LDPC codes with codeword length ``N = 7493 = 59 x
+127`` (``z = 127``, ``k = 59`` block columns) at three rates ~0.4, ~0.6 and
+~0.8.  The paper's Table 1 lists ``j = 24..48`` and ``k ~= 60``.
+
+The original shift tables are not publicly reprinted the way 802.11n /
+802.16e are, so every DMB-T matrix here is a structurally matched synthetic
+construction (``synthetic=True``): the same (j, k, z), a dual-diagonal
+parity part for linear-time encodability, and a 4-cycle-free information
+part.  See the DESIGN.md substitution table — the decoder-architecture
+metrics (throughput, memory footprint, power) depend only on these
+structural parameters.
+"""
+
+from __future__ import annotations
+
+from repro.codes.base_matrix import BaseMatrix
+from repro.codes.construction import build_qc_base_matrix
+from repro.errors import CodeConstructionError
+
+#: DMB-T expansion factor.
+DMBT_Z = 127
+
+#: Block columns (N = 59 * 127 = 7493 bits).
+DMBT_K = 59
+
+#: Block rows per rate class: rate = 1 - j/k.
+_RATE_LAYERS: dict[str, int] = {
+    "0.4": 35,  # rate ~ 0.407
+    "0.6": 24,  # rate ~ 0.593
+    "0.8": 12,  # rate ~ 0.797
+}
+
+
+def dmbt_rates() -> tuple[str, ...]:
+    """All DMB-T rate classes."""
+    return tuple(_RATE_LAYERS)
+
+
+def dmbt_block_length() -> int:
+    """Codeword length N in bits (7493)."""
+    return DMBT_K * DMBT_Z
+
+
+def dmbt_base_matrix(rate: str = "0.6") -> BaseMatrix:
+    """Synthetic structurally matched base matrix for a DMB-T mode.
+
+    Parameters
+    ----------
+    rate:
+        ``"0.4"``, ``"0.6"`` or ``"0.8"``.
+    """
+    if rate not in _RATE_LAYERS:
+        raise CodeConstructionError(
+            f"unknown DMB-T rate {rate!r}; valid: {sorted(_RATE_LAYERS)}"
+        )
+    j = _RATE_LAYERS[rate]
+    tag = rate.replace(".", "")
+    return build_qc_base_matrix(
+        j=j,
+        k=DMBT_K,
+        z=DMBT_Z,
+        name=f"dmbt_r{tag}_z{DMBT_Z}",
+        standard="DMB-T",
+        seed=0xD3B7 + j,
+    )

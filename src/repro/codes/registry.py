@@ -1,0 +1,141 @@
+"""Registry of every decoder mode the reconfigurable chip supports.
+
+The paper's decoder is *dynamically reconfigurable*: a mode ROM holds the
+per-code parameters (standard, rate, z, base matrix) and the control logic
+re-targets the datapath at run time.  This module is the software analogue
+of that ROM: a catalogue of all supported modes with lazy construction and
+caching of the expanded codes.
+
+Mode naming convention: ``"<standard>:<rate>:z<z>"`` — e.g.
+``"802.16e:1/2:z96"``, ``"802.11n:5/6:z27"``, ``"DMB-T:0.6:z127"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.codes.dmbt import DMBT_Z, dmbt_base_matrix, dmbt_rates
+from repro.codes.qc import QCLDPCCode
+from repro.codes.wifi import WIFI_Z_VALUES, wifi_base_matrix, wifi_rates
+from repro.codes.wimax import WIMAX_Z_VALUES, wimax_base_matrix, wimax_rates
+from repro.errors import UnknownCodeError
+
+
+@dataclass(frozen=True)
+class ModeDescriptor:
+    """One decoder mode (one row of the mode ROM).
+
+    Attributes
+    ----------
+    mode:
+        Canonical mode string (also the registry key).
+    standard:
+        ``"802.11n"``, ``"802.16e"`` or ``"DMB-T"``.
+    rate:
+        Rate label as used by the standard (``"1/2"``, ``"2/3A"``, ...).
+    z:
+        Expansion factor.
+    n:
+        Codeword length in bits.
+    """
+
+    mode: str
+    standard: str
+    rate: str
+    z: int
+    n: int
+
+
+def _build_catalogue() -> dict[str, ModeDescriptor]:
+    catalogue: dict[str, ModeDescriptor] = {}
+    for rate in wifi_rates():
+        for z in WIFI_Z_VALUES:
+            mode = f"802.11n:{rate}:z{z}"
+            catalogue[mode] = ModeDescriptor(mode, "802.11n", rate, z, 24 * z)
+    for rate in wimax_rates():
+        for z in WIMAX_Z_VALUES:
+            mode = f"802.16e:{rate}:z{z}"
+            catalogue[mode] = ModeDescriptor(mode, "802.16e", rate, z, 24 * z)
+    for rate in dmbt_rates():
+        mode = f"DMB-T:{rate}:z{DMBT_Z}"
+        catalogue[mode] = ModeDescriptor(mode, "DMB-T", rate, DMBT_Z, 59 * DMBT_Z)
+    return catalogue
+
+
+_CATALOGUE = _build_catalogue()
+
+
+def list_modes(standard: str | None = None) -> list[ModeDescriptor]:
+    """All supported modes, optionally filtered by standard."""
+    modes = list(_CATALOGUE.values())
+    if standard is not None:
+        modes = [m for m in modes if m.standard == standard]
+    return modes
+
+
+def describe_mode(mode: str) -> ModeDescriptor:
+    """Descriptor for a canonical mode string.
+
+    Raises
+    ------
+    UnknownCodeError
+        If the mode is not in the catalogue.
+    """
+    try:
+        return _CATALOGUE[mode]
+    except KeyError:
+        raise UnknownCodeError(
+            f"unknown mode {mode!r}; see repro.codes.list_modes()"
+        ) from None
+
+
+@lru_cache(maxsize=64)
+def get_code(mode: str) -> QCLDPCCode:
+    """Build (and cache) the expanded code for a mode string.
+
+    Examples
+    --------
+    >>> code = get_code("802.16e:1/2:z96")
+    >>> (code.n, code.n_info)
+    (2304, 1152)
+    """
+    descriptor = describe_mode(mode)
+    if descriptor.standard == "802.11n":
+        base = wifi_base_matrix(descriptor.rate, descriptor.z)
+    elif descriptor.standard == "802.16e":
+        base = wimax_base_matrix(descriptor.rate, descriptor.z)
+    else:
+        base = dmbt_base_matrix(descriptor.rate)
+    return QCLDPCCode(base)
+
+
+def standards_summary() -> list[dict]:
+    """Paper Table 1: the design-parameter ranges per standard.
+
+    Returns one dict per standard with the j/k/z ranges actually present
+    in the catalogue.
+    """
+    summary = []
+    for standard in ("802.11n", "802.16e", "DMB-T"):
+        modes = list_modes(standard)
+        js: set[int] = set()
+        ks: set[int] = set()
+        zs: set[int] = set()
+        for descriptor in modes:
+            code = get_code(descriptor.mode)
+            js.add(code.base.j)
+            ks.add(code.base.k)
+            zs.add(code.z)
+        summary.append(
+            {
+                "standard": standard,
+                "j_min": min(js),
+                "j_max": max(js),
+                "k": max(ks),
+                "z_min": min(zs),
+                "z_max": max(zs),
+                "num_modes": len(modes),
+            }
+        )
+    return summary

@@ -1,0 +1,138 @@
+"""IEEE 802.11n (WLAN) block-structured LDPC codes.
+
+802.11n defines codeword lengths 648, 1296 and 1944 bits (``z = 27, 54,
+81``; ``k = 24`` block columns) at rates 1/2, 2/3, 3/4 and 5/6, with a
+separate shift table per (rate, z) pair — unlike 802.16e there is no
+scaling rule.
+
+The rate-1/2 tables for ``z = 27`` and ``z = 81`` below are the widely
+reprinted standard matrices.  The remaining (rate, z) combinations are
+generated with matching structural parameters by
+:mod:`repro.codes.construction` and flagged ``synthetic=True`` (DESIGN.md
+substitution table).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.base_matrix import BaseMatrix
+from repro.codes.construction import build_qc_base_matrix
+from repro.errors import CodeConstructionError
+
+#: Expansion factors defined by 802.11n.
+WIFI_Z_VALUES: tuple[int, ...] = (27, 54, 81)
+
+# Rate-1/2, z = 27 (N = 648), 12 x 24.
+_RATE_12_Z27 = np.array(
+    [
+        # fmt: off
+        [ 0, -1, -1, -1,  0,  0, -1, -1,  0, -1, -1,  0,  1,  0, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1],
+        [22,  0, -1, -1, 17, -1,  0,  0, 12, -1, -1, -1, -1,  0,  0, -1, -1, -1, -1, -1, -1, -1, -1, -1],
+        [ 6, -1,  0, -1, 10, -1, -1, -1, 24, -1,  0, -1, -1, -1,  0,  0, -1, -1, -1, -1, -1, -1, -1, -1],
+        [ 2, -1, -1,  0, 20, -1, -1, -1, 25,  0, -1, -1, -1, -1, -1,  0,  0, -1, -1, -1, -1, -1, -1, -1],
+        [23, -1, -1, -1,  3, -1, -1, -1,  0, -1,  9, 11, -1, -1, -1, -1,  0,  0, -1, -1, -1, -1, -1, -1],
+        [24, -1, 23,  1, 17, -1,  3, -1, 10, -1, -1, -1, -1, -1, -1, -1, -1,  0,  0, -1, -1, -1, -1, -1],
+        [25, -1, -1, -1,  8, -1, -1, -1,  7, 18, -1, -1,  0, -1, -1, -1, -1, -1,  0,  0, -1, -1, -1, -1],
+        [13, 24, -1, -1,  0, -1,  8, -1,  6, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  0,  0, -1, -1, -1],
+        [ 7, 20, -1, 16, 22, 10, -1, -1, 23, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  0,  0, -1, -1],
+        [11, -1, -1, -1, 19, -1, -1, -1, 13, -1,  3, 17, -1, -1, -1, -1, -1, -1, -1, -1, -1,  0,  0, -1],
+        [25, -1,  8, -1, 23, 18, -1, 14,  9, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  0,  0],
+        [ 3, -1, -1, -1, 16, -1, -1,  2, 25,  5, -1, -1,  1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  0],
+        # fmt: on
+    ],
+    dtype=np.int64,
+)
+
+# Rate-1/2, z = 81 (N = 1944), 12 x 24.
+_RATE_12_Z81 = np.array(
+    [
+        # fmt: off
+        [57, -1, -1, -1, 50, -1, 11, -1, 50, -1, 79, -1,  1,  0, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1],
+        [ 3, -1, 28, -1,  0, -1, -1, -1, 55,  7, -1, -1, -1,  0,  0, -1, -1, -1, -1, -1, -1, -1, -1, -1],
+        [30, -1, -1, -1, 24, 37, -1, -1, 56, 14, -1, -1, -1, -1,  0,  0, -1, -1, -1, -1, -1, -1, -1, -1],
+        [62, 53, -1, -1, 53, -1, -1,  3, 35, -1, -1, -1, -1, -1, -1,  0,  0, -1, -1, -1, -1, -1, -1, -1],
+        [40, -1, -1, 20, 66, -1, -1, 22, 28, -1, -1, -1, -1, -1, -1, -1,  0,  0, -1, -1, -1, -1, -1, -1],
+        [ 0, -1, -1, -1,  8, -1, 42, -1, 50, -1, -1,  8, -1, -1, -1, -1, -1,  0,  0, -1, -1, -1, -1, -1],
+        [69, 79, 79, -1, -1, -1, 56, -1, 52, -1, -1, -1,  0, -1, -1, -1, -1, -1,  0,  0, -1, -1, -1, -1],
+        [65, -1, -1, -1, 38, 57, -1, -1, 72, -1, 27, -1, -1, -1, -1, -1, -1, -1, -1,  0,  0, -1, -1, -1],
+        [64, -1, -1, -1, 14, 52, -1, -1, 30, -1, -1, 32, -1, -1, -1, -1, -1, -1, -1, -1,  0,  0, -1, -1],
+        [-1, 45, -1, 70,  0, -1, -1, -1, 77,  9, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  0,  0, -1],
+        [ 2, 56, -1, 57, 35, -1, -1, -1, -1, -1, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  0,  0],
+        [24, -1, 61, -1, 60, -1, -1, 27, 51, -1, -1, 16,  1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  0],
+        # fmt: on
+    ],
+    dtype=np.int64,
+)
+
+#: (j, k) per rate class; k = 24 for every 802.11n code.
+_RATE_STRUCTURE: dict[str, dict] = {
+    "1/2": {"j": 12, "k": 24},
+    "2/3": {"j": 8, "k": 24},
+    "3/4": {"j": 6, "k": 24},
+    "5/6": {"j": 4, "k": 24},
+}
+
+_EMBEDDED: dict[tuple[str, int], np.ndarray] = {
+    ("1/2", 27): _RATE_12_Z27,
+    ("1/2", 81): _RATE_12_Z81,
+}
+
+
+def wifi_rates() -> tuple[str, ...]:
+    """All rate classes defined by 802.11n."""
+    return tuple(_RATE_STRUCTURE)
+
+
+def wifi_block_length(z: int) -> int:
+    """Codeword length N for an expansion factor (k = 24)."""
+    return 24 * z
+
+
+def wifi_base_matrix(rate: str = "1/2", z: int = 81) -> BaseMatrix:
+    """Base matrix for an 802.11n mode.
+
+    Parameters
+    ----------
+    rate:
+        ``"1/2"``, ``"2/3"``, ``"3/4"`` or ``"5/6"``.
+    z:
+        27, 54 or 81.
+
+    Returns
+    -------
+    BaseMatrix
+        Embedded standard tables for (1/2, 27) and (1/2, 81); structurally
+        matched synthetic constructions otherwise.
+    """
+    if z not in WIFI_Z_VALUES:
+        raise CodeConstructionError(
+            f"z={z} is not an 802.11n expansion factor; valid: {WIFI_Z_VALUES}"
+        )
+    if rate not in _RATE_STRUCTURE:
+        raise CodeConstructionError(
+            f"unknown 802.11n rate {rate!r}; valid: {sorted(_RATE_STRUCTURE)}"
+        )
+    tag = rate.replace("/", "")
+    if (rate, z) in _EMBEDDED:
+        return BaseMatrix(
+            entries=_EMBEDDED[(rate, z)],
+            z=z,
+            name=f"wifi_r{tag}_z{z}",
+            standard="802.11n",
+            synthetic=False,
+        )
+    structure = _RATE_STRUCTURE[rate]
+    return build_qc_base_matrix(
+        j=structure["j"],
+        k=structure["k"],
+        z=z,
+        name=f"wifi_r{tag}_z{z}",
+        standard="802.11n",
+        seed=_seed_for(rate, z),
+    )
+
+
+def _seed_for(rate: str, z: int) -> int:
+    """Deterministic per-mode seed for reproducible synthetic matrices."""
+    return 0x11A0 + sorted(_RATE_STRUCTURE).index(rate) * 101 + z

@@ -1,0 +1,157 @@
+"""IEEE 802.16e (WiMax) block-structured LDPC codes.
+
+The standard defines one base matrix per code rate at ``z0 = 96``
+(``N = 2304``) and 19 expansion factors ``z = 24, 28, ..., 96`` in steps of
+4 (``N = 576 .. 2304`` in steps of 96).  Shifts for smaller ``z`` are
+derived by scaling:
+
+- most rates:  ``x' = floor(x * z / 96)``
+- rate 2/3A:   ``x' = x mod z``
+
+The rate-1/2 matrix below is the widely reprinted standard table.  The
+other rate classes (2/3A, 2/3B, 3/4A, 3/4B, 5/6) are generated with the
+same structural parameters (j, k, degree profile, dual-diagonal parity
+part) by :mod:`repro.codes.construction` and flagged ``synthetic=True`` —
+see the substitution table in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.base_matrix import BaseMatrix
+from repro.codes.construction import build_qc_base_matrix
+from repro.errors import CodeConstructionError
+
+#: The 19 expansion factors defined by 802.16e.
+WIMAX_Z_VALUES: tuple[int, ...] = tuple(range(24, 97, 4))
+
+#: Nominal z0 at which the standard tabulates its base matrices.
+WIMAX_Z0 = 96
+
+# Rate-1/2 base matrix, 12 x 24, tabulated at z0 = 96 (IEEE 802.16e).
+_RATE_12 = np.array(
+    [
+        # fmt: off
+        [-1, 94, 73, -1, -1, -1, -1, -1, 55, 83, -1, -1,  7,  0, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1],
+        [-1, 27, -1, -1, -1, 22, 79,  9, -1, -1, -1, 12, -1,  0,  0, -1, -1, -1, -1, -1, -1, -1, -1, -1],
+        [-1, -1, -1, 24, 22, 81, -1, 33, -1, -1, -1,  0, -1, -1,  0,  0, -1, -1, -1, -1, -1, -1, -1, -1],
+        [61, -1, 47, -1, -1, -1, -1, -1, 65, 25, -1, -1, -1, -1, -1,  0,  0, -1, -1, -1, -1, -1, -1, -1],
+        [-1, -1, 39, -1, -1, -1, 84, -1, -1, 41, 72, -1, -1, -1, -1, -1,  0,  0, -1, -1, -1, -1, -1, -1],
+        [-1, -1, -1, -1, 46, 40, -1, 82, -1, -1, -1, 79,  0, -1, -1, -1, -1,  0,  0, -1, -1, -1, -1, -1],
+        [-1, -1, 95, 53, -1, -1, -1, -1, -1, 14, 18, -1, -1, -1, -1, -1, -1, -1,  0,  0, -1, -1, -1, -1],
+        [-1, 11, 73, -1, -1, -1,  2, -1, -1, 47, -1, -1, -1, -1, -1, -1, -1, -1, -1,  0,  0, -1, -1, -1],
+        [12, -1, -1, -1, 83, 24, -1, 43, -1, -1, -1, 51, -1, -1, -1, -1, -1, -1, -1, -1,  0,  0, -1, -1],
+        [-1, -1, -1, -1, -1, 94, -1, 59, -1, -1, 70, 72, -1, -1, -1, -1, -1, -1, -1, -1, -1,  0,  0, -1],
+        [-1, -1,  7, 65, -1, -1, -1, -1, 39, 49, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  0,  0],
+        [43, -1, -1, -1, -1, 66, -1, 41, -1, -1, -1, 26,  7, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  0],
+        # fmt: on
+    ],
+    dtype=np.int64,
+)
+
+#: Structural parameters (j, k, info-column degree profile) per rate class.
+#: Degree profiles approximate the standard's column-weight distributions.
+_RATE_STRUCTURE: dict[str, dict] = {
+    "1/2": {"j": 12, "k": 24},
+    "2/3A": {"j": 8, "k": 24, "scale_rule": "mod"},
+    "2/3B": {"j": 8, "k": 24},
+    "3/4A": {"j": 6, "k": 24},
+    "3/4B": {"j": 6, "k": 24},
+    "5/6": {"j": 4, "k": 24},
+}
+
+#: Rates whose scaled shifts use ``mod`` instead of ``floor`` (802.16e rule).
+_MOD_RATES = frozenset({"2/3A"})
+
+
+def wimax_rates() -> tuple[str, ...]:
+    """All rate classes defined by 802.16e."""
+    return tuple(_RATE_STRUCTURE)
+
+
+def wimax_block_length(z: int) -> int:
+    """Codeword length N for an expansion factor (all rates share k=24)."""
+    return 24 * z
+
+
+def _validate_z(z: int) -> None:
+    if z not in WIMAX_Z_VALUES:
+        raise CodeConstructionError(
+            f"z={z} is not an 802.16e expansion factor; valid: {WIMAX_Z_VALUES}"
+        )
+
+
+def wimax_base_matrix(rate: str = "1/2", z: int = 96) -> BaseMatrix:
+    """Base matrix for an 802.16e mode.
+
+    Parameters
+    ----------
+    rate:
+        One of ``"1/2"``, ``"2/3A"``, ``"2/3B"``, ``"3/4A"``, ``"3/4B"``,
+        ``"5/6"``.
+    z:
+        One of the 19 expansion factors (24..96 step 4).
+
+    Returns
+    -------
+    BaseMatrix
+        Rate 1/2 uses the embedded standard table (scaled when ``z < 96``);
+        other rates use a structurally matched synthetic construction.
+    """
+    _validate_z(z)
+    if rate not in _RATE_STRUCTURE:
+        raise CodeConstructionError(
+            f"unknown 802.16e rate {rate!r}; valid: {sorted(_RATE_STRUCTURE)}"
+        )
+    if rate == "1/2":
+        base = BaseMatrix(
+            entries=_RATE_12,
+            z=WIMAX_Z0,
+            name="wimax_r12_z96",
+            standard="802.16e",
+            synthetic=False,
+        )
+        if z == WIMAX_Z0:
+            return base
+        scaled = base.scaled(z, rule="floor")
+        return BaseMatrix(
+            entries=scaled.entries,
+            z=z,
+            name=f"wimax_r12_z{z}",
+            standard="802.16e",
+            synthetic=False,
+        )
+    structure = _RATE_STRUCTURE[rate]
+    rule = "mod" if rate in _MOD_RATES else "floor"
+    tag = rate.replace("/", "").lower()
+    # The synthetic z0=96 table must stay 4-cycle-free under shift
+    # scaling to all 18 smaller expansion factors (the real standard
+    # tables were hand-designed with this property).
+    scale_targets = tuple(
+        (z_target, rule) for z_target in WIMAX_Z_VALUES if z_target != WIMAX_Z0
+    )
+    base = build_qc_base_matrix(
+        j=structure["j"],
+        k=structure["k"],
+        z=WIMAX_Z0,
+        name=f"wimax_r{tag}_z96",
+        standard="802.16e",
+        seed=_seed_for(rate),
+        scale_targets=scale_targets,
+    )
+    if z == WIMAX_Z0:
+        return base
+    scaled = base.scaled(z, rule=rule)
+    return BaseMatrix(
+        entries=scaled.entries,
+        z=z,
+        name=f"wimax_r{tag}_z{z}",
+        standard="802.16e",
+        synthetic=True,
+    )
+
+
+def _seed_for(rate: str) -> int:
+    """Deterministic per-rate seed so synthetic matrices are reproducible."""
+    return 0x16E0 + sorted(_RATE_STRUCTURE).index(rate)

@@ -1,0 +1,59 @@
+"""Functional LDPC decoders: layered BP (the paper), flooding, baselines.
+
+Public surface:
+
+- :class:`DecoderConfig`, :class:`DecodeResult` — configuration/result types;
+- :class:`LayeredDecoder` — paper Algorithm 1 (float or fixed point);
+- :class:`FloodingDecoder` — two-phase scheduling baseline;
+- check-node kernels in :mod:`repro.decoder.siso` (BP sum-sub /
+  forward-backward, min-sum family, linear approximation);
+- early-termination monitors in :mod:`repro.decoder.early_termination`.
+"""
+
+from repro.decoder.api import (
+    BP_IMPLEMENTATIONS,
+    CHECK_NODE_ALGORITHMS,
+    ET_MODES,
+    DecodeResult,
+    DecoderConfig,
+)
+from repro.decoder.bitflipping import GallagerBDecoder
+from repro.decoder.early_termination import (
+    CombinedEarlyTermination,
+    PaperEarlyTermination,
+    SyndromeEarlyTermination,
+    make_early_termination,
+)
+from repro.decoder.flooding import FloodingDecoder
+from repro.decoder.layered import LayeredDecoder
+from repro.decoder.siso import (
+    BPForwardBackwardKernel,
+    BPSumSubKernel,
+    FixedBPForwardBackwardKernel,
+    FixedBPSumSubKernel,
+    LinearApproxKernel,
+    MinSumKernel,
+    make_checknode_kernel,
+)
+
+__all__ = [
+    "BP_IMPLEMENTATIONS",
+    "BPForwardBackwardKernel",
+    "BPSumSubKernel",
+    "CHECK_NODE_ALGORITHMS",
+    "CombinedEarlyTermination",
+    "DecodeResult",
+    "DecoderConfig",
+    "ET_MODES",
+    "FixedBPForwardBackwardKernel",
+    "FixedBPSumSubKernel",
+    "FloodingDecoder",
+    "GallagerBDecoder",
+    "LayeredDecoder",
+    "LinearApproxKernel",
+    "MinSumKernel",
+    "PaperEarlyTermination",
+    "SyndromeEarlyTermination",
+    "make_checknode_kernel",
+    "make_early_termination",
+]

@@ -1,0 +1,232 @@
+"""Decoder configuration and result types.
+
+:class:`DecoderConfig` captures every knob the paper (and its ablations)
+exposes: the check-node algorithm (full BP vs the min-sum family vs the
+linear approximation of ref [4]), the hardware-faithful *sum-subtract*
+check-node realization vs the numerically gentler forward-backward one,
+the fixed-point datapath format, the scheduling, and the early-termination
+rule of §IV.
+
+:class:`DecodeResult` is a batch-first container: every per-frame quantity
+is an array over the batch dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DecoderConfigError
+from repro.fixedpoint.quantize import QFormat
+
+#: Valid check-node algorithm names.
+CHECK_NODE_ALGORITHMS = (
+    "bp",
+    "minsum",
+    "normalized-minsum",
+    "offset-minsum",
+    "linear-approx",
+)
+
+#: Valid BP check-node realizations.
+BP_IMPLEMENTATIONS = ("sum-sub", "forward-backward")
+
+#: Valid early-termination rules.
+ET_MODES = ("none", "paper", "syndrome", "paper-or-syndrome")
+
+
+@dataclass(frozen=True)
+class DecoderConfig:
+    """Immutable decoder settings.
+
+    Parameters
+    ----------
+    check_node:
+        ``"bp"`` (the paper's algorithm), ``"minsum"``,
+        ``"normalized-minsum"``, ``"offset-minsum"`` (baseline of [3]) or
+        ``"linear-approx"`` (baseline of [4]).
+    bp_impl:
+        For ``check_node="bp"``: ``"sum-sub"`` reproduces the hardware
+        (one ⊞ recursion then per-edge ⊟, Eq. 1); ``"forward-backward"``
+        is the textbook exclusive combine.  Ignored otherwise.
+    max_iterations:
+        Full LBP iterations ``I`` (the paper uses 10).
+    early_termination:
+        ``"paper"`` = the two-condition rule of §IV; ``"syndrome"`` = stop
+        on zero syndrome; ``"paper-or-syndrome"`` = either; ``"none"``.
+    et_threshold:
+        Minimum info-bit |LLR| (in LLR units) for the paper rule's second
+        condition.
+    qformat:
+        ``None`` for a floating-point decoder, or a
+        :class:`~repro.fixedpoint.quantize.QFormat` for the integer
+        datapath with 3-bit LUT corrections.
+    normalization:
+        Scale factor for ``"normalized-minsum"``.
+    offset:
+        Offset (LLR units) for ``"offset-minsum"``.
+    layer_order:
+        Optional processing permutation of the layers (paper §III-C:
+        shuffling layers avoids pipeline stalls; it also changes the
+        serial update order, which this functional model honours).
+    llr_clip:
+        Saturation magnitude of the *extrinsic message* datapath.  The
+        float default (256) is intentionally generous: once messages rail
+        against a tight clip, layered decoding suffers a *saturation
+        contagion* (a single wrong-sign saturated extrinsic can cancel a
+        saturated APP because ``λ = L - Λ`` is capped), which degrades
+        frames that keep iterating past convergence.  The fixed-point
+        datapath reproduces the hardware behaviour (tight saturation)
+        deliberately; pair it with early termination as the chip does.
+        See ``benchmarks/bench_ablation_quantization.py``.
+    app_extra_bits:
+        Extra integer bits of the APP (L) memory over the message format
+        (fixed-point mode).  APP accumulators wider than the extrinsic
+        messages are essential in layered decoding: if ``L`` and ``Λ``
+        saturate at the same magnitude, ``λ = L - Λ`` collapses to zero at
+        convergence and the sum-subtract SISO destroys the decision.  Every
+        practical chip (including this paper's 8-bit message datapath)
+        keeps the APP wider; the default is 2 bits.
+    app_clip:
+        Float-mode APP saturation; ``None`` selects
+        ``llr_clip * 2^app_extra_bits`` to mirror the fixed datapath.
+    track_history:
+        Record per-iteration diagnostics (syndrome weight, min |LLR|,
+        bit flips) in ``DecodeResult.history``.
+    """
+
+    check_node: str = "bp"
+    bp_impl: str = "sum-sub"
+    max_iterations: int = 10
+    early_termination: str = "paper"
+    et_threshold: float = 1.0
+    qformat: QFormat | None = None
+    normalization: float = 0.75
+    offset: float = 0.5
+    layer_order: tuple[int, ...] | None = None
+    llr_clip: float = 256.0
+    app_extra_bits: int = 2
+    app_clip: float | None = None
+    track_history: bool = False
+
+    def __post_init__(self):
+        if self.check_node not in CHECK_NODE_ALGORITHMS:
+            raise DecoderConfigError(
+                f"check_node={self.check_node!r}; valid: {CHECK_NODE_ALGORITHMS}"
+            )
+        if self.bp_impl not in BP_IMPLEMENTATIONS:
+            raise DecoderConfigError(
+                f"bp_impl={self.bp_impl!r}; valid: {BP_IMPLEMENTATIONS}"
+            )
+        if self.early_termination not in ET_MODES:
+            raise DecoderConfigError(
+                f"early_termination={self.early_termination!r}; valid: {ET_MODES}"
+            )
+        if self.max_iterations < 1:
+            raise DecoderConfigError("max_iterations must be >= 1")
+        if self.et_threshold < 0:
+            raise DecoderConfigError("et_threshold must be non-negative")
+        if not 0 < self.normalization <= 1:
+            raise DecoderConfigError("normalization must be in (0, 1]")
+        if self.offset < 0:
+            raise DecoderConfigError("offset must be non-negative")
+        if self.llr_clip <= 0:
+            raise DecoderConfigError("llr_clip must be positive")
+        if self.app_extra_bits < 0:
+            raise DecoderConfigError("app_extra_bits must be non-negative")
+        if self.app_clip is not None and self.app_clip < self.llr_clip:
+            raise DecoderConfigError("app_clip must be >= llr_clip")
+
+    @property
+    def is_fixed_point(self) -> bool:
+        """True when the integer datapath is active."""
+        return self.qformat is not None
+
+    @property
+    def app_qformat(self) -> QFormat | None:
+        """The (wider) APP memory format in fixed-point mode."""
+        if self.qformat is None:
+            return None
+        return self.qformat.widen(self.app_extra_bits)
+
+    @property
+    def effective_app_clip(self) -> float:
+        """Float-mode APP saturation magnitude."""
+        if self.app_clip is not None:
+            return self.app_clip
+        return self.llr_clip * (1 << self.app_extra_bits)
+
+    def replace(self, **changes) -> "DecoderConfig":
+        """Functional update (dataclasses.replace wrapper)."""
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass
+class DecodeResult:
+    """Batch decoding outcome.
+
+    Attributes
+    ----------
+    bits:
+        ``(B, N)`` hard-decision codeword bits.
+    llr:
+        ``(B, N)`` final APP LLRs in *LLR units* (dequantized for the
+        fixed-point decoder).
+    iterations:
+        ``(B,)`` full iterations executed per frame (>= 1).
+    converged:
+        ``(B,)`` True where the final hard decision satisfies all parity
+        checks.
+    et_stopped:
+        ``(B,)`` True where early termination fired before
+        ``max_iterations``.
+    n_info:
+        Systematic prefix length (for :attr:`info_bits`).
+    history:
+        Optional per-iteration diagnostics (present when
+        ``track_history=True``): dict of lists, one entry per iteration.
+    """
+
+    bits: np.ndarray
+    llr: np.ndarray
+    iterations: np.ndarray
+    converged: np.ndarray
+    et_stopped: np.ndarray
+    n_info: int
+    history: dict | None = field(default=None)
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.bits.shape[0])
+
+    @property
+    def info_bits(self) -> np.ndarray:
+        """``(B, K)`` systematic information bits."""
+        return self.bits[:, : self.n_info]
+
+    @property
+    def average_iterations(self) -> float:
+        """Mean iterations over the batch (the Fig. 9a driver)."""
+        return float(np.mean(self.iterations))
+
+    @property
+    def convergence_rate(self) -> float:
+        """Fraction of frames whose parity checks are satisfied."""
+        return float(np.mean(self.converged))
+
+    def bit_errors(self, reference_info: np.ndarray) -> int:
+        """Total info-bit errors against a reference ``(B, K)`` array."""
+        ref = np.asarray(reference_info, dtype=np.uint8)
+        if ref.shape != self.info_bits.shape:
+            raise ValueError(
+                f"reference shape {ref.shape} != {self.info_bits.shape}"
+            )
+        return int(np.count_nonzero(ref ^ self.info_bits))
+
+    def frame_errors(self, reference_info: np.ndarray) -> int:
+        """Number of frames with at least one info-bit error."""
+        ref = np.asarray(reference_info, dtype=np.uint8)
+        return int(np.count_nonzero((ref ^ self.info_bits).any(axis=1)))

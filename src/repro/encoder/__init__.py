@@ -1,0 +1,31 @@
+"""Encoders for block-structured LDPC codes.
+
+- :class:`SystematicQCEncoder` — O(N) dual-diagonal encoder (all registry
+  codes);
+- :class:`GenericEncoder` — GF(2) fallback for arbitrary full-rank H;
+- :func:`make_encoder` — picks the fastest applicable encoder.
+"""
+
+from repro.encoder.generic import GenericEncoder
+from repro.encoder.systematic import SystematicQCEncoder, detect_parity_structure
+from repro.errors import EncodingError
+
+
+def make_encoder(code):
+    """Return the fastest encoder applicable to ``code``.
+
+    Tries the linear-time dual-diagonal encoder first and falls back to
+    the generic GF(2) encoder.
+    """
+    try:
+        return SystematicQCEncoder(code)
+    except EncodingError:
+        return GenericEncoder(code)
+
+
+__all__ = [
+    "GenericEncoder",
+    "SystematicQCEncoder",
+    "detect_parity_structure",
+    "make_encoder",
+]

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  Errors are deliberately fine-grained: a decoder
+misconfiguration is a different failure mode from a malformed parity-check
+matrix, and callers (e.g. the benchmark harness) react differently to each.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class CodeConstructionError(ReproError):
+    """A parity-check matrix could not be built or failed validation.
+
+    Raised when a base matrix has out-of-range shift values, when a
+    synthetic construction cannot satisfy its girth constraint within the
+    retry budget, or when an expanded matrix is structurally inconsistent.
+    """
+
+
+class UnknownCodeError(ReproError, KeyError):
+    """A registry lookup referenced a code mode that does not exist."""
+
+
+class EncodingError(ReproError):
+    """Encoding failed (e.g. rank-deficient H with no usable null space)."""
+
+
+class DecoderConfigError(ReproError, ValueError):
+    """A :class:`repro.decoder.api.DecoderConfig` contains invalid settings."""
+
+
+class QuantizationError(ReproError, ValueError):
+    """A fixed-point format is invalid (e.g. more fraction than total bits)."""
+
+
+class ArchitectureError(ReproError):
+    """The cycle-accurate architecture model was driven into an illegal state.
+
+    Examples: issuing a read to a deactivated memory bank, exceeding the
+    configured parallelism ``z_max``, or scheduling two writes to the same
+    single-port memory in one cycle.
+    """
+
+
+class MemoryPortConflictError(ArchitectureError):
+    """Two simultaneous accesses hit the same memory port in one cycle."""
+
+
+class ReconfigurationError(ArchitectureError):
+    """The decoder chip was asked to switch to an unsupported mode."""
+
+
+class SimulationError(ReproError):
+    """A Monte-Carlo simulation was configured inconsistently."""

@@ -1,0 +1,57 @@
+"""One module per paper exhibit (tables and figures).
+
+Every module exposes ``run(...) -> dict`` producing the exhibit's data
+and ``render(results) -> str`` producing the paper-style text table.
+The benchmark suite calls both and persists the rendered output under
+``benchmarks/results/``.
+
+Exhibit index (see DESIGN.md §4 for the full mapping):
+
+======== ====================================================
+table1   H design parameters per standard
+fig1     block-structured parity-check matrix
+fig2     block-serial scheduling
+fig3     Radix-2 SISO decoder (bit-exactness)
+fig4     pipelined two-layer-overlap schedule and stalls
+fig5     look-ahead transform equivalence
+fig6     Radix-4 SISO speedup
+table2   R2 vs R4 synthesis area and efficiency η
+fig7     scalable datapath (cycle-accurate == functional)
+fig8     chip area breakdown (layout view)
+table3   decoder comparison vs [3] and [4]
+fig9a    power vs Eb/N0 with early termination
+fig9b    power vs block size with bank deactivation
+======== ====================================================
+"""
+
+from repro.experiments import (  # noqa: F401
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9a,
+    fig9b,
+    table1,
+    table2,
+    table3,
+)
+
+ALL_EXHIBITS = (
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table2",
+    "fig7",
+    "fig8",
+    "table3",
+    "fig9a",
+    "fig9b",
+)

@@ -1,0 +1,65 @@
+"""Fig. 1 — a block-structured parity-check matrix.
+
+The paper illustrates a j=4, k=8 matrix of z x z sub-blocks, each a zero
+block or a cyclically shifted identity.  We regenerate the illustration
+from a real constructed matrix and verify the defining structural
+properties on the full WiMax N=2304 matrix (one shifted identity per
+non-zero block, layer structure, expansion arithmetic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.construction import build_qc_base_matrix
+from repro.codes.qc import QCLDPCCode
+from repro.codes.registry import get_code
+
+
+def run(z: int = 6) -> dict:
+    """Build the paper's j=4, k=8 illustration and the WiMax statistics."""
+    base = build_qc_base_matrix(j=4, k=8, z=z, name=f"fig1_j4_k8_z{z}", seed=1)
+    demo = QCLDPCCode(base)
+
+    wimax = get_code("802.16e:1/2:z96")
+    h = wimax.H
+    # Verify: every non-zero block is a cyclically shifted identity.
+    zc = wimax.z
+    shifted_identity_blocks = 0
+    for block in wimax.base.nonzero_blocks():
+        sub = h[
+            block.layer * zc : (block.layer + 1) * zc,
+            block.column * zc : (block.column + 1) * zc,
+        ].toarray()
+        # I_x[r, c] = 1 iff c == (r + x) mod z.
+        expected = np.roll(np.eye(zc, dtype=np.uint8), block.shift, axis=1)
+        if np.array_equal(sub, expected):
+            shifted_identity_blocks += 1
+    return {
+        "demo_base": base,
+        "demo_art": base.ascii_art(),
+        "demo_summary": demo.structure_summary(),
+        "wimax_summary": wimax.structure_summary(),
+        "wimax_blocks_are_permutations": shifted_identity_blocks,
+        "wimax_total_blocks": wimax.base.num_blocks,
+    }
+
+
+def render(results: dict) -> str:
+    demo = results["demo_summary"]
+    wimax = results["wimax_summary"]
+    lines = [
+        "Fig. 1: block-structured parity check matrix "
+        f"(j={demo['j']}, k={demo['k']}, z={demo['z']}; '.'=zero block, "
+        "number=cyclic shift x of I_x)",
+        results["demo_art"],
+        "",
+        f"WiMax N=2304 expansion check: "
+        f"{results['wimax_blocks_are_permutations']}/"
+        f"{results['wimax_total_blocks']} non-zero blocks are cyclically "
+        "shifted identity matrices",
+        f"  j={wimax['j']}, k={wimax['k']}, z={wimax['z']}, "
+        f"E={wimax['nonzero_blocks']} blocks, {wimax['edges']} edges, "
+        f"rate {wimax['rate']:.3f}",
+    ]
+    return "\n".join(lines)

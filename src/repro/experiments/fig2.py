@@ -1,0 +1,75 @@
+"""Fig. 2 — block-serial (BS) scheduling.
+
+One full iteration is divided into ``j`` sub-iterations; each layer's
+non-zero blocks are processed in sequence while the ``z`` rows of each
+block proceed in parallel.  We regenerate the schedule trace (which block
+is read / decoded / written when) and check its defining invariants:
+every non-zero block appears exactly once per iteration, and blocks of
+layer ``l`` all complete before layer ``l+1``'s (in the non-overlapped
+schedule).
+"""
+
+from __future__ import annotations
+
+from repro.arch.datapath import DatapathParams
+from repro.arch.pipeline import analyze_pipeline
+from repro.arch.scheduler import build_schedule
+from repro.codes.registry import get_code
+from repro.utils.tables import Table
+
+
+def run(mode: str = "802.16e:1/2:z24", radix: str = "R2") -> dict:
+    """Build the BS schedule for a mode and collect its trace."""
+    code = get_code(mode)
+    params = DatapathParams(radix=radix, overlap_layers=False)
+    schedule = build_schedule(code.base)
+    report = analyze_pipeline(code.base, params, schedule)
+
+    rows = []
+    for timing in report.timings:
+        blocks = schedule.block_orders[timing.position]
+        rows.append(
+            {
+                "sub_iteration": timing.position + 1,
+                "layer": timing.layer,
+                "degree": len(blocks),
+                "columns": [b.column for b in blocks],
+                "read_start": timing.start,
+                "write_start": timing.write_start,
+            }
+        )
+    total_blocks = sum(r["degree"] for r in rows)
+    return {
+        "mode": mode,
+        "radix": radix,
+        "rows": rows,
+        "total_blocks": total_blocks,
+        "expected_blocks": code.base.num_blocks,
+        "cycles_per_iteration": report.cycles_per_iteration,
+        "z_parallel_rows": code.z,
+    }
+
+
+def render(results: dict) -> str:
+    table = Table(
+        ["sub-iter", "layer", "d_m", "block columns", "read@", "write@"],
+        title=(
+            f"Fig. 2: block-serial schedule for {results['mode']} "
+            f"({results['radix']}, z={results['z_parallel_rows']} rows in "
+            "parallel per block)"
+        ),
+    )
+    for row in results["rows"]:
+        table.add_row(
+            [
+                row["sub_iteration"], row["layer"], row["degree"],
+                " ".join(map(str, row["columns"])), row["read_start"],
+                row["write_start"],
+            ]
+        )
+    footer = (
+        f"{results['total_blocks']}/{results['expected_blocks']} non-zero "
+        f"blocks scheduled; {results['cycles_per_iteration']} cycles per "
+        "iteration (non-overlapped)"
+    )
+    return table.render() + "\n" + footer

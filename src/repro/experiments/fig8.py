@@ -1,0 +1,46 @@
+"""Fig. 8 — VLSI layout view (area breakdown).
+
+The paper's layout shows the chip dominated by the 96 R4-SISO +
+distributed Λ-memory tiles, with the L-memory, circular shifter, I/O
+buffers and control/ROM around them, totalling 3.5 mm².  We regenerate
+the component breakdown from the calibrated area model.
+"""
+
+from __future__ import annotations
+
+from repro.arch.datapath import PAPER_CHIP, DatapathParams
+from repro.power.area import chip_area_breakdown
+from repro.utils.tables import Table
+
+#: The paper's headline total.
+PAPER_TOTAL_MM2 = 3.5
+
+
+def run(params: DatapathParams = PAPER_CHIP) -> dict:
+    """Compute the modelled chip-area breakdown."""
+    breakdown = chip_area_breakdown(params)
+    return {
+        "rows": breakdown.as_rows(),
+        "total_mm2": breakdown.total_mm2,
+        "paper_total_mm2": PAPER_TOTAL_MM2,
+        "z_max": params.z_max,
+        "radix": params.radix,
+        "fclk_mhz": params.fclk_mhz,
+    }
+
+
+def render(results: dict) -> str:
+    table = Table(
+        ["component", "area (mm2)", "% of total"],
+        title=(
+            f"Fig. 8: chip area breakdown ({results['z_max']}x "
+            f"{results['radix']}-SISO @ {results['fclk_mhz']:.0f} MHz)"
+        ),
+    )
+    for name, area, pct in results["rows"]:
+        table.add_row([name, f"{area:.3f}", f"{pct:.1f}"])
+    return (
+        table.render()
+        + f"\nTOTAL: {results['total_mm2']:.2f} mm2 "
+        + f"(paper: {results['paper_total_mm2']} mm2)"
+    )

@@ -1,0 +1,91 @@
+"""Fig. 9a — power vs Eb/N0 with and without early termination.
+
+The paper's setting: WiMax block size 2304, max 10 iterations, AWGN; the
+decoding stops when (1) the info-bit hard decisions are stable over two
+successive iterations and (2) their minimum |LLR| exceeds a threshold.
+Better channels converge in fewer iterations and the decoder idles the
+rest of the time, saving up to 65 % power.
+
+Unlike the area/power anchors, this curve's *shape* is genuinely
+re-derived: the average iteration counts come from our own Monte-Carlo
+decoding with the paper's ET rule, and only the peak/idle power levels
+come from the calibrated model.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.iterations import et_power_curve, profile_iterations
+from repro.analysis.reporting import ascii_curve
+from repro.arch.datapath import PAPER_CHIP
+from repro.codes.registry import get_code
+from repro.decoder.api import DecoderConfig
+from repro.utils.tables import Table
+
+#: Approximate sampled values from the paper's Fig. 9a "with ET" curve.
+PAPER_FIG9A_WITH_ET = {0.0: 410.0, 1.0: 390.0, 2.0: 300.0, 3.0: 200.0,
+                       4.0: 160.0, 5.0: 140.0}
+
+
+def run(
+    mode: str = "802.16e:1/2:z96",
+    ebn0_list=(0.0, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0),
+    frames_per_point: int = 200,
+    et_threshold: float = 1.0,
+    seed: int = 9,
+) -> dict:
+    """Measure the iteration profile and convert it to power."""
+    code = get_code(mode)
+    config = DecoderConfig(
+        max_iterations=10,
+        early_termination="paper",
+        et_threshold=et_threshold,
+    )
+    profile = profile_iterations(
+        code, ebn0_list, config, frames_per_point=frames_per_point, seed=seed
+    )
+    curve = et_power_curve(profile, PAPER_CHIP)
+    return {
+        "mode": mode,
+        "block_size": code.n,
+        "profile": profile,
+        "curve": curve,
+        "max_saving": curve.max_saving_fraction,
+        "paper_reference": PAPER_FIG9A_WITH_ET,
+    }
+
+
+def render(results: dict) -> str:
+    curve = results["curve"]
+    profile = results["profile"]
+    table = Table(
+        ["Eb/N0 (dB)", "avg iterations", "FER", "P with ET (mW)",
+         "P without ET (mW)", "paper ~P (mW)"],
+        title=(
+            f"Fig. 9a: early-termination power (block size = "
+            f"{results['block_size']}, max iter = {profile.max_iterations})"
+        ),
+    )
+    for i, ebn0 in enumerate(curve.ebn0_db):
+        paper = results["paper_reference"].get(ebn0)
+        table.add_row(
+            [
+                ebn0,
+                f"{curve.average_iterations[i]:.2f}",
+                f"{profile.fer[i]:.3f}",
+                f"{curve.power_with_et_mw[i]:.0f}",
+                f"{curve.power_without_et_mw[i]:.0f}",
+                "-" if paper is None else f"{paper:.0f}",
+            ]
+        )
+    plot = ascii_curve(
+        curve.ebn0_db,
+        curve.power_with_et_mw,
+        x_label="Eb/N0 (dB)",
+        y_label="P (mW)",
+    )
+    return (
+        table.render()
+        + f"\nmax power reduction: {100 * results['max_saving']:.0f}% "
+        "(paper: up to 65%)\n"
+        + plot
+    )

@@ -1,0 +1,23 @@
+"""Fixed-point datapath: Q-formats, correction LUTs, ⊞/⊟ kernels."""
+
+from repro.fixedpoint.boxplus import (
+    DEFAULT_LLR_CLIP,
+    FixedBoxOps,
+    boxminus,
+    boxplus,
+    boxplus_reduce,
+)
+from repro.fixedpoint.lut import LUT_SIZE, CorrectionLUT, make_lut_pair
+from repro.fixedpoint.quantize import QFormat
+
+__all__ = [
+    "CorrectionLUT",
+    "DEFAULT_LLR_CLIP",
+    "FixedBoxOps",
+    "LUT_SIZE",
+    "QFormat",
+    "boxminus",
+    "boxplus",
+    "boxplus_reduce",
+    "make_lut_pair",
+]

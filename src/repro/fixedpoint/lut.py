@@ -1,0 +1,112 @@
+"""3-bit lookup tables for the non-linear correction terms.
+
+The paper (Eq. 2, following Hu et al. [9]) implements the two correction
+terms of the ⊞ / ⊟ operations with low-complexity 3-bit LUTs:
+
+- ``f`` unit: ``+log(1 + e^-x)``  (positive, <= log 2)
+- ``g`` unit: ``+log(1 - e^-x)``  (negative, -inf at x -> 0)
+
+A 3-bit LUT has 8 entries.  Entry ``i`` covers the input bin
+``[i * step, (i+1) * step)`` where ``step`` is the LLR quantization step;
+inputs at or beyond ``8 * step`` return the asymptotic value (0 for both
+terms at practical precision).  Outputs are returned as raw integers in
+the same Q-format.
+
+The ``g`` table's first bin would be ``log(0) = -inf``; hardware clamps it
+to the most negative representable correction.  We clamp to
+``-clamp_magnitude`` (default: the format's max), matching a saturating
+implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.quantize import QFormat
+
+#: Number of LUT entries (3-bit index).
+LUT_SIZE = 8
+
+
+class CorrectionLUT:
+    """One quantized correction table (``plus`` or ``minus`` kind).
+
+    Parameters
+    ----------
+    qformat:
+        Datapath format; sets both the input bin width (one LSB) and the
+        output quantization.
+    kind:
+        ``"plus"`` for ``log(1 + e^-x)`` (the f unit) or ``"minus"`` for
+        ``log(1 - e^-x)`` (the g unit).
+    clamp_magnitude:
+        Raw-integer clamp for the singular first bin of the ``minus``
+        table; defaults to the format's ``max_int``.
+    """
+
+    def __init__(
+        self,
+        qformat: QFormat,
+        kind: str = "plus",
+        clamp_magnitude: int | None = None,
+    ):
+        if kind not in ("plus", "minus"):
+            raise ValueError(f"kind must be 'plus' or 'minus', got {kind!r}")
+        self.qformat = qformat
+        self.kind = kind
+        self.clamp_magnitude = (
+            qformat.max_int if clamp_magnitude is None else int(clamp_magnitude)
+        )
+        self.table = self._build_table()
+
+    def _build_table(self) -> np.ndarray:
+        """Quantized entries evaluated at bin midpoints."""
+        step = self.qformat.step
+        entries = np.zeros(LUT_SIZE, dtype=np.int32)
+        for i in range(LUT_SIZE):
+            x = (i + 0.5) * step
+            if self.kind == "plus":
+                value = np.log1p(np.exp(-x))
+            else:
+                value = np.log(-np.expm1(-x))  # log(1 - e^-x), negative
+            raw = int(np.rint(value * self.qformat.scale))
+            entries[i] = np.clip(raw, -self.clamp_magnitude, self.clamp_magnitude)
+        return entries
+
+    def lookup(self, raw_x: np.ndarray) -> np.ndarray:
+        """Correction (raw integer) for non-negative raw inputs.
+
+        Inputs beyond the last bin return the asymptote (0).
+        """
+        raw_x = np.asarray(raw_x)
+        index = np.minimum(raw_x, LUT_SIZE)  # LUT_SIZE = out-of-range marker
+        out = np.where(index >= LUT_SIZE, 0, self.table[np.minimum(index, LUT_SIZE - 1)])
+        return out.astype(np.int32)
+
+    def exact(self, x: np.ndarray) -> np.ndarray:
+        """The exact (float) correction, for quantization-error studies."""
+        x = np.asarray(x, dtype=np.float64)
+        if self.kind == "plus":
+            return np.log1p(np.exp(-x))
+        with np.errstate(divide="ignore"):
+            return np.where(x > 0, np.log(-np.expm1(-np.maximum(x, 1e-300))), -np.inf)
+
+    def max_abs_error(self) -> float:
+        """Worst-case LLR error of the table over its covered range.
+
+        Evaluated on a dense grid of each bin, excluding the singular
+        first bin of the ``minus`` table (which is clamped by design).
+        """
+        step = self.qformat.step
+        worst = 0.0
+        start_bin = 1 if self.kind == "minus" else 0
+        for i in range(start_bin, LUT_SIZE):
+            xs = np.linspace(i * step + 1e-9, (i + 1) * step, 64)
+            approx = self.table[i] / self.qformat.scale
+            worst = max(worst, float(np.max(np.abs(self.exact(xs) - approx))))
+        return worst
+
+
+def make_lut_pair(qformat: QFormat) -> tuple[CorrectionLUT, CorrectionLUT]:
+    """The (f, g) correction LUT pair for a datapath format."""
+    return CorrectionLUT(qformat, "plus"), CorrectionLUT(qformat, "minus")

@@ -1,0 +1,120 @@
+"""Q-format saturating fixed-point arithmetic.
+
+The paper's SISO datapath carries 8-bit messages (Fig. 3 bus widths).  We
+model them as two's-complement integers with *symmetric* saturation
+(``[-(2^(B-1)-1), +(2^(B-1)-1)]``), the usual hardware choice so that
+negation never overflows, with a configurable binary point.
+
+All operations are vectorized over numpy int32 arrays holding the raw
+integer values; :meth:`QFormat.dequantize` recovers real LLR units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed fixed-point format with saturation.
+
+    Parameters
+    ----------
+    total_bits:
+        Word width including sign (the paper uses 8).
+    frac_bits:
+        Bits to the right of the binary point (default 2, i.e. an LLR
+        resolution of 0.25 — the usual choice for LDPC datapaths and the
+        granularity assumed by the 3-bit correction LUTs of ref [9]).
+
+    Examples
+    --------
+    >>> q = QFormat(8, 2)
+    >>> q.max_value
+    31.75
+    >>> int(q.quantize(5.1))
+    20
+    """
+
+    total_bits: int = 8
+    frac_bits: int = 2
+
+    def __post_init__(self):
+        if self.total_bits < 2:
+            raise QuantizationError("need at least 2 bits (sign + magnitude)")
+        if self.frac_bits < 0:
+            raise QuantizationError("frac_bits must be non-negative")
+        if self.frac_bits >= self.total_bits:
+            raise QuantizationError(
+                f"frac_bits={self.frac_bits} must be < total_bits={self.total_bits}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived constants
+    # ------------------------------------------------------------------
+    @property
+    def scale(self) -> int:
+        """Integer units per 1.0 LLR (``2^frac_bits``)."""
+        return 1 << self.frac_bits
+
+    @property
+    def max_int(self) -> int:
+        """Largest representable raw integer (symmetric saturation)."""
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_int(self) -> int:
+        """Smallest representable raw integer (``-max_int``)."""
+        return -self.max_int
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable LLR value."""
+        return self.max_int / self.scale
+
+    @property
+    def step(self) -> float:
+        """LLR quantization step (``2^-frac_bits``)."""
+        return 1.0 / self.scale
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Round-to-nearest and saturate float LLRs into raw integers."""
+        scaled = np.rint(np.asarray(values, dtype=np.float64) * self.scale)
+        return np.clip(scaled, self.min_int, self.max_int).astype(np.int32)
+
+    def dequantize(self, raw: np.ndarray) -> np.ndarray:
+        """Raw integers back to LLR units (floats)."""
+        return np.asarray(raw, dtype=np.float64) / self.scale
+
+    # ------------------------------------------------------------------
+    # Saturating arithmetic on raw integers
+    # ------------------------------------------------------------------
+    def saturate(self, raw: np.ndarray) -> np.ndarray:
+        """Clamp raw integers into the representable range."""
+        return np.clip(raw, self.min_int, self.max_int).astype(np.int32)
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Saturating addition of raw integers."""
+        return self.saturate(np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64))
+
+    def sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Saturating subtraction of raw integers."""
+        return self.saturate(np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64))
+
+    def widen(self, extra_bits: int) -> "QFormat":
+        """A format with ``extra_bits`` more integer range (same step).
+
+        Hardware APP (L) accumulators are often 1-2 bits wider than the
+        extrinsic messages; this helper builds that format.
+        """
+        return QFormat(self.total_bits + extra_bits, self.frac_bits)
+
+    def __str__(self) -> str:
+        return f"Q{self.total_bits}.{self.frac_bits}"

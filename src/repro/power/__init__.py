@@ -1,0 +1,44 @@
+"""Area and power models calibrated to the paper's published numbers."""
+
+from repro.power.area import (
+    AreaBreakdown,
+    SISO_AREA_TABLE,
+    chip_area_breakdown,
+    radix4_efficiency,
+    siso_area_um2,
+)
+from repro.power.energy import (
+    P_LANE_DYN_MW,
+    P_SHARED_DYN_MW,
+    P_STATIC_MW,
+    dynamic_scale,
+    lane_energy_pj,
+    shared_energy_pj,
+)
+from repro.power.model import PowerEstimate, PowerModel
+from repro.power.technology import (
+    TSMC90,
+    TechnologyParams,
+    normalized_area_mm2,
+    normalized_power_mw,
+)
+
+__all__ = [
+    "AreaBreakdown",
+    "P_LANE_DYN_MW",
+    "P_SHARED_DYN_MW",
+    "P_STATIC_MW",
+    "PowerEstimate",
+    "PowerModel",
+    "SISO_AREA_TABLE",
+    "TSMC90",
+    "TechnologyParams",
+    "chip_area_breakdown",
+    "dynamic_scale",
+    "lane_energy_pj",
+    "normalized_area_mm2",
+    "normalized_power_mw",
+    "radix4_efficiency",
+    "shared_energy_pj",
+    "siso_area_um2",
+]

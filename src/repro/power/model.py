@@ -1,0 +1,172 @@
+"""Chip power model: the two power-saving schemes of §IV.
+
+Built on the calibrated constants of :mod:`repro.power.energy`:
+
+``P_active(z, f) = P_static + (P_shared + p_lane * z) * f / 450MHz``
+
+1. **Early termination** (Fig. 9a): the decoder processes a continuous
+   stream of frames; with ET the datapath is active only for
+   ``avg_iterations / max_iterations`` of the time and idles at the
+   static floor otherwise:
+
+   ``P_avg = P_idle + (P_active - P_idle) * avg_iter / max_iter``
+
+2. **Bank deactivation** (Fig. 9b): with a smaller code (z < 96) only
+   ``z`` lanes are powered: ``P(z)`` falls linearly, reproducing the
+   figure's power-vs-block-size slope.
+
+An activity-based estimator prices the cycle-accurate
+:class:`~repro.arch.chip.ChipDecodeResult` counters so the architectural
+simulation and the analytic model can be cross-checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.datapath import DatapathParams
+from repro.power.energy import (
+    P_LANE_DYN_MW,
+    P_SHARED_DYN_MW,
+    P_STATIC_MW,
+    RADIX_LANE_ENERGY_FACTOR,
+    dynamic_scale,
+    lane_energy_pj,
+    shared_energy_pj,
+)
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """One operating point of the power model (all mW)."""
+
+    total_mw: float
+    static_mw: float
+    shared_dyn_mw: float
+    lane_dyn_mw: float
+
+    def __post_init__(self):
+        expected = self.static_mw + self.shared_dyn_mw + self.lane_dyn_mw
+        if abs(expected - self.total_mw) > 1e-6:
+            raise ValueError("inconsistent power breakdown")
+
+
+class PowerModel:
+    """Analytic power model of the decoder chip.
+
+    Parameters
+    ----------
+    params:
+        Datapath configuration (radix, z_max, clock).
+    vdd:
+        Supply voltage (1.0 V nominal).
+    """
+
+    def __init__(self, params: DatapathParams, vdd: float = 1.0):
+        self.params = params
+        self.vdd = vdd
+
+    # ------------------------------------------------------------------
+    # Analytic operating points
+    # ------------------------------------------------------------------
+    def active_power_mw(
+        self, active_lanes: int | None = None, fclk_mhz: float | None = None
+    ) -> PowerEstimate:
+        """Power while decoding continuously (no early termination).
+
+        ``active_lanes`` defaults to all lanes; ``fclk_mhz`` to the
+        datapath's nominal clock.
+        """
+        lanes = self.params.z_max if active_lanes is None else active_lanes
+        if not 0 < lanes <= self.params.z_max:
+            raise ValueError(
+                f"active_lanes must be in (0, {self.params.z_max}]"
+            )
+        fclk = self.params.fclk_mhz if fclk_mhz is None else fclk_mhz
+        scale = dynamic_scale(fclk, self.vdd)
+        radix_factor = RADIX_LANE_ENERGY_FACTOR[self.params.radix]
+        shared = P_SHARED_DYN_MW * scale
+        lane = P_LANE_DYN_MW * radix_factor * lanes * scale
+        return PowerEstimate(
+            total_mw=P_STATIC_MW + shared + lane,
+            static_mw=P_STATIC_MW,
+            shared_dyn_mw=shared,
+            lane_dyn_mw=lane,
+        )
+
+    def peak_power_mw(self) -> float:
+        """Headline peak power (all lanes, nominal clock) — Table 3."""
+        return self.active_power_mw().total_mw
+
+    def early_termination_power_mw(
+        self,
+        average_iterations: float,
+        max_iterations: int = 10,
+        active_lanes: int | None = None,
+        fclk_mhz: float | None = None,
+    ) -> float:
+        """Average stream power with early termination (Fig. 9a).
+
+        The datapath duty-cycles between full activity (while iterating)
+        and the static idle floor (after ET fires, until the next frame).
+        """
+        if not 0 < average_iterations <= max_iterations:
+            raise ValueError(
+                "average_iterations must be in (0, max_iterations]"
+            )
+        duty = average_iterations / max_iterations
+        active = self.active_power_mw(active_lanes, fclk_mhz).total_mw
+        return P_STATIC_MW + (active - P_STATIC_MW) * duty
+
+    def power_vs_block_size(self, z: int, fclk_mhz: float | None = None) -> float:
+        """Fig. 9b: full-activity power with only ``z`` lanes powered."""
+        return self.active_power_mw(active_lanes=z, fclk_mhz=fclk_mhz).total_mw
+
+    def power_without_bank_gating(
+        self, fclk_mhz: float | None = None
+    ) -> float:
+        """Counterfactual for Fig. 9b: all z_max lanes always powered."""
+        return self.active_power_mw(
+            active_lanes=self.params.z_max, fclk_mhz=fclk_mhz
+        ).total_mw
+
+    # ------------------------------------------------------------------
+    # Activity-based estimation (from the cycle-accurate simulation)
+    # ------------------------------------------------------------------
+    def energy_from_activity(
+        self, activity: dict, cycles: int, fclk_mhz: float | None = None
+    ) -> float:
+        """Energy (nJ) of one decode from chip activity counters.
+
+        Prices lane work (SISO f/g ops, Λ accesses, shifter routes) with
+        the calibrated lane-cycle energy and adds the shared per-cycle
+        and static terms.  Cross-checks the analytic model within a few
+        percent for full-activity decodes.
+        """
+        fclk = self.params.fclk_mhz if fclk_mhz is None else fclk_mhz
+        scale = dynamic_scale(fclk, self.vdd) / (fclk / 450.0)
+        # scale retains only the V^2 factor: per-op energy is frequency
+        # independent, static energy depends on wall-clock time.
+        lanes = activity.get("active_lanes", self.params.z_max)
+        # One g op per processed message; at `rate` messages per cycle a
+        # lane is busy for messages/rate cycles.  The lane-cycle energy
+        # constant covers the whole lane (f + g units, Λ access, shifter
+        # slice) at full utilization, so f ops are not priced again.
+        rate = self.params.messages_per_cycle
+        lane_busy_cycles = activity.get("siso_g_ops", 0) / max(rate, 1)
+        energy_pj = (
+            lane_busy_cycles * lanes * lane_energy_pj(self.params.radix) * scale
+        )
+        energy_pj += cycles * shared_energy_pj() * scale
+        seconds = cycles / (fclk * 1e6)
+        energy_pj += P_STATIC_MW * 1e-3 * seconds * 1e12
+        return energy_pj * 1e-3  # nJ
+
+    def average_power_from_activity(
+        self, activity: dict, cycles: int, fclk_mhz: float | None = None
+    ) -> float:
+        """Average power (mW) over one cycle-accurate decode."""
+        fclk = self.params.fclk_mhz if fclk_mhz is None else fclk_mhz
+        energy_nj = self.energy_from_activity(activity, cycles, fclk)
+        seconds = cycles / (fclk * 1e6)
+        return energy_nj * 1e-9 / seconds * 1e3

@@ -1,0 +1,78 @@
+"""Technology constants and cross-node scaling (Table 3 support).
+
+The paper's chip is TSMC 90 nm, 1.0 V, 8-metal CMOS.  The comparison
+decoders were built in 0.13 µm [3] and 0.18 µm [4]; to compare fairly the
+experiments can normalize area and delay with first-order constant-field
+scaling:
+
+- area    ∝ (node / 90)^2
+- delay   ∝ (node / 90)          (so frequency ∝ 90 / node)
+- dynamic power ∝ C V^2 f        (C ∝ node, with the historical V per node)
+
+These are the standard back-of-envelope rules used in decoder survey
+tables; they are *first order only* and flagged as such in the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Nominal supply voltage by node (V), historical values.
+NODE_VDD = {180: 1.8, 130: 1.2, 90: 1.0, 65: 1.0}
+
+
+@dataclass(frozen=True)
+class TechnologyParams:
+    """A CMOS process corner for scaling arithmetic.
+
+    Parameters
+    ----------
+    node_nm:
+        Feature size in nanometres (the paper: 90).
+    vdd:
+        Supply voltage; defaults to the historical value for the node.
+    """
+
+    node_nm: int = 90
+    vdd: float | None = None
+
+    def __post_init__(self):
+        if self.node_nm <= 0:
+            raise ValueError("node_nm must be positive")
+        if self.vdd is None:
+            object.__setattr__(self, "vdd", NODE_VDD.get(self.node_nm, 1.0))
+
+    def area_scale_to(self, target: "TechnologyParams") -> float:
+        """Multiplier converting this node's area to the target node's."""
+        return (target.node_nm / self.node_nm) ** 2
+
+    def frequency_scale_to(self, target: "TechnologyParams") -> float:
+        """First-order achievable-frequency multiplier."""
+        return self.node_nm / target.node_nm
+
+    def dynamic_power_scale_to(self, target: "TechnologyParams") -> float:
+        """Multiplier for dynamic power at *equal clock frequency*.
+
+        ``P ∝ C V^2`` with ``C ∝ node``.
+        """
+        c_scale = target.node_nm / self.node_nm
+        v_scale = (target.vdd / self.vdd) ** 2
+        return c_scale * v_scale
+
+
+#: The paper's process.
+TSMC90 = TechnologyParams(90)
+
+
+def normalized_area_mm2(area_mm2: float, from_node: int, to_node: int = 90) -> float:
+    """Scale a die area between nodes (first-order)."""
+    return area_mm2 * TechnologyParams(from_node).area_scale_to(
+        TechnologyParams(to_node)
+    )
+
+
+def normalized_power_mw(power_mw: float, from_node: int, to_node: int = 90) -> float:
+    """Scale dynamic power between nodes at equal frequency (first-order)."""
+    return power_mw * TechnologyParams(from_node).dynamic_power_scale_to(
+        TechnologyParams(to_node)
+    )

@@ -1,0 +1,24 @@
+"""Shared low-level utilities: GF(2) algebra, bit helpers, RNG, tables."""
+
+from repro.utils.bitops import (
+    hamming_distance,
+    hard_decision,
+    int_to_bits,
+    bits_to_int,
+    parity,
+)
+from repro.utils.gf2 import GF2Matrix
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.tables import Table
+
+__all__ = [
+    "GF2Matrix",
+    "Table",
+    "bits_to_int",
+    "hamming_distance",
+    "hard_decision",
+    "int_to_bits",
+    "make_rng",
+    "parity",
+    "spawn_rngs",
+]

@@ -1,0 +1,100 @@
+"""Bit-level helpers shared by the encoder, decoder and GF(2) algebra.
+
+Everything here operates on ``numpy`` arrays of ``uint8`` bits (values 0/1)
+unless stated otherwise.  These helpers are intentionally tiny and fully
+vectorized; they are on the hot path of the Monte-Carlo harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hard_decision(llr: np.ndarray) -> np.ndarray:
+    """Map LLRs to hard bits using the convention ``LLR >= 0 -> bit 0``.
+
+    The library-wide convention (matching the paper's
+    ``L_n = log(P(x_n = 0) / P(x_n = 1))``) is that a *positive* LLR means
+    the bit is more likely ``0``.
+
+    Parameters
+    ----------
+    llr:
+        Array of log-likelihood ratios, any shape, float or integer.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint8`` array of the same shape with 0/1 hard decisions.
+    """
+    return (np.asarray(llr) < 0).astype(np.uint8)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of positions where bit arrays ``a`` and ``b`` differ."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int(np.count_nonzero(a ^ b))
+
+
+def parity(bits: np.ndarray, axis: int | None = None) -> np.ndarray:
+    """XOR-reduce a bit array along ``axis`` (or all axes when ``None``)."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    return np.bitwise_xor.reduce(bits, axis=axis)
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Little-endian bit expansion of ``value`` into ``width`` bits.
+
+    >>> int_to_bits(6, 4).tolist()
+    [0, 1, 1, 0]
+    """
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if width and value >> width:
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return np.array([(value >> i) & 1 for i in range(width)], dtype=np.uint8)
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Inverse of :func:`int_to_bits` (little-endian)."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 1:
+        raise ValueError("bits must be a 1-D array")
+    return int(sum(int(b) << i for i, b in enumerate(bits)))
+
+
+def pack_bits_rows(bits: np.ndarray) -> np.ndarray:
+    """Pack a 2-D 0/1 array row-wise into ``uint64`` words.
+
+    Bit ``j`` of row ``i`` lands in word ``j // 64`` at bit position
+    ``j % 64``.  Used by :class:`repro.utils.gf2.GF2Matrix` for fast
+    row-reduction.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 2:
+        raise ValueError("expected a 2-D bit array")
+    rows, cols = bits.shape
+    words = (cols + 63) // 64
+    packed = np.zeros((rows, words), dtype=np.uint64)
+    for j in range(cols):
+        word, pos = divmod(j, 64)
+        packed[:, word] |= bits[:, j].astype(np.uint64) << np.uint64(pos)
+    return packed
+
+
+def unpack_bits_rows(packed: np.ndarray, cols: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits_rows`."""
+    packed = np.asarray(packed, dtype=np.uint64)
+    if packed.ndim != 2:
+        raise ValueError("expected a 2-D packed array")
+    rows = packed.shape[0]
+    bits = np.zeros((rows, cols), dtype=np.uint8)
+    for j in range(cols):
+        word, pos = divmod(j, 64)
+        bits[:, j] = (packed[:, word] >> np.uint64(pos)).astype(np.uint8) & 1
+    return bits

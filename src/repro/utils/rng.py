@@ -1,0 +1,41 @@
+"""Seeded random-number helpers.
+
+Monte-Carlo reproducibility policy: every stochastic component in the
+library takes either an integer seed or a ``numpy.random.Generator``.  These
+helpers normalize that argument and derive independent child streams for
+parallel/batched work so results never depend on call order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def make_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed-like argument.
+
+    ``None`` produces a non-deterministic generator; an ``int`` produces a
+    deterministic one; an existing ``Generator`` is passed through unchanged
+    (so callers can share a stream deliberately).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: "int | np.random.Generator | None", count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so that child streams
+    are independent regardless of how many values each one draws.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if isinstance(seed, np.random.Generator):
+        # Derive children by drawing entropy from the parent stream.
+        seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]

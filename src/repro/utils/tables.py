@@ -1,0 +1,85 @@
+"""Plain-text table rendering for experiment and benchmark output.
+
+Every experiment module renders its result through :class:`Table` so that
+`pytest benchmarks/` output and ``EXPERIMENTS.md`` share one format.  The
+implementation is deliberately dependency-free (no tabulate/rich offline).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _stringify(value: object, float_format: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+class Table:
+    """A fixed-column ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    title:
+        Optional table caption printed above the grid.
+    float_format:
+        ``format()`` spec applied to float cells (default ``.3g``).
+
+    Examples
+    --------
+    >>> t = Table(["code", "rate"], title="demo")
+    >>> t.add_row(["wimax", 0.5])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    demo
+    ...
+    """
+
+    def __init__(
+        self,
+        headers: Sequence[str],
+        title: str | None = None,
+        float_format: str = ".4g",
+    ):
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.headers = [str(h) for h in headers]
+        self.title = title
+        self.float_format = float_format
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        """Append one row; must match the header width."""
+        cells = [_stringify(cell, self.float_format) for cell in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def add_rows(self, rows: Iterable[Iterable[object]]) -> None:
+        for row in rows:
+            self.add_row(row)
+
+    def render(self) -> str:
+        """Render the table as a string with a separator under the header."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(w) for cell, w in zip(cells, widths))
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.headers))
+        lines.append("-+-".join("-" * w for w in widths))
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

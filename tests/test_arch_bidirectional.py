@@ -1,0 +1,119 @@
+"""Tests for the bidirectional (forward-backward) SISO organization."""
+
+import numpy as np
+import pytest
+
+from repro.arch.chip import DecoderChip
+from repro.arch.siso_unit import BidirectionalSISOArray, make_siso_array
+from repro.channel import AWGNChannel, BPSKModulator, ChannelFrontend
+from repro.codes import get_code
+from repro.decoder import DecoderConfig, LayeredDecoder
+from repro.decoder.siso import FixedBPForwardBackwardKernel
+from repro.encoder import make_encoder
+from repro.errors import ArchitectureError
+from repro.fixedpoint import FixedBoxOps, QFormat
+
+
+@pytest.fixture
+def qformat():
+    return QFormat(8, 2)
+
+
+class TestUnit:
+    @pytest.mark.parametrize("degree", [2, 3, 5, 7, 12])
+    def test_matches_forward_backward_kernel(self, degree, qformat, rng):
+        lam = qformat.quantize(rng.normal(0, 5, (degree, 6)))
+        unit = make_siso_array(
+            "R2", 6, qformat=qformat, organization="forward-backward"
+        )
+        out, _ = unit.process_row(lam)
+        reference = FixedBPForwardBackwardKernel(FixedBoxOps(qformat))(
+            lam[None]
+        )[0]
+        assert np.array_equal(out, reference)
+
+    @pytest.mark.parametrize(
+        "radix,degree,expected", [("R2", 6, 12), ("R4", 6, 6), ("R4", 7, 8)]
+    )
+    def test_same_cycle_counts_as_sum_sub(self, radix, degree, expected,
+                                          qformat, rng):
+        lam = qformat.quantize(rng.normal(0, 5, (degree, 4)))
+        unit = make_siso_array(
+            radix, 4, qformat=qformat, organization="forward-backward"
+        )
+        _, cycles = unit.process_row(lam)
+        assert cycles == expected
+
+    def test_output_order_attribute(self, qformat):
+        unit = make_siso_array(
+            "R2", 4, qformat=qformat, organization="forward-backward"
+        )
+        assert isinstance(unit, BidirectionalSISOArray)
+        assert unit.output_order == "reverse"
+
+    def test_raw_drain_is_reversed(self, qformat, rng):
+        lam = qformat.quantize(rng.normal(0, 5, (3, 4)))
+        unit = make_siso_array(
+            "R2", 4, qformat=qformat, organization="forward-backward"
+        )
+        unit.start_row(3)
+        for message in lam:
+            unit.feed(message[None, :])
+        first = unit.drain()[0]
+        reference = FixedBPForwardBackwardKernel(FixedBoxOps(qformat))(
+            lam[None]
+        )[0]
+        assert np.array_equal(first, reference[2])  # last edge first
+
+    def test_unknown_organization_raises(self, qformat):
+        with pytest.raises(ArchitectureError):
+            make_siso_array("R2", 4, qformat=qformat, organization="magic")
+
+
+class TestChipIntegration:
+    def test_chip_bit_exact_vs_functional(self, rng):
+        code = get_code("802.16e:1/2:z24")
+        chip = DecoderChip(checknode="forward-backward")
+        entry = chip.configure("802.16e:1/2:z24")
+        encoder = make_encoder(code)
+        info, codewords = encoder.random_codewords(3, rng)
+        frontend = ChannelFrontend(
+            BPSKModulator(), AWGNChannel.from_ebn0(2.5, code.rate, rng=rng)
+        )
+        llrs = frontend.run(codewords)
+        config = DecoderConfig(
+            qformat=QFormat(8, 2),
+            bp_impl="forward-backward",
+            early_termination="none",
+            max_iterations=4,
+            layer_order=entry.layer_order,
+        )
+        reference = LayeredDecoder(code, config).decode(llrs)
+        for i in range(3):
+            result = chip.decode(llrs[i], max_iterations=4,
+                                 early_termination="none")
+            assert np.array_equal(result.bits, reference.bits[i])
+
+    def test_chip_decodes_noisy_frames(self, rng):
+        """The BER-robust organization actually corrects errors on chip."""
+        code = get_code("802.16e:1/2:z24")
+        chip = DecoderChip(checknode="forward-backward")
+        chip.configure("802.16e:1/2:z24")
+        encoder = make_encoder(code)
+        info, codewords = encoder.random_codewords(10, rng)
+        frontend = ChannelFrontend(
+            BPSKModulator(), AWGNChannel.from_ebn0(3.0, code.rate, rng=rng)
+        )
+        llrs = frontend.run(codewords)
+        decoded_ok = sum(
+            np.array_equal(
+                chip.decode(llrs[i], max_iterations=10).bits[: code.n_info],
+                info[i],
+            )
+            for i in range(10)
+        )
+        assert decoded_ok >= 8
+
+    def test_invalid_checknode_raises(self):
+        with pytest.raises(ArchitectureError):
+            DecoderChip(checknode="minsum")

@@ -1,0 +1,167 @@
+"""Tests for the top-level cycle-accurate chip (Fig. 7/8) and mode ROM."""
+
+import numpy as np
+import pytest
+
+from repro.arch.chip import DecoderChip
+from repro.arch.datapath import DMBT_CHIP, PAPER_CHIP, DatapathParams
+from repro.arch.mode_rom import ModeROM
+from repro.channel import AWGNChannel, BPSKModulator, ChannelFrontend
+from repro.codes.registry import get_code
+from repro.decoder import DecoderConfig, LayeredDecoder
+from repro.encoder import make_encoder
+from repro.errors import ArchitectureError, ReconfigurationError
+from repro.fixedpoint import QFormat
+
+
+@pytest.fixture(scope="module")
+def configured_chip():
+    chip = DecoderChip()
+    chip.configure("802.16e:1/2:z24")
+    return chip
+
+
+def noisy_frame(code, ebn0, seed):
+    encoder = make_encoder(code)
+    rng = np.random.default_rng(seed)
+    info, codewords = encoder.random_codewords(1, rng)
+    frontend = ChannelFrontend(
+        BPSKModulator(), AWGNChannel.from_ebn0(ebn0, code.rate, rng=rng)
+    )
+    return info[0], codewords[0], frontend.run(codewords)[0]
+
+
+class TestModeROM:
+    def test_lookup_caches(self):
+        rom = ModeROM(PAPER_CHIP)
+        a = rom.lookup("802.16e:1/2:z24")
+        b = rom.lookup("802.16e:1/2:z24")
+        assert a is b
+
+    def test_rejects_oversized_code(self):
+        rom = ModeROM(PAPER_CHIP)
+        with pytest.raises(ReconfigurationError):
+            rom.lookup("DMB-T:0.6:z127")  # z=127 > 96
+
+    def test_dmbt_chip_accepts_dmbt(self):
+        rom = ModeROM(DMBT_CHIP, optimize=False)
+        entry = rom.lookup("DMB-T:0.8:z127")
+        assert entry.code.z == 127
+
+    def test_optimized_order_is_permutation(self):
+        rom = ModeROM(PAPER_CHIP)
+        entry = rom.lookup("802.16e:1/2:z96")
+        assert sorted(entry.layer_order) == list(range(12))
+
+    def test_rom_bits_positive(self):
+        rom = ModeROM(PAPER_CHIP)
+        rom.lookup("802.16e:1/2:z96")
+        assert rom.rom_bits > 0
+        assert rom.loaded_modes == ("802.16e:1/2:z96",)
+
+
+class TestConfiguration:
+    def test_configure_activates_lanes(self):
+        chip = DecoderChip()
+        chip.configure("802.16e:1/2:z48")
+        assert chip.active_lanes == 48
+        assert chip.lambda_memory.active_lanes == 48
+
+    def test_reconfigure_between_standards(self):
+        chip = DecoderChip()
+        for mode in ("802.11n:1/2:z27", "802.16e:1/2:z96", "802.11n:1/2:z81"):
+            entry = chip.configure(mode)
+            assert entry.code.z == chip.active_lanes
+
+    def test_unconfigured_decode_raises(self):
+        with pytest.raises(ArchitectureError):
+            DecoderChip().decode(np.zeros(10))
+
+    def test_unconfigured_active_lanes_raises(self):
+        with pytest.raises(ArchitectureError):
+            _ = DecoderChip().active_lanes
+
+    def test_configure_with_code_object(self, tiny_code):
+        chip = DecoderChip()
+        entry = chip.configure(tiny_code)
+        assert entry.code is tiny_code
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("iterations", [1, 3, 5])
+    def test_matches_functional_decoder(self, configured_chip, iterations):
+        code = get_code("802.16e:1/2:z24")
+        entry = configured_chip.entry
+        config = DecoderConfig(
+            qformat=QFormat(8, 2),
+            bp_impl="sum-sub",
+            early_termination="none",
+            max_iterations=iterations,
+            layer_order=entry.layer_order,
+        )
+        reference_decoder = LayeredDecoder(code, config)
+        for seed in (1, 2, 3):
+            info, codeword, llr = noisy_frame(code, 2.5, seed)
+            chip_result = configured_chip.decode(
+                llr, max_iterations=iterations, early_termination="none"
+            )
+            reference = reference_decoder.decode(llr)
+            assert np.array_equal(chip_result.bits, reference.bits[0])
+
+    def test_consecutive_frames_independent(self, configured_chip):
+        code = get_code("802.16e:1/2:z24")
+        info, codeword, llr = noisy_frame(code, 3.0, 11)
+        first = configured_chip.decode(llr, max_iterations=3,
+                                       early_termination="none")
+        second = configured_chip.decode(llr, max_iterations=3,
+                                        early_termination="none")
+        assert np.array_equal(first.bits, second.bits)
+
+
+class TestEarlyTermination:
+    def test_clean_frame_stops_early(self, configured_chip):
+        code = get_code("802.16e:1/2:z24")
+        info, codeword, _ = noisy_frame(code, 3.0, 21)
+        clean_llr = 8.0 * (1.0 - 2.0 * codeword.astype(np.float64))
+        result = configured_chip.decode(clean_llr, max_iterations=10)
+        assert result.et_stopped
+        assert result.iterations < 10
+        assert result.converged
+
+    def test_cycles_scale_with_iterations(self, configured_chip):
+        code = get_code("802.16e:1/2:z24")
+        info, codeword, llr = noisy_frame(code, 3.0, 22)
+        few = configured_chip.decode(llr, max_iterations=2,
+                                     early_termination="none")
+        many = configured_chip.decode(llr, max_iterations=6,
+                                      early_termination="none")
+        assert many.cycles > few.cycles
+
+    def test_invalid_et_mode_raises(self, configured_chip):
+        with pytest.raises(ArchitectureError):
+            configured_chip.decode(np.zeros(576), early_termination="syndrome")
+
+
+class TestThroughputIntegration:
+    def test_wimax_headline_throughput(self):
+        """The paper's 1-Gbps claim at 450 MHz, 10 iterations."""
+        chip = DecoderChip()
+        chip.configure("802.16e:1/2:z96")
+        estimate = chip.throughput(10)
+        assert estimate.formula_gbps == pytest.approx(1.364, abs=0.01)
+        assert estimate.simulated_gbps > 1.0
+
+    def test_result_helpers(self, configured_chip):
+        code = get_code("802.16e:1/2:z24")
+        info, codeword, llr = noisy_frame(code, 3.0, 23)
+        result = configured_chip.decode(llr, max_iterations=2,
+                                        early_termination="none")
+        fclk = 450e6
+        assert result.decode_time_s(fclk) == pytest.approx(
+            result.cycles / fclk
+        )
+        assert result.info_throughput_bps(fclk, code.n_info) > 0
+
+    def test_frame_shape_check(self, configured_chip):
+        with pytest.raises(ArchitectureError):
+            configured_chip.decode(np.zeros(100))

@@ -1,0 +1,155 @@
+"""Tests for the memory models (L-mem, Λ-banks, FIFOs)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.memory import Fifo, LambdaMemoryArray, MemoryBank
+from repro.errors import ArchitectureError, MemoryPortConflictError
+
+
+class TestMemoryBank:
+    def test_read_write_roundtrip(self):
+        bank = MemoryBank(words=4, lanes=3, name="t")
+        bank.begin_cycle()
+        bank.write(2, np.array([1, 2, 3]))
+        bank.begin_cycle()
+        assert bank.read(2).tolist() == [1, 2, 3]
+
+    def test_read_returns_copy(self):
+        bank = MemoryBank(words=2, lanes=2)
+        bank.begin_cycle()
+        word = bank.read(0)
+        word[:] = 99
+        bank.begin_cycle()
+        assert bank.read(0).tolist() == [0, 0]
+
+    def test_port_conflict_detection(self):
+        bank = MemoryBank(words=4, lanes=1, ports=1)
+        bank.begin_cycle()
+        bank.read(0)
+        with pytest.raises(MemoryPortConflictError):
+            bank.read(1)
+
+    def test_dual_port_allows_two_accesses(self):
+        bank = MemoryBank(words=4, lanes=1, ports=2)
+        bank.begin_cycle()
+        bank.read(0)
+        bank.write(1, np.array([5]))
+        with pytest.raises(MemoryPortConflictError):
+            bank.read(2)
+
+    def test_begin_cycle_resets_ports(self):
+        bank = MemoryBank(words=4, lanes=1, ports=1)
+        bank.begin_cycle()
+        bank.read(0)
+        bank.begin_cycle()
+        bank.read(1)  # no conflict
+
+    def test_address_range(self):
+        bank = MemoryBank(words=4, lanes=1)
+        bank.begin_cycle()
+        with pytest.raises(ArchitectureError):
+            bank.read(4)
+
+    def test_word_shape_check(self):
+        bank = MemoryBank(words=2, lanes=3)
+        bank.begin_cycle()
+        with pytest.raises(ArchitectureError):
+            bank.write(0, np.array([1, 2]))
+
+    def test_deactivated_access_raises(self):
+        bank = MemoryBank(words=2, lanes=1)
+        bank.deactivate()
+        bank.begin_cycle()
+        with pytest.raises(ArchitectureError):
+            bank.read(0)
+
+    def test_activate_clears_contents(self):
+        bank = MemoryBank(words=2, lanes=1)
+        bank.begin_cycle()
+        bank.write(0, np.array([7]))
+        bank.deactivate()
+        bank.activate()
+        bank.begin_cycle()
+        assert bank.read(0)[0] == 0
+
+    def test_counters(self):
+        bank = MemoryBank(words=4, lanes=1)
+        bank.begin_cycle()
+        bank.read(0)
+        bank.write(1, np.array([1]))
+        assert (bank.read_count, bank.write_count) == (1, 1)
+        bank.reset_counters()
+        assert (bank.read_count, bank.write_count) == (0, 0)
+
+    def test_total_bits(self):
+        assert MemoryBank(words=4, lanes=3, width_bits=8).total_bits == 96
+
+    def test_invalid_ports(self):
+        with pytest.raises(ArchitectureError):
+            MemoryBank(words=2, lanes=1, ports=3)
+
+
+class TestLambdaArray:
+    def test_activation_mask(self):
+        array = LambdaMemoryArray(z_max=8, e_max=4, msg_bits=8)
+        array.set_active_lanes(4)
+        array.write(0, np.arange(4))
+        assert array.read(0, 4).tolist() == [0, 1, 2, 3]
+
+    def test_access_beyond_active_lanes_raises(self):
+        array = LambdaMemoryArray(z_max=8, e_max=4, msg_bits=8)
+        array.set_active_lanes(4)
+        with pytest.raises(ArchitectureError):
+            array.read(0, 5)
+
+    def test_reactivation_clears(self):
+        array = LambdaMemoryArray(z_max=8, e_max=4, msg_bits=8)
+        array.write(1, np.ones(8))
+        array.set_active_lanes(8)
+        assert not array.read(1, 8).any()
+
+    def test_entry_range(self):
+        array = LambdaMemoryArray(z_max=4, e_max=2, msg_bits=8)
+        with pytest.raises(ArchitectureError):
+            array.read(2, 4)
+
+    def test_invalid_lane_count(self):
+        array = LambdaMemoryArray(z_max=4, e_max=2, msg_bits=8)
+        with pytest.raises(ArchitectureError):
+            array.set_active_lanes(5)
+
+    def test_total_bits(self):
+        assert LambdaMemoryArray(4, 2, 8).total_bits == 64
+
+
+class TestFifo:
+    def test_fifo_order(self):
+        fifo = Fifo(depth=3)
+        fifo.push(np.array([1]))
+        fifo.push(np.array([2]))
+        assert fifo.pop()[0] == 1
+        assert fifo.pop()[0] == 2
+
+    def test_overflow(self):
+        fifo = Fifo(depth=1)
+        fifo.push(np.array([1]))
+        with pytest.raises(ArchitectureError):
+            fifo.push(np.array([2]))
+
+    def test_underflow(self):
+        with pytest.raises(ArchitectureError):
+            Fifo(depth=1).pop()
+
+    def test_push_copies(self):
+        fifo = Fifo(depth=1)
+        value = np.array([1])
+        fifo.push(value)
+        value[0] = 99
+        assert fifo.pop()[0] == 1
+
+    def test_len_and_empty(self):
+        fifo = Fifo(depth=2)
+        assert fifo.empty
+        fifo.push(np.array([1]))
+        assert len(fifo) == 1

@@ -1,0 +1,105 @@
+"""Tests for the pipelined timing analysis (Fig. 4)."""
+
+import pytest
+
+from repro.arch.datapath import DatapathParams
+from repro.arch.pipeline import (
+    analyze_pipeline,
+    ascii_timeline,
+    pipeline_stall_cost,
+)
+from repro.arch.scheduler import build_schedule, optimize_layer_order
+from repro.codes.registry import get_code
+
+
+@pytest.fixture(scope="module")
+def wimax96():
+    return get_code("802.16e:1/2:z96").base
+
+
+class TestNonOverlapped:
+    def test_cycles_are_sum_of_layer_costs(self, wimax96):
+        params = DatapathParams(radix="R2", overlap_layers=False)
+        report = analyze_pipeline(wimax96, params)
+        expected = sum(
+            2 * d + params.pipeline_latency for d in wimax96.layer_degrees()
+        )
+        assert report.cycles_per_iteration == expected
+        assert report.stalls_per_iteration == 0
+
+    def test_r4_halves_read_cycles(self, wimax96):
+        r2 = analyze_pipeline(
+            wimax96, DatapathParams(radix="R2", overlap_layers=False)
+        )
+        r4 = analyze_pipeline(
+            wimax96, DatapathParams(radix="R4", overlap_layers=False)
+        )
+        assert r4.cycles_per_iteration < r2.cycles_per_iteration
+        assert r4.cycles_per_iteration >= r2.cycles_per_iteration // 2
+
+
+class TestOverlapped:
+    def test_overlap_reduces_cycles(self, wimax96):
+        serial = analyze_pipeline(
+            wimax96, DatapathParams(overlap_layers=False)
+        )
+        overlapped = analyze_pipeline(
+            wimax96, DatapathParams(overlap_layers=True)
+        )
+        assert (
+            overlapped.cycles_per_iteration < serial.cycles_per_iteration
+        )
+
+    def test_ideal_lower_bound(self, wimax96):
+        """Cycles/iteration >= ceil(E / r) (the paper's E/2 for R4)."""
+        params = DatapathParams(radix="R4")
+        report = analyze_pipeline(wimax96, params)
+        ideal = -(-wimax96.num_blocks // 2)
+        assert report.cycles_per_iteration >= ideal
+
+    def test_reordering_removes_stalls(self, wimax96):
+        """The paper's ref [10] claim: shuffling layers avoids stalls."""
+        params = DatapathParams(radix="R4")
+        natural = analyze_pipeline(wimax96, params)
+        order = optimize_layer_order(
+            wimax96, cost=pipeline_stall_cost(wimax96, params)
+        )
+        optimized = analyze_pipeline(
+            wimax96, params, build_schedule(wimax96, layer_order=order)
+        )
+        assert optimized.stalls_per_iteration < natural.stalls_per_iteration
+        # For the WiMax rate-1/2 code the stalls all but vanish.
+        assert optimized.stalls_per_iteration <= 4
+
+    def test_total_cycles_scales_with_iterations(self, wimax96):
+        report = analyze_pipeline(wimax96, DatapathParams())
+        assert (
+            report.total_cycles(10) - report.total_cycles(9)
+            == report.cycles_per_iteration
+        )
+
+    def test_hazard_semantics(self, wimax96):
+        """Reads never precede the producing write in the timed schedule."""
+        params = DatapathParams(radix="R4")
+        schedule = build_schedule(wimax96)
+        report = analyze_pipeline(wimax96, params, schedule)
+        rate = params.messages_per_cycle
+        last_write: dict[int, int] = {}
+        for timing, blocks in zip(report.timings, schedule.block_orders):
+            for q, block in enumerate(blocks):
+                read_cycle = timing.start + q // rate
+                if block.column in last_write:
+                    assert read_cycle > last_write[block.column]
+            for q, block in enumerate(blocks):
+                last_write[block.column] = timing.write_start + q // rate
+
+
+class TestTimeline:
+    def test_ascii_timeline_has_layer_rows(self, wimax96):
+        report = analyze_pipeline(wimax96, DatapathParams())
+        timeline = ascii_timeline(report)
+        assert timeline.count("layer") == wimax96.j
+
+    def test_stall_annotation(self, wimax96):
+        report = analyze_pipeline(wimax96, DatapathParams())
+        assert "stall" in ascii_timeline(report)

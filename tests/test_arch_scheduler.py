@@ -1,0 +1,102 @@
+"""Tests for block-serial scheduling and layer-order optimization."""
+
+import pytest
+
+from repro.arch.scheduler import (
+    build_schedule,
+    layer_overlap_cost,
+    optimize_layer_order,
+)
+from repro.codes.registry import get_code
+from repro.errors import ArchitectureError
+
+
+@pytest.fixture(scope="module")
+def wimax_base():
+    return get_code("802.16e:1/2:z24").base
+
+
+class TestBuildSchedule:
+    def test_covers_all_blocks_once(self, wimax_base):
+        schedule = build_schedule(wimax_base)
+        seen = set()
+        for blocks in schedule.block_orders:
+            for block in blocks:
+                key = (block.layer, block.column)
+                assert key not in seen
+                seen.add(key)
+        assert len(seen) == wimax_base.num_blocks
+
+    def test_natural_order_by_default(self, wimax_base):
+        schedule = build_schedule(wimax_base)
+        assert schedule.layer_order == tuple(range(wimax_base.j))
+
+    def test_custom_layer_order(self, wimax_base):
+        order = tuple(reversed(range(wimax_base.j)))
+        schedule = build_schedule(wimax_base, layer_order=order)
+        assert schedule.layer_order == order
+        # Position 0 holds the blocks of the last layer.
+        assert all(b.layer == wimax_base.j - 1 for b in schedule.block_orders[0])
+
+    def test_invalid_order_raises(self, wimax_base):
+        with pytest.raises(ArchitectureError):
+            build_schedule(wimax_base, layer_order=(0,) * wimax_base.j)
+
+    def test_invalid_block_ordering_raises(self, wimax_base):
+        with pytest.raises(ArchitectureError):
+            build_schedule(wimax_base, block_ordering="random")
+
+    def test_hazard_aware_keeps_all_blocks(self, wimax_base):
+        schedule = build_schedule(wimax_base, block_ordering="hazard-aware")
+        total = sum(len(blocks) for blocks in schedule.block_orders)
+        assert total == wimax_base.num_blocks
+
+    def test_layer_degree_accessor(self, wimax_base):
+        schedule = build_schedule(wimax_base)
+        assert schedule.layer_degree(0) == len(wimax_base.layer_blocks(0))
+
+
+class TestOverlapCost:
+    def test_cost_counts_shared_columns(self, wimax_base):
+        cost = layer_overlap_cost(wimax_base, tuple(range(wimax_base.j)))
+        assert cost > 0
+
+    def test_cost_is_rotation_invariant(self, wimax_base):
+        j = wimax_base.j
+        order = tuple(range(j))
+        rotated = tuple((i + 3) % j for i in range(j))
+        assert layer_overlap_cost(wimax_base, order) == layer_overlap_cost(
+            wimax_base, rotated
+        )
+
+
+class TestOptimize:
+    def test_greedy_improves_on_natural(self, wimax_base):
+        natural_cost = layer_overlap_cost(
+            wimax_base, tuple(range(wimax_base.j))
+        )
+        order = optimize_layer_order(wimax_base, method="greedy")
+        assert layer_overlap_cost(wimax_base, order) <= natural_cost
+
+    def test_exhaustive_small_case(self):
+        base = get_code("802.16e:5/6:z24").base  # j = 4
+        order = optimize_layer_order(base, method="exhaustive")
+        assert sorted(order) == list(range(base.j))
+
+    def test_auto_picks_method_by_size(self, wimax_base):
+        order = optimize_layer_order(wimax_base, method="auto")  # j=12 -> greedy
+        assert sorted(order) == list(range(wimax_base.j))
+
+    def test_deterministic(self, wimax_base):
+        a = optimize_layer_order(wimax_base)
+        b = optimize_layer_order(wimax_base)
+        assert a == b
+
+    def test_unknown_method_raises(self, wimax_base):
+        with pytest.raises(ArchitectureError):
+            optimize_layer_order(wimax_base, method="annealing")
+
+    def test_custom_cost_function(self, wimax_base):
+        # A constant cost must still return a valid permutation.
+        order = optimize_layer_order(wimax_base, cost=lambda o: 0, method="greedy")
+        assert sorted(order) == list(range(wimax_base.j))

@@ -1,0 +1,139 @@
+"""Tests for the cycle-stepped R2/R4 SISO units (Figs. 3, 5, 6)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.siso_unit import FloatBoxOps, make_siso_array
+from repro.decoder.siso import BPSumSubKernel, FixedBPSumSubKernel
+from repro.errors import ArchitectureError
+from repro.fixedpoint.boxplus import FixedBoxOps
+from repro.fixedpoint.quantize import QFormat
+
+
+@pytest.fixture
+def qformat():
+    return QFormat(8, 2)
+
+
+def random_row(rng, degree, lanes, qformat):
+    return qformat.quantize(rng.normal(0, 5, (degree, lanes)))
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("degree", [2, 3, 6, 7, 12])
+    def test_r2_matches_functional_kernel(self, degree, qformat, rng):
+        lam = random_row(rng, degree, 6, qformat)
+        unit = make_siso_array("R2", 6, qformat=qformat)
+        out, _ = unit.process_row(lam)
+        reference = FixedBPSumSubKernel(FixedBoxOps(qformat))(lam[None])[0]
+        assert np.array_equal(out, reference)
+
+    @pytest.mark.parametrize("degree", [2, 4, 7, 11])
+    def test_r4_matches_r2(self, degree, qformat, rng):
+        lam = random_row(rng, degree, 6, qformat)
+        out2, _ = make_siso_array("R2", 6, qformat=qformat).process_row(lam)
+        out4, _ = make_siso_array("R4", 6, qformat=qformat).process_row(lam)
+        assert np.array_equal(out2, out4)
+
+    def test_float_ops_match_float_kernel(self, rng):
+        lam = rng.normal(0, 4, (6, 5))
+        unit = make_siso_array("R2", 5, clip=256.0)
+        out, _ = unit.process_row(lam)
+        reference = BPSumSubKernel(256.0)(lam[None])[0]
+        assert np.allclose(out, reference)
+
+
+class TestCycleCounts:
+    @pytest.mark.parametrize(
+        "radix,degree,expected",
+        [("R2", 6, 12), ("R2", 7, 14), ("R4", 6, 6), ("R4", 7, 8)],
+    )
+    def test_cycles_per_row(self, radix, degree, expected, qformat, rng):
+        lam = random_row(rng, degree, 4, qformat)
+        _, cycles = make_siso_array(radix, 4, qformat=qformat).process_row(lam)
+        assert cycles == expected
+
+    def test_op_counters(self, qformat, rng):
+        lam = random_row(rng, 5, 4, qformat)
+        unit = make_siso_array("R2", 4, qformat=qformat)
+        unit.process_row(lam)
+        assert unit.f_op_count == 4  # d - 1 folds
+        assert unit.g_op_count == 5  # one output per message
+
+
+class TestPingPongOverlap:
+    def test_feed_next_while_draining_current(self, qformat, rng):
+        unit = make_siso_array("R2", 4, qformat=qformat)
+        row_a = random_row(rng, 3, 4, qformat)
+        row_b = random_row(rng, 3, 4, qformat)
+        unit.start_row(3)
+        for message in row_a:
+            unit.feed(message[None, :])
+        # Row A fully fed; open row B and interleave feed/drain.
+        unit.start_row(3)
+        outputs_a = []
+        for message in row_b:
+            unit.feed(message[None, :])
+            outputs_a.append(unit.drain())
+        out_a = np.concatenate(outputs_a, axis=0)
+        reference_a = FixedBPSumSubKernel(FixedBoxOps(qformat))(row_a[None])[0]
+        assert np.array_equal(out_a, reference_a)
+        # Drain row B afterwards.
+        outputs_b = [unit.drain() for _ in range(3)]
+        reference_b = FixedBPSumSubKernel(FixedBoxOps(qformat))(row_b[None])[0]
+        assert np.array_equal(np.concatenate(outputs_b, axis=0), reference_b)
+
+    def test_third_row_raises(self, qformat, rng):
+        unit = make_siso_array("R2", 4, qformat=qformat)
+        unit.start_row(2)
+        unit.feed(random_row(rng, 1, 4, qformat))
+        unit.feed(random_row(rng, 1, 4, qformat))
+        unit.start_row(2)
+        unit.feed(random_row(rng, 1, 4, qformat))
+        unit.feed(random_row(rng, 1, 4, qformat))
+        with pytest.raises(ArchitectureError):
+            unit.start_row(2)
+
+
+class TestProtocolErrors:
+    def test_feed_without_row(self, qformat, rng):
+        unit = make_siso_array("R2", 4, qformat=qformat)
+        with pytest.raises(ArchitectureError):
+            unit.feed(random_row(rng, 1, 4, qformat))
+
+    def test_drain_without_data(self, qformat):
+        unit = make_siso_array("R2", 4, qformat=qformat)
+        with pytest.raises(ArchitectureError):
+            unit.drain()
+
+    def test_overfeeding_rate(self, qformat, rng):
+        unit = make_siso_array("R2", 4, qformat=qformat)
+        unit.start_row(4)
+        with pytest.raises(ArchitectureError):
+            unit.feed(random_row(rng, 2, 4, qformat))  # 2 msgs on R2
+
+    def test_degree_one_rejected(self, qformat):
+        unit = make_siso_array("R2", 4, qformat=qformat)
+        with pytest.raises(ArchitectureError):
+            unit.start_row(1)
+
+    def test_degree_exceeding_fifo(self, qformat):
+        unit = make_siso_array("R2", 4, qformat=qformat, fifo_depth=4)
+        with pytest.raises(ArchitectureError):
+            unit.start_row(5)
+
+    def test_lane_mismatch(self, qformat, rng):
+        unit = make_siso_array("R2", 4, qformat=qformat)
+        unit.start_row(2)
+        with pytest.raises(ArchitectureError):
+            unit.feed(qformat.quantize(rng.normal(0, 1, (1, 5))))
+
+    def test_bad_radix(self, qformat):
+        with pytest.raises(ArchitectureError):
+            make_siso_array("R8", 4, qformat=qformat)
+
+
+class TestFloatOps:
+    def test_float_ops_clip(self):
+        ops = FloatBoxOps(clip=10.0)
+        assert abs(ops.boxminus(5.0, 5.0)) <= 10.0

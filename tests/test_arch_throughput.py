@@ -1,0 +1,106 @@
+"""Tests for the throughput models (paper §III-E)."""
+
+import pytest
+
+from repro.arch.datapath import DatapathParams
+from repro.arch.pipeline import analyze_pipeline
+from repro.arch.throughput import (
+    SHIFTER_OVERHEAD_RANGE,
+    estimate_throughput,
+    paper_throughput_bps,
+    simulated_throughput_bps,
+)
+from repro.codes.registry import get_code
+
+
+@pytest.fixture(scope="module")
+def wimax96():
+    return get_code("802.16e:1/2:z96")
+
+
+class TestClosedForm:
+    def test_paper_anchor(self, wimax96):
+        """2*24*96*0.5*450e6 / (76*10) = 1.364 Gbps."""
+        throughput = paper_throughput_bps(wimax96, 450e6, 10, "R4")
+        assert throughput == pytest.approx(1.364e9, rel=0.001)
+
+    def test_radix2_is_half(self, wimax96):
+        r4 = paper_throughput_bps(wimax96, 450e6, 10, "R4")
+        r2 = paper_throughput_bps(wimax96, 450e6, 10, "R2")
+        assert r2 == pytest.approx(r4 / 2)
+
+    def test_scales_linearly_with_clock(self, wimax96):
+        assert paper_throughput_bps(wimax96, 900e6, 10) == pytest.approx(
+            2 * paper_throughput_bps(wimax96, 450e6, 10)
+        )
+
+    def test_inverse_in_iterations(self, wimax96):
+        assert paper_throughput_bps(wimax96, 450e6, 5) == pytest.approx(
+            2 * paper_throughput_bps(wimax96, 450e6, 10)
+        )
+
+    def test_invalid_args(self, wimax96):
+        with pytest.raises(ValueError):
+            paper_throughput_bps(wimax96, 450e6, 0)
+        with pytest.raises(ValueError):
+            paper_throughput_bps(wimax96, 0, 10)
+
+
+class TestSimulated:
+    def test_simulated_below_formula(self, wimax96):
+        """Stalls and fill make the simulation slower than the ideal."""
+        params = DatapathParams()
+        report = analyze_pipeline(wimax96.base, params)
+        simulated = simulated_throughput_bps(wimax96, report, 450e6, 10)
+        formula = paper_throughput_bps(wimax96, 450e6, 10, "R4")
+        assert simulated < formula
+
+    def test_estimate_bundle(self, wimax96):
+        params = DatapathParams()
+        report = analyze_pipeline(wimax96.base, params)
+        estimate = estimate_throughput(wimax96, params, 10, report)
+        low, high = estimate.formula_with_shifter_bps
+        assert low < high < estimate.formula_bps
+        assert estimate.simulated_bps is not None
+        assert estimate.formula_gbps == pytest.approx(
+            estimate.formula_bps / 1e9
+        )
+
+    def test_shifter_overhead_range(self, wimax96):
+        params = DatapathParams()
+        estimate = estimate_throughput(wimax96, params, 10)
+        low, high = estimate.formula_with_shifter_bps
+        assert low == pytest.approx(
+            estimate.formula_bps * (1 - SHIFTER_OVERHEAD_RANGE[1])
+        )
+        assert high == pytest.approx(
+            estimate.formula_bps * (1 - SHIFTER_OVERHEAD_RANGE[0])
+        )
+
+    def test_gbps_headline_with_shifter_penalty(self, wimax96):
+        """Even with the worst-case 15% shifter penalty: >= 1 Gbps."""
+        params = DatapathParams()
+        estimate = estimate_throughput(wimax96, params, 10)
+        low, _ = estimate.formula_with_shifter_bps
+        assert low >= 1.0e9
+
+
+class TestDatapathParams:
+    def test_messages_per_cycle(self):
+        assert DatapathParams(radix="R2").messages_per_cycle == 1
+        assert DatapathParams(radix="R4").messages_per_cycle == 2
+
+    def test_supports_code(self, wimax96):
+        assert DatapathParams().supports_code(wimax96)
+        tiny = DatapathParams(z_max=8, k_max=24, e_max=96)
+        assert not tiny.supports_code(wimax96)
+
+    def test_validation(self):
+        from repro.errors import ArchitectureError
+
+        with pytest.raises(ArchitectureError):
+            DatapathParams(radix="R3")
+        with pytest.raises(ArchitectureError):
+            DatapathParams(msg_bits=12, app_bits=10)
+        with pytest.raises(ArchitectureError):
+            DatapathParams(fclk_mhz=0)

@@ -1,0 +1,160 @@
+"""Tests for modulation, AWGN channel and LLR formation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel import (
+    AWGNChannel,
+    BPSKModulator,
+    ChannelFrontend,
+    QAM16Modulator,
+    QPSKModulator,
+    bpsk_llr,
+    ebn0_to_noise_var,
+    make_modulator,
+    noise_var_to_ebn0,
+)
+from repro.fixedpoint import QFormat
+
+
+class TestEbN0Conversion:
+    def test_known_point(self):
+        # Rate 1/2 BPSK at 0 dB: sigma^2 = 1 / (2 * 0.5 * 1) = 1.
+        assert ebn0_to_noise_var(0.0, 0.5, 1) == pytest.approx(1.0)
+
+    @given(
+        st.floats(-5, 15),
+        st.floats(0.1, 1.0),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, ebn0, rate, bps):
+        noise_var = ebn0_to_noise_var(ebn0, rate, bps)
+        assert noise_var_to_ebn0(noise_var, rate, bps) == pytest.approx(
+            ebn0, abs=1e-9
+        )
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            ebn0_to_noise_var(0.0, 0.0)
+
+    def test_higher_ebn0_means_less_noise(self):
+        assert ebn0_to_noise_var(5.0, 0.5) < ebn0_to_noise_var(0.0, 0.5)
+
+
+class TestBPSK:
+    def test_mapping(self):
+        mod = BPSKModulator()
+        out = mod.modulate(np.array([0, 1], dtype=np.uint8))
+        assert out.tolist() == [1.0, -1.0]
+
+    def test_unit_energy(self, rng):
+        mod = BPSKModulator()
+        symbols = mod.modulate(rng.integers(0, 2, 1000, dtype=np.uint8))
+        assert np.mean(symbols**2) == pytest.approx(1.0)
+
+    def test_llr_sign_matches_symbol(self, rng):
+        mod = BPSKModulator()
+        bits = rng.integers(0, 2, 100, dtype=np.uint8)
+        llr = mod.llr(mod.modulate(bits), noise_var=0.5)
+        assert ((llr > 0) == (bits == 0)).all()
+
+    def test_llr_scale(self):
+        # LLR = 2y / sigma^2.
+        assert BPSKModulator().llr(np.array([1.0]), 0.5)[0] == pytest.approx(4.0)
+
+
+class TestQPSK:
+    def test_unit_energy(self, rng):
+        mod = QPSKModulator()
+        bits = rng.integers(0, 2, 2000, dtype=np.uint8)
+        symbols = mod.modulate(bits)
+        assert np.mean(np.abs(symbols) ** 2) == pytest.approx(1.0)
+
+    def test_llr_roundtrip_noiseless(self, rng):
+        mod = QPSKModulator()
+        bits = rng.integers(0, 2, 240, dtype=np.uint8)
+        llr = mod.llr(mod.modulate(bits), noise_var=0.25)
+        assert (((llr < 0).astype(np.uint8)) == bits).all()
+
+    def test_odd_length_raises(self):
+        with pytest.raises(ValueError):
+            QPSKModulator().modulate(np.zeros(3, dtype=np.uint8))
+
+
+class TestQAM16:
+    def test_unit_energy(self, rng):
+        mod = QAM16Modulator()
+        bits = rng.integers(0, 2, 4000, dtype=np.uint8)
+        symbols = mod.modulate(bits)
+        assert np.mean(np.abs(symbols) ** 2) == pytest.approx(1.0, abs=0.05)
+
+    def test_llr_signs_noiseless(self, rng):
+        mod = QAM16Modulator()
+        bits = rng.integers(0, 2, 400, dtype=np.uint8)
+        llr = mod.llr(mod.modulate(bits), noise_var=0.01)
+        assert (((llr < 0).astype(np.uint8)) == bits).all()
+
+    def test_length_multiple_of_four(self):
+        with pytest.raises(ValueError):
+            QAM16Modulator().modulate(np.zeros(6, dtype=np.uint8))
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["bpsk", "qpsk", "qam16"])
+    def test_known_names(self, name):
+        assert make_modulator(name).bits_per_symbol >= 1
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_modulator("psk8")
+
+
+class TestAWGN:
+    def test_noise_statistics(self):
+        channel = AWGNChannel(noise_var=0.25, rng=0)
+        received = channel.transmit(np.zeros(200_000))
+        assert np.mean(received) == pytest.approx(0.0, abs=0.01)
+        assert np.var(received) == pytest.approx(0.25, rel=0.03)
+
+    def test_complex_noise_per_dimension(self):
+        channel = AWGNChannel(noise_var=0.5, rng=0)
+        received = channel.transmit(np.zeros(100_000, dtype=np.complex128))
+        assert np.var(received.real) == pytest.approx(0.5, rel=0.05)
+        assert np.var(received.imag) == pytest.approx(0.5, rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        a = AWGNChannel(0.1, rng=7).transmit(np.ones(10))
+        b = AWGNChannel(0.1, rng=7).transmit(np.ones(10))
+        assert np.array_equal(a, b)
+
+    def test_negative_variance_raises(self):
+        with pytest.raises(ValueError):
+            AWGNChannel(-1.0)
+
+    def test_from_ebn0(self):
+        channel = AWGNChannel.from_ebn0(0.0, 0.5, rng=0)
+        assert channel.noise_var == pytest.approx(1.0)
+
+
+class TestFrontend:
+    def test_quantized_output(self, rng):
+        frontend = ChannelFrontend(
+            BPSKModulator(), AWGNChannel(0.5, rng=1), qformat=QFormat(8, 2)
+        )
+        llr = frontend.run(rng.integers(0, 2, 64, dtype=np.uint8))
+        assert llr.dtype == np.int32
+        assert np.abs(llr).max() <= 127
+
+    def test_float_output_without_qformat(self, rng):
+        frontend = ChannelFrontend(BPSKModulator(), AWGNChannel(0.5, rng=1))
+        llr = frontend.run(rng.integers(0, 2, 64, dtype=np.uint8))
+        assert llr.dtype == np.float64
+
+    def test_bpsk_llr_helper(self):
+        assert bpsk_llr(np.array([0.5]), 1.0)[0] == pytest.approx(1.0)
+
+    def test_bpsk_llr_rejects_bad_variance(self):
+        with pytest.raises(ValueError):
+            bpsk_llr(np.array([1.0]), 0.0)

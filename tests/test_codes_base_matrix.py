@@ -1,0 +1,110 @@
+"""Tests for BaseMatrix (prototype matrices)."""
+
+import numpy as np
+import pytest
+
+from repro.codes.base_matrix import ZERO_BLOCK, BaseMatrix
+from repro.errors import CodeConstructionError
+
+SIMPLE = np.array(
+    [
+        [0, 2, -1, 1, 0, -1],
+        [-1, 1, 3, 0, 0, -1],
+        [2, -1, 0, -1, 0, 0],
+    ]
+)
+
+
+@pytest.fixture
+def base():
+    return BaseMatrix(entries=SIMPLE, z=4, name="simple")
+
+
+class TestConstruction:
+    def test_shape_properties(self, base):
+        assert (base.j, base.k) == (3, 6)
+        assert base.n == 24
+        assert base.m == 12
+        assert base.n_info == 12
+        assert base.rate == pytest.approx(0.5)
+
+    def test_num_blocks(self, base):
+        assert base.num_blocks == int((SIMPLE != ZERO_BLOCK).sum())
+
+    def test_shift_out_of_range_raises(self):
+        with pytest.raises(CodeConstructionError):
+            BaseMatrix(entries=np.array([[4, 0], [0, 0]]), z=4)
+
+    def test_shift_below_minus_one_raises(self):
+        with pytest.raises(CodeConstructionError):
+            BaseMatrix(entries=np.array([[-2, 0], [0, 0]]), z=4)
+
+    def test_all_zero_raises(self):
+        with pytest.raises(CodeConstructionError):
+            BaseMatrix(entries=np.full((2, 4), -1), z=4)
+
+    def test_z_too_small_raises(self):
+        with pytest.raises(CodeConstructionError):
+            BaseMatrix(entries=np.array([[0]]), z=1)
+
+    def test_1d_raises(self):
+        with pytest.raises(CodeConstructionError):
+            BaseMatrix(entries=np.array([0, 1]), z=4)
+
+
+class TestDegrees:
+    def test_layer_degrees(self, base):
+        assert base.layer_degrees().tolist() == [4, 4, 4]
+
+    def test_column_degrees(self, base):
+        expected = (SIMPLE != ZERO_BLOCK).sum(axis=0)
+        assert np.array_equal(base.column_degrees(), expected)
+
+    def test_layer_blocks_sorted_by_column(self, base):
+        blocks = base.layer_blocks(0)
+        assert [b.column for b in blocks] == sorted(b.column for b in blocks)
+
+    def test_layer_out_of_range(self, base):
+        with pytest.raises(IndexError):
+            base.layer_blocks(3)
+
+
+class TestScaling:
+    def test_floor_rule(self, base):
+        scaled = base.scaled(2, rule="floor")
+        assert scaled.z == 2
+        # 3 * 2 // 4 == 1
+        assert scaled.entries[1, 2] == 1
+
+    def test_mod_rule(self, base):
+        scaled = base.scaled(2, rule="mod")
+        assert scaled.entries[1, 2] == 1  # 3 % 2
+
+    def test_zero_blocks_preserved(self, base):
+        scaled = base.scaled(3)
+        assert np.array_equal(
+            scaled.entries == ZERO_BLOCK, base.entries == ZERO_BLOCK
+        )
+
+    def test_unknown_rule(self, base):
+        with pytest.raises(CodeConstructionError):
+            base.scaled(2, rule="round")
+
+
+class TestPermutation:
+    def test_permuted_layers(self, base):
+        permuted = base.permuted_layers([2, 0, 1])
+        assert np.array_equal(permuted.entries[0], base.entries[2])
+
+    def test_invalid_permutation(self, base):
+        with pytest.raises(CodeConstructionError):
+            base.permuted_layers([0, 0, 1])
+
+
+class TestRendering:
+    def test_ascii_art_dimensions(self, base):
+        art = base.ascii_art().splitlines()
+        assert len(art) == base.j
+
+    def test_ascii_art_marks_zero_blocks(self, base):
+        assert ".." in base.ascii_art()

@@ -1,0 +1,104 @@
+"""Tests for expanded QC-LDPC codes."""
+
+import numpy as np
+import pytest
+
+from repro.codes.base_matrix import BaseMatrix
+from repro.codes.qc import QCLDPCCode
+
+
+@pytest.fixture
+def code():
+    entries = np.array(
+        [
+            [1, 0, -1, 2, 0, -1],
+            [-1, 2, 3, 0, 0, -1],
+            [0, -1, 1, -1, 0, 0],
+        ]
+    )
+    return QCLDPCCode(BaseMatrix(entries=entries, z=4, name="qc-test"))
+
+
+class TestExpansion:
+    def test_h_shape(self, code):
+        assert code.H.shape == (12, 24)
+
+    def test_h_row_weights_match_layer_degrees(self, code):
+        row_weights = np.asarray(code.H.sum(axis=1)).ravel()
+        for layer in range(code.base.j):
+            expected = code.base.layer_degrees()[layer]
+            block = row_weights[layer * 4 : (layer + 1) * 4]
+            assert (block == expected).all()
+
+    def test_each_block_is_permutation(self, code):
+        h = code.H.toarray()
+        for block in code.base.nonzero_blocks():
+            sub = h[
+                block.layer * 4 : (block.layer + 1) * 4,
+                block.column * 4 : (block.column + 1) * 4,
+            ]
+            expected = np.roll(np.eye(4, dtype=np.uint8), block.shift, axis=1)
+            assert np.array_equal(sub, expected)
+
+    def test_num_edges(self, code):
+        assert code.num_edges == code.H.nnz
+
+
+class TestSyndrome:
+    def test_zero_word_is_codeword(self, code):
+        assert code.is_codeword(np.zeros(code.n, dtype=np.uint8))
+
+    def test_single_one_is_not_codeword(self, code):
+        word = np.zeros(code.n, dtype=np.uint8)
+        word[0] = 1
+        assert not code.is_codeword(word)
+
+    def test_batch_syndrome_shape(self, code):
+        words = np.zeros((5, code.n), dtype=np.uint8)
+        assert code.syndrome(words).shape == (5, code.m)
+
+    def test_batch_is_codeword(self, code):
+        words = np.zeros((3, code.n), dtype=np.uint8)
+        words[1, 0] = 1
+        assert code.is_codeword(words).tolist() == [True, False, True]
+
+    def test_wrong_length_raises(self, code):
+        with pytest.raises(ValueError):
+            code.syndrome(np.zeros(10, dtype=np.uint8))
+
+    def test_syndrome_linear(self, code, ):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2, code.n, dtype=np.uint8)
+        b = rng.integers(0, 2, code.n, dtype=np.uint8)
+        lhs = code.syndrome(a ^ b)
+        rhs = code.syndrome(a) ^ code.syndrome(b)
+        assert np.array_equal(lhs, rhs)
+
+
+class TestViews:
+    def test_layer_tables_cover_all_blocks(self, code):
+        total = sum(len(t) for t in code.layer_tables)
+        assert total == code.base.num_blocks
+
+    def test_max_layer_degree(self, code):
+        assert code.max_layer_degree == int(code.base.layer_degrees().max())
+
+    def test_info_bit_indices(self, code):
+        idx = code.info_bit_indices()
+        assert idx[0] == 0 and idx[-1] == code.n_info - 1
+
+    def test_tanner_graph_bipartite_sizes(self, code):
+        graph = code.tanner_graph()
+        checks = [n for n in graph.nodes if n[0] == "c"]
+        variables = [n for n in graph.nodes if n[0] == "v"]
+        assert len(checks) == code.m
+        assert len(variables) == code.n
+        assert graph.number_of_edges() == code.num_edges
+
+    def test_structure_summary_keys(self, code):
+        summary = code.structure_summary()
+        for key in ("j", "k", "z", "rate", "nonzero_blocks", "edges"):
+            assert key in summary
+
+    def test_repr_mentions_name(self, code):
+        assert "qc-test" in repr(code)

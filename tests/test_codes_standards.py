@@ -1,0 +1,114 @@
+"""Tests for the 802.11n / 802.16e / DMB-T code tables."""
+
+import numpy as np
+import pytest
+
+from repro.codes.dmbt import DMBT_Z, dmbt_base_matrix, dmbt_block_length, dmbt_rates
+from repro.codes.qc import QCLDPCCode
+from repro.codes.validation import expanded_rank, validate_code
+from repro.codes.wifi import WIFI_Z_VALUES, wifi_base_matrix, wifi_rates
+from repro.codes.wimax import WIMAX_Z_VALUES, wimax_base_matrix, wimax_rates
+from repro.errors import CodeConstructionError
+
+
+class TestWimax:
+    def test_nineteen_expansion_factors(self):
+        assert len(WIMAX_Z_VALUES) == 19
+        assert WIMAX_Z_VALUES[0] == 24 and WIMAX_Z_VALUES[-1] == 96
+
+    def test_rate_half_is_standard_table(self):
+        base = wimax_base_matrix("1/2", 96)
+        assert not base.synthetic
+        assert (base.j, base.k) == (12, 24)
+
+    def test_rate_half_has_76_blocks(self):
+        # The well-known E for the WiMax rate-1/2 matrix.
+        assert wimax_base_matrix("1/2", 96).num_blocks == 76
+
+    def test_scaling_preserves_structure(self):
+        full = wimax_base_matrix("1/2", 96)
+        small = wimax_base_matrix("1/2", 24)
+        assert small.z == 24
+        assert np.array_equal(small.entries == -1, full.entries == -1)
+
+    def test_full_rank_small(self):
+        code = QCLDPCCode(wimax_base_matrix("1/2", 24))
+        assert expanded_rank(code) == code.m
+
+    def test_all_rates_buildable(self):
+        for rate in wimax_rates():
+            base = wimax_base_matrix(rate, 24)
+            assert base.k == 24
+
+    def test_rate_23a_uses_mod_scaling(self):
+        b96 = wimax_base_matrix("2/3A", 96)
+        b24 = wimax_base_matrix("2/3A", 24)
+        mask = b96.entries != -1
+        assert np.array_equal(b24.entries[mask], b96.entries[mask] % 24)
+
+    def test_invalid_z_raises(self):
+        with pytest.raises(CodeConstructionError):
+            wimax_base_matrix("1/2", 25)
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(CodeConstructionError):
+            wimax_base_matrix("7/8", 96)
+
+    def test_block_length(self):
+        from repro.codes.wimax import wimax_block_length
+
+        assert wimax_block_length(96) == 2304
+
+
+class TestWifi:
+    def test_three_expansion_factors(self):
+        assert WIFI_Z_VALUES == (27, 54, 81)
+
+    @pytest.mark.parametrize("z", [27, 81])
+    def test_rate_half_embedded(self, z):
+        base = wifi_base_matrix("1/2", z)
+        assert not base.synthetic
+        assert (base.j, base.k) == (12, 24)
+
+    def test_z54_is_synthetic(self):
+        assert wifi_base_matrix("1/2", 54).synthetic
+
+    def test_embedded_tables_full_rank(self):
+        code = QCLDPCCode(wifi_base_matrix("1/2", 27))
+        report = validate_code(code)
+        assert report.full_rank
+        assert report.four_cycle_pairs == 0
+
+    def test_all_rates_buildable(self):
+        for rate in wifi_rates():
+            for z in WIFI_Z_VALUES:
+                assert wifi_base_matrix(rate, z).n == 24 * z
+
+    def test_invalid_z_raises(self):
+        with pytest.raises(CodeConstructionError):
+            wifi_base_matrix("1/2", 32)
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(CodeConstructionError):
+            wifi_base_matrix("4/5", 27)
+
+
+class TestDmbt:
+    def test_block_length(self):
+        assert dmbt_block_length() == 7493
+
+    def test_rates(self):
+        assert set(dmbt_rates()) == {"0.4", "0.6", "0.8"}
+
+    @pytest.mark.parametrize("rate,expected_j", [("0.4", 35), ("0.6", 24), ("0.8", 12)])
+    def test_layer_counts(self, rate, expected_j):
+        base = dmbt_base_matrix(rate)
+        assert base.j == expected_j
+        assert base.z == DMBT_Z
+
+    def test_marked_synthetic(self):
+        assert dmbt_base_matrix("0.6").synthetic
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(CodeConstructionError):
+            dmbt_base_matrix("0.9")

@@ -1,0 +1,60 @@
+"""Tests for structural code validation."""
+
+import numpy as np
+
+from repro.codes.base_matrix import BaseMatrix
+from repro.codes.qc import QCLDPCCode
+from repro.codes.validation import (
+    ValidationReport,
+    expanded_rank,
+    tanner_girth,
+    validate_code,
+)
+
+
+def make_code(entries, z):
+    return QCLDPCCode(BaseMatrix(entries=np.array(entries), z=z, name="v"))
+
+
+class TestRank:
+    def test_full_rank_dual_diagonal(self, tiny_code):
+        assert expanded_rank(tiny_code) == tiny_code.m
+
+    def test_rank_deficient_detected(self):
+        # Two identical layers -> rank deficiency of z.
+        code = make_code([[0, 1, 0, -1], [0, 1, 0, -1]], 4)
+        assert expanded_rank(code) == 4
+
+
+class TestGirth:
+    def test_four_cycle_girth(self):
+        # Shifts chosen to close a 4-cycle: delta = 0 mod z.
+        code = make_code([[0, 0, -1], [0, 0, 0]], 4)
+        assert tanner_girth(code) == 4
+
+    def test_clean_code_girth_at_least_six(self, tiny_code):
+        assert tanner_girth(tiny_code) >= 6
+
+
+class TestValidate:
+    def test_tiny_code_ok(self, tiny_code):
+        report = validate_code(tiny_code)
+        assert isinstance(report, ValidationReport)
+        assert report.ok
+        assert report.full_rank
+        assert report.girth >= 6
+
+    def test_expensive_checks_skipped_for_large(self):
+        from repro.codes.registry import get_code
+
+        report = validate_code(get_code("802.16e:1/2:z96"), expensive=False)
+        assert report.rank is None
+        assert report.girth is None
+        # 4-cycle counting still runs (cheap, base-matrix level).
+        assert report.four_cycle_pairs == 0
+
+    def test_bad_code_reports_issues(self):
+        code = make_code([[0, 0, -1], [0, 0, 0]], 4)
+        report = validate_code(code, expensive=True)
+        assert not report.ok
+        assert any("4-cycle" in issue for issue in report.issues)

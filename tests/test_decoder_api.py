@@ -1,0 +1,94 @@
+"""Tests for DecoderConfig validation and DecodeResult accessors."""
+
+import numpy as np
+import pytest
+
+from repro.decoder.api import DecodeResult, DecoderConfig
+from repro.errors import DecoderConfigError
+from repro.fixedpoint.quantize import QFormat
+
+
+class TestConfigValidation:
+    def test_defaults_are_paper_settings(self):
+        config = DecoderConfig()
+        assert config.check_node == "bp"
+        assert config.bp_impl == "sum-sub"
+        assert config.max_iterations == 10
+        assert config.early_termination == "paper"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"check_node": "magic"},
+            {"bp_impl": "backward-only"},
+            {"early_termination": "sometimes"},
+            {"max_iterations": 0},
+            {"et_threshold": -1.0},
+            {"normalization": 0.0},
+            {"normalization": 1.5},
+            {"offset": -0.1},
+            {"llr_clip": 0.0},
+            {"app_extra_bits": -1},
+            {"app_clip": 1.0, "llr_clip": 2.0},
+        ],
+    )
+    def test_invalid_settings_raise(self, kwargs):
+        with pytest.raises(DecoderConfigError):
+            DecoderConfig(**kwargs)
+
+    def test_fixed_point_flag(self):
+        assert not DecoderConfig().is_fixed_point
+        assert DecoderConfig(qformat=QFormat(8, 2)).is_fixed_point
+
+    def test_app_qformat_wider(self):
+        config = DecoderConfig(qformat=QFormat(8, 2), app_extra_bits=2)
+        assert config.app_qformat.total_bits == 10
+        assert DecoderConfig().app_qformat is None
+
+    def test_effective_app_clip_default(self):
+        config = DecoderConfig(llr_clip=100.0, app_extra_bits=2)
+        assert config.effective_app_clip == pytest.approx(400.0)
+
+    def test_effective_app_clip_override(self):
+        config = DecoderConfig(llr_clip=10.0, app_clip=15.0)
+        assert config.effective_app_clip == pytest.approx(15.0)
+
+    def test_replace(self):
+        config = DecoderConfig().replace(max_iterations=5)
+        assert config.max_iterations == 5
+        assert config.check_node == "bp"
+
+
+class TestDecodeResult:
+    @pytest.fixture
+    def result(self):
+        bits = np.array([[0, 1, 0, 0], [1, 1, 0, 1]], dtype=np.uint8)
+        return DecodeResult(
+            bits=bits,
+            llr=np.where(bits == 0, 5.0, -5.0),
+            iterations=np.array([3, 10]),
+            converged=np.array([True, False]),
+            et_stopped=np.array([True, False]),
+            n_info=2,
+        )
+
+    def test_info_bits(self, result):
+        assert result.info_bits.shape == (2, 2)
+
+    def test_average_iterations(self, result):
+        assert result.average_iterations == pytest.approx(6.5)
+
+    def test_convergence_rate(self, result):
+        assert result.convergence_rate == pytest.approx(0.5)
+
+    def test_bit_errors(self, result):
+        reference = np.array([[0, 1], [0, 0]], dtype=np.uint8)
+        assert result.bit_errors(reference) == 2
+
+    def test_frame_errors(self, result):
+        reference = np.array([[0, 1], [0, 0]], dtype=np.uint8)
+        assert result.frame_errors(reference) == 1
+
+    def test_bit_errors_shape_mismatch(self, result):
+        with pytest.raises(ValueError):
+            result.bit_errors(np.zeros((2, 3), dtype=np.uint8))

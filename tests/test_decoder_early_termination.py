@@ -1,0 +1,120 @@
+"""Tests for the early-termination monitors (paper §IV)."""
+
+import numpy as np
+import pytest
+
+from repro.decoder.early_termination import (
+    CombinedEarlyTermination,
+    PaperEarlyTermination,
+    SyndromeEarlyTermination,
+    make_early_termination,
+)
+
+
+def make_llr(bits, magnitude):
+    return np.where(np.asarray(bits) == 0, magnitude, -magnitude).astype(float)
+
+
+class TestPaperRule:
+    def test_fires_when_stable_and_confident(self):
+        initial = np.array([[0, 1, 0]], dtype=np.uint8)
+        monitor = PaperEarlyTermination(3, threshold=1.0, initial_hard=initial)
+        llr = make_llr([[0, 1, 0, 1, 1]], 5.0)
+        assert monitor.update(llr).tolist() == [True]
+
+    def test_does_not_fire_on_changed_decisions(self):
+        initial = np.array([[0, 0, 0]], dtype=np.uint8)
+        monitor = PaperEarlyTermination(3, threshold=1.0, initial_hard=initial)
+        llr = make_llr([[0, 1, 0, 0, 0]], 5.0)  # bit 1 changed
+        assert monitor.update(llr).tolist() == [False]
+        # Next iteration with the same decisions: now stable.
+        assert monitor.update(llr).tolist() == [True]
+
+    def test_does_not_fire_below_threshold(self):
+        initial = np.array([[0, 1, 0]], dtype=np.uint8)
+        monitor = PaperEarlyTermination(3, threshold=2.0, initial_hard=initial)
+        llr = make_llr([[0, 1, 0, 1, 1]], 1.5)  # confident but < threshold
+        assert monitor.update(llr).tolist() == [False]
+
+    def test_only_info_bits_matter(self):
+        initial = np.array([[0, 1]], dtype=np.uint8)
+        monitor = PaperEarlyTermination(2, threshold=1.0, initial_hard=initial)
+        # Parity bits (beyond n_info=2) are weak/unstable — irrelevant.
+        llr = np.array([[5.0, -5.0, 0.01, -0.01]])
+        assert monitor.update(llr).tolist() == [True]
+
+    def test_per_frame_masks(self):
+        initial = np.array([[0, 1], [0, 0]], dtype=np.uint8)
+        monitor = PaperEarlyTermination(2, threshold=1.0, initial_hard=initial)
+        llr = np.stack(
+            [make_llr([0, 1, 0], 5.0), make_llr([1, 0, 0], 5.0)]
+        )
+        assert monitor.update(llr).tolist() == [True, False]
+
+    def test_compact(self):
+        initial = np.zeros((3, 2), dtype=np.uint8)
+        monitor = PaperEarlyTermination(2, threshold=1.0, initial_hard=initial)
+        monitor.compact(np.array([True, False, True]))
+        assert monitor._previous_hard.shape == (2, 2)
+
+    def test_bad_initial_shape_raises(self):
+        with pytest.raises(ValueError):
+            PaperEarlyTermination(3, 1.0, np.zeros((2,), dtype=np.uint8))
+
+
+class TestSyndromeRule:
+    def test_fires_on_codeword(self, tiny_code, tiny_encoder, rng):
+        monitor = SyndromeEarlyTermination(tiny_code)
+        info, codewords = tiny_encoder.random_codewords(2, rng)
+        llr = make_llr(codewords, 4.0)
+        assert monitor.update(llr).tolist() == [True, True]
+
+    def test_does_not_fire_on_non_codeword(self, tiny_code):
+        monitor = SyndromeEarlyTermination(tiny_code)
+        bits = np.zeros((1, tiny_code.n), dtype=np.uint8)
+        bits[0, 0] = 1
+        assert monitor.update(make_llr(bits, 4.0)).tolist() == [False]
+
+
+class TestCombined:
+    def test_or_semantics(self, tiny_code, tiny_encoder, rng):
+        info, codewords = tiny_encoder.random_codewords(1, rng)
+        llr = make_llr(codewords, 0.5)  # codeword but weak LLRs
+        paper = PaperEarlyTermination(
+            tiny_code.n_info, threshold=1.0,
+            initial_hard=codewords[:, : tiny_code.n_info].astype(np.uint8),
+        )
+        combined = CombinedEarlyTermination(
+            paper, SyndromeEarlyTermination(tiny_code)
+        )
+        # Paper rule fails (weak), syndrome rule fires.
+        assert combined.update(llr).tolist() == [True]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            CombinedEarlyTermination()
+
+
+class TestFactory:
+    def test_none(self, tiny_code):
+        initial = np.zeros((1, tiny_code.n_info), dtype=np.uint8)
+        assert make_early_termination("none", tiny_code, 1.0, initial) is None
+
+    @pytest.mark.parametrize(
+        "mode,cls",
+        [
+            ("paper", PaperEarlyTermination),
+            ("syndrome", SyndromeEarlyTermination),
+            ("paper-or-syndrome", CombinedEarlyTermination),
+        ],
+    )
+    def test_modes(self, mode, cls, tiny_code):
+        initial = np.zeros((1, tiny_code.n_info), dtype=np.uint8)
+        assert isinstance(
+            make_early_termination(mode, tiny_code, 1.0, initial), cls
+        )
+
+    def test_unknown_raises(self, tiny_code):
+        initial = np.zeros((1, tiny_code.n_info), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            make_early_termination("never", tiny_code, 1.0, initial)

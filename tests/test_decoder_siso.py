@@ -1,0 +1,172 @@
+"""Tests for the functional check-node kernels."""
+
+import numpy as np
+import pytest
+
+from repro.decoder.api import DecoderConfig
+from repro.decoder.siso import (
+    BPForwardBackwardKernel,
+    BPSumSubKernel,
+    FixedBPForwardBackwardKernel,
+    FixedBPSumSubKernel,
+    LinearApproxKernel,
+    MinSumKernel,
+    make_checknode_kernel,
+)
+from repro.errors import DecoderConfigError
+from repro.fixedpoint.boxplus import FixedBoxOps, boxplus_reduce
+from repro.fixedpoint.quantize import QFormat
+
+
+@pytest.fixture
+def lam(rng):
+    return rng.normal(0, 4, (6, 7, 8))
+
+
+def brute_force_extrinsic(lam):
+    """Reference: exclusive ⊞ combine computed directly per edge."""
+    batch, degree, lanes = lam.shape
+    out = np.empty_like(lam)
+    for i in range(degree):
+        others = np.delete(lam, i, axis=1)
+        out[:, i, :] = boxplus_reduce(others, axis=1, clip=1e9)
+    return out
+
+
+class TestBPKernels:
+    def test_sum_sub_matches_brute_force(self, lam):
+        out = BPSumSubKernel(1e9)(lam)
+        assert np.allclose(out, brute_force_extrinsic(lam), atol=1e-7)
+
+    def test_forward_backward_matches_brute_force(self, lam):
+        out = BPForwardBackwardKernel(1e9)(lam)
+        assert np.allclose(out, brute_force_extrinsic(lam), atol=1e-9)
+
+    def test_implementations_agree(self, lam):
+        a = BPSumSubKernel(1e9)(lam)
+        b = BPForwardBackwardKernel(1e9)(lam)
+        assert np.allclose(a, b, atol=1e-7)
+
+    def test_degree_two(self, rng):
+        lam = rng.normal(0, 4, (3, 2, 5))
+        out = BPForwardBackwardKernel(100.0)(lam)
+        # Exclusive combine of a single message is the message itself.
+        assert np.allclose(out[:, 0, :], lam[:, 1, :])
+        assert np.allclose(out[:, 1, :], lam[:, 0, :])
+
+    def test_degree_one_raises(self, rng):
+        with pytest.raises(ValueError):
+            BPSumSubKernel(10.0)(rng.normal(0, 1, (2, 1, 4)))
+
+    def test_wrong_rank_raises(self, rng):
+        with pytest.raises(ValueError):
+            BPSumSubKernel(10.0)(rng.normal(0, 1, (2, 4)))
+
+
+class TestFixedBPKernels:
+    def test_fixed_close_to_float(self, lam):
+        q = QFormat(10, 3)
+        ops = FixedBoxOps(q)
+        lam_q = q.quantize(lam)
+        fixed = FixedBPForwardBackwardKernel(ops)(lam_q)
+        exact = BPForwardBackwardKernel(q.max_value)(q.dequantize(lam_q))
+        assert np.abs(q.dequantize(fixed) - exact).mean() < 0.5
+
+    def test_fixed_sum_sub_runs(self, lam):
+        q = QFormat(8, 2)
+        out = FixedBPSumSubKernel(FixedBoxOps(q))(q.quantize(lam))
+        assert out.shape == lam.shape
+        assert np.abs(out).max() <= q.max_int
+
+
+class TestMinSum:
+    def test_plain_minsum_magnitude(self, rng):
+        lam = rng.normal(0, 4, (4, 5, 6))
+        out = MinSumKernel()(lam)
+        magnitude = np.abs(lam)
+        for i in range(5):
+            others = np.delete(magnitude, i, axis=1).min(axis=1)
+            assert np.allclose(np.abs(out[:, i, :]), others)
+
+    def test_sign_is_extrinsic_product(self, rng):
+        lam = rng.normal(0, 4, (4, 5, 6))
+        out = MinSumKernel()(lam)
+        signs = np.where(lam < 0, -1, 1)
+        for i in range(5):
+            others = np.delete(signs, i, axis=1).prod(axis=1)
+            nonzero = np.abs(out[:, i, :]) > 0
+            assert (np.sign(out[:, i, :])[nonzero] == others[nonzero]).all()
+
+    def test_normalized_scales_magnitude(self, rng):
+        lam = rng.normal(0, 4, (2, 4, 3))
+        plain = MinSumKernel()(lam)
+        normalized = MinSumKernel(normalization=0.75)(lam)
+        assert np.allclose(normalized, plain * 0.75)
+
+    def test_offset_floors_at_zero(self, rng):
+        lam = rng.normal(0, 0.1, (2, 4, 3))
+        out = MinSumKernel(offset=10.0)(lam)
+        assert np.allclose(out, 0.0)
+
+    def test_hardware_three_quarter_shift(self, rng):
+        q = QFormat(8, 2)
+        lam = q.quantize(rng.normal(0, 4, (2, 4, 3)))
+        out = MinSumKernel(normalization=0.75, qformat=q)(lam)
+        plain = MinSumKernel(qformat=q)(lam)
+        expected_mag = (3 * np.abs(plain).astype(np.int64)) >> 2
+        assert np.array_equal(np.abs(out), expected_mag)
+
+    def test_both_normalization_and_offset_raise(self):
+        with pytest.raises(DecoderConfigError):
+            MinSumKernel(normalization=0.75, offset=0.5)
+
+    def test_minsum_overestimates_bp(self, rng):
+        # Classic property: |minsum output| >= |BP output|.
+        lam = rng.normal(0, 3, (5, 6, 4))
+        ms = MinSumKernel()(lam)
+        bp = BPForwardBackwardKernel(1e9)(lam)
+        assert (np.abs(ms) >= np.abs(bp) - 1e-9).all()
+
+
+class TestLinearApprox:
+    def test_closer_to_bp_than_minsum(self, rng):
+        lam = rng.normal(0, 3, (10, 7, 8))
+        bp = BPForwardBackwardKernel(1e9)(lam)
+        ms = MinSumKernel()(lam)
+        la = LinearApproxKernel(1e9)(lam)
+        err_la = np.abs(la - bp).mean()
+        err_ms = np.abs(ms - bp).mean()
+        assert err_la < err_ms
+
+    def test_degree_two_exact(self, rng):
+        lam = rng.normal(0, 3, (3, 2, 4))
+        out = LinearApproxKernel(100.0)(lam)
+        assert np.allclose(np.abs(out[:, 0, :]), np.abs(lam[:, 1, :]))
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "check_node,expected",
+        [
+            ("bp", BPSumSubKernel),
+            ("minsum", MinSumKernel),
+            ("normalized-minsum", MinSumKernel),
+            ("offset-minsum", MinSumKernel),
+            ("linear-approx", LinearApproxKernel),
+        ],
+    )
+    def test_float_kernels(self, check_node, expected):
+        kernel = make_checknode_kernel(DecoderConfig(check_node=check_node))
+        assert isinstance(kernel, expected)
+
+    def test_fixed_bp_kernels(self):
+        config = DecoderConfig(qformat=QFormat(8, 2))
+        assert isinstance(make_checknode_kernel(config), FixedBPSumSubKernel)
+        config = config.replace(bp_impl="forward-backward")
+        assert isinstance(
+            make_checknode_kernel(config), FixedBPForwardBackwardKernel
+        )
+
+    def test_forward_backward_float(self):
+        config = DecoderConfig(bp_impl="forward-backward")
+        assert isinstance(make_checknode_kernel(config), BPForwardBackwardKernel)

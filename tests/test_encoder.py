@@ -1,0 +1,105 @@
+"""Tests for the systematic and generic encoders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codes.registry import get_code
+from repro.encoder import GenericEncoder, SystematicQCEncoder, make_encoder
+from repro.encoder.systematic import detect_parity_structure
+from repro.errors import EncodingError
+
+
+class TestSystematic:
+    def test_zero_info_gives_zero_codeword(self, small_code):
+        encoder = SystematicQCEncoder(small_code)
+        codeword = encoder.encode(np.zeros(small_code.n_info, dtype=np.uint8))
+        assert not codeword.any()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_every_output_is_a_codeword(self, seed):
+        code = get_code("802.16e:1/2:z24")
+        encoder = SystematicQCEncoder(code)
+        rng = np.random.default_rng(seed)
+        info = rng.integers(0, 2, code.n_info, dtype=np.uint8)
+        assert code.is_codeword(encoder.encode(info))
+
+    def test_systematic_prefix_is_info(self, small_code, rng):
+        encoder = SystematicQCEncoder(small_code)
+        info = rng.integers(0, 2, small_code.n_info, dtype=np.uint8)
+        codeword = encoder.encode(info)
+        assert np.array_equal(codeword[: small_code.n_info], info)
+
+    def test_batch_encoding(self, small_code, rng):
+        encoder = SystematicQCEncoder(small_code)
+        info = rng.integers(0, 2, (7, small_code.n_info), dtype=np.uint8)
+        codewords = encoder.encode(info)
+        assert codewords.shape == (7, small_code.n)
+        assert small_code.is_codeword(codewords).all()
+
+    def test_linearity(self, small_code, rng):
+        encoder = SystematicQCEncoder(small_code)
+        a = rng.integers(0, 2, small_code.n_info, dtype=np.uint8)
+        b = rng.integers(0, 2, small_code.n_info, dtype=np.uint8)
+        assert np.array_equal(
+            encoder.encode(a ^ b), encoder.encode(a) ^ encoder.encode(b)
+        )
+
+    def test_wrong_length_raises(self, small_code):
+        encoder = SystematicQCEncoder(small_code)
+        with pytest.raises(EncodingError):
+            encoder.encode(np.zeros(10, dtype=np.uint8))
+
+    @pytest.mark.parametrize(
+        "mode",
+        [
+            "802.16e:1/2:z96",
+            "802.16e:2/3B:z24",
+            "802.16e:5/6:z28",
+            "802.11n:1/2:z27",
+            "802.11n:1/2:z81",
+            "802.11n:3/4:z54",
+            "DMB-T:0.8:z127",
+        ],
+    )
+    def test_all_standards_encode(self, mode, rng):
+        code = get_code(mode)
+        encoder = SystematicQCEncoder(code)
+        info, codewords = encoder.random_codewords(3, rng)
+        assert code.is_codeword(codewords).all()
+
+    def test_structure_detection_fields(self, small_code):
+        structure = detect_parity_structure(small_code)
+        assert structure.p0_col == small_code.base.k - small_code.base.j
+        assert structure.mid_shift == 0
+
+
+class TestGeneric:
+    def test_matches_systematic(self, tiny_code, rng):
+        systematic = SystematicQCEncoder(tiny_code)
+        generic = GenericEncoder(tiny_code)
+        info = rng.integers(0, 2, (5, tiny_code.n_info), dtype=np.uint8)
+        assert np.array_equal(systematic.encode(info), generic.encode(info))
+
+    def test_all_outputs_are_codewords(self, tiny_code, rng):
+        generic = GenericEncoder(tiny_code)
+        info = rng.integers(0, 2, (10, tiny_code.n_info), dtype=np.uint8)
+        assert tiny_code.is_codeword(generic.encode(info)).all()
+
+    def test_natural_systematic_flag(self, tiny_code):
+        assert GenericEncoder(tiny_code).is_natural_systematic
+
+    def test_wrong_length_raises(self, tiny_code):
+        with pytest.raises(EncodingError):
+            GenericEncoder(tiny_code).encode(np.zeros(3, dtype=np.uint8))
+
+
+class TestFactory:
+    def test_prefers_systematic(self, small_code):
+        assert isinstance(make_encoder(small_code), SystematicQCEncoder)
+
+    def test_random_codewords_shapes(self, small_encoder, small_code, rng):
+        info, codewords = small_encoder.random_codewords(4, rng)
+        assert info.shape == (4, small_code.n_info)
+        assert codewords.shape == (4, small_code.n)

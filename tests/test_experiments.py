@@ -1,0 +1,197 @@
+"""Smoke + invariant tests for every paper exhibit module.
+
+Each exhibit's run() is executed with reduced parameters where available;
+the assertions check the *reproduction claims* (paper anchors), not just
+that the code runs.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9a,
+    fig9b,
+    table1,
+    table2,
+    table3,
+)
+
+
+class TestTable1:
+    def test_matches_paper_parameters(self):
+        results = table1.run()
+        rows = {row["standard"]: row for row in results["rows"]}
+        assert rows["802.16e"]["j_range"] == "4-12"
+        assert rows["802.16e"]["z_range"] == "24-96"
+        assert rows["802.11n"]["z_range"] == "27-81"
+        assert rows["802.16e"]["embedded_tables"] == 19
+        assert "Table 1" in table1.render(results)
+
+
+class TestFig1:
+    def test_all_blocks_are_shifted_identities(self):
+        results = fig1.run()
+        assert (
+            results["wimax_blocks_are_permutations"]
+            == results["wimax_total_blocks"]
+            == 76
+        )
+
+    def test_demo_matches_paper_geometry(self):
+        results = fig1.run()
+        assert results["demo_summary"]["j"] == 4
+        assert results["demo_summary"]["k"] == 8
+
+
+class TestFig2:
+    def test_schedule_covers_blocks(self):
+        results = fig2.run()
+        assert results["total_blocks"] == results["expected_blocks"]
+
+    def test_sub_iterations_equal_layers(self):
+        results = fig2.run()
+        assert len(results["rows"]) == 12  # j for rate 1/2
+
+
+class TestFig3:
+    def test_bit_exact_and_cycle_counts(self):
+        results = fig3.run(trials=5)
+        for row in results["rows"]:
+            assert row["exact_trials"] == row["trials"]
+            assert row["cycles"] == [row["expected_cycles"]]
+
+    def test_lut_sizes(self):
+        results = fig3.run(trials=2)
+        assert len(results["lut_plus"]) == 8
+        assert len(results["lut_minus"]) == 8
+
+
+class TestFig4:
+    def test_reordering_helps(self):
+        results = fig4.run()
+        assert results["optimized_stalls"] < results["natural_stalls"]
+        assert results["optimized_cpi"] < results["serial_cpi"]
+
+    def test_speedup_close_to_two(self):
+        results = fig4.run()
+        assert results["speedup_overlap"] > 1.8
+
+
+class TestFig5:
+    def test_transform_is_exact(self):
+        results = fig5.run(trials=50)
+        assert results["assoc_err"] < 1e-9
+        assert results["mismatches"] == 0
+
+
+class TestFig6:
+    def test_even_degree_speedup_is_two(self):
+        results = fig6.run()
+        even = [r for r in results["unit_rows"] if r["degree"] % 2 == 0]
+        assert all(r["speedup"] == pytest.approx(2.0) for r in even)
+
+    def test_end_to_end_speedup(self):
+        results = fig6.run(modes=("802.16e:1/2:z96",))
+        assert results["code_rows"][0]["speedup"] > 1.5
+
+
+class TestTable2:
+    def test_eta_anchors(self):
+        results = table2.run()
+        assert max(results["anchor_eta_errors"].values()) < 0.02
+
+    def test_eta_trend(self):
+        results = table2.run(frequencies=(450.0, 200.0))
+        etas = [row["eta"] for row in results["rows"]]
+        assert etas[1] > etas[0]
+
+
+class TestFig7:
+    def test_bit_exact_datapath(self):
+        results = fig7.run(frames=3, iterations=3)
+        assert results["matches"] == 3
+        # One Λ read + one Λ write per block per iteration per frame.
+        assert (
+            results["activity"]["lambda_reads"]
+            == results["expected_block_accesses"]
+        )
+
+
+class TestFig8:
+    def test_total_area(self):
+        results = fig8.run()
+        assert results["total_mm2"] == pytest.approx(3.5, abs=0.05)
+
+    def test_percentages_sum(self):
+        results = fig8.run()
+        assert sum(pct for _, _, pct in results["rows"]) == pytest.approx(100.0)
+
+
+class TestTable3:
+    def test_this_work_row(self):
+        results = table3.run()
+        ours = results["ours"]
+        assert ours["throughput_simulated_gbps"] > 1.0
+        assert ours["area_mm2"] == pytest.approx(3.5, abs=0.05)
+        assert ours["power_mw"] == pytest.approx(410, abs=2)
+
+    def test_reference_rows_cited(self):
+        results = table3.run()
+        assert results["references"]["[3] Shih VLSI'07"]["throughput_mbps"] == 111
+        assert results["references"]["[4] Mansour JSSC'06"]["power_mw"] == 787
+
+    def test_render_contains_all_columns(self):
+        rendered = table3.render(table3.run())
+        for token in ("This work", "Shih", "Mansour", "Gbps"):
+            assert token in rendered
+
+
+class TestFig9a:
+    @pytest.fixture(scope="class")
+    def results(self):
+        # Reduced but statistically adequate for the shape claims.
+        return fig9a.run(
+            mode="802.16e:1/2:z24",
+            ebn0_list=(1.0, 3.0, 5.0),
+            frames_per_point=60,
+        )
+
+    def test_power_decreases_with_snr(self, results):
+        powers = results["curve"].power_with_et_mw
+        assert powers[0] > powers[1] > powers[2]
+
+    def test_saving_meaningful(self, results):
+        assert results["max_saving"] > 0.4
+
+    def test_without_et_flat_at_peak(self, results):
+        without = set(results["curve"].power_without_et_mw)
+        assert len(without) == 1
+
+
+class TestFig9b:
+    def test_linear_power_scaling(self):
+        results = fig9b.run()
+        rows = results["rows"]
+        assert rows[0]["power_mw"] < rows[-1]["power_mw"]
+        assert rows[0]["block_size"] == 576
+        assert rows[-1]["block_size"] == 2304
+        assert rows[-1]["power_mw"] == pytest.approx(410, abs=2)
+
+    def test_matches_paper_samples_loosely(self):
+        results = fig9b.run()
+        for row in results["rows"]:
+            if row["paper_mw"] is not None:
+                assert row["power_mw"] == pytest.approx(
+                    row["paper_mw"], rel=0.10
+                )
+
+    def test_saving_reported(self):
+        results = fig9b.run()
+        assert results["max_saving"] > 0.3

@@ -1,0 +1,160 @@
+"""Tests for the ⊞ / ⊟ kernels — the heart of the paper's SISO decoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fixedpoint.boxplus import (
+    DEFAULT_LLR_CLIP,
+    FixedBoxOps,
+    boxminus,
+    boxplus,
+    boxplus_reduce,
+)
+from repro.fixedpoint.quantize import QFormat
+
+finite_llr = st.floats(-20, 20).filter(lambda x: abs(x) > 1e-6)
+
+
+def reference_boxplus(a, b):
+    """Direct evaluation of log((1 + e^(a+b)) / (e^a + e^b))."""
+    return np.log1p(np.exp(a + b)) - np.log(np.exp(a) + np.exp(b))
+
+
+class TestBoxplusExact:
+    @given(finite_llr, finite_llr)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_log_formula(self, a, b):
+        assert boxplus(a, b) == pytest.approx(reference_boxplus(a, b), abs=1e-9)
+
+    @given(finite_llr, finite_llr)
+    @settings(max_examples=50, deadline=None)
+    def test_commutative(self, a, b):
+        assert boxplus(a, b) == pytest.approx(boxplus(b, a))
+
+    @given(finite_llr, finite_llr, finite_llr)
+    @settings(max_examples=50, deadline=None)
+    def test_associative(self, a, b, c):
+        left = boxplus(boxplus(a, b, clip=1e9), c, clip=1e9)
+        right = boxplus(a, boxplus(b, c, clip=1e9), clip=1e9)
+        assert left == pytest.approx(right, abs=1e-8)
+
+    @given(finite_llr)
+    @settings(max_examples=50, deadline=None)
+    def test_zero_annihilates(self, a):
+        assert boxplus(a, 0.0) == pytest.approx(0.0, abs=1e-12)
+
+    @given(finite_llr, finite_llr)
+    @settings(max_examples=50, deadline=None)
+    def test_magnitude_never_exceeds_inputs(self, a, b):
+        assert abs(boxplus(a, b)) <= min(abs(a), abs(b)) + 1e-12
+
+    @given(finite_llr, finite_llr)
+    @settings(max_examples=50, deadline=None)
+    def test_sign_is_product_of_signs(self, a, b):
+        result = boxplus(a, b)
+        if abs(result) > 1e-9:
+            assert np.sign(result) == np.sign(a) * np.sign(b)
+
+    def test_clip_applies(self):
+        assert abs(boxplus(1e3, 1e3, clip=10.0)) <= 10.0
+
+
+class TestBoxminusExact:
+    @given(finite_llr, finite_llr)
+    @settings(max_examples=100, deadline=None)
+    def test_inverts_boxplus(self, a, b):
+        combined = boxplus(a, b, clip=1e6)
+        recovered = boxminus(combined, b, clip=1e6)
+        # Ill-conditioned when |combined| ~ |b| (recovered saturates).
+        if abs(abs(combined) - abs(b)) > 1e-6 and abs(recovered) < 1e5:
+            assert recovered == pytest.approx(a, abs=1e-5)
+
+    def test_magnitude_at_least_min_input(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 5, 500)
+        b = rng.normal(0, 5, 500)
+        s = boxplus(a, b)
+        out = boxminus(s, b)
+        assert (np.abs(out) >= np.minimum(np.abs(s), np.abs(b)) - 1e-9).all()
+
+    def test_equal_inputs_saturate(self):
+        assert abs(boxminus(5.0, 5.0)) == pytest.approx(DEFAULT_LLR_CLIP)
+
+    def test_zero_zero_is_zero(self):
+        assert boxminus(0.0, 0.0) == pytest.approx(0.0)
+
+
+class TestReduce:
+    def test_reduce_matches_pairwise(self):
+        rng = np.random.default_rng(1)
+        msgs = rng.normal(0, 3, 7)
+        expected = msgs[0]
+        for m in msgs[1:]:
+            expected = boxplus(expected, m)
+        assert boxplus_reduce(msgs) == pytest.approx(expected)
+
+    def test_reduce_axis(self):
+        rng = np.random.default_rng(2)
+        msgs = rng.normal(0, 3, (4, 5, 6))
+        out = boxplus_reduce(msgs, axis=1)
+        assert out.shape == (4, 6)
+
+    def test_reduce_empty_raises(self):
+        with pytest.raises(ValueError):
+            boxplus_reduce(np.zeros((0, 3)), axis=0)
+
+
+class TestFixedOps:
+    @pytest.fixture
+    def ops(self):
+        return FixedBoxOps(QFormat(8, 2))
+
+    def test_error_bounded_by_lut_resolution(self, ops):
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 4, 2000)
+        b = rng.normal(0, 4, 2000)
+        ai, bi = ops.qformat.quantize(a), ops.qformat.quantize(b)
+        fixed = ops.qformat.dequantize(ops.boxplus(ai, bi))
+        exact = boxplus(
+            ops.qformat.dequantize(ai), ops.qformat.dequantize(bi)
+        )
+        assert np.abs(fixed - exact).max() <= 0.3  # ~1 LSB + LUT error
+
+    def test_zero_annihilates_fixed(self, ops):
+        a = np.array([40, -80, 127])
+        assert (ops.boxplus(a, np.zeros(3, dtype=np.int32)) == 0).all()
+
+    def test_boxminus_zero_zero(self, ops):
+        assert ops.boxminus(np.array(0), np.array(0)) == 0
+
+    def test_saturation(self, ops):
+        out = ops.boxminus(np.array(127), np.array(127))
+        assert abs(int(out)) <= 127
+
+    def test_identity_element(self, ops):
+        a = np.array([-50, 3, 120])
+        out = ops.boxplus(a, np.full(3, ops.boxplus_identity, dtype=np.int32))
+        # x ⊞ max == x up to LUT resolution (1 raw unit).
+        assert np.abs(out - a).max() <= 1
+
+    def test_reduce_fixed(self, ops):
+        rng = np.random.default_rng(4)
+        msgs = ops.qformat.quantize(rng.normal(0, 4, (6, 10)))
+        out = ops.boxplus_reduce(msgs, axis=0)
+        assert out.shape == (10,)
+        expected = msgs[0].astype(np.int32)
+        for i in range(1, 6):
+            expected = ops.boxplus(expected, msgs[i])
+        assert np.array_equal(out, expected)
+
+    def test_signs_match_float(self, ops):
+        rng = np.random.default_rng(5)
+        a = ops.qformat.quantize(rng.normal(0, 6, 500))
+        b = ops.qformat.quantize(rng.normal(0, 6, 500))
+        fixed = ops.boxplus(a, b)
+        exact = boxplus(ops.qformat.dequantize(a), ops.qformat.dequantize(b))
+        strong = np.abs(exact) > 0.5
+        assert (
+            np.sign(fixed[strong]) == np.sign(exact[strong])
+        ).all()

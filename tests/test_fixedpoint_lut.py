@@ -1,0 +1,73 @@
+"""Tests for the 3-bit correction LUTs."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint.lut import LUT_SIZE, CorrectionLUT, make_lut_pair
+from repro.fixedpoint.quantize import QFormat
+
+
+@pytest.fixture
+def qformat():
+    return QFormat(8, 2)
+
+
+class TestTables:
+    def test_size(self, qformat):
+        assert CorrectionLUT(qformat, "plus").table.shape == (LUT_SIZE,)
+
+    def test_plus_table_positive_decreasing(self, qformat):
+        table = CorrectionLUT(qformat, "plus").table
+        assert (table >= 0).all()
+        assert (np.diff(table) <= 0).all()
+
+    def test_minus_table_negative_increasing(self, qformat):
+        table = CorrectionLUT(qformat, "minus").table
+        assert (table <= 0).all()
+        assert (np.diff(table) >= 0).all()
+
+    def test_plus_first_entry_close_to_log2(self, qformat):
+        table = CorrectionLUT(qformat, "plus").table
+        assert table[0] / qformat.scale == pytest.approx(np.log(2), abs=0.15)
+
+    def test_invalid_kind(self, qformat):
+        with pytest.raises(ValueError):
+            CorrectionLUT(qformat, "times")
+
+
+class TestLookup:
+    def test_out_of_range_is_zero(self, qformat):
+        lut = CorrectionLUT(qformat, "plus")
+        assert lut.lookup(np.array([LUT_SIZE]))[0] == 0
+        assert lut.lookup(np.array([250]))[0] == 0
+
+    def test_in_range_matches_table(self, qformat):
+        lut = CorrectionLUT(qformat, "plus")
+        raw = np.arange(LUT_SIZE)
+        assert np.array_equal(lut.lookup(raw), lut.table)
+
+    def test_vectorized_shape(self, qformat):
+        lut = CorrectionLUT(qformat, "minus")
+        out = lut.lookup(np.arange(24).reshape(2, 3, 4))
+        assert out.shape == (2, 3, 4)
+
+
+class TestAccuracy:
+    def test_plus_max_error_below_one_lsb(self, qformat):
+        lut = CorrectionLUT(qformat, "plus")
+        assert lut.max_abs_error() < 2 * qformat.step
+
+    def test_exact_plus_matches_numpy(self, qformat):
+        lut = CorrectionLUT(qformat, "plus")
+        x = np.linspace(0.01, 3, 50)
+        assert np.allclose(lut.exact(x), np.log1p(np.exp(-x)))
+
+    def test_exact_minus_is_negative(self, qformat):
+        lut = CorrectionLUT(qformat, "minus")
+        x = np.linspace(0.01, 3, 50)
+        assert (lut.exact(x) < 0).all()
+
+    def test_pair_builder(self, qformat):
+        plus, minus = make_lut_pair(qformat)
+        assert plus.kind == "plus"
+        assert minus.kind == "minus"

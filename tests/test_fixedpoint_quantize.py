@@ -1,0 +1,88 @@
+"""Tests for Q-format saturating arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QuantizationError
+from repro.fixedpoint.quantize import QFormat
+
+
+class TestFormat:
+    def test_paper_format(self):
+        q = QFormat(8, 2)
+        assert q.scale == 4
+        assert q.max_int == 127
+        assert q.min_int == -127
+        assert q.max_value == pytest.approx(31.75)
+        assert q.step == pytest.approx(0.25)
+
+    def test_str(self):
+        assert str(QFormat(8, 2)) == "Q8.2"
+
+    def test_invalid_formats(self):
+        with pytest.raises(QuantizationError):
+            QFormat(1, 0)
+        with pytest.raises(QuantizationError):
+            QFormat(8, 8)
+        with pytest.raises(QuantizationError):
+            QFormat(8, -1)
+
+    def test_widen(self):
+        wide = QFormat(8, 2).widen(2)
+        assert wide.total_bits == 10
+        assert wide.frac_bits == 2
+        assert wide.max_value == pytest.approx(127.75)
+
+
+class TestQuantize:
+    def test_rounding(self):
+        q = QFormat(8, 2)
+        assert q.quantize(np.array([0.13]))[0] == 1  # 0.13*4 = 0.52 -> 1
+
+    def test_saturation_positive(self):
+        q = QFormat(8, 2)
+        assert q.quantize(np.array([1000.0]))[0] == 127
+
+    def test_saturation_negative_symmetric(self):
+        q = QFormat(8, 2)
+        assert q.quantize(np.array([-1000.0]))[0] == -127
+
+    @given(st.floats(-200, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_quantize_error_bounded(self, value):
+        q = QFormat(8, 2)
+        raw = q.quantize(np.array([value]))
+        recovered = q.dequantize(raw)[0]
+        if abs(value) <= q.max_value:
+            assert abs(recovered - value) <= q.step / 2 + 1e-12
+        else:
+            assert abs(recovered) == pytest.approx(q.max_value)
+
+    @given(st.integers(-127, 127))
+    def test_dequantize_quantize_roundtrip(self, raw):
+        q = QFormat(8, 2)
+        assert q.quantize(q.dequantize(np.array([raw])))[0] == raw
+
+
+class TestSaturatingOps:
+    def test_add_saturates(self):
+        q = QFormat(8, 2)
+        assert q.add(np.array([100]), np.array([100]))[0] == 127
+
+    def test_sub_saturates(self):
+        q = QFormat(8, 2)
+        assert q.sub(np.array([-100]), np.array([100]))[0] == -127
+
+    @given(st.integers(-127, 127), st.integers(-127, 127))
+    @settings(max_examples=50, deadline=None)
+    def test_add_within_range_is_exact(self, a, b):
+        q = QFormat(8, 2)
+        result = int(q.add(np.array([a]), np.array([b]))[0])
+        assert result == max(-127, min(127, a + b))
+
+    def test_saturate_idempotent(self):
+        q = QFormat(8, 2)
+        values = np.array([-300, -127, 0, 127, 300])
+        once = q.saturate(values)
+        assert np.array_equal(once, q.saturate(once))

@@ -1,0 +1,196 @@
+"""Tests for the calibrated area/power models (Table 2/3, Figs. 8/9)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.chip import DecoderChip
+from repro.arch.datapath import PAPER_CHIP, DatapathParams
+from repro.power.area import (
+    SISO_AREA_TABLE,
+    chip_area_breakdown,
+    radix4_efficiency,
+    siso_area_um2,
+)
+from repro.power.energy import P_STATIC_MW, dynamic_scale, lane_energy_pj
+from repro.power.model import PowerEstimate, PowerModel
+from repro.power.technology import (
+    TechnologyParams,
+    normalized_area_mm2,
+    normalized_power_mw,
+)
+
+
+class TestSisoArea:
+    @pytest.mark.parametrize("radix", ["R2", "R4"])
+    @pytest.mark.parametrize("fclk", [450.0, 325.0, 200.0])
+    def test_reproduces_table2_anchors(self, radix, fclk):
+        assert siso_area_um2(radix, fclk) == pytest.approx(
+            SISO_AREA_TABLE[radix][fclk], rel=1e-6
+        )
+
+    @pytest.mark.parametrize(
+        "fclk,eta", [(450.0, 1.09), (325.0, 1.26), (200.0, 1.39)]
+    )
+    def test_reproduces_table2_eta(self, fclk, eta):
+        assert radix4_efficiency(fclk) == pytest.approx(eta, abs=0.01)
+
+    def test_eta_improves_at_lower_frequency(self):
+        """The paper's Table 2 trend."""
+        assert radix4_efficiency(200.0) > radix4_efficiency(450.0)
+
+    def test_area_monotone_between_anchors(self):
+        assert siso_area_um2("R4", 400.0) < siso_area_um2("R4", 450.0)
+        assert siso_area_um2("R4", 400.0) > siso_area_um2("R4", 325.0)
+
+    def test_unknown_radix_raises(self):
+        with pytest.raises(ValueError):
+            siso_area_um2("R8", 450.0)
+
+
+class TestChipArea:
+    def test_total_matches_paper(self):
+        assert chip_area_breakdown(PAPER_CHIP).total_mm2 == pytest.approx(
+            3.5, abs=0.05
+        )
+
+    def test_siso_array_dominates(self):
+        breakdown = chip_area_breakdown(PAPER_CHIP)
+        assert breakdown.siso_array > 0.5 * breakdown.total_mm2
+
+    def test_rows_sum_to_total(self):
+        breakdown = chip_area_breakdown(PAPER_CHIP)
+        rows = breakdown.as_rows()
+        assert sum(area for _, area, _ in rows) == pytest.approx(
+            breakdown.total_mm2
+        )
+        assert sum(pct for _, _, pct in rows) == pytest.approx(100.0)
+
+    def test_smaller_chip_is_smaller(self):
+        half = DatapathParams(z_max=48, k_max=24, e_max=96)
+        assert (
+            chip_area_breakdown(half).total_mm2
+            < chip_area_breakdown(PAPER_CHIP).total_mm2
+        )
+
+
+class TestPowerModel:
+    @pytest.fixture
+    def model(self):
+        return PowerModel(PAPER_CHIP)
+
+    def test_peak_matches_paper(self, model):
+        assert model.peak_power_mw() == pytest.approx(410.0, abs=1.0)
+
+    def test_fig9b_small_code_point(self, model):
+        """~250 mW at z=24 (N=576), matching the paper's curve."""
+        assert model.power_vs_block_size(24) == pytest.approx(252, abs=10)
+
+    def test_fig9b_linear_in_z(self, model):
+        p24 = model.power_vs_block_size(24)
+        p48 = model.power_vs_block_size(48)
+        p96 = model.power_vs_block_size(96)
+        assert p96 - p48 == pytest.approx(2 * (p48 - p24), rel=0.01)
+
+    def test_et_power_reduction_up_to_65_percent(self, model):
+        """The paper's headline: up to 65 % power saving."""
+        full = model.peak_power_mw()
+        reduced = model.early_termination_power_mw(2.25, 10)
+        saving = 1.0 - reduced / full
+        assert 0.55 <= saving <= 0.75
+
+    def test_et_power_monotone_in_iterations(self, model):
+        powers = [
+            model.early_termination_power_mw(avg, 10)
+            for avg in (1.0, 3.0, 6.0, 10.0)
+        ]
+        assert powers == sorted(powers)
+
+    def test_et_full_iterations_equals_peak(self, model):
+        assert model.early_termination_power_mw(10, 10) == pytest.approx(
+            model.peak_power_mw()
+        )
+
+    def test_power_scales_with_clock(self, model):
+        half_clock = model.active_power_mw(fclk_mhz=225.0).total_mw
+        full_clock = model.active_power_mw(fclk_mhz=450.0).total_mw
+        # Dynamic halves, static stays.
+        expected = P_STATIC_MW + (full_clock - P_STATIC_MW) / 2
+        assert half_clock == pytest.approx(expected)
+
+    def test_invalid_lanes_raise(self, model):
+        with pytest.raises(ValueError):
+            model.active_power_mw(active_lanes=0)
+        with pytest.raises(ValueError):
+            model.active_power_mw(active_lanes=97)
+
+    def test_invalid_avg_iterations(self, model):
+        with pytest.raises(ValueError):
+            model.early_termination_power_mw(0.0, 10)
+        with pytest.raises(ValueError):
+            model.early_termination_power_mw(11.0, 10)
+
+    def test_estimate_breakdown_consistency(self, model):
+        estimate = model.active_power_mw()
+        assert isinstance(estimate, PowerEstimate)
+        with pytest.raises(ValueError):
+            PowerEstimate(total_mw=1, static_mw=1, shared_dyn_mw=1, lane_dyn_mw=1)
+
+
+class TestActivityBased:
+    def test_cross_checks_analytic_model(self):
+        chip = DecoderChip()
+        chip.configure("802.16e:1/2:z96")
+        rng = np.random.default_rng(0)
+        llr = 8.0 * (1 - 2 * rng.integers(0, 2, 2304)).astype(float)
+        result = chip.decode(llr, max_iterations=10, early_termination="none")
+        model = PowerModel(PAPER_CHIP)
+        activity_power = model.average_power_from_activity(
+            result.activity, result.cycles
+        )
+        assert activity_power == pytest.approx(model.peak_power_mw(), rel=0.10)
+
+    def test_energy_positive(self):
+        model = PowerModel(PAPER_CHIP)
+        energy = model.energy_from_activity(
+            {"siso_g_ops": 760, "active_lanes": 96}, cycles=420
+        )
+        assert energy > 0
+
+
+class TestEnergyHelpers:
+    def test_dynamic_scale_reference_point(self):
+        assert dynamic_scale(450.0, 1.0) == pytest.approx(1.0)
+
+    def test_dynamic_scale_voltage_quadratic(self):
+        assert dynamic_scale(450.0, 0.5) == pytest.approx(0.25)
+
+    def test_lane_energy_r2_below_r4(self):
+        assert lane_energy_pj("R2") < lane_energy_pj("R4")
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            dynamic_scale(0.0)
+
+
+class TestTechnology:
+    def test_area_scaling_90_to_90_is_identity(self):
+        assert normalized_area_mm2(3.5, 90, 90) == pytest.approx(3.5)
+
+    def test_shrink_from_130(self):
+        scaled = normalized_area_mm2(8.29, 130, 90)
+        assert scaled == pytest.approx(8.29 * (90 / 130) ** 2)
+
+    def test_frequency_scale(self):
+        t130 = TechnologyParams(130)
+        t90 = TechnologyParams(90)
+        assert t130.frequency_scale_to(t90) == pytest.approx(130 / 90)
+
+    def test_power_scaling_down(self):
+        assert normalized_power_mw(787, 180, 90) < 787
+
+    def test_default_vdd(self):
+        assert TechnologyParams(130).vdd == pytest.approx(1.2)
+
+    def test_invalid_node(self):
+        with pytest.raises(ValueError):
+            TechnologyParams(0)

@@ -1,0 +1,85 @@
+"""Broad structural sweep across the mode registry.
+
+Parameterized spot-checks that every code family the chip supports —
+including every synthetic construction — satisfies the invariants the
+decoder and architecture rely on: consistent geometry, dual-diagonal
+encodability, 4-cycle freedom, and datapath fit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.datapath import DMBT_CHIP, PAPER_CHIP
+from repro.codes import count_base_four_cycles, get_code, list_modes
+from repro.encoder import SystematicQCEncoder
+
+# One representative mode per (standard, rate) family plus z extremes.
+SWEEP_MODES = [
+    "802.16e:1/2:z24", "802.16e:1/2:z52", "802.16e:1/2:z96",
+    "802.16e:2/3A:z24", "802.16e:2/3A:z96",
+    "802.16e:2/3B:z28", "802.16e:3/4A:z32", "802.16e:3/4B:z40",
+    "802.16e:5/6:z24", "802.16e:5/6:z96",
+    "802.11n:1/2:z27", "802.11n:1/2:z54", "802.11n:1/2:z81",
+    "802.11n:2/3:z27", "802.11n:3/4:z54", "802.11n:5/6:z81",
+    "DMB-T:0.4:z127", "DMB-T:0.6:z127", "DMB-T:0.8:z127",
+]
+
+
+@pytest.mark.parametrize("mode", SWEEP_MODES)
+class TestModeInvariants:
+    def test_geometry_consistent(self, mode):
+        code = get_code(mode)
+        assert code.n == code.base.k * code.z
+        assert code.m == code.base.j * code.z
+        assert code.n_info == code.n - code.m
+        assert 0.0 < code.rate < 1.0
+
+    def test_four_cycle_free(self, mode):
+        code = get_code(mode)
+        assert count_base_four_cycles(code.base) == 0
+
+    def test_row_degrees_at_least_two(self, mode):
+        code = get_code(mode)
+        assert int(code.base.layer_degrees().min()) >= 2
+        assert int(code.base.column_degrees().min()) >= 1
+
+    def test_systematic_encoder_applies(self, mode):
+        code = get_code(mode)
+        encoder = SystematicQCEncoder(code)
+        rng = np.random.default_rng(hash(mode) % 2**31)
+        info, codewords = encoder.random_codewords(2, rng)
+        assert code.is_codeword(codewords).all()
+        assert np.array_equal(codewords[:, : code.n_info], info)
+
+    def test_datapath_fit(self, mode):
+        code = get_code(mode)
+        if mode.startswith("DMB-T"):
+            assert not PAPER_CHIP.supports_code(code)
+            assert DMBT_CHIP.supports_code(code)
+        else:
+            assert PAPER_CHIP.supports_code(code)
+
+
+class TestWholeRegistry:
+    def test_every_mode_constructs(self):
+        """All 129 base matrices build and expose sane geometry."""
+        for descriptor in list_modes():
+            code = get_code(descriptor.mode)
+            assert code.n == descriptor.n
+            assert code.z == descriptor.z
+
+    def test_paper_chip_covers_all_wifi_and_wimax(self):
+        for descriptor in list_modes("802.11n") + list_modes("802.16e"):
+            assert PAPER_CHIP.supports_code(get_code(descriptor.mode)), (
+                descriptor.mode
+            )
+
+    def test_throughput_monotone_in_z(self):
+        """Within one rate family, throughput grows with z (paper §III-E)."""
+        from repro.arch.throughput import paper_throughput_bps
+
+        rates = [
+            paper_throughput_bps(get_code(f"802.16e:1/2:z{z}"), 450e6, 10)
+            for z in (24, 48, 96)
+        ]
+        assert rates[0] < rates[1] < rates[2]

@@ -1,0 +1,97 @@
+"""Tests for repro.utils.bitops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bitops import (
+    bits_to_int,
+    hamming_distance,
+    hard_decision,
+    int_to_bits,
+    pack_bits_rows,
+    parity,
+    unpack_bits_rows,
+)
+
+
+class TestHardDecision:
+    def test_positive_llr_is_zero_bit(self):
+        assert hard_decision(np.array([3.2]))[0] == 0
+
+    def test_negative_llr_is_one_bit(self):
+        assert hard_decision(np.array([-0.1]))[0] == 1
+
+    def test_zero_llr_maps_to_zero(self):
+        # Convention: LLR >= 0 -> bit 0 (ties favour 0).
+        assert hard_decision(np.array([0.0]))[0] == 0
+
+    def test_preserves_shape(self):
+        llr = np.zeros((3, 4, 5))
+        assert hard_decision(llr).shape == (3, 4, 5)
+
+    def test_integer_input(self):
+        out = hard_decision(np.array([-5, 5], dtype=np.int32))
+        assert out.tolist() == [1, 0]
+
+
+class TestHammingDistance:
+    def test_identical(self):
+        a = np.array([0, 1, 1, 0], dtype=np.uint8)
+        assert hamming_distance(a, a) == 0
+
+    def test_all_different(self):
+        a = np.zeros(8, dtype=np.uint8)
+        b = np.ones(8, dtype=np.uint8)
+        assert hamming_distance(a, b) == 8
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hamming_distance(np.zeros(3), np.zeros(4))
+
+
+class TestParity:
+    def test_even(self):
+        assert parity(np.array([1, 1, 0], dtype=np.uint8)) == 0
+
+    def test_odd(self):
+        assert parity(np.array([1, 1, 1], dtype=np.uint8)) == 1
+
+    def test_axis(self):
+        bits = np.array([[1, 0], [1, 1]], dtype=np.uint8)
+        assert parity(bits, axis=1).tolist() == [1, 0]
+
+
+class TestIntBits:
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 20)) == value
+
+    def test_known_value(self):
+        assert int_to_bits(6, 4).tolist() == [0, 1, 1, 0]
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+
+class TestPacking:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=130),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_pack_unpack_roundtrip(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=(rows, cols), dtype=np.uint8)
+        packed = pack_bits_rows(bits)
+        assert packed.shape == (rows, (cols + 63) // 64)
+        assert np.array_equal(unpack_bits_rows(packed, cols), bits)
+
+    def test_pack_requires_2d(self):
+        with pytest.raises(ValueError):
+            pack_bits_rows(np.zeros(4, dtype=np.uint8))

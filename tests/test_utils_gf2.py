@@ -1,0 +1,143 @@
+"""Tests for the bit-packed GF(2) linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.gf2 import GF2Matrix
+
+
+def random_matrix(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    return GF2Matrix(rng.integers(0, 2, size=(rows, cols), dtype=np.uint8))
+
+
+class TestBasics:
+    def test_identity_rank(self):
+        assert GF2Matrix.identity(10).rank() == 10
+
+    def test_zero_rank(self):
+        assert GF2Matrix.zeros(5, 7).rank() == 0
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            GF2Matrix(np.zeros(3))
+
+    def test_values_reduced_mod_2(self):
+        m = GF2Matrix(np.array([[2, 3], [4, 5]]))
+        assert m.bits.tolist() == [[0, 1], [0, 1]]
+
+    def test_equality(self):
+        a = GF2Matrix(np.eye(3, dtype=np.uint8))
+        assert a == GF2Matrix.identity(3)
+        assert a != GF2Matrix.zeros(3, 3)
+
+
+class TestMatmul:
+    def test_identity_is_neutral(self):
+        m = random_matrix(6, 6, 1)
+        assert GF2Matrix.identity(6) @ m == m
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_numpy_mod2(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 2, (5, 7), dtype=np.uint8)
+        b = rng.integers(0, 2, (7, 4), dtype=np.uint8)
+        ours = (GF2Matrix(a) @ GF2Matrix(b)).bits
+        reference = (a.astype(int) @ b.astype(int)) % 2
+        assert np.array_equal(ours, reference.astype(np.uint8))
+
+    def test_vector_product(self):
+        m = GF2Matrix(np.array([[1, 1, 0], [0, 1, 1]]))
+        v = np.array([1, 1, 1], dtype=np.uint8)
+        assert (m @ v).tolist() == [0, 0]
+
+
+class TestRowEchelon:
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_rank_matches_float_rank(self, seed):
+        # GF(2) rank <= real rank is NOT generally true, so compare with
+        # an independent GF(2) elimination using numpy.
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, (8, 12), dtype=np.uint8)
+        ours = GF2Matrix(bits).rank()
+        reference = _reference_rank(bits.copy())
+        assert ours == reference
+
+    def test_rref_pivots_are_unit_columns(self):
+        m = random_matrix(6, 9, 3)
+        rref, pivots = m.row_echelon()
+        for row, col in enumerate(pivots):
+            column = rref[:, col]
+            assert column[row] == 1
+            assert column.sum() == 1
+
+
+def _reference_rank(bits):
+    rows, cols = bits.shape
+    rank = 0
+    for col in range(cols):
+        pivot = None
+        for r in range(rank, rows):
+            if bits[r, col]:
+                pivot = r
+                break
+        if pivot is None:
+            continue
+        bits[[rank, pivot]] = bits[[pivot, rank]]
+        for r in range(rows):
+            if r != rank and bits[r, col]:
+                bits[r] ^= bits[rank]
+        rank += 1
+    return rank
+
+
+class TestNullSpace:
+    @given(st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_null_space_vectors_satisfy_h(self, seed):
+        m = random_matrix(6, 10, seed)
+        basis = m.null_space()
+        assert basis.rows == 10 - m.rank()
+        for vector in basis.bits:
+            assert not (m @ vector).any()
+
+    def test_null_space_basis_independent(self):
+        m = random_matrix(5, 9, 11)
+        basis = m.null_space()
+        assert basis.rank() == basis.rows
+
+
+class TestSolveInverse:
+    @given(st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_solve_consistent_system(self, seed):
+        m = random_matrix(7, 7, seed)
+        rng = np.random.default_rng(seed + 1)
+        x = rng.integers(0, 2, 7, dtype=np.uint8)
+        rhs = m @ x
+        solution = m.solve(rhs)
+        assert solution is not None
+        assert np.array_equal(m @ solution, rhs)
+
+    def test_solve_inconsistent_returns_none(self):
+        m = GF2Matrix(np.array([[1, 0], [1, 0]]))
+        assert m.solve(np.array([1, 0], dtype=np.uint8)) is None
+
+    def test_inverse_roundtrip(self):
+        # Build a guaranteed-invertible matrix: I + strictly upper noise.
+        rng = np.random.default_rng(5)
+        upper = np.triu(rng.integers(0, 2, (8, 8), dtype=np.uint8), 1)
+        m = GF2Matrix(np.eye(8, dtype=np.uint8) ^ upper)
+        inv = m.inverse()
+        assert m @ inv == GF2Matrix.identity(8)
+
+    def test_inverse_of_singular_raises(self):
+        with pytest.raises(ValueError):
+            GF2Matrix.zeros(4, 4).inverse()
+
+    def test_inverse_requires_square(self):
+        with pytest.raises(ValueError):
+            GF2Matrix.zeros(3, 4).inverse()

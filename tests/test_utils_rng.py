@@ -1,0 +1,48 @@
+"""Tests for seeded RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(7).integers(0, 1000) == make_rng(7).integers(0, 1000)
+
+    def test_different_seeds_differ(self):
+        draws_a = make_rng(1).integers(0, 2**30, 8)
+        draws_b = make_rng(2).integers(0, 2**30, 8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent_of_draw_order(self):
+        children_a = spawn_rngs(42, 3)
+        draws_a = [g.integers(0, 2**30) for g in children_a]
+        children_b = spawn_rngs(42, 3)
+        draws_b = [g.integers(0, 2**30) for g in reversed(children_b)]
+        assert draws_a == list(reversed(draws_b))
+
+    def test_children_distinct(self):
+        children = spawn_rngs(0, 4)
+        draws = {int(g.integers(0, 2**62)) for g in children}
+        assert len(draws) == 4
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(9), 3)
+        assert len(children) == 3

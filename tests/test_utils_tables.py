@@ -1,0 +1,54 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.utils.tables import Table
+
+
+class TestTable:
+    def test_basic_render(self):
+        table = Table(["a", "bb"], title="demo")
+        table.add_row([1, 2.5])
+        out = table.render()
+        assert out.startswith("demo")
+        assert "a" in out and "bb" in out
+        assert "2.5" in out
+
+    def test_column_alignment(self):
+        table = Table(["col"])
+        table.add_row(["short"])
+        table.add_row(["a-much-longer-cell"])
+        lines = table.render().splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines padded to equal width
+
+    def test_row_width_mismatch_raises(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_float_format(self):
+        table = Table(["x"], float_format=".2f")
+        table.add_row([3.14159])
+        assert "3.14" in table.render()
+        assert "3.142" not in table.render()
+
+    def test_add_rows(self):
+        table = Table(["x"])
+        table.add_rows([[1], [2], [3]])
+        assert len(table.rows) == 3
+
+    def test_str_equals_render(self):
+        table = Table(["x"])
+        table.add_row([1])
+        assert str(table) == table.render()
+
+    def test_separator_line(self):
+        table = Table(["a", "b"])
+        table.add_row([1, 2])
+        lines = table.render().splitlines()
+        assert set(lines[1]) <= {"-", "+"}
