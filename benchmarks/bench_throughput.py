@@ -1,0 +1,224 @@
+#!/usr/bin/env python
+"""End-to-end decoder throughput benchmark across backends.
+
+Measures decoded *information* throughput (Mbps) of the layered decoder
+for the WiMax N=2304 and WiFi N=1944 modes, per registered backend, in
+both the float datapath and the paper's fixed-point Q8.2 datapath, and
+writes the results to ``BENCH_decoder.json`` at the repo root so the
+perf trajectory is tracked from PR to PR.
+
+Also verifies, on every run, that the fixed-point outputs of every
+backend are bit-identical to the ``reference`` backend (hard bits, raw
+LLRs and iteration counts) — the correctness contract of the fast
+kernels — and records the float/fixed speedup ratios.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py            # full
+    PYTHONPATH=src python benchmarks/bench_throughput.py --smoke    # CI
+    PYTHONPATH=src python benchmarks/bench_throughput.py --check-speedup 5
+
+``--check-speedup X`` exits non-zero unless the fast backend beats the
+reference by at least ``X``× on the WiMax N=2304 fixed-point workload.
+Frame count scales with ``--frames`` / ``REPRO_BENCH_FRAMES``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.reporting import Table
+from repro.channel import AWGNChannel, BPSKModulator, ChannelFrontend
+from repro.codes import get_code
+from repro.decoder import DecoderConfig, LayeredDecoder, available_backends
+from repro.encoder import make_encoder
+from repro.fixedpoint import QFormat
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT_PATH = REPO_ROOT / "BENCH_decoder.json"
+
+#: (mode string, short label) benchmark workloads.
+WORKLOADS = (
+    ("802.16e:1/2:z96", "wimax_n2304"),
+    ("802.11n:1/2:z81", "wifi_n1944"),
+)
+
+EBN0_DB = 3.5
+SEED = 7
+
+
+def make_workload(mode: str, frames: int):
+    """Deterministic noisy LLR batch (encode → BPSK → AWGN → LLR)."""
+    code = get_code(mode)
+    rng = np.random.default_rng(SEED)
+    encoder = make_encoder(code)
+    _, codewords = encoder.random_codewords(frames, rng)
+    frontend = ChannelFrontend(
+        BPSKModulator(), AWGNChannel.from_ebn0(EBN0_DB, code.rate, rng=rng)
+    )
+    return code, frontend.run(codewords)
+
+
+def time_decoder(decoder, llr, repeats: int) -> tuple[float, object]:
+    """Best-of-N wall time for one full batch decode."""
+    decoder.decode(llr[: min(4, llr.shape[0])])  # warm caches / ROMs
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = decoder.decode(llr)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_benchmark(frames: int, repeats: int) -> dict:
+    backends = available_backends()
+    results: dict = {
+        "benchmark": "bench_throughput",
+        "ebn0_db": EBN0_DB,
+        "frames": frames,
+        "repeats": repeats,
+        "max_iterations": 10,
+        "early_termination": "paper",
+        "backends": list(backends),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "workloads": {},
+    }
+    for mode, label in WORKLOADS:
+        code, llr = make_workload(mode, frames)
+        entry: dict = {"mode": mode, "n": code.n, "k": code.n_info}
+        reference_fixed = None
+        for backend in backends:
+            for datapath, qformat in (("float", None), ("fixed", QFormat(8, 2))):
+                config = DecoderConfig(
+                    backend=backend,
+                    qformat=qformat,
+                    max_iterations=10,
+                    early_termination="paper",
+                )
+                seconds, result = time_decoder(
+                    LayeredDecoder(code, config), llr, repeats
+                )
+                mbps = frames * code.n_info / seconds / 1e6
+                entry[f"{backend}_{datapath}_ms"] = round(seconds * 1e3, 3)
+                entry[f"{backend}_{datapath}_mbps"] = round(mbps, 3)
+                if datapath == "fixed":
+                    if backend == "reference":
+                        reference_fixed = result
+                    else:
+                        identical = (
+                            np.array_equal(reference_fixed.bits, result.bits)
+                            and np.array_equal(reference_fixed.llr, result.llr)
+                            and np.array_equal(
+                                reference_fixed.iterations, result.iterations
+                            )
+                        )
+                        entry[f"{backend}_fixed_bit_identical"] = bool(identical)
+        for backend in backends:
+            if backend == "reference":
+                continue
+            for datapath in ("float", "fixed"):
+                entry[f"{backend}_{datapath}_speedup"] = round(
+                    entry[f"reference_{datapath}_ms"]
+                    / entry[f"{backend}_{datapath}_ms"],
+                    2,
+                )
+        results["workloads"][label] = entry
+    return results
+
+
+def summarize(results: dict) -> str:
+    table = Table(
+        ["workload", "backend", "float Mbps", "fixed Mbps",
+         "float x", "fixed x", "fixed bit-identical"],
+        title=f"Decoder throughput ({results['frames']} frames, "
+        f"{results['ebn0_db']} dB, paper ET)",
+    )
+    for label, entry in results["workloads"].items():
+        for backend in results["backends"]:
+            table.add_row(
+                [
+                    label,
+                    backend,
+                    f"{entry[f'{backend}_float_mbps']:.2f}",
+                    f"{entry[f'{backend}_fixed_mbps']:.2f}",
+                    str(entry.get(f"{backend}_float_speedup", "-")),
+                    str(entry.get(f"{backend}_fixed_speedup", "-")),
+                    str(entry.get(f"{backend}_fixed_bit_identical", "-")),
+                ]
+            )
+    return table.render()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=int(os.environ.get("REPRO_BENCH_FRAMES", 256)),
+        help="frames per workload batch (default: REPRO_BENCH_FRAMES or 256)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (best-of)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny run for CI: 16 frames, 1 repeat, still checks bit-identity",
+    )
+    parser.add_argument(
+        "--check-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless fast beats reference by X x on WiMax fixed-point",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT_PATH, help="JSON output path"
+    )
+    args = parser.parse_args(argv)
+
+    frames = 16 if args.smoke else args.frames
+    repeats = 1 if args.smoke else args.repeats
+    results = run_benchmark(frames, repeats)
+    print(summarize(results))
+
+    failures = []
+    for label, entry in results["workloads"].items():
+        for key, value in entry.items():
+            if key.endswith("_bit_identical") and value is not True:
+                failures.append(f"{label}: {key} = {value}")
+    if args.check_speedup is not None:
+        speedup = results["workloads"]["wimax_n2304"]["fast_fixed_speedup"]
+        if speedup < args.check_speedup:
+            failures.append(
+                f"wimax_n2304 fast fixed speedup {speedup}x < "
+                f"required {args.check_speedup}x"
+            )
+        else:
+            print(
+                f"speedup check passed: fast fixed {speedup}x >= "
+                f"{args.check_speedup}x"
+            )
+
+    args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"[results written to {args.output}]")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

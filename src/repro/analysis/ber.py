@@ -78,6 +78,11 @@ class BERSimulator:
         Defaults to BPSK (the Fig. 9a setting).
     seed:
         Master seed; every Eb/N0 point gets an independent child stream.
+    backend:
+        Optional decoder backend override (``"reference"``, ``"fast"``,
+        ``"numba"``); shorthand for ``config.replace(backend=...)``.  The
+        decoder (and its compiled plan) is built once here and reused for
+        every batch of the sweep.
 
     Examples
     --------
@@ -95,9 +100,12 @@ class BERSimulator:
         schedule: str = "layered",
         modulator=None,
         seed: int = 0,
+        backend: str | None = None,
     ):
         self.code = code
         self.config = config if config is not None else DecoderConfig()
+        if backend is not None:
+            self.config = self.config.replace(backend=backend)
         if schedule == "layered":
             self.decoder = LayeredDecoder(code, self.config)
         elif schedule == "flooding":

@@ -5,6 +5,10 @@ Public surface:
 - :class:`DecoderConfig`, :class:`DecodeResult` — configuration/result types;
 - :class:`LayeredDecoder` — paper Algorithm 1 (float or fixed point);
 - :class:`FloodingDecoder` — two-phase scheduling baseline;
+- :class:`DecodePlan` — compiled gather/scatter schedule (shift-ROM analogue);
+- the backend registry in :mod:`repro.decoder.backends`
+  (``reference`` / ``fast`` / optional ``numba``), selected via
+  ``DecoderConfig(backend=...)`` or ``REPRO_DECODER_BACKEND``;
 - check-node kernels in :mod:`repro.decoder.siso` (BP sum-sub /
   forward-backward, min-sum family, linear approximation);
 - early-termination monitors in :mod:`repro.decoder.early_termination`.
@@ -17,6 +21,17 @@ from repro.decoder.api import (
     DecodeResult,
     DecoderConfig,
 )
+from repro.decoder.backends import (
+    DecoderBackend,
+    FastBackend,
+    NumbaBackend,
+    ReferenceBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend_name,
+)
 from repro.decoder.bitflipping import GallagerBDecoder
 from repro.decoder.early_termination import (
     CombinedEarlyTermination,
@@ -26,6 +41,7 @@ from repro.decoder.early_termination import (
 )
 from repro.decoder.flooding import FloodingDecoder
 from repro.decoder.layered import LayeredDecoder
+from repro.decoder.plan import DecodePlan, resolve_layer_order
 from repro.decoder.siso import (
     BPForwardBackwardKernel,
     BPSumSubKernel,
@@ -42,9 +58,12 @@ __all__ = [
     "BPSumSubKernel",
     "CHECK_NODE_ALGORITHMS",
     "CombinedEarlyTermination",
+    "DecodePlan",
     "DecodeResult",
+    "DecoderBackend",
     "DecoderConfig",
     "ET_MODES",
+    "FastBackend",
     "FixedBPForwardBackwardKernel",
     "FixedBPSumSubKernel",
     "FloodingDecoder",
@@ -52,8 +71,16 @@ __all__ = [
     "LayeredDecoder",
     "LinearApproxKernel",
     "MinSumKernel",
+    "NumbaBackend",
     "PaperEarlyTermination",
+    "ReferenceBackend",
     "SyndromeEarlyTermination",
+    "available_backends",
+    "make_backend",
     "make_checknode_kernel",
     "make_early_termination",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend_name",
+    "resolve_layer_order",
 ]

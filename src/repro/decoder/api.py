@@ -94,6 +94,34 @@ class DecoderConfig:
     track_history:
         Record per-iteration diagnostics (syndrome weight, min |LLR|,
         bit flips) in ``DecodeResult.history``.
+    backend:
+        Which execution backend runs the compiled decode plan (see
+        :mod:`repro.decoder.backends`): ``"reference"`` (the seed
+        arithmetic, ground truth), ``"fast"`` (pairwise-ROM fixed-point
+        kernels — bit-identical to the reference — and single-pass
+        Φ-domain float kernels), ``"numba"`` (JIT loops; falls back to
+        ``"fast"`` with a warning when numba is missing), or the default
+        ``"auto"`` which honours the ``REPRO_DECODER_BACKEND``
+        environment variable and otherwise selects ``"reference"``.
+    fast_exact:
+        Only meaningful for the ``fast``/``numba`` float BP sum-subtract
+        path, which evaluates the check node in the Φ ("tanh rule")
+        domain with exclusive prefix/suffix Φ-sums.  The default
+        ``False`` runs it in float32 for memory bandwidth (matches the
+        reference to ~2e-7 relative per call on the operating range;
+        Φ underflows beyond |λ| ≈ 88, so extrinsics of fully saturated
+        checks cap near 88 LLR).  ``True`` keeps float64, matching the
+        reference to ~1e-8 per call — except at saturated checks, where
+        the reference's ⊟ pole rails the weakest-edge extrinsic to the
+        clip while the Φ form returns the exact finite extrinsic (the
+        tanh rule is algebraically identical to the ⊞-fold/⊟
+        recursion; the rail is the recursion's cancellation artifact).
+        Either way hard decisions
+        track the reference; iterated LLR *magnitudes* on frames that
+        keep iterating past convergence can drift (chaotic amplification
+        of last-bit differences), which is why the guarantee is stated
+        per kernel call.  Ignored by the reference backend and by
+        fixed-point configurations.
     """
 
     check_node: str = "bp"
@@ -109,8 +137,12 @@ class DecoderConfig:
     app_extra_bits: int = 2
     app_clip: float | None = None
     track_history: bool = False
+    backend: str = "auto"
+    fast_exact: bool = False
 
     def __post_init__(self):
+        if not isinstance(self.backend, str) or not self.backend:
+            raise DecoderConfigError("backend must be a non-empty string")
         if self.check_node not in CHECK_NODE_ALGORITHMS:
             raise DecoderConfigError(
                 f"check_node={self.check_node!r}; valid: {CHECK_NODE_ALGORITHMS}"
@@ -197,6 +229,21 @@ class DecodeResult:
     et_stopped: np.ndarray
     n_info: int
     history: dict | None = field(default=None)
+
+    @classmethod
+    def empty(
+        cls, n: int, n_info: int, history: dict | None = None
+    ) -> "DecodeResult":
+        """A well-formed zero-frame result (the ``(0, N)`` decode case)."""
+        return cls(
+            bits=np.zeros((0, n), dtype=np.uint8),
+            llr=np.zeros((0, n), dtype=np.float64),
+            iterations=np.zeros(0, dtype=np.int64),
+            converged=np.zeros(0, dtype=bool),
+            et_stopped=np.zeros(0, dtype=bool),
+            n_info=n_info,
+            history=history,
+        )
 
     @property
     def batch_size(self) -> int:

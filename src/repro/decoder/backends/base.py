@@ -1,0 +1,60 @@
+"""Backend interface: how decoders execute a compiled plan.
+
+A backend owns the arithmetic of one decode schedule step; the decoders
+(:class:`~repro.decoder.layered.LayeredDecoder`,
+:class:`~repro.decoder.flooding.FloodingDecoder`) own the iteration and
+early-termination logic.  The split matches the hardware: the SISO array
+plus shifter (backend) versus the control sequencer (decoder).
+
+Every backend implements two entry points against a
+:class:`~repro.decoder.plan.DecodePlan`:
+
+- :meth:`update_layer` — one in-place layered sub-iteration
+  (gather, ``λ = L - Λ``, check kernel, ``L' = λ + Λ'`` scatter);
+- :meth:`compute_check` — the bare check-node kernel on already-formed
+  variable-to-check messages (the flooding check phase).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.decoder.api import DecoderConfig
+from repro.decoder.plan import DecodePlan
+
+
+class DecoderBackend:
+    """Abstract backend bound to one (plan, config) pair."""
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    def __init__(self, plan: DecodePlan, config: DecoderConfig):
+        self.plan = plan
+        self.config = config
+        #: dtype the decoders allocate working state (APP / Λ memories)
+        #: in; backends may override (e.g. float32 for bandwidth).
+        self.work_dtype = np.int32 if config.is_fixed_point else np.float64
+
+    def update_layer(
+        self, l_messages: np.ndarray, lambdas: np.ndarray, layer_pos: int
+    ) -> None:
+        """One layered sub-iteration, in place.
+
+        Parameters
+        ----------
+        l_messages:
+            ``(B, N)`` APP memory (raw integers in fixed-point mode).
+        lambdas:
+            ``(B, total_blocks, z)`` packed check-message memory.
+        layer_pos:
+            Position in the plan's processing order.
+        """
+        raise NotImplementedError
+
+    def compute_check(self, lam_vc: np.ndarray, layer_pos: int) -> np.ndarray:
+        """Check messages ``Λ`` for given v→c messages ``(B, d_l, z)``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(plan={self.plan!r})"

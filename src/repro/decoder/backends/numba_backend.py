@@ -1,0 +1,78 @@
+"""Optional numba-compiled backend (auto-detected, graceful fallback).
+
+When numba is importable, the fixed-point BP sum-subtract path — the
+hardware-faithful configuration and the hottest integer workload — runs
+through ``njit``-compiled scalar loops (:mod:`.numba_jit`) that fuse the
+gather, saturating subtract, LUT ⊞/⊟ fold, and APP write-back of one
+layer into a single pass with no temporaries.  All other configurations
+inherit the :class:`~repro.decoder.backends.fast.FastBackend` vectorized
+paths unchanged, so the backend is always at least as fast as ``fast``
+and remains bit-identical to the reference in fixed point.
+
+When numba is *not* importable the backend reports itself unavailable;
+the registry (:mod:`repro.decoder.backends`) then falls back to ``fast``
+with a warning instead of failing the decode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.decoder.backends import numba_jit
+from repro.decoder.backends.fast import FastBackend
+from repro.errors import DecoderConfigError
+
+
+def is_available() -> bool:
+    """True when numba imported successfully."""
+    return numba_jit.HAVE_NUMBA
+
+
+class NumbaBackend(FastBackend):
+    """JIT backend; extends ``fast`` with compiled fixed-point loops."""
+
+    name = "numba"
+
+    def __init__(self, plan, config):
+        if not numba_jit.HAVE_NUMBA:
+            raise DecoderConfigError(
+                "the 'numba' backend requires the numba package; "
+                "install it or select backend='fast'"
+            )
+        super().__init__(plan, config)
+        self._jit_fixed_bp = (
+            config.is_fixed_point
+            and config.check_node == "bp"
+            and config.bp_impl == "sum-sub"
+        )
+        if self._jit_fixed_bp:
+            self._max_int_i = np.int32(config.qformat.max_int)
+            self._app_max_i = np.int32(config.app_qformat.max_int)
+
+    def update_layer(self, l_messages, lambdas, layer_pos):
+        if not self._jit_fixed_bp:
+            super().update_layer(l_messages, lambdas, layer_pos)
+            return
+        plan = self.plan
+        sl = plan.lambda_slices[layer_pos]
+        numba_jit.update_layer_fixed(
+            l_messages,
+            lambdas,
+            plan.flat_indices[layer_pos],
+            sl.start,
+            self._corr_plus,
+            self._corr_minus,
+            self._max_int_i,
+            self._app_max_i,
+            sl.stop - sl.start,
+            plan.z,
+        )
+
+    def compute_check(self, lam_vc, layer_pos):
+        if not self._jit_fixed_bp:
+            return super().compute_check(lam_vc, layer_pos)
+        out = np.empty_like(lam_vc)
+        numba_jit.check_fixed(
+            lam_vc, out, self._corr_plus, self._corr_minus, self._max_int_i
+        )
+        return out

@@ -3,13 +3,15 @@
 Layered BP (paper ref [6]) converges roughly twice as fast as flooding
 because each layer immediately consumes the APP updates of the previous
 layers within the same iteration.  This module implements the classic
-flooding schedule over the same QC structure and check-node kernels so the
-convergence-speed ablation isolates *scheduling only*.
+flooding schedule over the same QC structure and check-node backends so
+the convergence-speed ablation isolates *scheduling only*.
 
 Message state: check-to-variable messages ``Λ`` per non-zero block; the
 variable-to-check messages are formed as ``L_total - Λ`` where ``L_total``
 is the frozen APP of the previous iteration (standard APP-based flooding
-formulation).
+formulation).  The check-node arithmetic goes through the same compiled
+:class:`~repro.decoder.plan.DecodePlan` + backend pair as the layered
+decoder (``DecoderConfig(backend=...)`` / ``REPRO_DECODER_BACKEND``).
 """
 
 from __future__ import annotations
@@ -18,12 +20,13 @@ import numpy as np
 
 from repro.codes.qc import QCLDPCCode
 from repro.decoder.api import DecodeResult, DecoderConfig
+from repro.decoder.backends import make_backend
 from repro.decoder.early_termination import make_early_termination
-from repro.decoder.siso import make_checknode_kernel
+from repro.decoder.plan import DecodePlan
 
 
 class FloodingDecoder:
-    """Flooding-schedule BP decoder (same kernel interface as layered).
+    """Flooding-schedule BP decoder (same backend interface as layered).
 
     Parameters
     ----------
@@ -37,24 +40,8 @@ class FloodingDecoder:
     def __init__(self, code: QCLDPCCode, config: DecoderConfig | None = None):
         self.code = code
         self.config = config if config is not None else DecoderConfig()
-        self.kernel = make_checknode_kernel(self.config)
-        z = code.z
-        row_index = np.arange(z)
-        self._gather_indices = []
-        self._lambda_slices = []
-        offset = 0
-        for layer in range(code.base.j):
-            blocks = code.layer_tables[layer]
-            idx = np.stack(
-                [
-                    block.column * z + (row_index + block.shift) % z
-                    for block in blocks
-                ]
-            )
-            self._gather_indices.append(idx)
-            self._lambda_slices.append(slice(offset, offset + len(blocks)))
-            offset += len(blocks)
-        self._total_blocks = offset
+        self.plan = DecodePlan(code)  # natural order; flooding has no layers
+        self.backend = make_backend(self.plan, self.config)
 
     def decode(self, channel_llr: np.ndarray) -> DecodeResult:
         """Decode ``(N,)`` or ``(B, N)`` channel LLRs (see LayeredDecoder)."""
@@ -62,22 +49,26 @@ class FloodingDecoder:
         llr = np.asarray(channel_llr)
         if llr.ndim == 1:
             llr = llr[None, :]
-        if llr.shape[1] != self.code.n:
+        if llr.ndim != 2 or llr.shape[1] != self.code.n:
             raise ValueError(f"channel LLRs must be (B, {self.code.n})")
 
+        dtype = self.backend.work_dtype
         if config.is_fixed_point:
             if np.issubdtype(llr.dtype, np.integer):
                 channel = config.qformat.saturate(llr.astype(np.int64))
             else:
                 channel = config.qformat.quantize(llr)
-            dtype = np.int32
         else:
-            channel = np.clip(llr.astype(np.float64), -config.llr_clip, config.llr_clip)
-            dtype = np.float64
+            channel = np.clip(
+                llr.astype(np.float64), -config.llr_clip, config.llr_clip
+            ).astype(dtype, copy=False)
 
         batch = channel.shape[0]
+        if batch == 0:
+            return DecodeResult.empty(self.code.n, self.code.n_info)
+        plan = self.plan
         l_total = channel.copy()
-        lam = np.zeros((batch, self._total_blocks, self.code.z), dtype=dtype)
+        lam = np.zeros((batch, plan.total_blocks, self.code.z), dtype=dtype)
 
         threshold = config.et_threshold
         if config.is_fixed_point:
@@ -92,35 +83,56 @@ class FloodingDecoder:
         et_stopped = np.zeros(batch, dtype=bool)
         active_ids = np.arange(batch)
 
+        z = self.code.z
         for iteration in range(1, config.max_iterations + 1):
-            # Check phase: all layers from the frozen APP of last iteration.
+            # Check phase: all layers from the frozen APP of last
+            # iteration.  Layers sharing a check degree have identically
+            # shaped messages, and every kernel is elementwise along the
+            # z axis, so each degree bucket is evaluated in one kernel
+            # call on the z-concatenated messages (bit-identical to
+            # per-layer calls, far fewer Python-level kernel invocations).
             new_lambda = np.empty_like(lam)
-            for pos, idx in enumerate(self._gather_indices):
-                sl = self._lambda_slices[pos]
-                if config.is_fixed_point:
-                    # v->c messages pass through the narrow message port.
-                    lam_vc = config.qformat.saturate(
-                        l_total[:, idx].astype(np.int64) - lam[:, sl, :]
-                    )
-                else:
-                    lam_vc = np.clip(
-                        l_total[:, idx] - lam[:, sl, :],
-                        -config.llr_clip,
-                        config.llr_clip,
-                    )
-                new_lambda[:, sl, :] = self.kernel(lam_vc)
+            for degree, positions in plan.degree_buckets.items():
+                gathered = []
+                for pos in positions:
+                    idx = plan.gather_indices[pos]
+                    sl = plan.lambda_slices[pos]
+                    if config.is_fixed_point:
+                        # v->c messages pass through the narrow message
+                        # port.
+                        gathered.append(
+                            config.qformat.saturate(
+                                l_total[:, idx].astype(np.int64)
+                                - lam[:, sl, :]
+                            )
+                        )
+                    else:
+                        gathered.append(
+                            np.clip(
+                                l_total[:, idx] - lam[:, sl, :],
+                                -config.llr_clip,
+                                config.llr_clip,
+                            )
+                        )
+                stacked = (
+                    np.concatenate(gathered, axis=2)
+                    if len(gathered) > 1
+                    else gathered[0]
+                )
+                checked = self.backend.compute_check(stacked, positions[0])
+                for i, pos in enumerate(positions):
+                    sl = plan.lambda_slices[pos]
+                    new_lambda[:, sl, :] = checked[:, :, i * z : (i + 1) * z]
             lam = new_lambda
 
             # Variable phase: APP = channel + sum of check messages, held in
             # the wider APP accumulator format.
             accumulator = channel.astype(
-                np.int64 if config.is_fixed_point else np.float64
-            ).copy()
-            for pos, idx in enumerate(self._gather_indices):
-                sl = self._lambda_slices[pos]
-                flat = accumulator[:, idx.reshape(-1)]
-                flat += lam[:, sl, :].reshape(lam.shape[0], -1)
-                accumulator[:, idx.reshape(-1)] = flat
+                np.int64 if config.is_fixed_point else dtype, copy=True
+            )
+            for pos, flat in enumerate(plan.flat_indices):
+                sl = plan.lambda_slices[pos]
+                accumulator[:, flat] += lam[:, sl, :].reshape(lam.shape[0], -1)
             if config.is_fixed_point:
                 l_total = config.app_qformat.saturate(accumulator)
             else:
@@ -157,7 +169,11 @@ class FloodingDecoder:
         if converged.ndim == 0:
             converged = converged[None]
         llr_out = (
-            config.qformat.dequantize(out_llr) if config.is_fixed_point else out_llr
+            config.qformat.dequantize(out_llr)
+            if config.is_fixed_point
+            # Always report float64 LLRs even when the backend worked in
+            # a narrower dtype.
+            else out_llr.astype(np.float64, copy=False)
         )
         return DecodeResult(
             bits=bits,

@@ -9,10 +9,15 @@ One full iteration processes the ``j`` layers in sequence; for each layer:
    kernel (the z parallel SISO decoders); ``L_n' = λ_mn + Λ_mn'``;
 3. **Write back** the updated ``L`` and ``Λ``.
 
-The implementation is vectorized across the batch *and* the ``z`` parallel
-check rows of each layer — the same data parallelism the hardware exploits
-with its ``z`` SISO cores — so a layer update is a handful of numpy ops on
-``(B, d_l, z)`` arrays.
+The code structure is compiled once into a
+:class:`~repro.decoder.plan.DecodePlan` (flat int32 gather/scatter
+tables — the software analogue of the chip's shift/address ROMs) and the
+per-layer arithmetic is delegated to a pluggable backend
+(:mod:`repro.decoder.backends`) selected via ``DecoderConfig(backend=...)``
+or the ``REPRO_DECODER_BACKEND`` environment variable.  All backends are
+vectorized across the batch *and* the ``z`` parallel check rows of each
+layer — the same data parallelism the hardware exploits with its ``z``
+SISO cores.
 
 Float and fixed-point datapaths share this module; the difference is the
 dtype, the kernel, and saturating vs clipped arithmetic.
@@ -24,9 +29,9 @@ import numpy as np
 
 from repro.codes.qc import QCLDPCCode
 from repro.decoder.api import DecodeResult, DecoderConfig
+from repro.decoder.backends import make_backend
 from repro.decoder.early_termination import make_early_termination
-from repro.decoder.siso import make_checknode_kernel
-from repro.errors import DecoderConfigError
+from repro.decoder.plan import DecodePlan
 
 
 class LayeredDecoder:
@@ -55,37 +60,8 @@ class LayeredDecoder:
     def __init__(self, code: QCLDPCCode, config: DecoderConfig | None = None):
         self.code = code
         self.config = config if config is not None else DecoderConfig()
-        self.kernel = make_checknode_kernel(self.config)
-        self._layer_order = self._resolve_layer_order()
-        self._gather_indices: list[np.ndarray] = []
-        self._lambda_slices: list[slice] = []
-        offset = 0
-        z = code.z
-        row_index = np.arange(z)
-        for layer in self._layer_order:
-            blocks = code.layer_tables[layer]
-            idx = np.stack(
-                [
-                    block.column * z + (row_index + block.shift) % z
-                    for block in blocks
-                ]
-            )
-            self._gather_indices.append(idx)
-            self._lambda_slices.append(slice(offset, offset + len(blocks)))
-            offset += len(blocks)
-        self._total_blocks = offset
-
-    def _resolve_layer_order(self) -> tuple[int, ...]:
-        order = self.config.layer_order
-        if order is None:
-            return tuple(range(self.code.base.j))
-        order = tuple(int(layer) for layer in order)
-        if sorted(order) != list(range(self.code.base.j)):
-            raise DecoderConfigError(
-                f"layer_order {order} is not a permutation of "
-                f"0..{self.code.base.j - 1}"
-            )
-        return order
+        self.plan = DecodePlan(code, self.config.layer_order)
+        self.backend = make_backend(self.plan, self.config)
 
     # ------------------------------------------------------------------
     # Input conditioning
@@ -113,39 +89,17 @@ class LayeredDecoder:
             )
         return working, single
 
-    # ------------------------------------------------------------------
-    # Layer update
-    # ------------------------------------------------------------------
-    def _update_layer(
-        self, l_messages: np.ndarray, lambdas: np.ndarray, layer_pos: int
-    ) -> None:
-        """One sub-iteration (paper Fig. 2) in place."""
-        idx = self._gather_indices[layer_pos]
-        sl = self._lambda_slices[layer_pos]
-        gathered = l_messages[:, idx]  # (B, d, z), APP format
-        if self.config.is_fixed_point:
-            # λ enters the SISO through the narrow message port; the APP
-            # write-back uses the wider accumulator format.
-            lam_new = self.config.qformat.saturate(
-                gathered.astype(np.int64) - lambdas[:, sl, :]
-            )
-            lambda_new = self.kernel(lam_new)
-            l_messages[:, idx] = self.config.app_qformat.saturate(
-                lam_new.astype(np.int64) + lambda_new
-            )
-        else:
-            lam_new = np.clip(
-                gathered - lambdas[:, sl, :],
-                -self.config.llr_clip,
-                self.config.llr_clip,
-            )
-            lambda_new = self.kernel(lam_new)
-            l_messages[:, idx] = np.clip(
-                lam_new + lambda_new,
-                -self.config.effective_app_clip,
-                self.config.effective_app_clip,
-            )
-        lambdas[:, sl, :] = lambda_new
+    def _empty_result(self) -> DecodeResult:
+        """A well-formed result for a (0, N) batch."""
+        return DecodeResult.empty(
+            self.code.n,
+            self.code.n_info,
+            history=(
+                {"active_frames": [], "mean_abs_llr": [], "stopped": []}
+                if self.config.track_history
+                else None
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Main decode loop
@@ -158,18 +112,25 @@ class LayeredDecoder:
         channel_llr:
             ``(N,)`` or ``(B, N)`` channel LLRs.  Floats are quantized
             automatically when the decoder is fixed-point; integer inputs
-            are interpreted as raw datapath values.
+            are interpreted as raw datapath values.  A ``(0, N)`` batch
+            returns an empty :class:`DecodeResult`.
 
         Returns
         -------
         DecodeResult
-            Final LLRs are always reported in LLR units.
+            Final LLRs are always reported in LLR units.  Single-frame
+            inputs keep batch-first shapes (index ``[0]``).
         """
         config = self.config
-        l_active, single = self._prepare_llrs(channel_llr)
+        l_active, _ = self._prepare_llrs(channel_llr)
         batch = l_active.shape[0]
-        dtype = np.int32 if config.is_fixed_point else np.float64
-        lam_active = np.zeros((batch, self._total_blocks, self.code.z), dtype=dtype)
+        if batch == 0:
+            return self._empty_result()
+        dtype = self.backend.work_dtype
+        l_active = l_active.astype(dtype, copy=False)
+        lam_active = np.zeros(
+            (batch, self.plan.total_blocks, self.code.z), dtype=dtype
+        )
 
         threshold = config.et_threshold
         if config.is_fixed_point:
@@ -189,9 +150,11 @@ class LayeredDecoder:
             else None
         )
 
+        backend = self.backend
+        num_layers = self.plan.num_layers
         for iteration in range(1, config.max_iterations + 1):
-            for layer_pos in range(len(self._gather_indices)):
-                self._update_layer(l_active, lam_active, layer_pos)
+            for layer_pos in range(num_layers):
+                backend.update_layer(l_active, lam_active, layer_pos)
 
             if monitor is not None and iteration < config.max_iterations:
                 stop_mask = monitor.update(l_active)
@@ -226,9 +189,11 @@ class LayeredDecoder:
         llr_out = (
             config.qformat.dequantize(out_llr)
             if config.is_fixed_point
-            else out_llr
+            # Always report float64 LLRs even when the backend worked in
+            # a narrower dtype.
+            else out_llr.astype(np.float64, copy=False)
         )
-        result = DecodeResult(
+        return DecodeResult(
             bits=bits,
             llr=llr_out,
             iterations=iterations,
@@ -237,8 +202,3 @@ class LayeredDecoder:
             n_info=self.code.n_info,
             history=history,
         )
-        if single:
-            # Keep batch-first shapes but callers decoding one frame can
-            # index [0]; nothing to squeeze to preserve a uniform API.
-            pass
-        return result

@@ -1,0 +1,177 @@
+"""Compiled decode plans: the software analogue of the chip's shift ROMs.
+
+The hardware reaches its throughput because nothing about the code
+structure is recomputed at run time: the controller walks precomputed
+shift/address ROMs and the datapath streams messages through them.  A
+:class:`DecodePlan` plays the same role here — it compiles a
+:class:`~repro.codes.qc.QCLDPCCode` (plus an optional layer permutation)
+once into flat ``int32`` gather/scatter index arrays, per-layer degree
+tables, and a pool of reusable working buffers.  Decoders build a plan at
+construction and every backend (see :mod:`repro.decoder.backends`)
+executes against it, so the per-call cost is pure arithmetic.
+
+Index convention (mirrors :attr:`QCLDPCCode.H`): the block at layer ``l``,
+column ``c`` with shift ``x`` connects check row ``r`` of the layer to
+variable ``c * z + (r + x) % z``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.qc import QCLDPCCode
+from repro.errors import DecoderConfigError
+
+
+def resolve_layer_order(
+    code: QCLDPCCode, layer_order: tuple[int, ...] | None
+) -> tuple[int, ...]:
+    """Validate a layer permutation (natural order when ``None``)."""
+    if layer_order is None:
+        return tuple(range(code.base.j))
+    order = tuple(int(layer) for layer in layer_order)
+    if sorted(order) != list(range(code.base.j)):
+        raise DecoderConfigError(
+            f"layer_order {order} is not a permutation of "
+            f"0..{code.base.j - 1}"
+        )
+    return order
+
+
+class DecodePlan:
+    """Precompiled gather/scatter schedule for one code + layer order.
+
+    Attributes
+    ----------
+    gather_indices:
+        Per processed layer, an ``(d_l, z)`` int32 array of the variable
+        indices the layer reads (and writes back).
+    flat_indices:
+        The same indices flattened to ``(d_l * z,)`` — the form the
+        backends use for single-shot ``take``/scatter.
+    lambda_slices:
+        Per layer, the slice of the packed ``(B, total_blocks, z)``
+        check-message memory that belongs to it.
+    layer_degrees:
+        ``(num_layers,)`` check degrees ``d_l``.
+    degree_buckets:
+        ``degree -> [layer positions]`` — layers a backend may batch
+        together because they share a message shape.
+    total_blocks:
+        Total non-zero blocks over all layers (the Λ memory depth).
+    """
+
+    def __init__(self, code: QCLDPCCode, layer_order: tuple[int, ...] | None = None):
+        self.code = code
+        self.layer_order = resolve_layer_order(code, layer_order)
+        z = code.z
+        row_index = np.arange(z)
+        gather: list[np.ndarray] = []
+        flat: list[np.ndarray] = []
+        ranges: list[list[tuple[int, int]]] = []
+        slices: list[slice] = []
+        degrees: list[int] = []
+        offset = 0
+        for layer in self.layer_order:
+            blocks = code.layer_tables[layer]
+            idx = np.stack(
+                [
+                    block.column * z + (row_index + block.shift) % z
+                    for block in blocks
+                ]
+            ).astype(np.int32)
+            gather.append(idx)
+            flat.append(np.ascontiguousarray(idx.reshape(-1)))
+            ranges.append(
+                [(int(block.column) * z, int(block.shift)) for block in blocks]
+            )
+            slices.append(slice(offset, offset + len(blocks)))
+            degrees.append(len(blocks))
+            offset += len(blocks)
+        self.gather_indices = gather
+        self.flat_indices = flat
+        #: Per layer, ``(column_start, shift)`` pairs: block ``i`` reads
+        #: (and writes) the cyclic rotation by ``shift`` of the APP range
+        #: ``[column_start, column_start + z)`` — two contiguous slice
+        #: copies, the software form of the chip's circular shifter.
+        self.block_ranges = ranges
+        self.lambda_slices = slices
+        self.layer_degrees = np.asarray(degrees, dtype=np.int32)
+        self.total_blocks = offset
+        self.num_layers = len(gather)
+        self.z = z
+        self.n = code.n
+        self.degree_buckets: dict[int, list[int]] = {}
+        for pos, degree in enumerate(degrees):
+            self.degree_buckets.setdefault(degree, []).append(pos)
+        self._scratch: dict[tuple, np.ndarray] = {}
+
+    def scratch(self, key: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """A reusable working buffer for one backend stage.
+
+        Keyed by ``(key, shape, dtype)`` so stages that alternate between
+        layer degrees (or see the batch shrink under early termination)
+        don't thrash a single slot; contents are unspecified on return.
+
+        Buffers are shared mutable state: a plan (and therefore any
+        decoder/backend built on it) must not be used from multiple
+        threads concurrently.  Build one decoder per thread instead —
+        construction is cheap and the heavy tables are derived
+        deterministically.
+        """
+        slot = (key, shape, np.dtype(dtype))
+        buffer = self._scratch.get(slot)
+        if buffer is None:
+            if len(self._scratch) >= 64:
+                # Batch compaction under early termination can produce
+                # many distinct shapes; bound the pool instead of growing
+                # without limit.
+                self._scratch.clear()
+            buffer = np.empty(shape, dtype=dtype)
+            self._scratch[slot] = buffer
+        return buffer
+
+    def validate(self) -> None:
+        """Re-derive every index from ``code.layer_tables`` and compare.
+
+        Raises
+        ------
+        DecoderConfigError
+            If any compiled table disagrees with the code structure.
+        """
+        z = self.code.z
+        row_index = np.arange(z)
+        offset = 0
+        for pos, layer in enumerate(self.layer_order):
+            blocks = self.code.layer_tables[layer]
+            expected = np.stack(
+                [
+                    block.column * z + (row_index + block.shift) % z
+                    for block in blocks
+                ]
+            )
+            if not np.array_equal(self.gather_indices[pos], expected):
+                raise DecoderConfigError(
+                    f"plan gather table for layer {layer} disagrees with "
+                    f"code.layer_tables"
+                )
+            if not np.array_equal(
+                self.flat_indices[pos], expected.reshape(-1)
+            ):
+                raise DecoderConfigError(
+                    f"plan flat table for layer {layer} disagrees with "
+                    f"code.layer_tables"
+                )
+            if self.lambda_slices[pos] != slice(offset, offset + len(blocks)):
+                raise DecoderConfigError(
+                    f"plan lambda slice for layer {layer} is misaligned"
+                )
+            offset += len(blocks)
+        if offset != self.total_blocks:
+            raise DecoderConfigError("plan total_blocks is inconsistent")
+
+    def __repr__(self) -> str:
+        return (
+            f"DecodePlan(code={self.code.name!r}, layers={self.num_layers}, "
+            f"blocks={self.total_blocks}, z={self.z})"
+        )

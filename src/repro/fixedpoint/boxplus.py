@@ -89,6 +89,33 @@ def boxplus_reduce(
     return total
 
 
+def phi_transform(
+    x: np.ndarray, pole: float = 1e-12, out: np.ndarray | None = None
+) -> np.ndarray:
+    """The check-node transform ``Φ(x) = -log(tanh(x/2))`` (x >= 0).
+
+    Φ is a self-inverse involution, which turns the whole ⊞ fold into a
+    single sum: ``⊞_j λ_j = Π sign(λ_j) · Φ(Σ Φ(|λ_j|))`` — the "tanh
+    rule".  Computed as ``log1p(2 / expm1(x))``, which degrades
+    gracefully at both ends: ``expm1`` overflow gives ``Φ = 0`` (total
+    certainty) and the ``x -> 0`` pole is frozen at ``Φ(pole)``.
+
+    Preserves the input dtype (float32 stays float32), so a backend can
+    run the transform in single precision for bandwidth.  ``out`` (same
+    shape/dtype as ``x``) makes the evaluation allocation-free; it may
+    alias ``x``.
+    """
+    x = np.asarray(x)
+    if out is None:
+        out = np.empty_like(x)
+    np.maximum(x, x.dtype.type(pole), out=out)
+    with np.errstate(over="ignore"):
+        np.expm1(out, out=out)
+        np.divide(2.0, out, out=out)
+        np.log1p(out, out=out)
+    return out
+
+
 class FixedBoxOps:
     """Integer ⊞ / ⊟ with 3-bit LUT corrections (hardware-faithful).
 
@@ -111,6 +138,19 @@ class FixedBoxOps:
     def boxplus_identity(self) -> int:
         """Raw integer acting as the ⊞ identity (strongest belief)."""
         return self.qformat.max_int
+
+    def flat_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """Direct-index (f, g) tables covering every reachable raw sum.
+
+        ``|a| + |b|`` never exceeds ``2 * max_int`` for saturated inputs,
+        so both tables span ``0..2 * max_int`` and a backend can replace
+        :meth:`~repro.fixedpoint.lut.CorrectionLUT.lookup` with one gather.
+        """
+        max_raw = 2 * self.qformat.max_int
+        return (
+            self.lut_plus.flat_table(max_raw),
+            self.lut_minus.flat_table(max_raw),
+        )
 
     def _combine(
         self, a: np.ndarray, b: np.ndarray, lut: CorrectionLUT

@@ -83,6 +83,21 @@ class CorrectionLUT:
         out = np.where(index >= LUT_SIZE, 0, self.table[np.minimum(index, LUT_SIZE - 1)])
         return out.astype(np.int32)
 
+    def flat_table(self, max_raw: int) -> np.ndarray:
+        """Direct-index expansion of :meth:`lookup` over ``0..max_raw``.
+
+        ``flat_table(m)[x] == lookup(x)`` for every raw input in range —
+        the form a streaming backend wants (one gather, no branching).
+        ``max_raw`` is typically ``2 * qformat.max_int``, the largest
+        ``|a| + |b|`` the ⊞/⊟ units can see.
+        """
+        if max_raw < 0:
+            raise ValueError("max_raw must be non-negative")
+        out = np.zeros(max_raw + 1, dtype=np.int32)
+        covered = min(LUT_SIZE, max_raw + 1)
+        out[:covered] = self.table[:covered]
+        return out
+
     def exact(self, x: np.ndarray) -> np.ndarray:
         """The exact (float) correction, for quantization-error studies."""
         x = np.asarray(x, dtype=np.float64)

@@ -1,0 +1,374 @@
+"""Backend registry + cross-backend equivalence tests.
+
+Contracts verified here:
+
+- fixed-point outputs (hard bits, raw LLRs, iteration counts) are
+  **bit-identical** across ``reference`` and ``fast`` (and ``numba``
+  when importable) on every registered standard;
+- the fast float Φ-domain kernel (exclusive prefix/suffix Φ-sums, no
+  cancelling subtraction) matches the reference kernel per call on the
+  operating range |λ| <= 20: float64 ``fast_exact`` to atol 1e-6,
+  default float32 to atol 1e-4 in the decision region (|Λ| <= 5) and
+  1e-3 relative overall (measured ~2e-7; headroom for platform libm
+  differences) — and tracks the reference hard decisions end to end on
+  the test workloads.  At *saturated* checks (messages railed at the
+  clip) the implementations intentionally differ: the reference's ⊟
+  pole rails the weakest-edge extrinsic to the clip, while the Φ form
+  returns the exact finite extrinsic (float32 additionally caps it near
+  88, its representable Φ ceiling); signs always agree;
+- non-BP check-node variants delegate to the identical reference
+  kernels;
+- registry selection: explicit names, ``auto`` + environment override,
+  unknown-name errors, unavailable-backend fallback.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ber import BERSimulator
+from repro.codes import get_code
+from repro.decoder import (
+    BPSumSubKernel,
+    DecodePlan,
+    DecoderConfig,
+    FloodingDecoder,
+    LayeredDecoder,
+    available_backends,
+    registered_backends,
+    resolve_backend_name,
+)
+from repro.decoder.backends import ENV_BACKEND
+from repro.decoder.backends.fast import FastBackend
+from repro.decoder.backends.reference import ReferenceBackend
+from repro.encoder import make_encoder
+from repro.errors import DecoderConfigError
+from repro.fixedpoint import QFormat
+from tests.conftest import make_noisy_llrs
+
+#: One small mode per supported standard (DMB-T has a single z).
+STANDARD_MODES = ["802.16e:1/2:z24", "802.11n:1/2:z27", "DMB-T:0.4:z127"]
+
+#: Documented float tolerances of the fast Φ kernel per call, on the
+#: operating range |λ| <= 20 (see module docstring).
+ATOL_FAST_EXACT = 1e-6
+ATOL_FAST_F32_DECISION = 1e-4
+RTOL_FAST_F32 = 1e-3
+
+
+def decode_pair(code, llr, config_kwargs, backends=("reference", "fast")):
+    results = []
+    for backend in backends:
+        config = DecoderConfig(backend=backend, **config_kwargs)
+        results.append(LayeredDecoder(code, config).decode(llr))
+    return results
+
+
+class TestRegistry:
+    def test_reference_and_fast_always_available(self):
+        assert "reference" in available_backends()
+        assert "fast" in available_backends()
+        assert set(available_backends()) <= set(registered_backends())
+
+    def test_auto_defaults_to_reference(self, monkeypatch):
+        monkeypatch.delenv(ENV_BACKEND, raising=False)
+        assert resolve_backend_name("auto") == "reference"
+        assert resolve_backend_name(None) == "reference"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "fast")
+        assert resolve_backend_name("auto") == "fast"
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "fast")
+        assert resolve_backend_name("reference") == "reference"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(DecoderConfigError):
+            resolve_backend_name("gpu")
+
+    def test_unknown_backend_raises_at_decoder_construction(self, small_code):
+        with pytest.raises(DecoderConfigError):
+            LayeredDecoder(small_code, DecoderConfig(backend="gpu"))
+
+    @pytest.mark.skipif(
+        "numba" in available_backends(), reason="numba installed"
+    )
+    def test_unavailable_numba_falls_back_to_fast(self, small_code):
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            decoder = LayeredDecoder(small_code, DecoderConfig(backend="numba"))
+        assert isinstance(decoder.backend, FastBackend)
+
+    def test_decoder_uses_selected_backend(self, small_code):
+        ref = LayeredDecoder(small_code, DecoderConfig(backend="reference"))
+        fast = LayeredDecoder(small_code, DecoderConfig(backend="fast"))
+        assert isinstance(ref.backend, ReferenceBackend)
+        assert isinstance(fast.backend, FastBackend)
+
+
+@pytest.mark.parametrize("mode", STANDARD_MODES)
+class TestFixedPointBitExact:
+    def _workload(self, mode, frames=8, seed=303):
+        code = get_code(mode)
+        encoder = make_encoder(code)
+        _, _, llr = make_noisy_llrs(code, encoder, 3.0, frames, seed)
+        return code, llr
+
+    def _assert_identical(self, a, b):
+        assert np.array_equal(a.bits, b.bits)
+        assert np.array_equal(a.llr, b.llr)
+        assert np.array_equal(a.iterations, b.iterations)
+        assert np.array_equal(a.et_stopped, b.et_stopped)
+
+    def test_layered_bit_identical(self, mode):
+        code, llr = self._workload(mode)
+        ref, fast = decode_pair(
+            code, llr, dict(qformat=QFormat(8, 2), max_iterations=4)
+        )
+        self._assert_identical(ref, fast)
+
+    def test_layered_bit_identical_wide_format(self, mode):
+        # Q12.4 exceeds PAIR_TABLE_MAX_BITS: exercises the flat-table fold.
+        code, llr = self._workload(mode, frames=4)
+        ref, fast = decode_pair(
+            code, llr, dict(qformat=QFormat(12, 4), max_iterations=3)
+        )
+        self._assert_identical(ref, fast)
+
+    def test_flooding_bit_identical(self, mode):
+        code, llr = self._workload(mode, frames=4)
+        results = []
+        for backend in ("reference", "fast"):
+            config = DecoderConfig(
+                backend=backend, qformat=QFormat(8, 2), max_iterations=3
+            )
+            results.append(FloodingDecoder(code, config).decode(llr))
+        self._assert_identical(*results)
+
+    def test_numba_layered_bit_identical(self, mode):
+        pytest.importorskip("numba")
+        code, llr = self._workload(mode)
+        ref, nb = decode_pair(
+            code,
+            llr,
+            dict(qformat=QFormat(8, 2), max_iterations=4),
+            backends=("reference", "numba"),
+        )
+        self._assert_identical(ref, nb)
+
+
+class TestFloatEquivalence:
+    def test_fast_exact_kernel_atol(self, rng):
+        config = DecoderConfig(backend="fast", fast_exact=True)
+        backend = FastBackend(DecodePlan(get_code("802.16e:1/2:z24")), config)
+        reference = BPSumSubKernel(config.llr_clip)
+        for degree in (2, 3, 7, 20):
+            lam = rng.uniform(-20, 20, size=(4, degree, 24))
+            delta = np.abs(reference(lam) - backend._kernel(lam))
+            assert delta.max() < ATOL_FAST_EXACT
+
+    def test_fast_f32_kernel_atol(self, rng):
+        config = DecoderConfig(backend="fast")
+        backend = FastBackend(DecodePlan(get_code("802.16e:1/2:z24")), config)
+        reference = BPSumSubKernel(config.llr_clip)
+        for degree in (2, 3, 7, 20):
+            lam = rng.uniform(-20, 20, size=(4, degree, 24))
+            out = backend._kernel(lam.astype(np.float32))
+            assert out.dtype == np.float32
+            expected = reference(lam)
+            delta = np.abs(expected - out.astype(np.float64))
+            decision_region = np.abs(expected) <= 5.0
+            if decision_region.any():
+                assert delta[decision_region].max() < ATOL_FAST_F32_DECISION
+            assert (delta / (1.0 + np.abs(expected))).max() < RTOL_FAST_F32
+            assert np.array_equal(np.sign(expected), np.sign(out))
+
+    def test_fast_decodes_clean_exactly(self, small_code, small_encoder, rng):
+        info, codewords = small_encoder.random_codewords(5, rng)
+        llr = 8.0 * (1.0 - 2.0 * codewords.astype(np.float64))
+        for kwargs in (dict(), dict(fast_exact=True)):
+            result = LayeredDecoder(
+                small_code, DecoderConfig(backend="fast", **kwargs)
+            ).decode(llr)
+            assert result.bit_errors(info) == 0
+            assert result.convergence_rate == 1.0
+
+    def test_fast_tracks_reference_decisions(self, small_code, small_encoder):
+        info, _, llr = make_noisy_llrs(small_code, small_encoder, 3.0, 60, 404)
+        ref, fast = decode_pair(small_code, llr, dict())
+        agreement = np.mean(ref.bits == fast.bits)
+        assert agreement > 0.999
+        assert abs(ref.frame_errors(info) - fast.frame_errors(info)) <= 2
+
+    def test_fast_exact_tracks_reference_decisions(
+        self, small_code, small_encoder
+    ):
+        info, _, llr = make_noisy_llrs(small_code, small_encoder, 3.0, 40, 405)
+        ref, fast = decode_pair(small_code, llr, dict(fast_exact=True))
+        assert np.array_equal(ref.bits, fast.bits)
+        assert np.array_equal(ref.iterations, fast.iterations)
+
+    def test_zero_message_erasure_matches_reference(self, rng):
+        # sign(0) = 0 propagates through the reference ⊞/⊟ recursion: one
+        # exactly-zero message zeroes the whole check.  The Φ kernels
+        # reproduce that.
+        code = get_code("802.16e:1/2:z24")
+        reference = BPSumSubKernel(256.0)
+        for kwargs in (dict(), dict(fast_exact=True)):
+            backend = FastBackend(
+                DecodePlan(code), DecoderConfig(backend="fast", **kwargs)
+            )
+            lam = rng.uniform(-10, 10, size=(3, 5, 8))
+            lam[0, 2, 4] = 0.0
+            lam[2, :, 1] = 0.0
+            out = backend._kernel(lam.astype(backend.work_dtype))
+            expected = reference(lam)
+            assert np.array_equal(out[0, :, 4], np.zeros(5))
+            assert np.array_equal(out[2, :, 1], np.zeros(5))
+            assert np.array_equal(
+                np.sign(expected), np.sign(out.astype(np.float64))
+            )
+
+    def test_float_llr_output_is_float64(self, small_code, small_encoder):
+        _, _, llr = make_noisy_llrs(small_code, small_encoder, 3.0, 3, 406)
+        result = LayeredDecoder(
+            small_code, DecoderConfig(backend="fast")
+        ).decode(llr)
+        assert result.llr.dtype == np.float64
+
+    @pytest.mark.parametrize(
+        "check_node", ["minsum", "normalized-minsum", "linear-approx"]
+    )
+    def test_non_bp_kernels_identical(
+        self, small_code, small_encoder, check_node
+    ):
+        _, _, llr = make_noisy_llrs(small_code, small_encoder, 3.0, 10, 407)
+        ref, fast = decode_pair(
+            small_code, llr, dict(check_node=check_node, max_iterations=4)
+        )
+        assert np.array_equal(ref.bits, fast.bits)
+        np.testing.assert_allclose(ref.llr, fast.llr, atol=1e-12)
+
+    def test_forward_backward_identical(self, small_code, small_encoder):
+        _, _, llr = make_noisy_llrs(small_code, small_encoder, 3.0, 6, 408)
+        ref, fast = decode_pair(
+            small_code, llr, dict(bp_impl="forward-backward", max_iterations=3)
+        )
+        assert np.array_equal(ref.bits, fast.bits)
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("backend", ["reference", "fast"])
+    @pytest.mark.parametrize("qformat", [None, QFormat(8, 2)])
+    def test_empty_batch_layered(self, small_code, backend, qformat):
+        config = DecoderConfig(backend=backend, qformat=qformat)
+        result = LayeredDecoder(small_code, config).decode(
+            np.zeros((0, small_code.n))
+        )
+        assert result.batch_size == 0
+        assert result.bits.shape == (0, small_code.n)
+        assert result.iterations.shape == (0,)
+        assert result.converged.shape == (0,)
+        assert result.info_bits.shape == (0, small_code.n_info)
+
+    @pytest.mark.parametrize("backend", ["reference", "fast"])
+    def test_empty_batch_flooding(self, small_code, backend):
+        result = FloodingDecoder(
+            small_code, DecoderConfig(backend=backend)
+        ).decode(np.zeros((0, small_code.n)))
+        assert result.batch_size == 0
+
+    def test_single_frame_fast(self, small_code, small_encoder, rng):
+        info, codewords = small_encoder.random_codewords(1, rng)
+        llr = 8.0 * (1.0 - 2.0 * codewords[0].astype(np.float64))
+        result = LayeredDecoder(
+            small_code, DecoderConfig(backend="fast")
+        ).decode(llr)
+        assert result.batch_size == 1
+        assert bool(result.converged[0])
+
+    def test_batch_equals_single_fast(self, small_code, small_encoder):
+        _, _, llr = make_noisy_llrs(small_code, small_encoder, 2.0, 4, 409)
+        decoder = LayeredDecoder(small_code, DecoderConfig(backend="fast"))
+        batch = decoder.decode(llr)
+        for i in range(4):
+            single = decoder.decode(llr[i])
+            assert np.array_equal(single.bits[0], batch.bits[i])
+            assert single.iterations[0] == batch.iterations[i]
+
+
+class TestNumbaJitArithmetic:
+    """The scalar kernels run uncompiled, so they are pinned down even on
+    machines without numba."""
+
+    def test_box_combine_scalar_matches_fixed_ops(self, rng):
+        from repro.decoder.backends.numba_jit import box_combine_scalar
+        from repro.fixedpoint.boxplus import FixedBoxOps
+
+        ops = FixedBoxOps(QFormat(8, 2))
+        m = ops.qformat.max_int
+        plus, minus = ops.flat_tables()
+        values = rng.integers(-m, m + 1, size=(200, 2))
+        for a, b in values:
+            assert box_combine_scalar(int(a), int(b), plus, m) == int(
+                ops.boxplus(np.array(a), np.array(b))
+            )
+            assert box_combine_scalar(int(a), int(b), minus, m) == int(
+                ops.boxminus(np.array(a), np.array(b))
+            )
+
+    def test_update_layer_fixed_matches_reference(self, tiny_code, rng):
+        from repro.decoder.backends.numba_jit import update_layer_fixed
+        from repro.fixedpoint.boxplus import FixedBoxOps
+
+        config = DecoderConfig(qformat=QFormat(8, 2), backend="reference")
+        plan = DecodePlan(tiny_code)
+        reference = ReferenceBackend(plan, config)
+        ops = FixedBoxOps(config.qformat)
+        plus, minus = ops.flat_tables()
+        app_max = config.app_qformat.max_int
+
+        batch = 3
+        l_ref = rng.integers(
+            -app_max, app_max + 1, size=(batch, tiny_code.n)
+        ).astype(np.int32)
+        lam_ref = rng.integers(
+            -127, 128, size=(batch, plan.total_blocks, tiny_code.z)
+        ).astype(np.int32)
+        l_jit, lam_jit = l_ref.copy(), lam_ref.copy()
+
+        for pos in range(plan.num_layers):
+            reference.update_layer(l_ref, lam_ref, pos)
+            sl = plan.lambda_slices[pos]
+            update_layer_fixed(
+                l_jit,
+                lam_jit,
+                plan.flat_indices[pos],
+                sl.start,
+                plus,
+                minus,
+                np.int32(127),
+                np.int32(app_max),
+                sl.stop - sl.start,
+                tiny_code.z,
+            )
+        assert np.array_equal(l_ref, l_jit)
+        assert np.array_equal(lam_ref, lam_jit)
+
+
+class TestBERSimulatorIntegration:
+    def test_backend_override_parameter(self, small_code):
+        sim = BERSimulator(small_code, seed=1, backend="fast")
+        assert sim.config.backend == "fast"
+        assert isinstance(sim.decoder.backend, FastBackend)
+        point = sim.run_point(3.0, max_frames=20, batch_size=10)
+        assert point.frames == 20
+
+    def test_fast_and_reference_statistics_close(self, small_code):
+        points = {}
+        for backend in ("reference", "fast"):
+            sim = BERSimulator(small_code, seed=5, backend=backend)
+            points[backend] = sim.run_point(3.0, max_frames=40, batch_size=20)
+        delta = abs(
+            points["reference"].frame_errors - points["fast"].frame_errors
+        )
+        assert delta <= 3

@@ -1,0 +1,111 @@
+"""Tests for the compiled decode plan (gather/scatter schedule)."""
+
+import numpy as np
+import pytest
+
+from repro.codes import get_code
+from repro.decoder import DecodePlan, resolve_layer_order
+from repro.errors import DecoderConfigError
+
+
+@pytest.fixture(scope="module", params=["802.16e:1/2:z24", "802.11n:1/2:z27"])
+def code(request):
+    return get_code(request.param)
+
+
+class TestGatherIndices:
+    def test_indices_match_layer_tables(self, code):
+        """The compiled tables must re-derive from QCLDPCCode.layer_tables."""
+        plan = DecodePlan(code)
+        z = code.z
+        rows = np.arange(z)
+        for pos, layer in enumerate(plan.layer_order):
+            blocks = code.layer_tables[layer]
+            expected = np.stack(
+                [block.column * z + (rows + block.shift) % z for block in blocks]
+            )
+            assert np.array_equal(plan.gather_indices[pos], expected)
+            assert np.array_equal(plan.flat_indices[pos], expected.reshape(-1))
+
+    def test_block_ranges_agree_with_gather(self, code):
+        """(start, shift) slice descriptors describe the same positions."""
+        plan = DecodePlan(code)
+        z = code.z
+        for pos in range(plan.num_layers):
+            for i, (start, shift) in enumerate(plan.block_ranges[pos]):
+                rotated = np.concatenate(
+                    [
+                        np.arange(start + shift, start + z),
+                        np.arange(start, start + shift),
+                    ]
+                )
+                assert np.array_equal(plan.gather_indices[pos][i], rotated)
+
+    def test_indices_unique_within_layer(self, code):
+        plan = DecodePlan(code)
+        for flat in plan.flat_indices:
+            assert len(np.unique(flat)) == flat.size
+
+    def test_int32_dtype(self, code):
+        plan = DecodePlan(code)
+        assert all(idx.dtype == np.int32 for idx in plan.gather_indices)
+        assert all(idx.dtype == np.int32 for idx in plan.flat_indices)
+
+    def test_validate_passes(self, code):
+        DecodePlan(code).validate()
+
+
+class TestLayout:
+    def test_lambda_slices_partition(self, code):
+        plan = DecodePlan(code)
+        expected_start = 0
+        for sl, degree in zip(plan.lambda_slices, plan.layer_degrees):
+            assert sl.start == expected_start
+            assert sl.stop - sl.start == degree
+            expected_start = sl.stop
+        assert expected_start == plan.total_blocks
+        assert plan.total_blocks == code.base.num_blocks
+
+    def test_degree_buckets_cover_all_layers(self, code):
+        plan = DecodePlan(code)
+        positions = sorted(
+            pos for bucket in plan.degree_buckets.values() for pos in bucket
+        )
+        assert positions == list(range(plan.num_layers))
+        for degree, bucket in plan.degree_buckets.items():
+            for pos in bucket:
+                assert plan.layer_degrees[pos] == degree
+
+
+class TestLayerOrder:
+    def test_custom_order_reorders_tables(self, code):
+        order = tuple(reversed(range(code.base.j)))
+        plan = DecodePlan(code, order)
+        natural = DecodePlan(code)
+        assert plan.layer_order == order
+        assert np.array_equal(
+            plan.gather_indices[0], natural.gather_indices[code.base.j - 1]
+        )
+        plan.validate()
+
+    def test_invalid_order_raises(self, code):
+        with pytest.raises(DecoderConfigError):
+            DecodePlan(code, (0, 0, 1))
+
+    def test_resolve_layer_order_natural(self, code):
+        assert resolve_layer_order(code, None) == tuple(range(code.base.j))
+
+
+class TestScratch:
+    def test_scratch_reuses_buffer(self, code):
+        plan = DecodePlan(code)
+        a = plan.scratch("x", (4, 8), np.int32)
+        b = plan.scratch("x", (4, 8), np.int32)
+        assert a is b
+
+    def test_scratch_distinct_per_key_shape_dtype(self, code):
+        plan = DecodePlan(code)
+        a = plan.scratch("x", (4, 8), np.int32)
+        assert plan.scratch("y", (4, 8), np.int32) is not a
+        assert plan.scratch("x", (4, 9), np.int32) is not a
+        assert plan.scratch("x", (4, 8), np.float64) is not a
