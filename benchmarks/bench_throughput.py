@@ -12,6 +12,17 @@ backend are bit-identical to the ``reference`` backend (hard bits, raw
 LLRs and iteration counts) — the correctness contract of the fast
 kernels — and records the float/fixed speedup ratios.
 
+Two further scenarios ride along and land in the same JSON:
+
+- **compaction** — frames/sec of the fast backend with active-frame
+  compaction on vs off, at operating points where the paper's early
+  termination actually fires (float datapath at 3.5 dB; the Q8.2
+  datapath needs ~7 dB before its min-|LLR| condition clears).  Asserts
+  the two modes are bit-identical and records the speedup.
+- **parallel_sweep** — a small Eb/N0 sweep through the serial
+  :class:`~repro.runtime.SweepEngine` vs a 2-worker process pool;
+  asserts the statistics match exactly and records both wall times.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py            # full
@@ -41,6 +52,7 @@ from repro.codes import get_code
 from repro.decoder import DecoderConfig, LayeredDecoder, available_backends
 from repro.encoder import make_encoder
 from repro.fixedpoint import QFormat
+from repro.runtime import SweepEngine
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 OUTPUT_PATH = REPO_ROOT / "BENCH_decoder.json"
@@ -137,6 +149,93 @@ def run_benchmark(frames: int, repeats: int) -> dict:
     return results
 
 
+#: Compaction scenarios: (mode, label, Eb/N0 dB, qformat) — operating
+#: points chosen so early termination retires most frames well before
+#: the 10-iteration budget (that tail is what compaction reclaims).
+COMPACTION_SCENARIOS = (
+    ("802.16e:1/2:z96", "float_wimax_n2304_3.5dB", 3.5, None),
+    ("802.16e:1/2:z24", "fixed_wimax_n576_7.0dB", 7.0, QFormat(8, 2)),
+)
+
+
+def run_compaction_benchmark(frames: int, repeats: int) -> dict:
+    """Frames/sec with the working batch compacted vs carried through."""
+    scenarios: dict = {}
+    for mode, label, ebn0_db, qformat in COMPACTION_SCENARIOS:
+        code = get_code(mode)
+        rng = np.random.default_rng(SEED)
+        encoder = make_encoder(code)
+        _, codewords = encoder.random_codewords(frames, rng)
+        llr = ChannelFrontend(
+            BPSKModulator(), AWGNChannel.from_ebn0(ebn0_db, code.rate, rng=rng)
+        ).run(codewords)
+        entry: dict = {"mode": mode, "ebn0_db": ebn0_db, "frames": frames}
+        outputs = {}
+        for compact in (True, False):
+            config = DecoderConfig(
+                backend="fast",
+                qformat=qformat,
+                max_iterations=10,
+                early_termination="paper",
+                compact_frames=compact,
+            )
+            seconds, result = time_decoder(
+                LayeredDecoder(code, config), llr, repeats
+            )
+            key = "compacted" if compact else "carried"
+            entry[f"{key}_ms"] = round(seconds * 1e3, 3)
+            entry[f"{key}_fps"] = round(frames / seconds, 1)
+            outputs[key] = result
+        entry["average_iterations"] = round(
+            outputs["compacted"].average_iterations, 3
+        )
+        entry["et_rate"] = round(
+            float(np.mean(outputs["compacted"].et_stopped)), 3
+        )
+        entry["compaction_speedup"] = round(
+            entry["carried_ms"] / entry["compacted_ms"], 2
+        )
+        entry["bit_identical"] = bool(
+            np.array_equal(outputs["compacted"].bits, outputs["carried"].bits)
+            and np.array_equal(
+                outputs["compacted"].llr, outputs["carried"].llr
+            )
+            and np.array_equal(
+                outputs["compacted"].iterations, outputs["carried"].iterations
+            )
+        )
+        scenarios[label] = entry
+    return scenarios
+
+
+def run_parallel_sweep_benchmark(frames: int) -> dict:
+    """Serial vs 2-worker SweepEngine on a small sweep; must match exactly."""
+    code = get_code("802.16e:1/2:z24")
+    ebn0 = [2.0, 3.0]
+    budget = dict(
+        max_frames=frames, min_frame_errors=frames + 1, batch_size=50
+    )
+    config = DecoderConfig(backend="fast")
+    timings: dict = {
+        "mode": code.name,
+        "ebn0_db": ebn0,
+        "frames_per_point": frames,
+    }
+    points = {}
+    for workers, key in ((0, "serial"), (2, "parallel2")):
+        engine = SweepEngine(code, config, seed=SEED, workers=workers)
+        start = time.perf_counter()
+        points[key] = engine.run(ebn0, **budget)
+        seconds = time.perf_counter() - start
+        timings[f"{key}_s"] = round(seconds, 3)
+        timings[f"{key}_fps"] = round(len(ebn0) * frames / seconds, 1)
+    timings["statistics_identical"] = bool(
+        [p.to_dict() for p in points["serial"]]
+        == [p.to_dict() for p in points["parallel2"]]
+    )
+    return timings
+
+
 def summarize(results: dict) -> str:
     table = Table(
         ["workload", "backend", "float Mbps", "fixed Mbps",
@@ -157,7 +256,37 @@ def summarize(results: dict) -> str:
                     str(entry.get(f"{backend}_fixed_bit_identical", "-")),
                 ]
             )
-    return table.render()
+    rendered = table.render()
+
+    compaction = results.get("compaction")
+    if compaction:
+        ctable = Table(
+            ["scenario", "avg iters", "ET rate", "carried fps",
+             "compacted fps", "speedup", "bit-identical"],
+            title="Active-frame compaction (fast backend, paper ET)",
+        )
+        for label, entry in compaction.items():
+            ctable.add_row(
+                [
+                    label,
+                    f"{entry['average_iterations']:.2f}",
+                    f"{entry['et_rate']:.2f}",
+                    f"{entry['carried_fps']:.0f}",
+                    f"{entry['compacted_fps']:.0f}",
+                    f"{entry['compaction_speedup']:.2f}x",
+                    str(entry["bit_identical"]),
+                ]
+            )
+        rendered += "\n" + ctable.render()
+    sweep = results.get("parallel_sweep")
+    if sweep:
+        rendered += (
+            f"\nparallel sweep ({sweep['frames_per_point']} frames/point, "
+            f"{len(sweep['ebn0_db'])} points): serial {sweep['serial_s']}s, "
+            f"2 workers {sweep['parallel2_s']}s, statistics identical: "
+            f"{sweep['statistics_identical']}"
+        )
+    return rendered
 
 
 def main(argv=None) -> int:
@@ -191,6 +320,10 @@ def main(argv=None) -> int:
     frames = 16 if args.smoke else args.frames
     repeats = 1 if args.smoke else args.repeats
     results = run_benchmark(frames, repeats)
+    results["compaction"] = run_compaction_benchmark(frames, repeats)
+    results["parallel_sweep"] = run_parallel_sweep_benchmark(
+        50 if args.smoke else 200
+    )
     print(summarize(results))
 
     failures = []
@@ -198,6 +331,11 @@ def main(argv=None) -> int:
         for key, value in entry.items():
             if key.endswith("_bit_identical") and value is not True:
                 failures.append(f"{label}: {key} = {value}")
+    for label, entry in results["compaction"].items():
+        if entry["bit_identical"] is not True:
+            failures.append(f"compaction/{label}: outputs differ")
+    if results["parallel_sweep"]["statistics_identical"] is not True:
+        failures.append("parallel_sweep: serial != parallel statistics")
     if args.check_speedup is not None:
         speedup = results["workloads"]["wimax_n2304"]["fast_fixed_speedup"]
         if speedup < args.check_speedup:

@@ -8,7 +8,11 @@ min-sum (comparison chip [3]'s class) and the linear approximation
 
 Usage::
 
-    python examples/ber_waterfall.py [frames_per_point]
+    python examples/ber_waterfall.py [frames_per_point] [workers]
+
+``workers >= 2`` shards each sweep's frame chunks across a process pool
+(`repro.runtime.SweepEngine`); the statistics are identical to a serial
+run.
 """
 
 import sys
@@ -28,7 +32,7 @@ ALGORITHMS = (
 EBN0_POINTS = (1.0, 1.5, 2.0, 2.5, 3.0)
 
 
-def main(frames: int = 400, seed: int = 11) -> None:
+def main(frames: int = 400, seed: int = 11, workers: int = 0) -> None:
     code = get_code("802.16e:1/2:z24")
     print(f"code: {code}\n")
 
@@ -41,6 +45,7 @@ def main(frames: int = 400, seed: int = 11) -> None:
             max_frames=frames,
             min_frame_errors=max(frames // 4, 30),
             batch_size=100,
+            workers=workers,
         )
 
     table = Table(
@@ -65,4 +70,5 @@ def main(frames: int = 400, seed: int = 11) -> None:
 
 if __name__ == "__main__":
     n = int(sys.argv[1]) if len(sys.argv) > 1 else 400
-    main(n)
+    w = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    main(n, workers=w)

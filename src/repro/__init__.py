@@ -44,6 +44,7 @@ from repro.decoder import (
 from repro.encoder import GenericEncoder, SystematicQCEncoder, make_encoder
 from repro.fixedpoint import QFormat
 from repro.power import PowerModel, chip_area_breakdown
+from repro.runtime import SweepEngine
 
 __version__ = "1.0.0"
 
@@ -60,6 +61,7 @@ __all__ = [
     "PowerModel",
     "QCLDPCCode",
     "QFormat",
+    "SweepEngine",
     "SystematicQCEncoder",
     "__version__",
     "chip_area_breakdown",

@@ -5,8 +5,12 @@ either an error budget or a frame budget is met per Eb/N0 point, and
 collects the statistics every experiment needs: BER, FER, average
 iterations (the Fig. 9a driver), convergence and ET rates.
 
-The harness is deterministic given a seed: per-SNR child RNG streams are
-spawned so results do not depend on the sweep order.
+The harness is deterministic given a seed and independent of sweep
+order: every (Eb/N0 point, frame chunk) draws from its own
+``np.random.SeedSequence`` child stream (see
+:mod:`repro.runtime.engine`, which also executes the same chunks across
+a process pool when ``run_sweep(workers=...)`` asks for it — parallel
+results are bit-identical to serial ones).
 """
 
 from __future__ import annotations
@@ -15,8 +19,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.channel.awgn import AWGNChannel
-from repro.channel.llr import ChannelFrontend
 from repro.channel.modulation import BPSKModulator
 from repro.codes.qc import QCLDPCCode
 from repro.decoder.api import DecoderConfig
@@ -24,7 +26,6 @@ from repro.decoder.flooding import FloodingDecoder
 from repro.decoder.layered import LayeredDecoder
 from repro.encoder import make_encoder
 from repro.errors import SimulationError
-from repro.utils.rng import spawn_rngs
 
 
 @dataclass
@@ -61,6 +62,77 @@ class SnrPoint:
     @property
     def et_rate(self) -> float:
         return self.et_frames / self.frames if self.frames else 0.0
+
+    # ------------------------------------------------------------------
+    # Exact reduction + serialization (the parallel-sweep contract)
+    # ------------------------------------------------------------------
+    def merge(self, other: "SnrPoint") -> "SnrPoint":
+        """Combine the statistics of two disjoint frame sets, exactly.
+
+        All counters are integer sums and the iteration total is a float
+        sum, so merging chunk statistics *in chunk order* reproduces the
+        serial accumulation bit for bit — the invariant the parallel
+        :class:`~repro.runtime.SweepEngine` relies on.  Both operands must
+        describe the same operating point.
+        """
+        if other.ebn0_db != self.ebn0_db:
+            raise ValueError(
+                f"cannot merge points at {self.ebn0_db} and {other.ebn0_db} dB"
+            )
+        info_bits = self.info_bits_per_frame or other.info_bits_per_frame
+        if (
+            other.info_bits_per_frame
+            and self.info_bits_per_frame
+            and other.info_bits_per_frame != self.info_bits_per_frame
+        ):
+            raise ValueError("cannot merge points of different codes")
+        hist = dict(self.iterations_hist)
+        for iters, count in other.iterations_hist.items():
+            hist[iters] = hist.get(iters, 0) + count
+        return SnrPoint(
+            ebn0_db=self.ebn0_db,
+            frames=self.frames + other.frames,
+            bit_errors=self.bit_errors + other.bit_errors,
+            frame_errors=self.frame_errors + other.frame_errors,
+            iterations_sum=self.iterations_sum + other.iterations_sum,
+            iterations_hist=hist,
+            converged_frames=self.converged_frames + other.converged_frames,
+            et_frames=self.et_frames + other.et_frames,
+            info_bits_per_frame=info_bits,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (checkpoint file format)."""
+        return {
+            "ebn0_db": self.ebn0_db,
+            "frames": self.frames,
+            "bit_errors": self.bit_errors,
+            "frame_errors": self.frame_errors,
+            "iterations_sum": self.iterations_sum,
+            "iterations_hist": {
+                str(k): v for k, v in sorted(self.iterations_hist.items())
+            },
+            "converged_frames": self.converged_frames,
+            "et_frames": self.et_frames,
+            "info_bits_per_frame": self.info_bits_per_frame,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SnrPoint":
+        """Inverse of :meth:`to_dict` (JSON string keys become ints)."""
+        return cls(
+            ebn0_db=float(data["ebn0_db"]),
+            frames=int(data["frames"]),
+            bit_errors=int(data["bit_errors"]),
+            frame_errors=int(data["frame_errors"]),
+            iterations_sum=float(data["iterations_sum"]),
+            iterations_hist={
+                int(k): int(v) for k, v in data["iterations_hist"].items()
+            },
+            converged_frames=int(data["converged_frames"]),
+            et_frames=int(data["et_frames"]),
+            info_bits_per_frame=int(data["info_bits_per_frame"]),
+        )
 
 
 class BERSimulator:
@@ -114,14 +186,26 @@ class BERSimulator:
             raise SimulationError(f"unknown schedule {schedule!r}")
         self.modulator = modulator if modulator is not None else BPSKModulator()
         self.encoder = make_encoder(code)
+        self.schedule = schedule
         self.seed = seed
 
-    def _point_rng(self, ebn0_db: float) -> np.random.Generator:
-        # Derive a unique, order-independent stream per SNR point.
-        key = int(np.float64(ebn0_db).view(np.uint64)) % (2**31)
-        children = spawn_rngs(self.seed, 2)
-        mixed = int(children[0].integers(0, 2**31)) ^ key
-        return np.random.default_rng(mixed)
+    def _engine(self, workers: int = 0, checkpoint_path=None):
+        # Deferred import: repro.runtime.engine imports SnrPoint from
+        # this module.  The serial engine reuses this simulator's decoder
+        # and encoder so repeated calls pay plan compilation once.
+        from repro.runtime.engine import SweepEngine
+
+        return SweepEngine(
+            self.code,
+            self.config,
+            schedule=self.schedule,
+            modulator=self.modulator,
+            seed=self.seed,
+            workers=workers,
+            checkpoint_path=checkpoint_path,
+            decoder=self.decoder,
+            encoder=self.encoder,
+        )
 
     def run_point(
         self,
@@ -133,35 +217,15 @@ class BERSimulator:
         """Simulate one Eb/N0 point.
 
         Stops after ``min_frame_errors`` frame errors or ``max_frames``
-        frames, whichever comes first.
+        frames, whichever comes first (the error budget is checked every
+        ``batch_size`` frames).
         """
-        if max_frames < 1 or batch_size < 1:
-            raise SimulationError("max_frames and batch_size must be >= 1")
-        rng = self._point_rng(ebn0_db)
-        channel = AWGNChannel.from_ebn0(
-            ebn0_db, self.code.rate, self.modulator.bits_per_symbol, rng=rng
+        return self._engine().run_point(
+            float(ebn0_db),
+            max_frames=max_frames,
+            min_frame_errors=min_frame_errors,
+            batch_size=batch_size,
         )
-        frontend = ChannelFrontend(self.modulator, channel)
-        point = SnrPoint(ebn0_db=ebn0_db, info_bits_per_frame=self.code.n_info)
-
-        while point.frames < max_frames and point.frame_errors < min_frame_errors:
-            batch = min(batch_size, max_frames - point.frames)
-            info, codewords = self.encoder.random_codewords(batch, rng)
-            llr = frontend.run(codewords)
-            result = self.decoder.decode(llr)
-
-            point.frames += batch
-            point.bit_errors += result.bit_errors(info)
-            point.frame_errors += result.frame_errors(info)
-            point.iterations_sum += float(np.sum(result.iterations))
-            point.converged_frames += int(np.count_nonzero(result.converged))
-            point.et_frames += int(np.count_nonzero(result.et_stopped))
-            values, counts = np.unique(result.iterations, return_counts=True)
-            for v, c in zip(values, counts):
-                point.iterations_hist[int(v)] = (
-                    point.iterations_hist.get(int(v), 0) + int(c)
-                )
-        return point
 
     def run_sweep(
         self,
@@ -169,14 +233,25 @@ class BERSimulator:
         max_frames: int = 1000,
         min_frame_errors: int = 50,
         batch_size: int = 100,
+        workers: int = 0,
+        checkpoint_path=None,
     ) -> list[SnrPoint]:
-        """Simulate a list of Eb/N0 points (independent streams each)."""
-        return [
-            self.run_point(
-                float(ebn0),
-                max_frames=max_frames,
-                min_frame_errors=min_frame_errors,
-                batch_size=batch_size,
-            )
-            for ebn0 in ebn0_list
-        ]
+        """Simulate a list of Eb/N0 points (independent streams each).
+
+        Parameters
+        ----------
+        workers:
+            ``0``/``1`` runs serially in-process; ``>= 2`` shards frame
+            chunks across a process pool of that size via
+            :class:`~repro.runtime.SweepEngine`.  Results are identical
+            either way.
+        checkpoint_path:
+            Optional JSON checkpoint for resume-after-interrupt (see
+            :class:`~repro.runtime.SweepCheckpoint`).
+        """
+        return self._engine(workers=workers, checkpoint_path=checkpoint_path).run(
+            [float(ebn0) for ebn0 in ebn0_list],
+            max_frames=max_frames,
+            min_frame_errors=min_frame_errors,
+            batch_size=batch_size,
+        )

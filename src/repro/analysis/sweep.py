@@ -3,6 +3,9 @@
 A sweep maps a list of parameter values through a runner callable,
 collects per-value result dicts, and renders them as a table.  Runners
 are plain callables so every experiment stays import-light and testable.
+Fan-out is delegated to :func:`repro.runtime.map_ordered`, so a sweep
+can run its values on a thread pool (``workers >= 2``) without changing
+the collected order.
 """
 
 from __future__ import annotations
@@ -10,6 +13,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 
+from repro.runtime.parallel import map_ordered
 from repro.utils.tables import Table
 
 
@@ -37,6 +41,7 @@ def run_sweep(
     parameter: str,
     values: Iterable,
     runner: Callable[[object], dict],
+    workers: int = 0,
 ) -> SweepResult:
     """Run ``runner(value)`` for each value and collect the result dicts.
 
@@ -48,14 +53,25 @@ def run_sweep(
         Parameter values.
     runner:
         Callable returning a flat dict of metrics for one value.
+    workers:
+        ``0``/``1`` runs the values serially; ``>= 2`` fans them out on a
+        thread pool of that size (see
+        :func:`repro.runtime.map_ordered`).  Runners must then be
+        thread-safe — in particular, build any decoder *inside* the
+        runner rather than sharing one across calls.  Row order always
+        matches ``values``.
     """
     values = tuple(values)
-    rows = []
-    for value in values:
+
+    def checked(value):
+        # Validate inside the mapped callable so a bad runner fails fast
+        # (serial mode stops at the first bad value, not after the sweep).
         row = runner(value)
         if not isinstance(row, dict):
             raise TypeError(
                 f"sweep runner must return a dict, got {type(row).__name__}"
             )
-        rows.append(row)
+        return row
+
+    rows = map_ordered(checked, values, workers=workers)
     return SweepResult(parameter=parameter, values=values, rows=tuple(rows))

@@ -33,11 +33,13 @@ from repro.decoder.backends import (
     resolve_backend_name,
 )
 from repro.decoder.bitflipping import GallagerBDecoder
+from repro.decoder.compaction import ActiveFrameSet
 from repro.decoder.early_termination import (
     CombinedEarlyTermination,
     PaperEarlyTermination,
     SyndromeEarlyTermination,
     make_early_termination,
+    make_monitor,
 )
 from repro.decoder.flooding import FloodingDecoder
 from repro.decoder.layered import LayeredDecoder
@@ -53,6 +55,7 @@ from repro.decoder.siso import (
 )
 
 __all__ = [
+    "ActiveFrameSet",
     "BP_IMPLEMENTATIONS",
     "BPForwardBackwardKernel",
     "BPSumSubKernel",
@@ -79,6 +82,7 @@ __all__ = [
     "make_backend",
     "make_checknode_kernel",
     "make_early_termination",
+    "make_monitor",
     "register_backend",
     "registered_backends",
     "resolve_backend_name",

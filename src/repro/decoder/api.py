@@ -94,6 +94,17 @@ class DecoderConfig:
     track_history:
         Record per-iteration diagnostics (syndrome weight, min |LLR|,
         bit flips) in ``DecodeResult.history``.
+    compact_frames:
+        Active-frame compaction (default on): frames that early-terminate
+        are scattered out of the working batch each iteration, so the
+        per-iteration kernel cost tracks the number of *surviving* frames
+        (the average-iteration economics of paper §IV) instead of the
+        batch size.  ``False`` keeps retired frames in the working batch
+        until every frame has stopped — the carry-through baseline the
+        compaction speedup is measured against.  Because every kernel is
+        elementwise along the batch axis, the two modes are bit-identical
+        in all outputs (asserted by ``tests/test_backend_properties.py``);
+        only the work per iteration differs.
     backend:
         Which execution backend runs the compiled decode plan (see
         :mod:`repro.decoder.backends`): ``"reference"`` (the seed
@@ -137,6 +148,7 @@ class DecoderConfig:
     app_extra_bits: int = 2
     app_clip: float | None = None
     track_history: bool = False
+    compact_frames: bool = True
     backend: str = "auto"
     fast_exact: bool = False
 

@@ -13,6 +13,18 @@ Every backend implements two entry points against a
   (gather, ``λ = L - Λ``, check kernel, ``L' = λ + Λ'`` scatter);
 - :meth:`compute_check` — the bare check-node kernel on already-formed
   variable-to-check messages (the flooding check phase).
+
+**Batch contract.** The leading (batch) dimension is owned by the
+decoder and *shrinks between calls* under active-frame compaction
+(``DecoderConfig(compact_frames=True)``, the default): frames whose
+early-termination rule fired are scattered out of the working arrays
+after each full iteration.  Backends must therefore size every kernel
+invocation from the arrays they are handed — never cache the batch size
+at construction — and must be elementwise along the batch axis, so that
+removing a row cannot perturb any surviving row's arithmetic (this is
+what makes compacted and uncompacted decodes bit-identical).  Per-call
+working buffers should come from :meth:`DecodePlan.scratch`, whose
+leading dimension is a capacity: shrinking batches reuse one allocation.
 """
 
 from __future__ import annotations

@@ -13,7 +13,17 @@ two-condition rule instead.
 
 All monitors are batch-first and stateful: call :meth:`update` once per
 full iteration with the current APP LLRs of the still-active frames (and
-keep the frame indexing consistent via :meth:`compact`).
+keep the frame indexing consistent via :meth:`compact`).  Under
+active-frame compaction (``DecoderConfig(compact_frames=True)``) the
+retirement bookkeeping
+(:meth:`~repro.decoder.compaction.ActiveFrameSet.retire`) calls
+:meth:`compact` with the iteration's ``keep`` mask so the monitor state
+shrinks with the working batch; without compaction the monitors simply
+keep seeing the full batch every iteration.
+
+Decoders build monitors through :func:`make_monitor`, which derives the
+threshold (rescaled to raw datapath units in fixed point) and the initial
+hard decisions from the prepared channel LLRs.
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.codes.qc import QCLDPCCode
+from repro.decoder.api import DecoderConfig
 
 
 class PaperEarlyTermination:
@@ -106,6 +117,42 @@ class CombinedEarlyTermination:
     def compact(self, keep: np.ndarray) -> None:
         for monitor in self.monitors:
             monitor.compact(keep)
+
+
+def make_monitor(
+    config: DecoderConfig,
+    code: QCLDPCCode,
+    working_llr: np.ndarray,
+):
+    """Build the configured monitor from the prepared channel LLRs.
+
+    Centralizes the two details both schedules need: the ET threshold is
+    configured in LLR units but compared against raw datapath values in
+    fixed point, and the paper rule needs the pre-iteration hard
+    decisions of the information bits.
+
+    Parameters
+    ----------
+    config:
+        The decoder configuration (``early_termination``, ``et_threshold``
+        and the datapath format are consulted).
+    code:
+        The code under decode.
+    working_llr:
+        ``(B, N)`` channel LLRs *after* input conditioning — raw integers
+        for the fixed-point datapath, clipped floats otherwise.
+
+    Returns
+    -------
+    A monitor object or ``None`` for ``early_termination="none"``.
+    """
+    threshold = config.et_threshold
+    if config.is_fixed_point:
+        threshold = float(np.rint(threshold * config.qformat.scale))
+    initial_hard = (working_llr[:, : code.n_info] < 0).astype(np.uint8)
+    return make_early_termination(
+        config.early_termination, code, threshold, initial_hard
+    )
 
 
 def make_early_termination(

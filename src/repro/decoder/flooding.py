@@ -21,7 +21,8 @@ import numpy as np
 from repro.codes.qc import QCLDPCCode
 from repro.decoder.api import DecodeResult, DecoderConfig
 from repro.decoder.backends import make_backend
-from repro.decoder.early_termination import make_early_termination
+from repro.decoder.compaction import ActiveFrameSet
+from repro.decoder.early_termination import make_monitor
 from repro.decoder.plan import DecodePlan
 
 
@@ -70,18 +71,10 @@ class FloodingDecoder:
         l_total = channel.copy()
         lam = np.zeros((batch, plan.total_blocks, self.code.z), dtype=dtype)
 
-        threshold = config.et_threshold
-        if config.is_fixed_point:
-            threshold = float(np.rint(threshold * config.qformat.scale))
-        initial_hard = (channel[:, : self.code.n_info] < 0).astype(np.uint8)
-        monitor = make_early_termination(
-            config.early_termination, self.code, threshold, initial_hard
+        monitor = make_monitor(config, self.code, channel)
+        frames = ActiveFrameSet(
+            batch, self.code.n, channel.dtype, compact=config.compact_frames
         )
-
-        out_llr = np.zeros_like(channel)
-        iterations = np.zeros(batch, dtype=np.int64)
-        et_stopped = np.zeros(batch, dtype=bool)
-        active_ids = np.arange(batch)
 
         z = self.code.z
         for iteration in range(1, config.max_iterations + 1):
@@ -149,21 +142,14 @@ class FloodingDecoder:
             if iteration == config.max_iterations:
                 stop_mask[:] = True
 
-            if stop_mask.any():
-                retiring = active_ids[stop_mask]
-                out_llr[retiring] = l_total[stop_mask]
-                iterations[retiring] = iteration
-                et_stopped[retiring] = iteration < config.max_iterations
-                keep = ~stop_mask
-                active_ids = active_ids[keep]
-                l_total = l_total[keep]
-                lam = lam[keep]
-                channel = channel[keep]
-                if monitor is not None:
-                    monitor.compact(keep)
-            if active_ids.size == 0:
+            l_total, lam, channel = frames.retire(
+                stop_mask, l_total, iteration, config.max_iterations,
+                extra=(lam, channel), monitor=monitor,
+            )
+            if frames.all_done:
                 break
 
+        out_llr = frames.out_llr
         bits = (out_llr < 0).astype(np.uint8)
         converged = np.asarray(self.code.is_codeword(bits))
         if converged.ndim == 0:
@@ -178,8 +164,8 @@ class FloodingDecoder:
         return DecodeResult(
             bits=bits,
             llr=llr_out,
-            iterations=iterations,
+            iterations=frames.iterations,
             converged=converged,
-            et_stopped=et_stopped,
+            et_stopped=frames.et_stopped,
             n_info=self.code.n_info,
         )

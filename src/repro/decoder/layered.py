@@ -30,7 +30,8 @@ import numpy as np
 from repro.codes.qc import QCLDPCCode
 from repro.decoder.api import DecodeResult, DecoderConfig
 from repro.decoder.backends import make_backend
-from repro.decoder.early_termination import make_early_termination
+from repro.decoder.compaction import ActiveFrameSet
+from repro.decoder.early_termination import make_monitor
 from repro.decoder.plan import DecodePlan
 
 
@@ -132,18 +133,10 @@ class LayeredDecoder:
             (batch, self.plan.total_blocks, self.code.z), dtype=dtype
         )
 
-        threshold = config.et_threshold
-        if config.is_fixed_point:
-            threshold = float(np.rint(threshold * config.qformat.scale))
-        initial_hard = (l_active[:, : self.code.n_info] < 0).astype(np.uint8)
-        monitor = make_early_termination(
-            config.early_termination, self.code, threshold, initial_hard
+        monitor = make_monitor(config, self.code, l_active)
+        frames = ActiveFrameSet(
+            batch, self.code.n, dtype, compact=config.compact_frames
         )
-
-        out_llr = np.zeros((batch, self.code.n), dtype=dtype)
-        iterations = np.zeros(batch, dtype=np.int64)
-        et_stopped = np.zeros(batch, dtype=bool)
-        active_ids = np.arange(batch)
         history: dict | None = (
             {"active_frames": [], "mean_abs_llr": [], "stopped": []}
             if config.track_history
@@ -164,24 +157,21 @@ class LayeredDecoder:
                 stop_mask[:] = True
 
             if history is not None:
-                history["active_frames"].append(int(l_active.shape[0]))
-                history["mean_abs_llr"].append(float(np.mean(np.abs(l_active))))
-                history["stopped"].append(int(np.count_nonzero(stop_mask)))
+                logical = frames.active_rows(l_active)
+                history["active_frames"].append(frames.num_active)
+                history["mean_abs_llr"].append(float(np.mean(np.abs(logical))))
 
-            if stop_mask.any():
-                retiring = active_ids[stop_mask]
-                out_llr[retiring] = l_active[stop_mask]
-                iterations[retiring] = iteration
-                et_stopped[retiring] = iteration < config.max_iterations
-                keep = ~stop_mask
-                active_ids = active_ids[keep]
-                l_active = l_active[keep]
-                lam_active = lam_active[keep]
-                if monitor is not None:
-                    monitor.compact(keep)
-            if active_ids.size == 0:
+            before = frames.num_active
+            l_active, lam_active = frames.retire(
+                stop_mask, l_active, iteration, config.max_iterations,
+                extra=(lam_active,), monitor=monitor,
+            )
+            if history is not None:
+                history["stopped"].append(before - frames.num_active)
+            if frames.all_done:
                 break
 
+        out_llr = frames.out_llr
         bits = (out_llr < 0).astype(np.uint8)
         converged = np.asarray(self.code.is_codeword(bits))
         if converged.ndim == 0:
@@ -196,9 +186,9 @@ class LayeredDecoder:
         return DecodeResult(
             bits=bits,
             llr=llr_out,
-            iterations=iterations,
+            iterations=frames.iterations,
             converged=converged,
-            et_stopped=et_stopped,
+            et_stopped=frames.et_stopped,
             n_info=self.code.n_info,
             history=history,
         )

@@ -109,9 +109,14 @@ class DecodePlan:
     def scratch(self, key: str, shape: tuple[int, ...], dtype) -> np.ndarray:
         """A reusable working buffer for one backend stage.
 
-        Keyed by ``(key, shape, dtype)`` so stages that alternate between
-        layer degrees (or see the batch shrink under early termination)
-        don't thrash a single slot; contents are unspecified on return.
+        The leading dimension is treated as a *capacity*: buffers are
+        keyed by ``(key, shape[1:], dtype)`` and sized to the largest
+        leading dimension requested so far, and a prefix view is returned.
+        Active-frame compaction shrinks the batch monotonically within a
+        decode, so every per-iteration request after the first is served
+        from the same allocation instead of minting (and thrashing) one
+        slot per surviving batch size.  Contents are unspecified on
+        return; the returned prefix view is C-contiguous.
 
         Buffers are shared mutable state: a plan (and therefore any
         decoder/backend built on it) must not be used from multiple
@@ -119,17 +124,12 @@ class DecodePlan:
         construction is cheap and the heavy tables are derived
         deterministically.
         """
-        slot = (key, shape, np.dtype(dtype))
+        slot = (key, shape[1:], np.dtype(dtype))
         buffer = self._scratch.get(slot)
-        if buffer is None:
-            if len(self._scratch) >= 64:
-                # Batch compaction under early termination can produce
-                # many distinct shapes; bound the pool instead of growing
-                # without limit.
-                self._scratch.clear()
+        if buffer is None or buffer.shape[0] < shape[0]:
             buffer = np.empty(shape, dtype=dtype)
             self._scratch[slot] = buffer
-        return buffer
+        return buffer[: shape[0]]
 
     def validate(self) -> None:
         """Re-derive every index from ``code.layer_tables`` and compare.

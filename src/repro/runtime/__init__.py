@@ -1,0 +1,39 @@
+"""Execution runtime: parallel sweep sharding, checkpointing, pooling.
+
+The decoding core (:mod:`repro.decoder`) is single-threaded by design —
+one compiled plan, one working batch.  Scaling to production Monte-Carlo
+volumes happens here instead:
+
+- :class:`SweepEngine` shards (point, chunk) work items across a process
+  pool with deterministic per-chunk RNG streams and exact ordered
+  reduction — a parallel sweep reproduces the serial one bit for bit;
+- :class:`SweepCheckpoint` persists finished chunks as JSON for
+  resume-after-interrupt;
+- :func:`map_ordered` is the light thread-pool fan-out used by the
+  generic :func:`repro.analysis.sweep.run_sweep`.
+"""
+
+from repro.runtime.checkpoint import SweepCheckpoint, chunk_key
+from repro.runtime.engine import (
+    SCHEDULES,
+    SweepEngine,
+    chunk_rng,
+    chunk_seed_sequence,
+    decode_chunk,
+    plan_chunks,
+    point_key,
+)
+from repro.runtime.parallel import map_ordered
+
+__all__ = [
+    "SCHEDULES",
+    "SweepCheckpoint",
+    "SweepEngine",
+    "chunk_key",
+    "chunk_rng",
+    "chunk_seed_sequence",
+    "decode_chunk",
+    "map_ordered",
+    "plan_chunks",
+    "point_key",
+]

@@ -1,0 +1,120 @@
+"""JSON checkpoint/resume for long Monte-Carlo sweeps.
+
+A sweep is a deterministic function of its parameters: the
+:class:`~repro.runtime.engine.SweepEngine` derives every chunk's RNG
+stream from ``(seed, point, chunk)``, so a chunk's statistics can be
+computed once, written to disk, and reused verbatim on resume.  The
+checkpoint file stores exactly that — one
+:class:`~repro.analysis.ber.SnrPoint` snapshot per completed chunk —
+plus a fingerprint of the sweep parameters so a stale file cannot be
+silently merged into a different sweep.
+
+File format (version 1)::
+
+    {
+      "version": 1,
+      "fingerprint": {"seed": ..., "code": ..., "config": ..., ...},
+      "chunks": {"p0:c0": {<SnrPoint.to_dict()>}, ...}
+    }
+
+Writes are atomic (temp file + ``os.replace``) so an interrupted run
+never leaves a truncated checkpoint behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.analysis.ber import SnrPoint
+from repro.errors import SimulationError
+
+#: Current checkpoint file schema version.
+CHECKPOINT_VERSION = 1
+
+
+def chunk_key(ebn0_db: float, chunk_index: int) -> str:
+    """Stable identifier of one (point, chunk) work item.
+
+    Keyed on the point's ``repr`` (an exact float round-trip in Python 3)
+    rather than its position in the sweep list, so a checkpoint written
+    for ``[1.0, 2.0]`` is reusable when the sweep is extended to
+    ``[1.0, 1.5, 2.0, 2.5]``.
+    """
+    return f"e{float(ebn0_db)!r}:c{chunk_index}"
+
+
+class SweepCheckpoint:
+    """Chunk-granular result store backed by one JSON file.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file location; created on the first :meth:`store`.
+    fingerprint:
+        JSON-serializable dict identifying the sweep (seed, code, decoder
+        configuration, budgets...).  An existing file whose fingerprint
+        differs raises :class:`~repro.errors.SimulationError` — resuming
+        a different sweep would silently corrupt the statistics.
+    """
+
+    def __init__(self, path: "str | Path", fingerprint: dict):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._chunks: dict[str, SnrPoint] = {}
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SimulationError(
+                f"unreadable sweep checkpoint {self.path}: {exc}"
+            ) from exc
+        if data.get("version") != CHECKPOINT_VERSION:
+            raise SimulationError(
+                f"checkpoint {self.path} has version {data.get('version')!r}; "
+                f"expected {CHECKPOINT_VERSION}"
+            )
+        stored = data.get("fingerprint")
+        if stored != self.fingerprint:
+            raise SimulationError(
+                f"checkpoint {self.path} belongs to a different sweep "
+                f"(stored fingerprint {stored!r} != current "
+                f"{self.fingerprint!r}); delete it or point the engine at "
+                f"a fresh path"
+            )
+        self._chunks = {
+            key: SnrPoint.from_dict(entry)
+            for key, entry in data.get("chunks", {}).items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def get(self, key: str) -> SnrPoint | None:
+        """The stored chunk statistics, or ``None`` if not computed yet."""
+        return self._chunks.get(key)
+
+    def store(self, key: str, point: SnrPoint, flush: bool = True) -> None:
+        """Record one chunk result (and by default persist immediately)."""
+        self._chunks[key] = point
+        if flush:
+            self.flush()
+
+    def flush(self) -> None:
+        """Atomically write the current state to :attr:`path`."""
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": self.fingerprint,
+            "chunks": {
+                key: point.to_dict()
+                for key, point in sorted(self._chunks.items())
+            },
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, self.path)

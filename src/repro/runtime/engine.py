@@ -1,0 +1,497 @@
+"""Parallel Monte-Carlo sweep engine.
+
+The Fig. 9/Table 3 exhibits and every BER waterfall are Monte-Carlo
+sweeps: (code, decoder config, Eb/N0 grid, frame budget).  The seed
+harness walked the grid serially on one core.  This module shards that
+work into **chunks** — ``(Eb/N0 point, chunk index, frame count)`` work
+items — and executes them either in-process or across a
+:class:`concurrent.futures.ProcessPoolExecutor`, with three invariants
+that make the parallelism invisible in the results:
+
+1. **Deterministic child streams.**  Every chunk draws from
+   ``np.random.SeedSequence(seed, spawn_key=(point_key, chunk))`` where
+   ``point_key`` is the Eb/N0 value's own 64-bit pattern.  Chunk streams
+   are therefore independent by SeedSequence's spawning guarantees, a
+   chunk's data does not depend on which worker runs it or when, and a
+   point's statistics do not depend on its position in the sweep list.
+2. **Exact reduction.**  Chunk statistics combine through
+   :meth:`~repro.analysis.ber.SnrPoint.merge` (integer sums plus one
+   float total) *in chunk order*, so a parallel run reproduces the
+   serial run bit for bit.  The early-stop budget (``min_frame_errors``)
+   is applied at chunk granularity during the reduction: chunk ``c``
+   counts iff the merged statistics of chunks ``0..c-1`` are still under
+   budget — exactly the serial semantics.  Parallel workers may compute
+   a few chunks beyond the stop speculatively; those results are simply
+   not merged.
+3. **Checkpoint/resume.**  With ``checkpoint_path`` set, every finished
+   chunk is persisted as JSON (see
+   :class:`~repro.runtime.checkpoint.SweepCheckpoint`); an interrupted
+   sweep resumes from the completed chunks, and a finished checkpoint
+   replays with zero decoding work.
+
+:class:`~repro.analysis.ber.BERSimulator` delegates ``run_point`` /
+``run_sweep`` here, so the serial API and the parallel engine share one
+code path by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.ber import SnrPoint
+from repro.channel.awgn import AWGNChannel
+from repro.channel.llr import ChannelFrontend
+from repro.channel.modulation import BPSKModulator
+from repro.codes.qc import QCLDPCCode
+from repro.decoder.api import DecoderConfig
+from repro.decoder.flooding import FloodingDecoder
+from repro.decoder.layered import LayeredDecoder
+from repro.encoder import make_encoder
+from repro.errors import SimulationError
+from repro.runtime.checkpoint import SweepCheckpoint, chunk_key
+
+#: Decode schedules the engine can build in a worker process.
+SCHEDULES = {"layered": LayeredDecoder, "flooding": FloodingDecoder}
+
+#: Chunk results buffered between checkpoint writes.  Each flush
+#: rewrites the whole JSON file, so flushing per chunk would make long
+#: checkpointed sweeps quadratic in serialization; batching keeps the
+#: cost linear while bounding work lost to a crash to this many chunks.
+CHECKPOINT_FLUSH_EVERY = 16
+
+
+# ---------------------------------------------------------------------------
+# Deterministic chunk streams
+# ---------------------------------------------------------------------------
+def point_key(ebn0_db: float) -> int:
+    """Order-independent integer identity of one Eb/N0 operating point.
+
+    The float's own 64-bit pattern: exact, collision-free, and stable
+    whether the point is simulated alone, first, or last in a sweep.
+    """
+    return int(np.float64(ebn0_db).view(np.uint64))
+
+
+def chunk_seed_sequence(
+    seed: int, ebn0_db: float, chunk_index: int
+) -> np.random.SeedSequence:
+    """The :class:`~numpy.random.SeedSequence` of one work item.
+
+    Replaces the seed harness's ad-hoc float-bit/modulo seed mixing:
+    spawn keys give provably independent streams for every
+    ``(seed, point, chunk)`` triple, which is what makes speculative
+    parallel execution statistically safe.
+    """
+    if chunk_index < 0:
+        raise ValueError("chunk_index must be non-negative")
+    return np.random.SeedSequence(
+        seed, spawn_key=(point_key(ebn0_db), chunk_index)
+    )
+
+
+def chunk_rng(seed: int, ebn0_db: float, chunk_index: int) -> np.random.Generator:
+    """A fresh generator on the chunk's independent stream."""
+    return np.random.default_rng(chunk_seed_sequence(seed, ebn0_db, chunk_index))
+
+
+def plan_chunks(max_frames: int, chunk_frames: int) -> list[int]:
+    """Split a frame budget into chunk sizes (last chunk may be short)."""
+    if max_frames < 1 or chunk_frames < 1:
+        raise SimulationError("max_frames and chunk_frames must be >= 1")
+    full, rest = divmod(max_frames, chunk_frames)
+    return [chunk_frames] * full + ([rest] if rest else [])
+
+
+# ---------------------------------------------------------------------------
+# Chunk execution
+# ---------------------------------------------------------------------------
+def decode_chunk(
+    decoder,
+    encoder,
+    modulator,
+    seed: int,
+    ebn0_db: float,
+    chunk_index: int,
+    frames: int,
+    batch_size: int,
+) -> SnrPoint:
+    """Simulate one chunk: encode → modulate → AWGN → decode → count.
+
+    Runs exactly ``frames`` frames in batches of ``batch_size`` on the
+    chunk's own RNG stream; the error budget is *not* consulted here
+    (that happens in the ordered reduction, see module docstring).
+    """
+    code = decoder.code
+    rng = chunk_rng(seed, ebn0_db, chunk_index)
+    channel = AWGNChannel.from_ebn0(
+        ebn0_db, code.rate, modulator.bits_per_symbol, rng=rng
+    )
+    frontend = ChannelFrontend(modulator, channel)
+    point = SnrPoint(ebn0_db=ebn0_db, info_bits_per_frame=code.n_info)
+    done = 0
+    while done < frames:
+        batch = min(batch_size, frames - done)
+        info, codewords = encoder.random_codewords(batch, rng)
+        result = decoder.decode(frontend.run(codewords))
+        done += batch
+
+        point.frames += batch
+        point.bit_errors += result.bit_errors(info)
+        point.frame_errors += result.frame_errors(info)
+        point.iterations_sum += float(np.sum(result.iterations))
+        point.converged_frames += int(np.count_nonzero(result.converged))
+        point.et_frames += int(np.count_nonzero(result.et_stopped))
+        values, counts = np.unique(result.iterations, return_counts=True)
+        for v, c in zip(values, counts):
+            point.iterations_hist[int(v)] = (
+                point.iterations_hist.get(int(v), 0) + int(c)
+            )
+    return point
+
+
+#: Per-worker-process (decoder, encoder) cache: chunk payloads of one
+#: sweep all share a structural key, so each worker compiles the decode
+#: plan and the encoder's elimination exactly once.
+_PROCESS_CACHE: dict[str, tuple] = {}
+
+
+def _chunk_worker(payload: dict) -> dict:
+    """Process-pool entry point: build (or reuse) the decoder, run one chunk."""
+    key = payload["cache_key"]
+    cached = _PROCESS_CACHE.get(key)
+    if cached is None:
+        decoder_cls = SCHEDULES[payload["schedule"]]
+        decoder = decoder_cls(payload["code"], payload["config"])
+        encoder = make_encoder(payload["code"])
+        _PROCESS_CACHE.clear()
+        _PROCESS_CACHE[key] = (decoder, encoder)
+        cached = (decoder, encoder)
+    decoder, encoder = cached
+    point = decode_chunk(
+        decoder,
+        encoder,
+        payload["modulator"],
+        payload["seed"],
+        payload["ebn0_db"],
+        payload["chunk_index"],
+        payload["frames"],
+        payload["batch_size"],
+    )
+    return point.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+class SweepEngine:
+    """Sharded Monte-Carlo sweep executor (see module docstring).
+
+    Parameters
+    ----------
+    code:
+        The LDPC code under test.
+    config:
+        Decoder configuration (paper defaults if omitted).
+    schedule:
+        ``"layered"`` (default) or ``"flooding"``.
+    modulator:
+        Defaults to BPSK.
+    seed:
+        Master seed; chunk streams derive from it via
+        :func:`chunk_seed_sequence`.
+    workers:
+        ``0``/``1`` executes chunks in-process (serial); ``>= 2`` runs a
+        process pool of that size.  The results are identical either way.
+    chunk_frames:
+        Frames per work item; defaults to the ``batch_size`` of each run,
+        which makes the serial engine check the error budget with the
+        same granularity as the seed harness did.  Larger chunks amortize
+        per-task overhead at the cost of coarser early stopping.
+    checkpoint_path:
+        Optional JSON checkpoint file (see
+        :class:`~repro.runtime.checkpoint.SweepCheckpoint`).
+    decoder, encoder:
+        Optional prebuilt decoder/encoder for in-process execution —
+        used by :class:`~repro.analysis.ber.BERSimulator` so repeated
+        serial calls reuse one compiled plan and one encoder
+        elimination.  Ignored by pool workers (they build and cache
+        their own).
+
+    Examples
+    --------
+    >>> from repro.codes import get_code
+    >>> engine = SweepEngine(get_code("802.16e:1/2:z24"), seed=1)
+    >>> [point] = engine.run([2.0], max_frames=20, batch_size=20)
+    >>> point.frames
+    20
+    """
+
+    def __init__(
+        self,
+        code: QCLDPCCode,
+        config: DecoderConfig | None = None,
+        schedule: str = "layered",
+        modulator=None,
+        seed: int = 0,
+        workers: int = 0,
+        chunk_frames: int | None = None,
+        checkpoint_path=None,
+        decoder=None,
+        encoder=None,
+    ):
+        if schedule not in SCHEDULES:
+            raise SimulationError(
+                f"unknown schedule {schedule!r}; valid: {tuple(SCHEDULES)}"
+            )
+        if workers < 0:
+            raise SimulationError("workers must be non-negative")
+        if chunk_frames is not None and chunk_frames < 1:
+            raise SimulationError("chunk_frames must be >= 1")
+        self.code = code
+        self.config = config if config is not None else DecoderConfig()
+        self.schedule = schedule
+        self.modulator = modulator if modulator is not None else BPSKModulator()
+        self.seed = seed
+        self.workers = workers
+        self.chunk_frames = chunk_frames
+        self.checkpoint_path = checkpoint_path
+        self._decoder = decoder
+        self._encoder = encoder
+        # Structural identity of (code, config, schedule): worker-side
+        # plan caching and the checkpoint fingerprint both key on it.
+        digest = hashlib.sha1()
+        digest.update(code.base.entries.tobytes())
+        digest.update(str(code.z).encode())
+        digest.update(repr(self.config).encode())
+        digest.update(schedule.encode())
+        digest.update(type(self.modulator).__name__.encode())
+        self._cache_key = digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Serial execution helpers
+    # ------------------------------------------------------------------
+    def _serial_decoder(self):
+        if self._decoder is None:
+            self._decoder = SCHEDULES[self.schedule](self.code, self.config)
+        return self._decoder
+
+    def _serial_encoder(self):
+        if self._encoder is None:
+            self._encoder = make_encoder(self.code)
+        return self._encoder
+
+    def _payload(self, ebn0_db, chunk_index, frames, batch_size) -> dict:
+        return {
+            "cache_key": self._cache_key,
+            "code": self.code,
+            "config": self.config,
+            "schedule": self.schedule,
+            "modulator": self.modulator,
+            "seed": self.seed,
+            "ebn0_db": ebn0_db,
+            "chunk_index": chunk_index,
+            "frames": frames,
+            "batch_size": batch_size,
+        }
+
+    def _make_checkpoint(
+        self, max_frames, min_frame_errors, batch_size, chunk_frames
+    ) -> SweepCheckpoint | None:
+        if self.checkpoint_path is None:
+            return None
+        fingerprint = {
+            "seed": self.seed,
+            "schedule": self.schedule,
+            "code": self._cache_key,
+            "code_name": self.code.name,
+            "config": repr(self.config),
+            "max_frames": max_frames,
+            "min_frame_errors": min_frame_errors,
+            "batch_size": batch_size,
+            "chunk_frames": chunk_frames,
+        }
+        return SweepCheckpoint(self.checkpoint_path, fingerprint)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run_point(
+        self,
+        ebn0_db: float,
+        max_frames: int = 1000,
+        min_frame_errors: int = 50,
+        batch_size: int = 100,
+    ) -> SnrPoint:
+        """Simulate one operating point (see :meth:`run`)."""
+        return self.run(
+            [ebn0_db],
+            max_frames=max_frames,
+            min_frame_errors=min_frame_errors,
+            batch_size=batch_size,
+        )[0]
+
+    def run(
+        self,
+        ebn0_list,
+        max_frames: int = 1000,
+        min_frame_errors: int = 50,
+        batch_size: int = 100,
+    ) -> list[SnrPoint]:
+        """Simulate a list of Eb/N0 points.
+
+        Each point stops after ``min_frame_errors`` frame errors (checked
+        at chunk granularity, in chunk order) or ``max_frames`` frames,
+        whichever comes first.  Statistics are independent of ``workers``
+        and of the point's position in ``ebn0_list``.
+        """
+        if max_frames < 1 or batch_size < 1:
+            raise SimulationError("max_frames and batch_size must be >= 1")
+        points = [float(ebn0) for ebn0 in ebn0_list]
+        chunk_frames = (
+            self.chunk_frames if self.chunk_frames is not None else batch_size
+        )
+        sizes = plan_chunks(max_frames, chunk_frames)
+        checkpoint = self._make_checkpoint(
+            max_frames, min_frame_errors, batch_size, chunk_frames
+        )
+        if self.workers >= 2:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                return self._run_parallel(
+                    pool, checkpoint, points, sizes, batch_size,
+                    max_frames, min_frame_errors,
+                )
+        return [
+            self._run_point_serial(
+                checkpoint, ebn0, sizes, batch_size,
+                max_frames, min_frame_errors,
+            )
+            for ebn0 in points
+        ]
+
+    def _empty_point(self, ebn0: float) -> SnrPoint:
+        return SnrPoint(ebn0_db=ebn0, info_bits_per_frame=self.code.n_info)
+
+    def _store(self, checkpoint, key: str, chunk: SnrPoint, unflushed: int) -> int:
+        """Buffered checkpoint write; returns the new unflushed count."""
+        checkpoint.store(key, chunk, flush=False)
+        unflushed += 1
+        if unflushed >= CHECKPOINT_FLUSH_EVERY:
+            checkpoint.flush()
+            unflushed = 0
+        return unflushed
+
+    @staticmethod
+    def _budget_hit(merged, max_frames: int, min_frame_errors: int) -> bool:
+        return (
+            merged.frames >= max_frames
+            or merged.frame_errors >= min_frame_errors
+        )
+
+    # ------------------------------------------------------------------
+    # Serial execution: plain ordered loop
+    # ------------------------------------------------------------------
+    def _run_point_serial(
+        self, checkpoint, ebn0, sizes, batch_size, max_frames, min_frame_errors
+    ) -> SnrPoint:
+        merged = self._empty_point(ebn0)
+        unflushed = 0
+        try:
+            for c, frames_c in enumerate(sizes):
+                if self._budget_hit(merged, max_frames, min_frame_errors):
+                    break
+                key = chunk_key(ebn0, c)
+                chunk = checkpoint.get(key) if checkpoint is not None else None
+                if chunk is None:
+                    chunk = decode_chunk(
+                        self._serial_decoder(), self._serial_encoder(),
+                        self.modulator, self.seed, ebn0, c, frames_c,
+                        batch_size,
+                    )
+                    if checkpoint is not None:
+                        unflushed = self._store(checkpoint, key, chunk, unflushed)
+                merged = merged.merge(chunk)
+        finally:
+            if checkpoint is not None and unflushed:
+                checkpoint.flush()
+        return merged
+
+    # ------------------------------------------------------------------
+    # Parallel execution: one pool shared by all points, speculative
+    # submission ahead of the ordered merge frontier
+    # ------------------------------------------------------------------
+    def _run_parallel(
+        self, pool, checkpoint, points, sizes, batch_size,
+        max_frames, min_frame_errors,
+    ) -> list[SnrPoint]:
+        # One flattened task list across all points keeps the pool
+        # saturated through point boundaries (points are independent, so
+        # point i+1's chunks can run while point i's merge drains).  The
+        # lookahead window bounds speculative work: an early budget stop
+        # wastes at most `window` chunks, and `finished` points are
+        # skipped by later submissions.
+        num_chunks = len(sizes)
+        tasks = [(ebn0, c) for ebn0 in points for c in range(num_chunks)]
+        window = 2 * self.workers
+        futures: dict[tuple, object] = {}
+        finished: set[float] = set()
+        cursor = 0
+        unflushed = 0
+
+        def submit_through(index: int) -> None:
+            nonlocal cursor
+            end = min(len(tasks), index + 1 + window)
+            while cursor < end:
+                ebn0_t, c_t = tasks[cursor]
+                cursor += 1
+                if ebn0_t in finished or (ebn0_t, c_t) in futures:
+                    continue
+                if (
+                    checkpoint is not None
+                    and checkpoint.get(chunk_key(ebn0_t, c_t)) is not None
+                ):
+                    continue
+                futures[(ebn0_t, c_t)] = pool.submit(
+                    _chunk_worker,
+                    self._payload(ebn0_t, c_t, sizes[c_t], batch_size),
+                )
+
+        results = []
+        try:
+            for pi, ebn0 in enumerate(points):
+                merged = self._empty_point(ebn0)
+                for c, frames_c in enumerate(sizes):
+                    if self._budget_hit(merged, max_frames, min_frame_errors):
+                        break
+                    submit_through(pi * num_chunks + c)
+                    key = chunk_key(ebn0, c)
+                    chunk = (
+                        checkpoint.get(key) if checkpoint is not None else None
+                    )
+                    if chunk is None:
+                        future = futures.pop((ebn0, c), None)
+                        if future is None:
+                            # Only reachable when the same Eb/N0 value
+                            # appears twice in one sweep (the first
+                            # occurrence consumed the future).
+                            future = pool.submit(
+                                _chunk_worker,
+                                self._payload(ebn0, c, frames_c, batch_size),
+                            )
+                        chunk = SnrPoint.from_dict(future.result())
+                        if checkpoint is not None:
+                            unflushed = self._store(
+                                checkpoint, key, chunk, unflushed
+                            )
+                    merged = merged.merge(chunk)
+                finished.add(ebn0)
+                results.append(merged)
+        finally:
+            for future in futures.values():
+                future.cancel()
+            if checkpoint is not None and unflushed:
+                checkpoint.flush()
+        return results

@@ -1,0 +1,42 @@
+"""Small ordered-parallelism helpers shared by the analysis layer.
+
+The heavy Monte-Carlo machinery lives in
+:mod:`repro.runtime.engine`; this module covers the lighter case of
+fanning arbitrary runner callables (closures included) over a value
+list.  Threads rather than processes: numpy kernels release the GIL, so
+decode-bound runners overlap, and closures need no pickling.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from concurrent.futures import ThreadPoolExecutor
+
+
+def map_ordered(
+    fn: Callable,
+    values: Iterable,
+    workers: int = 0,
+) -> list:
+    """Apply ``fn`` to every value, preserving input order in the output.
+
+    Parameters
+    ----------
+    fn:
+        Any callable; with ``workers >= 2`` it must be thread-safe.  In
+        particular, don't share one decoder across runners — a
+        :class:`~repro.decoder.plan.DecodePlan`'s scratch buffers are
+        single-threaded state; build a decoder per call instead.
+    values:
+        Input values (consumed eagerly).
+    workers:
+        ``0``/``1`` is a plain loop; ``>= 2`` uses a thread pool of that
+        size.  Output order equals input order either way, and an
+        exception from any call propagates (after all submitted calls
+        finish or fail).
+    """
+    items = list(values)
+    if workers < 2 or len(items) < 2:
+        return [fn(value) for value in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))

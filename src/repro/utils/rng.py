@@ -30,6 +30,12 @@ def spawn_rngs(seed: "int | np.random.Generator | None", count: int) -> list[np.
 
     Uses :class:`numpy.random.SeedSequence` spawning so that child streams
     are independent regardless of how many values each one draws.
+
+    For Monte-Carlo *sweep* work items, prefer
+    :func:`repro.runtime.chunk_seed_sequence`: it keys the child stream
+    on the (Eb/N0 point, chunk) identity rather than a positional count,
+    which is what makes sweep results independent of execution order and
+    safe to shard across processes.
     """
     if count < 0:
         raise ValueError("count must be non-negative")

@@ -101,11 +101,33 @@ class TestScratch:
         plan = DecodePlan(code)
         a = plan.scratch("x", (4, 8), np.int32)
         b = plan.scratch("x", (4, 8), np.int32)
-        assert a is b
+        assert np.shares_memory(a, b)
+        assert a.shape == b.shape == (4, 8)
+
+    def test_scratch_shrinking_batch_reuses_capacity(self, code):
+        # The compaction pattern: the leading (batch) dimension shrinks
+        # monotonically within a decode; every request is served from the
+        # first allocation as a contiguous prefix view.
+        plan = DecodePlan(code)
+        full = plan.scratch("x", (16, 8), np.int32)
+        for batch in (9, 4, 1):
+            view = plan.scratch("x", (batch, 8), np.int32)
+            assert view.shape == (batch, 8)
+            assert view.flags.c_contiguous
+            assert np.shares_memory(view, full)
+
+    def test_scratch_grows_capacity(self, code):
+        plan = DecodePlan(code)
+        small = plan.scratch("x", (2, 8), np.int32)
+        grown = plan.scratch("x", (32, 8), np.int32)
+        assert grown.shape == (32, 8)
+        assert not np.shares_memory(small, grown)
 
     def test_scratch_distinct_per_key_shape_dtype(self, code):
         plan = DecodePlan(code)
         a = plan.scratch("x", (4, 8), np.int32)
-        assert plan.scratch("y", (4, 8), np.int32) is not a
-        assert plan.scratch("x", (4, 9), np.int32) is not a
-        assert plan.scratch("x", (4, 8), np.float64) is not a
+        assert not np.shares_memory(plan.scratch("y", (4, 8), np.int32), a)
+        assert not np.shares_memory(plan.scratch("x", (4, 9), np.int32), a)
+        assert not np.shares_memory(
+            plan.scratch("x", (4, 8), np.float64), a
+        )

@@ -1,0 +1,267 @@
+"""Tests for the parallel sweep engine, chunk RNG streams and checkpoints.
+
+The headline contract: a parallel sweep (``workers >= 2``, process pool,
+speculative chunk execution) produces **exactly** the same
+:class:`~repro.analysis.ber.SnrPoint` statistics as the serial engine,
+which in turn backs ``BERSimulator.run_point``/``run_sweep``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.ber import BERSimulator, SnrPoint
+from repro.errors import SimulationError
+from repro.runtime import (
+    SweepEngine,
+    chunk_key,
+    chunk_rng,
+    chunk_seed_sequence,
+    map_ordered,
+    plan_chunks,
+    point_key,
+)
+from repro.runtime.checkpoint import SweepCheckpoint
+
+EBN0 = [1.5, 3.0]
+BUDGET = dict(max_frames=60, min_frame_errors=8, batch_size=20)
+
+
+def _dicts(points):
+    return [p.to_dict() for p in points]
+
+
+class TestChunkStreams:
+    def test_spawn_keys_distinct_per_point_and_chunk(self):
+        seen = set()
+        for ebn0 in (-2.0, 0.0, 1.5, 3.0):
+            for chunk in range(3):
+                state = chunk_seed_sequence(7, ebn0, chunk)
+                key = (tuple(state.spawn_key), state.entropy)
+                assert key not in seen
+                seen.add(key)
+
+    def test_point_key_is_exact_bit_pattern(self):
+        assert point_key(1.5) != point_key(1.5 + 2**-50)
+        assert point_key(-1.0) != point_key(1.0)
+        assert point_key(2.0) == point_key(2.0)
+
+    def test_streams_differ_across_seed_point_chunk(self):
+        base = chunk_rng(0, 1.5, 0).integers(0, 2**63, size=8)
+        for seed, ebn0, chunk in ((1, 1.5, 0), (0, 2.5, 0), (0, 1.5, 1)):
+            other = chunk_rng(seed, ebn0, chunk).integers(0, 2**63, size=8)
+            assert not np.array_equal(base, other)
+
+    def test_streams_reproducible(self):
+        a = chunk_rng(3, 2.0, 4).standard_normal(16)
+        b = chunk_rng(3, 2.0, 4).standard_normal(16)
+        assert np.array_equal(a, b)
+
+
+class TestPlanChunks:
+    def test_even_split(self):
+        assert plan_chunks(100, 25) == [25, 25, 25, 25]
+
+    def test_remainder_chunk(self):
+        assert plan_chunks(55, 20) == [20, 20, 15]
+
+    def test_budget_smaller_than_chunk(self):
+        assert plan_chunks(5, 50) == [5]
+
+    def test_invalid(self):
+        with pytest.raises(SimulationError):
+            plan_chunks(0, 10)
+
+
+class TestSnrPointMerge:
+    def _point(self, **kw):
+        base = dict(
+            ebn0_db=2.0, frames=10, bit_errors=5, frame_errors=2,
+            iterations_sum=30.0, iterations_hist={1: 4, 3: 6},
+            converged_frames=8, et_frames=7, info_bits_per_frame=100,
+        )
+        base.update(kw)
+        return SnrPoint(**base)
+
+    def test_counters_sum(self):
+        merged = self._point().merge(
+            self._point(frames=4, bit_errors=1, frame_errors=1,
+                        iterations_sum=12.0, iterations_hist={3: 1, 5: 3},
+                        converged_frames=2, et_frames=1)
+        )
+        assert merged.frames == 14
+        assert merged.bit_errors == 6
+        assert merged.frame_errors == 3
+        assert merged.iterations_sum == 42.0
+        assert merged.iterations_hist == {1: 4, 3: 7, 5: 3}
+        assert merged.converged_frames == 10
+        assert merged.et_frames == 8
+
+    def test_identity_element(self):
+        empty = SnrPoint(ebn0_db=2.0, info_bits_per_frame=100)
+        point = self._point()
+        assert empty.merge(point).to_dict() == point.to_dict()
+
+    def test_mismatched_point_raises(self):
+        with pytest.raises(ValueError):
+            self._point().merge(self._point(ebn0_db=3.0))
+
+    def test_mismatched_code_raises(self):
+        with pytest.raises(ValueError):
+            self._point().merge(self._point(info_bits_per_frame=64))
+
+    def test_dict_roundtrip(self):
+        point = self._point()
+        assert SnrPoint.from_dict(point.to_dict()).to_dict() == point.to_dict()
+        assert SnrPoint.from_dict(
+            json.loads(json.dumps(point.to_dict()))
+        ).to_dict() == point.to_dict()
+
+
+class TestSerialParallelEquivalence:
+    def test_parallel_reproduces_serial_exactly(self, small_code):
+        serial = SweepEngine(small_code, seed=9).run(EBN0, **BUDGET)
+        parallel = SweepEngine(small_code, seed=9, workers=2).run(EBN0, **BUDGET)
+        assert _dicts(serial) == _dicts(parallel)
+
+    def test_simulator_run_sweep_workers_identical(self, small_code):
+        sim = BERSimulator(small_code, seed=9)
+        serial = sim.run_sweep(EBN0, **BUDGET)
+        parallel = sim.run_sweep(EBN0, workers=2, **BUDGET)
+        assert _dicts(serial) == _dicts(parallel)
+
+    def test_point_statistics_independent_of_sweep_order(self, small_code):
+        forward = SweepEngine(small_code, seed=9).run(EBN0, **BUDGET)
+        backward = SweepEngine(small_code, seed=9).run(EBN0[::-1], **BUDGET)
+        assert _dicts(forward) == _dicts(backward[::-1])
+
+    def test_flooding_schedule_equivalence(self, small_code):
+        serial = SweepEngine(small_code, schedule="flooding", seed=4).run(
+            [3.0], max_frames=20, batch_size=10
+        )
+        parallel = SweepEngine(
+            small_code, schedule="flooding", seed=4, workers=2
+        ).run([3.0], max_frames=20, batch_size=10)
+        assert _dicts(serial) == _dicts(parallel)
+
+    def test_error_budget_stops_at_chunk_granularity(self, small_code):
+        # At -2 dB every frame errors, so the budget is hit after the
+        # first chunk — serial and parallel must agree on where to stop.
+        serial = SweepEngine(small_code, seed=2).run(
+            [-2.0], max_frames=500, min_frame_errors=10, batch_size=10
+        )
+        parallel = SweepEngine(small_code, seed=2, workers=2).run(
+            [-2.0], max_frames=500, min_frame_errors=10, batch_size=10
+        )
+        assert _dicts(serial) == _dicts(parallel)
+        assert serial[0].frames < 500
+        assert serial[0].frame_errors >= 10
+
+    def test_chunk_frames_override(self, small_code):
+        # Coarser chunks change the RNG partition (documented), but
+        # serial/parallel equivalence must hold for any chunking.
+        kw = dict(max_frames=40, min_frame_errors=100, batch_size=10)
+        serial = SweepEngine(small_code, seed=5, chunk_frames=20).run([2.0], **kw)
+        parallel = SweepEngine(
+            small_code, seed=5, chunk_frames=20, workers=2
+        ).run([2.0], **kw)
+        assert _dicts(serial) == _dicts(parallel)
+        assert serial[0].frames == 40
+
+
+class TestCheckpoint:
+    def _run(self, code, path, **engine_kw):
+        return SweepEngine(
+            code, seed=9, checkpoint_path=path, **engine_kw
+        ).run(EBN0, **BUDGET)
+
+    def test_resume_replays_without_decoding(self, small_code, tmp_path, monkeypatch):
+        path = tmp_path / "sweep.json"
+        first = self._run(small_code, path)
+        assert path.exists()
+
+        import repro.runtime.engine as engine_mod
+
+        def explode(*args, **kwargs):
+            raise AssertionError("resume must not decode completed chunks")
+
+        monkeypatch.setattr(engine_mod, "decode_chunk", explode)
+        resumed = self._run(small_code, path)
+        assert _dicts(first) == _dicts(resumed)
+
+    def test_checkpoint_extends_to_new_points(self, small_code, tmp_path):
+        path = tmp_path / "sweep.json"
+        self._run(small_code, path)
+        extended = SweepEngine(small_code, seed=9, checkpoint_path=path).run(
+            [1.5, 2.0, 3.0], **BUDGET
+        )
+        fresh = SweepEngine(small_code, seed=9).run([1.5, 2.0, 3.0], **BUDGET)
+        assert _dicts(extended) == _dicts(fresh)
+
+    def test_parallel_run_writes_checkpoint(self, small_code, tmp_path):
+        path = tmp_path / "sweep.json"
+        self._run(small_code, path, workers=2)
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert data["chunks"]
+
+    def test_fingerprint_mismatch_raises(self, small_code, tmp_path):
+        path = tmp_path / "sweep.json"
+        self._run(small_code, path)
+        with pytest.raises(SimulationError, match="different sweep"):
+            SweepEngine(small_code, seed=10, checkpoint_path=path).run(
+                EBN0, **BUDGET
+            )
+
+    def test_corrupt_checkpoint_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SimulationError, match="unreadable"):
+            SweepCheckpoint(path, {"seed": 0})
+
+    def test_chunk_key_format(self):
+        assert chunk_key(1.5, 2) == "e1.5:c2"
+        assert chunk_key(1.5, 2) != chunk_key(1.5, 3)
+        assert chunk_key(1.25, 0) != chunk_key(1.5, 0)
+
+
+class TestEngineValidation:
+    def test_unknown_schedule(self, small_code):
+        with pytest.raises(SimulationError):
+            SweepEngine(small_code, schedule="diagonal")
+
+    def test_invalid_budgets(self, small_code):
+        engine = SweepEngine(small_code)
+        with pytest.raises(SimulationError):
+            engine.run([1.0], max_frames=0)
+        with pytest.raises(SimulationError):
+            engine.run([1.0], batch_size=0)
+        with pytest.raises(SimulationError):
+            SweepEngine(small_code, chunk_frames=0)
+
+
+class TestMapOrdered:
+    def test_preserves_order_serial_and_parallel(self):
+        values = list(range(20))
+        assert map_ordered(lambda x: x * x, values) == [x * x for x in values]
+        assert map_ordered(lambda x: x * x, values, workers=4) == [
+            x * x for x in values
+        ]
+
+    def test_exception_propagates(self):
+        def boom(x):
+            if x == 3:
+                raise ValueError("x=3")
+            return x
+
+        with pytest.raises(ValueError):
+            map_ordered(boom, range(6), workers=3)
+
+    def test_analysis_run_sweep_workers(self):
+        from repro.analysis.sweep import run_sweep
+
+        result = run_sweep("x", [1, 2, 3, 4], lambda x: {"y": x * x}, workers=3)
+        assert result.column("y") == [1, 4, 9, 16]
