@@ -12,13 +12,21 @@ backend are bit-identical to the ``reference`` backend (hard bits, raw
 LLRs and iteration counts) — the correctness contract of the fast
 kernels — and records the float/fixed speedup ratios.
 
+A **min-sum** section measures the fused min-sum kernels (PR 3): the
+WiMax N=2304 workload decoded with ``normalized-minsum`` per backend, in
+both datapaths, with the same fixed-point bit-identity assertion; the
+``--check-minsum-speedup X`` flag gates CI on the fused fast kernels
+beating the reference by ``X``×.
+
 Two further scenarios ride along and land in the same JSON:
 
 - **compaction** — frames/sec of the fast backend with active-frame
   compaction on vs off, at operating points where the paper's early
-  termination actually fires (float datapath at 3.5 dB; the Q8.2
-  datapath needs ~7 dB before its min-|LLR| condition clears).  Asserts
-  the two modes are bit-identical and records the speedup.
+  termination actually fires.  Both datapaths now run at 3.5 dB: the
+  PR 3 fix (zero-broken quantization/message port + guarded SISO fold)
+  lets the Q8.2 datapath converge and early-terminate alongside float,
+  where the seed-era datapath needed ~7 dB.  Asserts the two modes are
+  bit-identical and records the speedup.
 - **parallel_sweep** — a small Eb/N0 sweep through the serial
   :class:`~repro.runtime.SweepEngine` vs a 2-worker process pool;
   asserts the statistics match exactly and records both wall times.
@@ -149,12 +157,69 @@ def run_benchmark(frames: int, repeats: int) -> dict:
     return results
 
 
+#: Min-sum benchmark: the throughput-class algorithm of the comparison
+#: chips, on the biggest standard workload.
+MINSUM_MODE = "802.16e:1/2:z96"
+MINSUM_CHECK_NODE = "normalized-minsum"
+
+
+def run_minsum_benchmark(frames: int, repeats: int) -> dict:
+    """Fused min-sum throughput per backend (float + Q8.2), WiMax N=2304."""
+    backends = available_backends()
+    code, llr = make_workload(MINSUM_MODE, frames)
+    entry: dict = {
+        "mode": MINSUM_MODE,
+        "check_node": MINSUM_CHECK_NODE,
+        "n": code.n,
+        "k": code.n_info,
+    }
+    reference_fixed = None
+    for backend in backends:
+        for datapath, qformat in (("float", None), ("fixed", QFormat(8, 2))):
+            config = DecoderConfig(
+                backend=backend,
+                check_node=MINSUM_CHECK_NODE,
+                qformat=qformat,
+                max_iterations=10,
+                early_termination="paper",
+            )
+            seconds, result = time_decoder(
+                LayeredDecoder(code, config), llr, repeats
+            )
+            mbps = frames * code.n_info / seconds / 1e6
+            entry[f"{backend}_{datapath}_ms"] = round(seconds * 1e3, 3)
+            entry[f"{backend}_{datapath}_mbps"] = round(mbps, 3)
+            entry[f"{backend}_{datapath}_fps"] = round(frames / seconds, 1)
+            if datapath == "fixed":
+                if backend == "reference":
+                    reference_fixed = result
+                else:
+                    identical = (
+                        np.array_equal(reference_fixed.bits, result.bits)
+                        and np.array_equal(reference_fixed.llr, result.llr)
+                        and np.array_equal(
+                            reference_fixed.iterations, result.iterations
+                        )
+                    )
+                    entry[f"{backend}_fixed_bit_identical"] = bool(identical)
+    for backend in backends:
+        if backend == "reference":
+            continue
+        for datapath in ("float", "fixed"):
+            entry[f"{backend}_{datapath}_speedup"] = round(
+                entry[f"reference_{datapath}_ms"]
+                / entry[f"{backend}_{datapath}_ms"],
+                2,
+            )
+    return entry
+
+
 #: Compaction scenarios: (mode, label, Eb/N0 dB, qformat) — operating
 #: points chosen so early termination retires most frames well before
 #: the 10-iteration budget (that tail is what compaction reclaims).
 COMPACTION_SCENARIOS = (
     ("802.16e:1/2:z96", "float_wimax_n2304_3.5dB", 3.5, None),
-    ("802.16e:1/2:z24", "fixed_wimax_n576_7.0dB", 7.0, QFormat(8, 2)),
+    ("802.16e:1/2:z24", "fixed_wimax_n576_3.5dB", 3.5, QFormat(8, 2)),
 )
 
 
@@ -258,6 +323,29 @@ def summarize(results: dict) -> str:
             )
     rendered = table.render()
 
+    minsum = results.get("minsum")
+    if minsum:
+        mtable = Table(
+            ["backend", "float Mbps", "fixed Mbps", "float x", "fixed x",
+             "fixed bit-identical"],
+            title=(
+                f"Min-sum ({minsum['check_node']}, {minsum['mode']}, "
+                f"N={minsum['n']})"
+            ),
+        )
+        for backend in results["backends"]:
+            mtable.add_row(
+                [
+                    backend,
+                    f"{minsum[f'{backend}_float_mbps']:.2f}",
+                    f"{minsum[f'{backend}_fixed_mbps']:.2f}",
+                    str(minsum.get(f"{backend}_float_speedup", "-")),
+                    str(minsum.get(f"{backend}_fixed_speedup", "-")),
+                    str(minsum.get(f"{backend}_fixed_bit_identical", "-")),
+                ]
+            )
+        rendered += "\n" + mtable.render()
+
     compaction = results.get("compaction")
     if compaction:
         ctable = Table(
@@ -313,6 +401,14 @@ def main(argv=None) -> int:
         help="fail unless fast beats reference by X x on WiMax fixed-point",
     )
     parser.add_argument(
+        "--check-minsum-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless fast beats reference by X x on the fixed-point "
+        "min-sum workload",
+    )
+    parser.add_argument(
         "--output", type=Path, default=OUTPUT_PATH, help="JSON output path"
     )
     args = parser.parse_args(argv)
@@ -320,6 +416,7 @@ def main(argv=None) -> int:
     frames = 16 if args.smoke else args.frames
     repeats = 1 if args.smoke else args.repeats
     results = run_benchmark(frames, repeats)
+    results["minsum"] = run_minsum_benchmark(frames, repeats)
     results["compaction"] = run_compaction_benchmark(frames, repeats)
     results["parallel_sweep"] = run_parallel_sweep_benchmark(
         50 if args.smoke else 200
@@ -331,6 +428,9 @@ def main(argv=None) -> int:
         for key, value in entry.items():
             if key.endswith("_bit_identical") and value is not True:
                 failures.append(f"{label}: {key} = {value}")
+    for key, value in results["minsum"].items():
+        if key.endswith("_bit_identical") and value is not True:
+            failures.append(f"minsum: {key} = {value}")
     for label, entry in results["compaction"].items():
         if entry["bit_identical"] is not True:
             failures.append(f"compaction/{label}: outputs differ")
@@ -347,6 +447,18 @@ def main(argv=None) -> int:
             print(
                 f"speedup check passed: fast fixed {speedup}x >= "
                 f"{args.check_speedup}x"
+            )
+    if args.check_minsum_speedup is not None:
+        speedup = results["minsum"]["fast_fixed_speedup"]
+        if speedup < args.check_minsum_speedup:
+            failures.append(
+                f"minsum fast fixed speedup {speedup}x < "
+                f"required {args.check_minsum_speedup}x"
+            )
+        else:
+            print(
+                f"minsum speedup check passed: fast fixed {speedup}x >= "
+                f"{args.check_minsum_speedup}x"
             )
 
     args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")

@@ -106,6 +106,7 @@ class DecoderChip:
         frac_bits: int = 2,
         rom: ModeROM | None = None,
         checknode: str = "sum-sub",
+        siso_guard_bits: int = 2,
     ):
         if checknode not in ("sum-sub", "forward-backward"):
             raise ArchitectureError(
@@ -113,6 +114,9 @@ class DecoderChip:
                 f"got {checknode!r}"
             )
         self.checknode = checknode
+        #: SISO-internal guard resolution of the sum-sub core; matches
+        #: ``DecoderConfig.siso_guard_bits`` (0 = seed-era fold).
+        self.siso_guard_bits = siso_guard_bits
         self.params = params
         self.qformat = QFormat(params.msg_bits, frac_bits)
         self.app_qformat = QFormat(params.app_bits, frac_bits)
@@ -147,6 +151,7 @@ class DecoderChip:
             qformat=self.qformat,
             fifo_depth=max(32, code.max_layer_degree),
             organization=self.checknode,
+            guard_bits=self.siso_guard_bits,
         )
         # Λ-bank entry offsets: one entry per non-zero block, laid out in
         # schedule order.
@@ -177,7 +182,11 @@ class DecoderChip:
     def _load_frame(self, llr: np.ndarray) -> None:
         code = self.entry.code
         z = code.z
-        quantized = self.qformat.quantize(np.asarray(llr, dtype=np.float64))
+        # Zero-breaking input quantizer: the decoder port never emits a
+        # signless zero (see QFormat.quantize_nonzero).
+        quantized = self.qformat.quantize_nonzero(
+            np.asarray(llr, dtype=np.float64)
+        )
         for column in range(code.base.k):
             word = np.zeros(self.params.z_max, dtype=np.int32)
             word[:z] = quantized[column * z : (column + 1) * z]
@@ -213,6 +222,11 @@ class DecoderChip:
             lam = self.qformat.saturate(
                 routed.astype(np.int64) - stored_lambda
             )
+            # Zero-broken message port (matches the functional decoders;
+            # see repro.decoder.backends.base.break_zero_messages).
+            zero = lam == 0
+            if zero.any():
+                lam[zero] = np.where(routed[zero] < 0, -1, 1)
             lam_rows.append(lam)
             pending.append(lam)
             if len(pending) == self.params.messages_per_cycle:

@@ -26,7 +26,13 @@ import numpy as np
 
 from repro.arch.memory import Fifo
 from repro.errors import ArchitectureError
-from repro.fixedpoint.boxplus import FixedBoxOps, boxminus, boxplus
+from repro.fixedpoint.boxplus import (
+    FixedBoxOps,
+    GuardTables,
+    boxminus,
+    boxplus,
+    make_guard_tables,
+)
 from repro.fixedpoint.quantize import QFormat
 
 
@@ -41,6 +47,35 @@ class FloatBoxOps:
 
     def boxminus(self, a, b):
         return boxminus(a, b, clip=self.clip)
+
+
+class GuardedFixedSISOOps:
+    """Fixed ⊞/⊟ at the SISO-internal guard resolution.
+
+    Mirrors :class:`~repro.decoder.siso.GuardedFixedBPSumSubKernel`:
+    ``lift`` promotes a message-format λ into the guarded fold domain at
+    the feed port, ``boxplus``/``boxminus`` run on guarded values
+    through the direct-indexed correction tables, and ``finish`` rounds
+    a ⊟ output half-away-from-zero back to the message format at the
+    drain port.  The sum-subtract SISO array applies ``lift``/``finish``
+    when the ops object provides them, so the cycle model stays
+    bit-exact with the functional guarded datapath.
+    """
+
+    def __init__(self, tables: GuardTables):
+        self.tables = tables
+
+    def lift(self, row):
+        return np.asarray(row, dtype=np.int64) * self.tables.factor
+
+    def finish(self, wide):
+        return self.tables.round_message(wide).astype(np.int32)
+
+    def boxplus(self, a, b):
+        return self.tables.combine(a, b, self.tables.f)
+
+    def boxminus(self, a, b):
+        return self.tables.combine(a, b, self.tables.g)
 
 
 class _RowContext:
@@ -104,6 +139,16 @@ class SISOUnitArray:
         self.f_op_count = 0
         self.g_op_count = 0
 
+    def _lift(self, row):
+        """Promote a fed λ into the ops' internal fold domain."""
+        lift = getattr(self.ops, "lift", None)
+        return np.asarray(row) if lift is None else lift(row)
+
+    def _finish(self, value):
+        """Demote a ⊟ output back to the message format."""
+        finish = getattr(self.ops, "finish", None)
+        return np.asarray(value) if finish is None else finish(value)
+
     # ------------------------------------------------------------------
     # Row lifecycle
     # ------------------------------------------------------------------
@@ -159,9 +204,9 @@ class SISOUnitArray:
         for row in lam_chunk:
             ctx.fifo.push(row)
             if ctx.total is None:
-                ctx.total = row.copy()
+                ctx.total = self._lift(row).copy()
             else:
-                ctx.total = self.ops.boxplus(ctx.total, row)
+                ctx.total = self.ops.boxplus(ctx.total, self._lift(row))
                 self.f_op_count += 1
             ctx.fed += 1
         self._promote()
@@ -175,7 +220,9 @@ class SISOUnitArray:
         outputs = []
         for _ in range(min(self.rate, ctx.degree - ctx.drained)):
             lam = ctx.fifo.pop()
-            outputs.append(self.ops.boxminus(ctx.total, lam))
+            outputs.append(
+                self._finish(self.ops.boxminus(ctx.total, self._lift(lam)))
+            )
             self.g_op_count += 1
             ctx.drained += 1
         self._promote()
@@ -317,6 +364,7 @@ def make_siso_array(
     clip: float = 256.0,
     fifo_depth: int = 32,
     organization: str = "sum-sub",
+    guard_bits: int = 0,
 ) -> SISOUnitArray:
     """Build a SISO array with integer (qformat) or float (clip) ops.
 
@@ -325,9 +373,16 @@ def make_siso_array(
     organization:
         ``"sum-sub"`` — the paper's f-then-g core (Fig. 3/6);
         ``"forward-backward"`` — the bidirectional core of ref [4].
+    guard_bits:
+        Extra fractional bits the sum-subtract core carries internally
+        (see :class:`GuardedFixedSISOOps` and
+        ``DecoderConfig.siso_guard_bits``); ignored by the float
+        datapath and the forward-backward organization.
     """
     ops = FixedBoxOps(qformat) if qformat is not None else FloatBoxOps(clip)
     if organization == "sum-sub":
+        if qformat is not None and guard_bits > 0:
+            ops = GuardedFixedSISOOps(make_guard_tables(qformat, guard_bits))
         return SISOUnitArray(radix, ops, lanes, fifo_depth)
     if organization == "forward-backward":
         return BidirectionalSISOArray(radix, ops, lanes, fifo_depth)

@@ -45,10 +45,16 @@ class ChannelFrontend:
         return self.channel.transmit(self.modulator.modulate(codewords))
 
     def llrs(self, received: np.ndarray) -> np.ndarray:
-        """Compute channel LLRs (quantized if a QFormat is configured)."""
+        """Compute channel LLRs (quantized if a QFormat is configured).
+
+        Quantization is zero-breaking
+        (:meth:`~repro.fixedpoint.quantize.QFormat.quantize_nonzero`):
+        the decoder input port never emits a signless zero, which the
+        sum-subtract SISO would treat as an absorbing erasure.
+        """
         llr = self.modulator.llr(received, self.channel.noise_var)
         if self.qformat is not None:
-            return self.qformat.quantize(llr)
+            return self.qformat.quantize_nonzero(llr)
         return llr
 
     def run(self, codewords: np.ndarray) -> np.ndarray:

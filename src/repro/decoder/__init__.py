@@ -44,11 +44,13 @@ from repro.decoder.early_termination import (
 from repro.decoder.flooding import FloodingDecoder
 from repro.decoder.layered import LayeredDecoder
 from repro.decoder.plan import DecodePlan, resolve_layer_order
+from repro.decoder.backends.base import KERNEL_TABLE, kernel_slot
 from repro.decoder.siso import (
     BPForwardBackwardKernel,
     BPSumSubKernel,
     FixedBPForwardBackwardKernel,
     FixedBPSumSubKernel,
+    GuardedFixedBPSumSubKernel,
     LinearApproxKernel,
     MinSumKernel,
     make_checknode_kernel,
@@ -71,6 +73,9 @@ __all__ = [
     "FixedBPSumSubKernel",
     "FloodingDecoder",
     "GallagerBDecoder",
+    "GuardedFixedBPSumSubKernel",
+    "KERNEL_TABLE",
+    "kernel_slot",
     "LayeredDecoder",
     "LinearApproxKernel",
     "MinSumKernel",

@@ -88,6 +88,19 @@ class DecoderConfig:
         convergence and the sum-subtract SISO destroys the decision.  Every
         practical chip (including this paper's 8-bit message datapath)
         keeps the APP wider; the default is 2 bits.
+    siso_guard_bits:
+        Extra *fractional* bits the fixed-point BP sum-subtract SISO
+        carries internally through its ⊞ recursion and ⊟ inversion
+        (messages stay in ``qformat`` at the ports).  The ⊟ step
+        recovers each extrinsic by inverting the full ⊞ fold, which is
+        ill-conditioned at the weakest edge; at the message format's own
+        resolution the inversion noise costs the Q8.2 datapath ~0.5 dB
+        and lets converged frames be re-corrupted (the PR 3
+        non-convergence bug).  The default of 2 guard bits brings
+        fixed-point BER within the paper's ~0.1 dB of the float curve.
+        ``0`` restores the seed-era single-resolution fold (the
+        quantization-ablation baseline).  Ignored by float
+        configurations and by non-(BP sum-sub) check nodes.
     app_clip:
         Float-mode APP saturation; ``None`` selects
         ``llr_clip * 2^app_extra_bits`` to mirror the fixed datapath.
@@ -107,11 +120,13 @@ class DecoderConfig:
         only the work per iteration differs.
     backend:
         Which execution backend runs the compiled decode plan (see
-        :mod:`repro.decoder.backends`): ``"reference"`` (the seed
-        arithmetic, ground truth), ``"fast"`` (pairwise-ROM fixed-point
-        kernels — bit-identical to the reference — and single-pass
-        Φ-domain float kernels), ``"numba"`` (JIT loops; falls back to
-        ``"fast"`` with a warning when numba is missing), or the default
+        :mod:`repro.decoder.backends`): ``"reference"`` (the plain numpy
+        arithmetic, ground truth), ``"fast"`` (fused kernels for every
+        algorithm: ROM/table ⊞/⊟ folds and two-smallest min-sum
+        reductions in fixed point — bit-identical to the reference —
+        single-pass Φ-domain BP and fused min-sum kernels in float),
+        ``"numba"`` (JIT loops; falls back to ``"fast"`` with a
+        once-per-process warning when numba is missing), or the default
         ``"auto"`` which honours the ``REPRO_DECODER_BACKEND``
         environment variable and otherwise selects ``"reference"``.
     fast_exact:
@@ -146,6 +161,7 @@ class DecoderConfig:
     layer_order: tuple[int, ...] | None = None
     llr_clip: float = 256.0
     app_extra_bits: int = 2
+    siso_guard_bits: int = 2
     app_clip: float | None = None
     track_history: bool = False
     compact_frames: bool = True
@@ -179,6 +195,8 @@ class DecoderConfig:
             raise DecoderConfigError("llr_clip must be positive")
         if self.app_extra_bits < 0:
             raise DecoderConfigError("app_extra_bits must be non-negative")
+        if not 0 <= self.siso_guard_bits <= 4:
+            raise DecoderConfigError("siso_guard_bits must be in 0..4")
         if self.app_clip is not None and self.app_clip < self.llr_clip:
             raise DecoderConfigError("app_clip must be >= llr_clip")
 

@@ -37,6 +37,11 @@ FALLBACK_BACKEND = "fast"
 
 _REGISTRY: dict[str, tuple[type, Callable[[], bool]]] = {}
 
+#: Backends whose unavailable-fallback warning has already been issued.
+#: ``resolve()`` runs on every decoder construction, so the warning is
+#: emitted once per process per backend name, not once per decode.
+_FALLBACK_WARNED: set[str] = set()
+
 
 def register_backend(
     name: str,
@@ -81,12 +86,15 @@ def resolve_backend_name(name: str | None = None) -> str:
         )
     _, probe = _REGISTRY[requested]
     if not probe():
-        warnings.warn(
-            f"decoder backend {requested!r} is unavailable "
-            f"(missing dependency); falling back to {FALLBACK_BACKEND!r}",
-            RuntimeWarning,
-            stacklevel=2,
-        )
+        if requested not in _FALLBACK_WARNED:
+            _FALLBACK_WARNED.add(requested)
+            warnings.warn(
+                f"decoder backend {requested!r} is unavailable "
+                f"(missing dependency); falling back to "
+                f"{FALLBACK_BACKEND!r} (warning shown once per process)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         requested = FALLBACK_BACKEND
     return requested
 

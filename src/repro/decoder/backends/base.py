@@ -25,6 +25,26 @@ removing a row cannot perturb any surviving row's arithmetic (this is
 what makes compacted and uncompacted decodes bit-identical).  Per-call
 working buffers should come from :meth:`DecodePlan.scratch`, whose
 leading dimension is a capacity: shrinking batches reuse one allocation.
+
+**Kernel selection.** Which check-node kernel implementation a backend
+runs is routed through :data:`KERNEL_TABLE`: the configuration maps to
+a kernel *slot name* and the backend instantiates its own
+implementation of that slot via a ``_make_<slot>`` method, falling back
+to the shared reference kernels (:func:`make_checknode_kernel`) for any
+slot it does not specialize.  This replaces per-backend ``if`` chains
+and guarantees an unknown algorithm dies with
+:class:`~repro.errors.DecoderConfigError` rather than a silent
+fallback.
+
+**Fixed-point message port.** In fixed point, every v→c message ``λ``
+is formed as a saturating ``L - Λ`` and then *zero-broken*: an exactly
+zero result is replaced by ``±1`` raw with the sign of the (equal)
+operands.  A true zero is an erasure, and erasures are absorbing under
+the sum-subtract check node (``sign(0)`` annihilates the ⊞ recursion;
+``0 ⊟ 0`` cannot recover the excluded combine) — the PR 3
+non-convergence bug.  All backends and both schedules share
+:func:`break_zero_messages` so the datapath stays bit-identical across
+them.
 """
 
 from __future__ import annotations
@@ -33,6 +53,67 @@ import numpy as np
 
 from repro.decoder.api import DecoderConfig
 from repro.decoder.plan import DecodePlan
+from repro.decoder.siso import make_checknode_kernel
+from repro.errors import DecoderConfigError
+
+#: ``(check_node, bp_impl or None, is_fixed_point)`` → kernel slot name.
+#: The slot is resolved against the backend instance (``_make_<slot>``),
+#: with the shared reference kernel as the universal fallback.
+KERNEL_TABLE: dict[tuple[str, str | None, bool], str] = {
+    ("bp", "sum-sub", True): "bp_sumsub_fixed",
+    ("bp", "sum-sub", False): "bp_sumsub_float",
+    ("bp", "forward-backward", True): "bp_fwdbwd_fixed",
+    ("bp", "forward-backward", False): "bp_fwdbwd_float",
+    ("minsum", None, True): "minsum_fixed",
+    ("minsum", None, False): "minsum_float",
+    ("normalized-minsum", None, True): "minsum_fixed",
+    ("normalized-minsum", None, False): "minsum_float",
+    ("offset-minsum", None, True): "minsum_fixed",
+    ("offset-minsum", None, False): "minsum_float",
+    ("linear-approx", None, True): "linear_approx_fixed",
+    ("linear-approx", None, False): "linear_approx_float",
+}
+
+
+def kernel_slot(config: DecoderConfig) -> str:
+    """The :data:`KERNEL_TABLE` slot a configuration resolves to.
+
+    Raises
+    ------
+    DecoderConfigError
+        For an algorithm/realization pair the table does not know —
+        the guard that keeps an unvalidated config from dying deep in a
+        backend with a bare ``KeyError``.
+    """
+    key = (
+        config.check_node,
+        config.bp_impl if config.check_node == "bp" else None,
+        config.is_fixed_point,
+    )
+    try:
+        return KERNEL_TABLE[key]
+    except KeyError:
+        raise DecoderConfigError(
+            f"no check-node kernel for check_node={config.check_node!r}, "
+            f"bp_impl={config.bp_impl!r} "
+            f"({'fixed' if config.is_fixed_point else 'float'} datapath); "
+            f"known combinations: {sorted(KERNEL_TABLE)}"
+        ) from None
+
+
+def break_zero_messages(messages: np.ndarray, lam_memory: np.ndarray) -> None:
+    """Replace exactly-zero v→c messages with ``±1`` raw, in place.
+
+    ``messages`` is the saturating ``L - Λ`` of one layer; a zero entry
+    implies ``L == Λ`` exactly (zero survives no saturation), so the
+    sign of the stored check message — passed as ``lam_memory``, the
+    cheaper operand to index — equals the sign of the APP and is used
+    as the broken sign (``+1`` when both are zero).  See the module
+    docstring for why zeros must not reach the check kernels.
+    """
+    zero = messages == 0
+    if zero.any():
+        messages[zero] = np.where(lam_memory[zero] < 0, -1, 1)
 
 
 class DecoderBackend:
@@ -47,6 +128,14 @@ class DecoderBackend:
         #: dtype the decoders allocate working state (APP / Λ memories)
         #: in; backends may override (e.g. float32 for bandwidth).
         self.work_dtype = np.int32 if config.is_fixed_point else np.float64
+
+    def _select_kernel(self):
+        """Instantiate this backend's kernel for the configured slot."""
+        slot = kernel_slot(self.config)
+        factory = getattr(self, f"_make_{slot}", None)
+        if factory is None:
+            return make_checknode_kernel(self.config)
+        return factory()
 
     def update_layer(
         self, l_messages: np.ndarray, lambdas: np.ndarray, layer_pos: int

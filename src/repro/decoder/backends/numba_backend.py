@@ -1,17 +1,24 @@
 """Optional numba-compiled backend (auto-detected, graceful fallback).
 
-When numba is importable, the fixed-point BP sum-subtract path — the
-hardware-faithful configuration and the hottest integer workload — runs
-through ``njit``-compiled scalar loops (:mod:`.numba_jit`) that fuse the
-gather, saturating subtract, LUT ⊞/⊟ fold, and APP write-back of one
-layer into a single pass with no temporaries.  All other configurations
-inherit the :class:`~repro.decoder.backends.fast.FastBackend` vectorized
-paths unchanged, so the backend is always at least as fast as ``fast``
-and remains bit-identical to the reference in fixed point.
+When numba is importable, the hottest kernels run through
+``njit``-compiled scalar loops (:mod:`.numba_jit`) that fuse the gather,
+saturating zero-broken message-port subtraction, check-node arithmetic,
+and APP write-back of one layer into a single pass with no temporaries:
+
+- fixed-point BP sum-subtract — guarded
+  (``DecoderConfig.siso_guard_bits > 0``, the default datapath) and
+  seed-era single-resolution (``siso_guard_bits=0``) folds;
+- the min-sum family (plain / normalized / offset), in both the integer
+  and the float datapath.
+
+All other configurations inherit the
+:class:`~repro.decoder.backends.fast.FastBackend` vectorized paths
+unchanged, so the backend is always at least as fast as ``fast`` and
+remains bit-identical to the reference in fixed point.
 
 When numba is *not* importable the backend reports itself unavailable;
 the registry (:mod:`repro.decoder.backends`) then falls back to ``fast``
-with a warning instead of failing the decode.
+with a (once-per-process) warning instead of failing the decode.
 """
 
 from __future__ import annotations
@@ -19,8 +26,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.decoder.backends import numba_jit
+from repro.decoder.backends.base import kernel_slot
 from repro.decoder.backends.fast import FastBackend
 from repro.errors import DecoderConfigError
+from repro.fixedpoint.boxplus import FixedBoxOps, make_guard_tables
+
+#: Min-sum ``mode`` encoding shared with :mod:`.numba_jit`.
+MINSUM_PLAIN = 0
+MINSUM_NORM_SHIFT = 1
+MINSUM_NORM_GENERAL = 2
+MINSUM_OFFSET = 3
 
 
 def is_available() -> bool:
@@ -28,10 +43,30 @@ def is_available() -> bool:
     return numba_jit.HAVE_NUMBA
 
 
+def _minsum_mode(config) -> tuple[int, float, int]:
+    """``(mode, normalization, offset_raw)`` for the JIT min-sum loops."""
+    if config.check_node == "normalized-minsum":
+        if config.is_fixed_point and abs(config.normalization - 0.75) < 1e-9:
+            return MINSUM_NORM_SHIFT, config.normalization, 0
+        return MINSUM_NORM_GENERAL, config.normalization, 0
+    if config.check_node == "offset-minsum":
+        offset_raw = (
+            int(np.rint(config.offset * config.qformat.scale))
+            if config.is_fixed_point
+            else 0
+        )
+        return MINSUM_OFFSET, config.normalization, offset_raw
+    return MINSUM_PLAIN, config.normalization, 0
+
+
 class NumbaBackend(FastBackend):
-    """JIT backend; extends ``fast`` with compiled fixed-point loops."""
+    """JIT backend; extends ``fast`` with compiled scalar loops."""
 
     name = "numba"
+
+    #: Kernel slots executed by compiled scalar loops instead of the
+    #: inherited fast vectorized kernels.
+    JIT_SLOTS = ("bp_sumsub_fixed", "minsum_fixed", "minsum_float")
 
     def __init__(self, plan, config):
         if not numba_jit.HAVE_NUMBA:
@@ -39,40 +74,148 @@ class NumbaBackend(FastBackend):
                 "the 'numba' backend requires the numba package; "
                 "install it or select backend='fast'"
             )
+        # Resolved before super().__init__ so _select_kernel (called by
+        # FastBackend.__init__) can skip building the fast kernel state
+        # (guard ROMs, flat tables) the JIT paths never touch.
+        slot = kernel_slot(config)
+        self._jit_slot = slot if slot in self.JIT_SLOTS else None
         super().__init__(plan, config)
-        self._jit_fixed_bp = (
-            config.is_fixed_point
-            and config.check_node == "bp"
-            and config.bp_impl == "sum-sub"
-        )
-        if self._jit_fixed_bp:
+        if slot == "bp_sumsub_fixed":
             self._max_int_i = np.int32(config.qformat.max_int)
             self._app_max_i = np.int32(config.app_qformat.max_int)
+            if config.siso_guard_bits > 0:
+                tables = make_guard_tables(
+                    config.qformat, config.siso_guard_bits
+                )
+                self._jit_f_table = tables.f
+                self._jit_g_table = tables.g
+                self._jit_guard_bits = np.int32(config.siso_guard_bits)
+            else:
+                ops = FixedBoxOps(config.qformat)
+                self._jit_corr_plus, self._jit_corr_minus = ops.flat_tables()
+        elif slot in ("minsum_fixed", "minsum_float"):
+            mode, normalization, offset_raw = _minsum_mode(config)
+            self._jit_mode = np.int32(mode)
+            self._jit_norm = np.float64(normalization)
+            if slot == "minsum_fixed":
+                self._max_int_i = np.int32(config.qformat.max_int)
+                self._app_max_i = np.int32(config.app_qformat.max_int)
+                self._jit_offset_raw = np.int32(offset_raw)
+            else:
+                self._jit_offset = np.float64(config.offset)
+
+    def _select_kernel(self):
+        # JIT slots dispatch straight to the compiled loops in
+        # update_layer/compute_check; building the fast vectorized
+        # kernel would only burn construction time and memory.
+        if self._jit_slot is not None:
+            return None
+        return super()._select_kernel()
 
     def update_layer(self, l_messages, lambdas, layer_pos):
-        if not self._jit_fixed_bp:
+        slot = self._jit_slot
+        if slot is None:
             super().update_layer(l_messages, lambdas, layer_pos)
             return
         plan = self.plan
         sl = plan.lambda_slices[layer_pos]
-        numba_jit.update_layer_fixed(
-            l_messages,
-            lambdas,
-            plan.flat_indices[layer_pos],
-            sl.start,
-            self._corr_plus,
-            self._corr_minus,
-            self._max_int_i,
-            self._app_max_i,
-            sl.stop - sl.start,
-            plan.z,
-        )
+        flat_idx = plan.flat_indices[layer_pos]
+        degree = sl.stop - sl.start
+        if slot == "bp_sumsub_fixed":
+            if self.config.siso_guard_bits > 0:
+                numba_jit.update_layer_fixed_guard(
+                    l_messages,
+                    lambdas,
+                    flat_idx,
+                    sl.start,
+                    self._jit_f_table,
+                    self._jit_g_table,
+                    self._jit_guard_bits,
+                    self._max_int_i,
+                    self._app_max_i,
+                    degree,
+                    plan.z,
+                )
+            else:
+                numba_jit.update_layer_fixed(
+                    l_messages,
+                    lambdas,
+                    flat_idx,
+                    sl.start,
+                    self._jit_corr_plus,
+                    self._jit_corr_minus,
+                    self._max_int_i,
+                    self._app_max_i,
+                    degree,
+                    plan.z,
+                )
+        elif slot == "minsum_fixed":
+            numba_jit.update_layer_minsum_fixed(
+                l_messages,
+                lambdas,
+                flat_idx,
+                sl.start,
+                self._max_int_i,
+                self._app_max_i,
+                self._jit_mode,
+                self._jit_norm,
+                self._jit_offset_raw,
+                degree,
+                plan.z,
+            )
+        else:
+            numba_jit.update_layer_minsum_float(
+                l_messages,
+                lambdas,
+                flat_idx,
+                sl.start,
+                np.float64(self._msg_clip),
+                np.float64(self._app_clip),
+                self._jit_mode,
+                self._jit_norm,
+                self._jit_offset,
+                degree,
+                plan.z,
+            )
 
     def compute_check(self, lam_vc, layer_pos):
-        if not self._jit_fixed_bp:
+        slot = self._jit_slot
+        if slot is None:
             return super().compute_check(lam_vc, layer_pos)
         out = np.empty_like(lam_vc)
-        numba_jit.check_fixed(
-            lam_vc, out, self._corr_plus, self._corr_minus, self._max_int_i
-        )
+        if slot == "bp_sumsub_fixed":
+            if self.config.siso_guard_bits > 0:
+                numba_jit.check_fixed_guard(
+                    lam_vc,
+                    out,
+                    self._jit_f_table,
+                    self._jit_g_table,
+                    self._jit_guard_bits,
+                    self._max_int_i,
+                )
+            else:
+                numba_jit.check_fixed(
+                    lam_vc,
+                    out,
+                    self._jit_corr_plus,
+                    self._jit_corr_minus,
+                    self._max_int_i,
+                )
+        elif slot == "minsum_fixed":
+            numba_jit.check_minsum_fixed(
+                lam_vc,
+                out,
+                self._max_int_i,
+                self._jit_mode,
+                self._jit_norm,
+                self._jit_offset_raw,
+            )
+        else:
+            numba_jit.check_minsum_float(
+                lam_vc,
+                out,
+                self._jit_mode,
+                self._jit_norm,
+                self._jit_offset,
+            )
         return out

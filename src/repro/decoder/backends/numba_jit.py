@@ -5,9 +5,23 @@ that (a) ``numba.njit`` can compile them without object-mode fallbacks
 and (b) the test suite can execute them *uncompiled* to pin down their
 arithmetic against the reference backend even on machines without numba.
 
-The fixed-point layer update reproduces the reference datapath exactly:
-saturating message-port subtraction, sequential ⊞ fold through the flat
-(f) table, per-edge ⊟ through the flat (g) table, wide APP write-back.
+Three kernel families live here, each fusing the gather, saturating
+message-port subtraction (with zero-breaking — see
+:func:`repro.decoder.backends.base.break_zero_messages`), check-node
+arithmetic, and APP write-back of one layer into a single pass with no
+temporaries:
+
+- the *guarded* fixed-point BP sum-subtract fold (the default datapath:
+  ``DecoderConfig.siso_guard_bits`` extra fractional bits carried
+  through the ⊞/⊟ recursion, outputs rounded back to the message
+  format);
+- the seed-era single-resolution fold (``siso_guard_bits=0``);
+- the min-sum family (plain / normalized / offset), in both the integer
+  and the float datapath, via a running two-smallest reduction.
+
+Min-sum variants are encoded as ``mode``: 0 = plain, 1 = normalized by
+the hardware ``(3x) >> 2`` (factor 0.75, fixed point only), 2 =
+normalized by an arbitrary factor, 3 = offset.
 """
 
 from __future__ import annotations
@@ -57,20 +71,22 @@ def _update_layer_fixed(
     degree,
     z,
 ):
-    """One fixed-point layered sub-iteration, scalar loops, in place."""
+    """One fixed-point layered sub-iteration (guard 0), scalar loops."""
     batch = l_messages.shape[0]
     messages = np.empty(degree, np.int32)
     for frame in range(batch):
         for col in range(z):
             for i in range(degree):
-                value = (
-                    l_messages[frame, flat_idx[i * z + col]]
-                    - lambdas[frame, lam_start + i, col]
-                )
+                app = l_messages[frame, flat_idx[i * z + col]]
+                value = app - lambdas[frame, lam_start + i, col]
                 if value > max_int:
                     value = max_int
                 elif value < -max_int:
                     value = -max_int
+                elif value == 0:
+                    # Zero-broken message port: L == Λ exactly, break
+                    # the erasure with the APP's sign.
+                    value = -1 if app < 0 else 1
                 messages[i] = value
             total = messages[0]
             for i in range(1, degree):
@@ -91,7 +107,7 @@ def _update_layer_fixed(
 
 
 def _check_fixed(lam_vc, out, corr_plus, corr_minus, max_int):
-    """Fixed-point BP sum-sub check kernel on ``(B, d, z)`` messages."""
+    """Fixed BP sum-sub check kernel (guard 0) on ``(B, d, z)`` messages."""
     batch, degree, z = lam_vc.shape
     for frame in range(batch):
         for col in range(z):
@@ -106,15 +122,368 @@ def _check_fixed(lam_vc, out, corr_plus, corr_minus, max_int):
                 )
 
 
+def _guard_combine_scalar(a, b, table, state_max):
+    """One guarded ⊞/⊟ on guard-resolution raw integers."""
+    abs_a = a if a >= 0 else -a
+    abs_b = b if b >= 0 else -b
+    magnitude = abs_a if abs_a < abs_b else abs_b
+    magnitude += table[abs_a + abs_b]
+    diff = abs_a - abs_b
+    if diff < 0:
+        diff = -diff
+    magnitude -= table[diff]
+    if magnitude < 0:
+        magnitude = 0
+    sign_a = 1 if a > 0 else (-1 if a < 0 else 0)
+    sign_b = 1 if b > 0 else (-1 if b < 0 else 0)
+    out = sign_a * sign_b * magnitude
+    if out > state_max:
+        out = state_max
+    elif out < -state_max:
+        out = -state_max
+    return out
+
+
+def _guard_round(value, guard_bits, half, max_int):
+    """Round a guarded ⊟ output half-away-from-zero to the message format."""
+    magnitude = value if value >= 0 else -value
+    magnitude = (magnitude + half) >> guard_bits
+    if magnitude > max_int:
+        magnitude = max_int
+    if value > 0:
+        return magnitude
+    if value < 0:
+        return -magnitude
+    return 0
+
+
+def _update_layer_fixed_guard(
+    l_messages,
+    lambdas,
+    flat_idx,
+    lam_start,
+    f_table,
+    g_table,
+    guard_bits,
+    max_int,
+    app_max,
+    degree,
+    z,
+):
+    """One guarded fixed-point layered sub-iteration, scalar loops."""
+    batch = l_messages.shape[0]
+    factor = 1 << guard_bits
+    half = factor >> 1
+    state_max = max_int * factor
+    messages = np.empty(degree, np.int32)
+    for frame in range(batch):
+        for col in range(z):
+            for i in range(degree):
+                app = l_messages[frame, flat_idx[i * z + col]]
+                value = app - lambdas[frame, lam_start + i, col]
+                if value > max_int:
+                    value = max_int
+                elif value < -max_int:
+                    value = -max_int
+                elif value == 0:
+                    value = -1 if app < 0 else 1
+                messages[i] = value
+            total = messages[0] * factor
+            for i in range(1, degree):
+                total = _guard_combine_scalar(
+                    total, messages[i] * factor, f_table, state_max
+                )
+            for i in range(degree):
+                wide = _guard_combine_scalar(
+                    total, messages[i] * factor, g_table, state_max
+                )
+                lam_new = _guard_round(wide, guard_bits, half, max_int)
+                app = messages[i] + lam_new
+                if app > app_max:
+                    app = app_max
+                elif app < -app_max:
+                    app = -app_max
+                l_messages[frame, flat_idx[i * z + col]] = app
+                lambdas[frame, lam_start + i, col] = lam_new
+
+
+def _check_fixed_guard(
+    lam_vc, out, f_table, g_table, guard_bits, max_int
+):
+    """Guarded fixed BP sum-sub check kernel on ``(B, d, z)`` messages."""
+    batch, degree, z = lam_vc.shape
+    factor = 1 << guard_bits
+    half = factor >> 1
+    state_max = max_int * factor
+    for frame in range(batch):
+        for col in range(z):
+            total = lam_vc[frame, 0, col] * factor
+            for i in range(1, degree):
+                total = _guard_combine_scalar(
+                    total, lam_vc[frame, i, col] * factor, f_table, state_max
+                )
+            for i in range(degree):
+                wide = _guard_combine_scalar(
+                    total, lam_vc[frame, i, col] * factor, g_table, state_max
+                )
+                out[frame, i, col] = _guard_round(
+                    wide, guard_bits, half, max_int
+                )
+
+
+def _minsum_correct_fixed(magnitude, mode, normalization, offset_raw):
+    """The min-sum magnitude correction on a raw integer (mode-encoded)."""
+    if mode == 1:
+        return (3 * magnitude) >> 2
+    if mode == 2:
+        return int(np.floor(magnitude * normalization))
+    if mode == 3:
+        corrected = magnitude - offset_raw
+        return corrected if corrected > 0 else 0
+    return magnitude
+
+
+def _update_layer_minsum_fixed(
+    l_messages,
+    lambdas,
+    flat_idx,
+    lam_start,
+    max_int,
+    app_max,
+    mode,
+    normalization,
+    offset_raw,
+    degree,
+    z,
+):
+    """One fixed-point min-sum layered sub-iteration, scalar loops."""
+    batch = l_messages.shape[0]
+    messages = np.empty(degree, np.int32)
+    for frame in range(batch):
+        for col in range(z):
+            negatives = 0
+            min1 = max_int + 1
+            min2 = max_int + 1
+            amin = 0
+            for i in range(degree):
+                app = l_messages[frame, flat_idx[i * z + col]]
+                value = app - lambdas[frame, lam_start + i, col]
+                if value > max_int:
+                    value = max_int
+                elif value < -max_int:
+                    value = -max_int
+                elif value == 0:
+                    value = -1 if app < 0 else 1
+                messages[i] = value
+                if value < 0:
+                    negatives += 1
+                    value = -value
+                if value < min1:
+                    min2 = min1
+                    min1 = value
+                    amin = i
+                elif value < min2:
+                    min2 = value
+            mag1 = _minsum_correct_fixed(min1, mode, normalization, offset_raw)
+            mag2 = _minsum_correct_fixed(min2, mode, normalization, offset_raw)
+            parity_neg = negatives & 1
+            for i in range(degree):
+                magnitude = mag2 if i == amin else mag1
+                if (messages[i] < 0) != (parity_neg == 1):
+                    lam_new = -magnitude
+                else:
+                    lam_new = magnitude
+                if lam_new > max_int:
+                    lam_new = max_int
+                elif lam_new < -max_int:
+                    lam_new = -max_int
+                app = messages[i] + lam_new
+                if app > app_max:
+                    app = app_max
+                elif app < -app_max:
+                    app = -app_max
+                l_messages[frame, flat_idx[i * z + col]] = app
+                lambdas[frame, lam_start + i, col] = lam_new
+
+
+def _check_minsum_fixed(lam_vc, out, max_int, mode, normalization, offset_raw):
+    """Fixed min-sum check kernel on ``(B, d, z)`` messages."""
+    batch, degree, z = lam_vc.shape
+    for frame in range(batch):
+        for col in range(z):
+            negatives = 0
+            min1 = max_int + 1
+            min2 = max_int + 1
+            amin = 0
+            for i in range(degree):
+                value = lam_vc[frame, i, col]
+                if value < 0:
+                    negatives += 1
+                    value = -value
+                if value < min1:
+                    min2 = min1
+                    min1 = value
+                    amin = i
+                elif value < min2:
+                    min2 = value
+            mag1 = _minsum_correct_fixed(min1, mode, normalization, offset_raw)
+            mag2 = _minsum_correct_fixed(min2, mode, normalization, offset_raw)
+            parity_neg = negatives & 1
+            for i in range(degree):
+                magnitude = mag2 if i == amin else mag1
+                if (lam_vc[frame, i, col] < 0) != (parity_neg == 1):
+                    value = -magnitude
+                else:
+                    value = magnitude
+                if value > max_int:
+                    value = max_int
+                elif value < -max_int:
+                    value = -max_int
+                out[frame, i, col] = value
+
+
+def _minsum_correct_float(magnitude, mode, normalization, offset):
+    if mode == 2:
+        return magnitude * normalization
+    if mode == 3:
+        corrected = magnitude - offset
+        return corrected if corrected > 0.0 else 0.0
+    return magnitude
+
+
+def _update_layer_minsum_float(
+    l_messages,
+    lambdas,
+    flat_idx,
+    lam_start,
+    msg_clip,
+    app_clip,
+    mode,
+    normalization,
+    offset,
+    degree,
+    z,
+):
+    """One float min-sum layered sub-iteration, scalar loops."""
+    batch = l_messages.shape[0]
+    messages = np.empty(degree, np.float64)
+    for frame in range(batch):
+        for col in range(z):
+            negatives = 0
+            min1 = np.inf
+            min2 = np.inf
+            amin = 0
+            for i in range(degree):
+                value = (
+                    l_messages[frame, flat_idx[i * z + col]]
+                    - lambdas[frame, lam_start + i, col]
+                )
+                if value > msg_clip:
+                    value = msg_clip
+                elif value < -msg_clip:
+                    value = -msg_clip
+                messages[i] = value
+                if value < 0:
+                    negatives += 1
+                    value = -value
+                if value < min1:
+                    min2 = min1
+                    min1 = value
+                    amin = i
+                elif value < min2:
+                    min2 = value
+            mag1 = _minsum_correct_float(min1, mode, normalization, offset)
+            mag2 = _minsum_correct_float(min2, mode, normalization, offset)
+            parity_neg = negatives & 1
+            for i in range(degree):
+                magnitude = mag2 if i == amin else mag1
+                if (messages[i] < 0) != (parity_neg == 1):
+                    lam_new = -magnitude
+                else:
+                    lam_new = magnitude
+                app = messages[i] + lam_new
+                if app > app_clip:
+                    app = app_clip
+                elif app < -app_clip:
+                    app = -app_clip
+                l_messages[frame, flat_idx[i * z + col]] = app
+                lambdas[frame, lam_start + i, col] = lam_new
+
+
+def _check_minsum_float(lam_vc, out, mode, normalization, offset):
+    """Float min-sum check kernel on ``(B, d, z)`` messages."""
+    batch, degree, z = lam_vc.shape
+    for frame in range(batch):
+        for col in range(z):
+            negatives = 0
+            min1 = np.inf
+            min2 = np.inf
+            amin = 0
+            for i in range(degree):
+                value = lam_vc[frame, i, col]
+                if value < 0:
+                    negatives += 1
+                    value = -value
+                if value < min1:
+                    min2 = min1
+                    min1 = value
+                    amin = i
+                elif value < min2:
+                    min2 = value
+            mag1 = _minsum_correct_float(min1, mode, normalization, offset)
+            mag2 = _minsum_correct_float(min2, mode, normalization, offset)
+            parity_neg = negatives & 1
+            for i in range(degree):
+                magnitude = mag2 if i == amin else mag1
+                if (lam_vc[frame, i, col] < 0) != (parity_neg == 1):
+                    out[frame, i, col] = -magnitude
+                else:
+                    out[frame, i, col] = magnitude
+
+
 if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
     _box_combine_scalar = numba.njit(cache=True, inline="always")(
         _box_combine_scalar
     )
+    _guard_combine_scalar = numba.njit(cache=True, inline="always")(
+        _guard_combine_scalar
+    )
+    _guard_round = numba.njit(cache=True, inline="always")(_guard_round)
+    _minsum_correct_fixed = numba.njit(cache=True, inline="always")(
+        _minsum_correct_fixed
+    )
+    _minsum_correct_float = numba.njit(cache=True, inline="always")(
+        _minsum_correct_float
+    )
     _update_layer_fixed = numba.njit(cache=True, nogil=True)(_update_layer_fixed)
     _check_fixed = numba.njit(cache=True, nogil=True)(_check_fixed)
+    _update_layer_fixed_guard = numba.njit(cache=True, nogil=True)(
+        _update_layer_fixed_guard
+    )
+    _check_fixed_guard = numba.njit(cache=True, nogil=True)(_check_fixed_guard)
+    _update_layer_minsum_fixed = numba.njit(cache=True, nogil=True)(
+        _update_layer_minsum_fixed
+    )
+    _check_minsum_fixed = numba.njit(cache=True, nogil=True)(
+        _check_minsum_fixed
+    )
+    _update_layer_minsum_float = numba.njit(cache=True, nogil=True)(
+        _update_layer_minsum_float
+    )
+    _check_minsum_float = numba.njit(cache=True, nogil=True)(
+        _check_minsum_float
+    )
 
 
 # Public, stable names (compiled when numba is present).
 box_combine_scalar = _box_combine_scalar
 update_layer_fixed = _update_layer_fixed
 check_fixed = _check_fixed
+guard_combine_scalar = _guard_combine_scalar
+guard_round = _guard_round
+update_layer_fixed_guard = _update_layer_fixed_guard
+check_fixed_guard = _check_fixed_guard
+update_layer_minsum_fixed = _update_layer_minsum_fixed
+check_minsum_fixed = _check_minsum_fixed
+update_layer_minsum_float = _update_layer_minsum_float
+check_minsum_float = _check_minsum_float

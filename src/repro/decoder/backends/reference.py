@@ -1,19 +1,27 @@
-"""The original (pre-plan) decoder arithmetic, preserved verbatim.
+"""The original (pre-plan) decoder arithmetic — the numerical ground truth.
 
-This backend is the numerical ground truth: it executes exactly the ops
-the seed implementation performed — per-edge sequential ⊞ recursion
-through :mod:`repro.decoder.siso` kernels, int64 intermediates with
-explicit Q-format saturation — so every other backend is validated
-against it (bit-identical in fixed point, within documented tolerance in
-float).
+This backend executes the straightforward numpy form of every datapath —
+per-edge sequential ⊞/⊟ recursions through :mod:`repro.decoder.siso`
+kernels, int64 intermediates with explicit Q-format saturation — so
+every other backend is validated against it (bit-identical in fixed
+point, within documented tolerance in float).
+
+Two deliberate departures from the seed implementation, shared by every
+backend (see :mod:`repro.decoder.backends.base`), fix the PR 3 Q8.2
+non-convergence bug:
+
+- fixed-point v→c messages are *zero-broken* at the message port
+  (:func:`~repro.decoder.backends.base.break_zero_messages`);
+- the fixed BP sum-subtract kernel carries
+  ``DecoderConfig.siso_guard_bits`` extra fractional bits internally
+  (:class:`~repro.decoder.siso.GuardedFixedBPSumSubKernel`).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.decoder.backends.base import DecoderBackend
-from repro.decoder.siso import make_checknode_kernel
+from repro.decoder.backends.base import DecoderBackend, break_zero_messages
 
 
 class ReferenceBackend(DecoderBackend):
@@ -23,7 +31,7 @@ class ReferenceBackend(DecoderBackend):
 
     def __init__(self, plan, config):
         super().__init__(plan, config)
-        self.kernel = make_checknode_kernel(config)
+        self.kernel = self._select_kernel()
 
     def update_layer(self, l_messages, lambdas, layer_pos):
         config = self.config
@@ -36,6 +44,7 @@ class ReferenceBackend(DecoderBackend):
             lam_new = config.qformat.saturate(
                 gathered.astype(np.int64) - lambdas[:, sl, :]
             )
+            break_zero_messages(lam_new, lambdas[:, sl, :])
             lambda_new = self.kernel(lam_new)
             l_messages[:, idx] = config.app_qformat.saturate(
                 lam_new.astype(np.int64) + lambda_new

@@ -21,6 +21,7 @@ import numpy as np
 from repro.codes.qc import QCLDPCCode
 from repro.decoder.api import DecodeResult, DecoderConfig
 from repro.decoder.backends import make_backend
+from repro.decoder.backends.base import break_zero_messages
 from repro.decoder.compaction import ActiveFrameSet
 from repro.decoder.early_termination import make_monitor
 from repro.decoder.plan import DecodePlan
@@ -58,7 +59,7 @@ class FloodingDecoder:
             if np.issubdtype(llr.dtype, np.integer):
                 channel = config.qformat.saturate(llr.astype(np.int64))
             else:
-                channel = config.qformat.quantize(llr)
+                channel = config.qformat.quantize_nonzero(llr)
         else:
             channel = np.clip(
                 llr.astype(np.float64), -config.llr_clip, config.llr_clip
@@ -92,13 +93,13 @@ class FloodingDecoder:
                     sl = plan.lambda_slices[pos]
                     if config.is_fixed_point:
                         # v->c messages pass through the narrow message
-                        # port.
-                        gathered.append(
-                            config.qformat.saturate(
-                                l_total[:, idx].astype(np.int64)
-                                - lam[:, sl, :]
-                            )
+                        # port (zero-broken, like the layered path).
+                        lam_vc = config.qformat.saturate(
+                            l_total[:, idx].astype(np.int64)
+                            - lam[:, sl, :]
                         )
+                        break_zero_messages(lam_vc, lam[:, sl, :])
+                        gathered.append(lam_vc)
                     else:
                         gathered.append(
                             np.clip(

@@ -79,11 +79,15 @@ class LayeredDecoder:
             )
         if self.config.is_fixed_point:
             # Channel LLRs enter through the 8-bit message port but live in
-            # the wider APP memory thereafter.
+            # the wider APP memory thereafter.  Floats are quantized with
+            # zero-breaking (an exactly-zero raw LLR is an absorbing
+            # erasure under the sum-subtract SISO — the PR 3 bug);
+            # integer inputs are the caller's explicit raw datapath
+            # values and pass through saturation only.
             if np.issubdtype(llr.dtype, np.integer):
                 working = self.config.qformat.saturate(llr.astype(np.int64))
             else:
-                working = self.config.qformat.quantize(llr)
+                working = self.config.qformat.quantize_nonzero(llr)
         else:
             working = np.clip(
                 llr.astype(np.float64), -self.config.llr_clip, self.config.llr_clip

@@ -30,7 +30,12 @@ import numpy as np
 
 from repro.decoder.api import DecoderConfig
 from repro.errors import DecoderConfigError
-from repro.fixedpoint.boxplus import FixedBoxOps, boxminus, boxplus
+from repro.fixedpoint.boxplus import (
+    FixedBoxOps,
+    GuardTables,
+    boxminus,
+    boxplus,
+)
 from repro.fixedpoint.quantize import QFormat
 
 
@@ -99,6 +104,36 @@ class FixedBPSumSubKernel:
         out = np.empty_like(lam)
         for i in range(d):
             out[:, i, :] = self.ops.boxminus(total, lam[:, i, :])
+        return out
+
+
+class GuardedFixedBPSumSubKernel:
+    """Fixed BP sum-subtract with internal guard resolution.
+
+    Message I/O stays in the configured :class:`QFormat`; the ⊞ fold
+    state and the ⊟ inversion run at ``guard_bits`` extra fractional
+    bits through direct-indexed correction tables
+    (:class:`~repro.fixedpoint.boxplus.GuardTables`), and each output is
+    rounded half-away-from-zero back to the message format.  This is
+    the numerical ground truth for the guarded datapath — the fast and
+    numba backends replicate it bit-for-bit.
+    """
+
+    def __init__(self, tables: GuardTables):
+        self.tables = tables
+
+    def __call__(self, lam: np.ndarray) -> np.ndarray:
+        _check_shape(lam)
+        d = lam.shape[1]
+        tables = self.tables
+        guarded = lam.astype(np.int64) * tables.factor
+        total = guarded[:, 0, :]
+        for i in range(1, d):
+            total = tables.combine(total, guarded[:, i, :], tables.f)
+        out = np.empty_like(lam)
+        for i in range(d):
+            wide = tables.combine(total, guarded[:, i, :], tables.g)
+            out[:, i, :] = tables.round_message(wide).astype(lam.dtype)
         return out
 
 
@@ -266,6 +301,10 @@ def make_checknode_kernel(config: DecoderConfig):
         if config.is_fixed_point:
             ops = FixedBoxOps(config.qformat)
             if config.bp_impl == "sum-sub":
+                if config.siso_guard_bits > 0:
+                    return GuardedFixedBPSumSubKernel(
+                        ops.guard_tables(config.siso_guard_bits)
+                    )
                 return FixedBPSumSubKernel(ops)
             return FixedBPForwardBackwardKernel(ops)
         if config.bp_impl == "sum-sub":

@@ -3,9 +3,11 @@
 from repro.fixedpoint.boxplus import (
     DEFAULT_LLR_CLIP,
     FixedBoxOps,
+    GuardTables,
     boxminus,
     boxplus,
     boxplus_reduce,
+    make_guard_tables,
 )
 from repro.fixedpoint.lut import LUT_SIZE, CorrectionLUT, make_lut_pair
 from repro.fixedpoint.quantize import QFormat
@@ -14,10 +16,12 @@ __all__ = [
     "CorrectionLUT",
     "DEFAULT_LLR_CLIP",
     "FixedBoxOps",
+    "GuardTables",
     "LUT_SIZE",
     "QFormat",
     "boxminus",
     "boxplus",
     "boxplus_reduce",
+    "make_guard_tables",
     "make_lut_pair",
 ]

@@ -26,6 +26,8 @@ hardware unit does.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.fixedpoint.lut import CorrectionLUT, make_lut_pair
@@ -116,6 +118,121 @@ def phi_transform(
     return out
 
 
+@dataclass(frozen=True)
+class GuardTables:
+    """Correction tables for the guarded (internal-precision) ⊞/⊟ fold.
+
+    The sum-subtract check node recovers each extrinsic by *inverting*
+    the full ⊞ recursion through the ``g`` unit — an operation whose
+    error blows up near ``|total| == |λ_i|`` (the weakest edge, exactly
+    the extrinsic that steers convergence).  At the message format's own
+    resolution the corrections are quantized to a whole LSB (±0.25 LLR
+    in Q8.2) and the inversion noise is large enough to keep the Q8.2
+    datapath ~0.5 dB off the float curve; carrying ``guard_bits`` extra
+    fractional bits through the recursion — a routine hardware choice:
+    datapath-width message ports, wider SISO-internal arithmetic —
+    brings fixed-point BER within the paper's ~0.1 dB of float
+    (measured in ``tests/test_golden_vectors.py`` /
+    ``benchmarks/bench_fig8.py`` operating points).
+
+    Tables are direct-indexed by the guard-resolution raw sum/difference
+    and extend until the correction itself rounds to zero at guard
+    resolution (beyond the paper's 8-entry window, which stops at
+    2 LLR where the ``f`` correction is still half a MSB-format LSB).
+
+    Attributes
+    ----------
+    f, g:
+        int32 correction tables (``log(1+e^-x)`` / ``log(1-e^-x)``) in
+        guard-resolution raw units, sized ``2 * max_int * G + 1``.
+    guard_bits:
+        Extra fractional bits ``g`` (``G = 2^g``).
+    max_int:
+        Saturation magnitude of the *message* format; the fold state
+        saturates at ``max_int * G``.
+    """
+
+    f: np.ndarray
+    g: np.ndarray
+    guard_bits: int
+    max_int: int
+
+    @property
+    def factor(self) -> int:
+        """Guard scale ``G = 2^guard_bits``."""
+        return 1 << self.guard_bits
+
+    @property
+    def state_max(self) -> int:
+        """Saturation magnitude of the guarded fold state."""
+        return self.max_int * self.factor
+
+    def combine(self, a: np.ndarray, b: np.ndarray, table: np.ndarray) -> np.ndarray:
+        """One guarded ⊞/⊟ on guard-resolution values (table picks f vs g).
+
+        This is *the* guarded combine: the reference kernel, the cycle
+        model's SISO ops, and the fast backend's ROM fill all delegate
+        here, so cross-implementation bit-identity holds by construction
+        (only the numba scalar loops re-express it, pinned by
+        uncompiled-equality tests).
+        """
+        abs_a = np.abs(a)
+        abs_b = np.abs(b)
+        magnitude = np.minimum(abs_a, abs_b)
+        magnitude = magnitude + table[abs_a + abs_b]
+        magnitude -= table[np.abs(abs_a - abs_b)]
+        np.maximum(magnitude, 0, out=magnitude)
+        state_max = self.state_max
+        return np.clip(np.sign(a) * np.sign(b) * magnitude, -state_max, state_max)
+
+    def round_message(self, wide: np.ndarray) -> np.ndarray:
+        """Round a guarded ⊟ output half-away-from-zero to the message format."""
+        magnitude = np.minimum(
+            (np.abs(wide) + (self.factor >> 1)) >> self.guard_bits, self.max_int
+        )
+        return np.sign(wide) * magnitude
+
+
+_GUARD_TABLE_CACHE: dict[tuple[int, int, int], GuardTables] = {}
+
+
+def make_guard_tables(qformat: QFormat, guard_bits: int) -> GuardTables:
+    """Build (and memoize) the guarded correction tables for a format.
+
+    Entry ``i`` is the correction evaluated at the guard-resolution bin
+    midpoint ``x = (i + 0.5) / (scale * G)`` and rounded to the nearest
+    guard-resolution raw unit, exactly like the paper's 3-bit table but
+    ``G×`` finer and over the full domain where the corrections are
+    non-zero.  The ``g`` singularity at ``x -> 0`` is represented by its
+    first-bin midpoint value, clamped to the fold-state saturation.
+    """
+    if guard_bits < 1:
+        raise ValueError("guard_bits must be >= 1 (0 selects the ungated fold)")
+    key = (qformat.total_bits, qformat.frac_bits, guard_bits)
+    cached = _GUARD_TABLE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    factor = 1 << guard_bits
+    scale = qformat.scale * factor
+    state_max = qformat.max_int * factor
+    size = 2 * state_max + 1
+    # Corrections below half a guard LSB round to zero; stop the table
+    # there (ln(2*scale) LLR for f, whose tail decays like e^-x).
+    entries = min(size, int(np.ceil(scale * np.log(2.0 * scale))))
+    xs = (np.arange(entries) + 0.5) / scale
+    f = np.zeros(size, dtype=np.int32)
+    g = np.zeros(size, dtype=np.int32)
+    f[:entries] = np.rint(np.log1p(np.exp(-xs)) * scale).astype(np.int32)
+    with np.errstate(divide="ignore"):
+        g_vals = np.rint(np.log(-np.expm1(-xs)) * scale).astype(np.int64)
+    g[:entries] = np.maximum(g_vals, -state_max).astype(np.int32)
+    tables = GuardTables(
+        f=f, g=g, guard_bits=guard_bits, max_int=qformat.max_int
+    )
+    _GUARD_TABLE_CACHE[key] = tables
+    return tables
+
+
 class FixedBoxOps:
     """Integer ⊞ / ⊟ with 3-bit LUT corrections (hardware-faithful).
 
@@ -138,6 +255,10 @@ class FixedBoxOps:
     def boxplus_identity(self) -> int:
         """Raw integer acting as the ⊞ identity (strongest belief)."""
         return self.qformat.max_int
+
+    def guard_tables(self, guard_bits: int) -> GuardTables:
+        """Guarded correction tables for this format (memoized)."""
+        return make_guard_tables(self.qformat, guard_bits)
 
     def flat_tables(self) -> tuple[np.ndarray, np.ndarray]:
         """Direct-index (f, g) tables covering every reachable raw sum.

@@ -12,10 +12,16 @@ inputs at or beyond ``8 * step`` return the asymptotic value (0 for both
 terms at practical precision).  Outputs are returned as raw integers in
 the same Q-format.
 
-The ``g`` table's first bin would be ``log(0) = -inf``; hardware clamps it
-to the most negative representable correction.  We clamp to
-``-clamp_magnitude`` (default: the format's max), matching a saturating
-implementation.
+The ``g`` table's first bin contains the singularity ``log(0) = -inf``
+at its left edge; like every other bin it is *represented by its
+midpoint value* (finite, ≈ -2.1 LLR at a 0.25 step), additionally
+clamped to ``-clamp_magnitude`` for formats narrow enough that even the
+midpoint overflows.  The midpoint representation matters: railing the
+bin to the most negative representable value would make ``⊟`` return a
+full-confidence extrinsic whenever ``|total|`` and ``|λ_i|`` quantize
+equal — which in a coarse datapath happens at the weakest edge of
+nearly every check — and measurably destroys convergence (frames decode
+to ~50% BER; see the PR 3 diagnosis notes in CHANGES.md).
 """
 
 from __future__ import annotations

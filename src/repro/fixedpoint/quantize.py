@@ -89,6 +89,30 @@ class QFormat:
         scaled = np.rint(np.asarray(values, dtype=np.float64) * self.scale)
         return np.clip(scaled, self.min_int, self.max_int).astype(np.int32)
 
+    def quantize_nonzero(self, values: np.ndarray) -> np.ndarray:
+        """Like :meth:`quantize`, but zeros are broken to ``±1`` raw.
+
+        Round-to-nearest maps every LLR in ``(-step/2, step/2)`` to raw
+        zero, which the sum-subtract SISO treats as an erasure — and an
+        erasure is *absorbing* under Eq. 1 (``sign(0)`` annihilates the
+        whole ⊞ recursion and ``0 ⊟ 0 = 0`` can never re-inject the
+        excluded combine), so a frame with one zeroed channel LLR keeps
+        a zero APP forever and neither converges nor early-terminates.
+        Hardware avoids the state by construction: a sign-magnitude
+        quantizer always emits a sign bit, so the weakest representable
+        belief is ``±1`` raw (half an LSB rounds up), never a signless
+        zero.  This is the decoder-input quantizer; :meth:`quantize`
+        remains the plain round-to-nearest used for analysis.
+
+        The sign of a zeroed value follows the float's sign bit
+        (``-0.0`` and tiny negatives break to ``-1``).
+        """
+        raw = self.quantize(values)
+        zero = raw == 0
+        if np.any(zero):
+            raw[zero] = np.where(np.signbit(np.asarray(values)[zero]), -1, 1)
+        return raw
+
     def dequantize(self, raw: np.ndarray) -> np.ndarray:
         """Raw integers back to LLR units (floats)."""
         return np.asarray(raw, dtype=np.float64) / self.scale

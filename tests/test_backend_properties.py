@@ -117,6 +117,9 @@ def _random_config_kwargs(rng: np.random.Generator, j: int) -> dict:
         kwargs["bp_impl"] = str(rng.choice(["sum-sub", "forward-backward"]))
     if rng.random() < 0.5:
         kwargs["qformat"] = QFormat(int(rng.choice([6, 8])), 2)
+        # Cover both the guarded (default) and the seed-era
+        # single-resolution fixed sum-sub folds.
+        kwargs["siso_guard_bits"] = int(rng.choice([0, 2]))
     else:
         kwargs["llr_clip"] = float(rng.choice([16.0, 256.0]))
     if rng.random() < 0.3:
@@ -131,6 +134,24 @@ def _build_matrix() -> tuple[list[QCLDPCCode], list[Case]]:
     for code_index, code in enumerate(codes):
         for case_index in range(CASES_PER_CODE):
             kwargs = _random_config_kwargs(rng, code.base.j)
+            # Draw then pin: the first five cases of each code walk the
+            # full check-node algorithm list, alternating datapaths by
+            # (code, case) parity, so every algorithm × fixed/float cell
+            # is covered for *every* master seed (the draw alone leaves
+            # holes for some seeds).
+            if case_index < len(CHECK_NODE_ALGORITHMS):
+                forced = CHECK_NODE_ALGORITHMS[case_index]
+                kwargs["check_node"] = forced
+                if forced == "bp":
+                    kwargs.setdefault("bp_impl", "sum-sub")
+                if (code_index + case_index) % 2 == 0:
+                    kwargs.pop("llr_clip", None)
+                    if "qformat" not in kwargs:
+                        kwargs["qformat"] = QFormat(8, 2)
+                        kwargs["siso_guard_bits"] = code_index % 3
+                else:
+                    kwargs.pop("qformat", None)
+                    kwargs.pop("siso_guard_bits", None)
             schedule = str(rng.choice(list(SCHEDULES)))
             if schedule == "flooding":
                 kwargs.pop("layer_order", None)
@@ -282,3 +303,28 @@ def test_matrix_covers_both_schedules_and_datapaths():
     assert {c.llr_source for c in CASES} == {"random", "noisy"}
     assert any(dict(c.config_kwargs)["early_termination"] != "none" for c in CASES)
     assert any(c.batch == 1 for c in CASES)
+
+
+def test_matrix_covers_every_algorithm_in_both_datapaths():
+    """Every check-node algorithm runs fixed AND float through the
+    cross-backend properties above — the fused min-sum / linear-approx
+    fast and numba kernels are fenced for the whole family."""
+    covered = {
+        (dict(c.config_kwargs)["check_node"], "qformat" in dict(c.config_kwargs))
+        for c in CASES
+    }
+    from repro.decoder import CHECK_NODE_ALGORITHMS
+
+    for algorithm in CHECK_NODE_ALGORITHMS:
+        assert (algorithm, True) in covered, f"{algorithm} never runs fixed"
+        assert (algorithm, False) in covered, f"{algorithm} never runs float"
+
+
+def test_matrix_covers_both_guard_modes():
+    guards = {
+        dict(c.config_kwargs).get("siso_guard_bits")
+        for c in FIXED_CASES
+        if dict(c.config_kwargs)["check_node"] == "bp"
+    }
+    assert 0 in guards, "seed-era (guard 0) fixed BP fold never exercised"
+    assert any(g for g in guards if g), "guarded fixed BP fold never exercised"

@@ -93,16 +93,89 @@ class TestRegistry:
     @pytest.mark.skipif(
         "numba" in available_backends(), reason="numba installed"
     )
-    def test_unavailable_numba_falls_back_to_fast(self, small_code):
+    def test_unavailable_numba_falls_back_to_fast(self, small_code, monkeypatch):
+        import repro.decoder.backends as registry
+
+        monkeypatch.setattr(registry, "_FALLBACK_WARNED", set())
         with pytest.warns(RuntimeWarning, match="falling back"):
             decoder = LayeredDecoder(small_code, DecoderConfig(backend="numba"))
         assert isinstance(decoder.backend, FastBackend)
+
+    @pytest.mark.skipif(
+        "numba" in available_backends(), reason="numba installed"
+    )
+    def test_unavailable_fallback_warns_once_per_process(
+        self, small_code, monkeypatch
+    ):
+        import warnings
+
+        import repro.decoder.backends as registry
+
+        monkeypatch.setattr(registry, "_FALLBACK_WARNED", set())
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            resolve_backend_name("numba")
+        # Every later resolve in the same process is silent — resolve()
+        # runs per decoder construction, not per decode, and a sweep
+        # builds thousands of decoders.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_backend_name("numba") == "fast"
+            LayeredDecoder(small_code, DecoderConfig(backend="numba"))
 
     def test_decoder_uses_selected_backend(self, small_code):
         ref = LayeredDecoder(small_code, DecoderConfig(backend="reference"))
         fast = LayeredDecoder(small_code, DecoderConfig(backend="fast"))
         assert isinstance(ref.backend, ReferenceBackend)
         assert isinstance(fast.backend, FastBackend)
+
+
+class TestConfigValidation:
+    """Unknown algorithm strings die at DecoderConfig construction with
+    DecoderConfigError on every backend path — never a KeyError or a
+    silent fallback deep inside kernel selection."""
+
+    @pytest.mark.parametrize("backend", ["reference", "fast", "numba"])
+    def test_unknown_check_node_fails_at_construction(self, backend):
+        with pytest.raises(DecoderConfigError, match="check_node"):
+            DecoderConfig(backend=backend, check_node="min-sum")  # typo
+
+    @pytest.mark.parametrize("backend", ["reference", "fast", "numba"])
+    def test_unknown_bp_impl_fails_at_construction(self, backend):
+        with pytest.raises(DecoderConfigError, match="bp_impl"):
+            DecoderConfig(backend=backend, bp_impl="sumsub")  # typo
+
+    def test_kernel_slot_guards_unvalidated_configs(self):
+        # A config smuggled past __post_init__ (object.__setattr__ on the
+        # frozen dataclass) still raises DecoderConfigError, not KeyError,
+        # when a backend asks the kernel table for it.
+        from repro.decoder import kernel_slot
+
+        config = DecoderConfig()
+        object.__setattr__(config, "check_node", "bogus")
+        with pytest.raises(DecoderConfigError, match="no check-node kernel"):
+            kernel_slot(config)
+
+    def test_kernel_table_covers_every_valid_combination(self):
+        from repro.decoder import CHECK_NODE_ALGORITHMS, kernel_slot
+        from repro.decoder.backends.fast import FastBackend
+        from repro.decoder.plan import DecodePlan
+
+        code = get_code("802.16e:1/2:z24")
+        for check_node in CHECK_NODE_ALGORITHMS:
+            for bp_impl in ("sum-sub", "forward-backward"):
+                for qformat in (None, QFormat(8, 2)):
+                    config = DecoderConfig(
+                        check_node=check_node, bp_impl=bp_impl, qformat=qformat
+                    )
+                    assert kernel_slot(config)
+                    # and the fast backend can actually build the kernel
+                    assert FastBackend(DecodePlan(code), config)._kernel
+
+    def test_invalid_guard_bits_rejected(self):
+        with pytest.raises(DecoderConfigError, match="siso_guard_bits"):
+            DecoderConfig(siso_guard_bits=-1)
+        with pytest.raises(DecoderConfigError, match="siso_guard_bits"):
+            DecoderConfig(siso_guard_bits=9)
 
 
 @pytest.mark.parametrize("mode", STANDARD_MODES)
@@ -236,17 +309,21 @@ class TestFloatEquivalence:
         assert result.llr.dtype == np.float64
 
     @pytest.mark.parametrize(
-        "check_node", ["minsum", "normalized-minsum", "linear-approx"]
+        "check_node",
+        ["minsum", "normalized-minsum", "offset-minsum", "linear-approx"],
     )
     def test_non_bp_kernels_identical(
         self, small_code, small_encoder, check_node
     ):
+        # The fused fast kernels (two-smallest reduction instead of the
+        # reference argsort) are *exactly* equal in float, not just close.
         _, _, llr = make_noisy_llrs(small_code, small_encoder, 3.0, 10, 407)
         ref, fast = decode_pair(
             small_code, llr, dict(check_node=check_node, max_iterations=4)
         )
         assert np.array_equal(ref.bits, fast.bits)
-        np.testing.assert_allclose(ref.llr, fast.llr, atol=1e-12)
+        assert np.array_equal(ref.llr, fast.llr)
+        assert np.array_equal(ref.iterations, fast.iterations)
 
     def test_forward_backward_identical(self, small_code, small_encoder):
         _, _, llr = make_noisy_llrs(small_code, small_encoder, 3.0, 6, 408)
@@ -316,24 +393,29 @@ class TestNumbaJitArithmetic:
                 ops.boxminus(np.array(a), np.array(b))
             )
 
-    def test_update_layer_fixed_matches_reference(self, tiny_code, rng):
-        from repro.decoder.backends.numba_jit import update_layer_fixed
-        from repro.fixedpoint.boxplus import FixedBoxOps
-
-        config = DecoderConfig(qformat=QFormat(8, 2), backend="reference")
-        plan = DecodePlan(tiny_code)
-        reference = ReferenceBackend(plan, config)
-        ops = FixedBoxOps(config.qformat)
-        plus, minus = ops.flat_tables()
-        app_max = config.app_qformat.max_int
-
-        batch = 3
+    def _random_state(self, tiny_code, plan, app_max, rng, batch=3):
         l_ref = rng.integers(
             -app_max, app_max + 1, size=(batch, tiny_code.n)
         ).astype(np.int32)
         lam_ref = rng.integers(
             -127, 128, size=(batch, plan.total_blocks, tiny_code.z)
         ).astype(np.int32)
+        return l_ref, lam_ref
+
+    def test_update_layer_fixed_guard0_matches_reference(self, tiny_code, rng):
+        from repro.decoder.backends.numba_jit import update_layer_fixed
+        from repro.fixedpoint.boxplus import FixedBoxOps
+
+        config = DecoderConfig(
+            qformat=QFormat(8, 2), backend="reference", siso_guard_bits=0
+        )
+        plan = DecodePlan(tiny_code)
+        reference = ReferenceBackend(plan, config)
+        ops = FixedBoxOps(config.qformat)
+        plus, minus = ops.flat_tables()
+        app_max = config.app_qformat.max_int
+
+        l_ref, lam_ref = self._random_state(tiny_code, plan, app_max, rng)
         l_jit, lam_jit = l_ref.copy(), lam_ref.copy()
 
         for pos in range(plan.num_layers):
@@ -348,6 +430,117 @@ class TestNumbaJitArithmetic:
                 minus,
                 np.int32(127),
                 np.int32(app_max),
+                sl.stop - sl.start,
+                tiny_code.z,
+            )
+        assert np.array_equal(l_ref, l_jit)
+        assert np.array_equal(lam_ref, lam_jit)
+
+    def test_update_layer_fixed_guarded_matches_reference(self, tiny_code, rng):
+        from repro.decoder.backends.numba_jit import update_layer_fixed_guard
+        from repro.fixedpoint.boxplus import make_guard_tables
+
+        config = DecoderConfig(qformat=QFormat(8, 2), backend="reference")
+        plan = DecodePlan(tiny_code)
+        reference = ReferenceBackend(plan, config)
+        tables = make_guard_tables(config.qformat, config.siso_guard_bits)
+        app_max = config.app_qformat.max_int
+
+        l_ref, lam_ref = self._random_state(tiny_code, plan, app_max, rng)
+        l_jit, lam_jit = l_ref.copy(), lam_ref.copy()
+
+        for pos in range(plan.num_layers):
+            reference.update_layer(l_ref, lam_ref, pos)
+            sl = plan.lambda_slices[pos]
+            update_layer_fixed_guard(
+                l_jit,
+                lam_jit,
+                plan.flat_indices[pos],
+                sl.start,
+                tables.f,
+                tables.g,
+                np.int32(config.siso_guard_bits),
+                np.int32(127),
+                np.int32(app_max),
+                sl.stop - sl.start,
+                tiny_code.z,
+            )
+        assert np.array_equal(l_ref, l_jit)
+        assert np.array_equal(lam_ref, lam_jit)
+
+    @pytest.mark.parametrize(
+        "check_node", ["minsum", "normalized-minsum", "offset-minsum"]
+    )
+    def test_update_layer_minsum_fixed_matches_reference(
+        self, tiny_code, rng, check_node
+    ):
+        from repro.decoder.backends.numba_backend import _minsum_mode
+        from repro.decoder.backends.numba_jit import update_layer_minsum_fixed
+
+        config = DecoderConfig(
+            qformat=QFormat(8, 2), backend="reference", check_node=check_node
+        )
+        plan = DecodePlan(tiny_code)
+        reference = ReferenceBackend(plan, config)
+        mode, norm, offset_raw = _minsum_mode(config)
+        app_max = config.app_qformat.max_int
+
+        l_ref, lam_ref = self._random_state(tiny_code, plan, app_max, rng)
+        l_jit, lam_jit = l_ref.copy(), lam_ref.copy()
+
+        for pos in range(plan.num_layers):
+            reference.update_layer(l_ref, lam_ref, pos)
+            sl = plan.lambda_slices[pos]
+            update_layer_minsum_fixed(
+                l_jit,
+                lam_jit,
+                plan.flat_indices[pos],
+                sl.start,
+                np.int32(127),
+                np.int32(app_max),
+                np.int32(mode),
+                np.float64(norm),
+                np.int32(offset_raw),
+                sl.stop - sl.start,
+                tiny_code.z,
+            )
+        assert np.array_equal(l_ref, l_jit)
+        assert np.array_equal(lam_ref, lam_jit)
+
+    @pytest.mark.parametrize(
+        "check_node", ["minsum", "normalized-minsum", "offset-minsum"]
+    )
+    def test_update_layer_minsum_float_matches_reference(
+        self, tiny_code, rng, check_node
+    ):
+        from repro.decoder.backends.numba_backend import _minsum_mode
+        from repro.decoder.backends.numba_jit import update_layer_minsum_float
+
+        config = DecoderConfig(backend="reference", check_node=check_node)
+        plan = DecodePlan(tiny_code)
+        reference = ReferenceBackend(plan, config)
+        mode, norm, _ = _minsum_mode(config)
+
+        batch = 3
+        l_ref = rng.normal(0.0, 8.0, size=(batch, tiny_code.n))
+        lam_ref = rng.normal(
+            0.0, 2.0, size=(batch, plan.total_blocks, tiny_code.z)
+        )
+        l_jit, lam_jit = l_ref.copy(), lam_ref.copy()
+
+        for pos in range(plan.num_layers):
+            reference.update_layer(l_ref, lam_ref, pos)
+            sl = plan.lambda_slices[pos]
+            update_layer_minsum_float(
+                l_jit,
+                lam_jit,
+                plan.flat_indices[pos],
+                sl.start,
+                np.float64(config.llr_clip),
+                np.float64(config.effective_app_clip),
+                np.int32(mode),
+                np.float64(norm),
+                np.float64(config.offset),
                 sl.stop - sl.start,
                 tiny_code.z,
             )

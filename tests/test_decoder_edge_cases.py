@@ -17,6 +17,8 @@ import numpy as np
 import pytest
 
 from repro.analysis.ber import BERSimulator
+from repro.codes import QCLDPCCode
+from repro.codes.base_matrix import BaseMatrix
 from repro.decoder import (
     DecoderConfig,
     FloodingDecoder,
@@ -29,6 +31,30 @@ from tests.conftest import make_noisy_llrs
 
 SCHEDULES = {"layered": LayeredDecoder, "flooding": FloodingDecoder}
 BACKENDS = [b for b in ("reference", "fast", "numba") if b in available_backends()]
+
+#: The min-sum family + linear-approx: every kernel built on the fused
+#: two-smallest reduction in the fast/numba backends.
+MINSUM_FAMILY = ("minsum", "normalized-minsum", "offset-minsum", "linear-approx")
+
+
+@pytest.fixture(scope="module")
+def degree2_code() -> QCLDPCCode:
+    """A code whose second layer has check degree exactly 2.
+
+    Degree 2 is the floor the kernels accept and the edge where the
+    two-smallest reduction degenerates (the exclusive set of each edge
+    is a single message) — linear-approx even special-cases it.
+    """
+    entries = np.array(
+        [
+            [0, 2, 1, 3, 0],
+            [-1, 3, -1, -1, 1],
+        ]
+    )
+    base = BaseMatrix(entries=entries, z=5, name="deg2_j2_k5_z5")
+    code = QCLDPCCode(base)
+    assert sorted(code.base.layer_degrees().tolist()) == [2, 5]
+    return code
 
 
 def _decoder(schedule, code, backend, compact, **kwargs):
@@ -104,6 +130,45 @@ class TestDecodeShapes:
             assert np.array_equal(single.llr[0], batch.llr[i]), f"row {i}"
             assert single.iterations[0] == batch.iterations[i], f"row {i}"
             assert single.et_stopped[0] == batch.et_stopped[i], f"row {i}"
+
+
+@pytest.mark.parametrize("schedule", list(SCHEDULES))
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("check_node", MINSUM_FAMILY)
+class TestMinSumEdgeCases:
+    """(0, N) batches and degree-2 check rows for the fused kernel family."""
+
+    @pytest.mark.parametrize("qformat", [None, QFormat(8, 2)], ids=["float", "fixed"])
+    def test_empty_batch(self, small_code, schedule, backend, check_node, qformat):
+        decoder = SCHEDULES[schedule](
+            small_code,
+            DecoderConfig(backend=backend, check_node=check_node, qformat=qformat),
+        )
+        result = decoder.decode(np.zeros((0, small_code.n)))
+        assert result.batch_size == 0
+        assert result.bits.shape == (0, small_code.n)
+        assert result.iterations.shape == (0,)
+
+    @pytest.mark.parametrize("qformat", [None, QFormat(8, 2)], ids=["float", "fixed"])
+    def test_degree2_rows_match_reference(
+        self, degree2_code, schedule, backend, check_node, qformat
+    ):
+        rng = np.random.default_rng(515)
+        llr = rng.normal(0.0, 4.0, size=(5, degree2_code.n))
+        results = {}
+        for name in ("reference", backend):
+            config = DecoderConfig(
+                backend=name,
+                check_node=check_node,
+                qformat=qformat,
+                max_iterations=4,
+            )
+            results[name] = SCHEDULES[schedule](degree2_code, config).decode(llr)
+        reference, other = results["reference"], results[backend]
+        assert np.array_equal(reference.bits, other.bits)
+        assert np.array_equal(reference.llr, other.llr)
+        assert np.array_equal(reference.iterations, other.iterations)
+        assert np.array_equal(reference.et_stopped, other.et_stopped)
 
 
 class TestSimulatorBudgets:

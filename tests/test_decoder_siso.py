@@ -160,8 +160,18 @@ class TestFactory:
         assert isinstance(kernel, expected)
 
     def test_fixed_bp_kernels(self):
+        from repro.decoder import GuardedFixedBPSumSubKernel
+
         config = DecoderConfig(qformat=QFormat(8, 2))
-        assert isinstance(make_checknode_kernel(config), FixedBPSumSubKernel)
+        # The default fixed sum-sub datapath carries guard bits (the
+        # PR 3 convergence fix); guard 0 restores the seed-era kernel.
+        assert isinstance(
+            make_checknode_kernel(config), GuardedFixedBPSumSubKernel
+        )
+        assert isinstance(
+            make_checknode_kernel(config.replace(siso_guard_bits=0)),
+            FixedBPSumSubKernel,
+        )
         config = config.replace(bp_impl="forward-backward")
         assert isinstance(
             make_checknode_kernel(config), FixedBPForwardBackwardKernel
