@@ -12,7 +12,11 @@ The library has four layers:
 - **arch** — a cycle-accurate model of the reconfigurable chip (SISO
   units, circular shifter, memory banks, pipeline stalls, mode ROM);
 - **power / analysis / experiments** — calibrated area/power models and
-  the harnesses regenerating every table and figure of the paper.
+  the harnesses regenerating every table and figure of the paper;
+- **runtime / service** — the scaling layer: parallel Monte-Carlo sweep
+  sharding with checkpoint/resume, and the dynamic-batching
+  multi-standard decode service backed by a plan cache (the software
+  mode ROM).
 
 Quickstart::
 
@@ -45,6 +49,7 @@ from repro.encoder import GenericEncoder, SystematicQCEncoder, make_encoder
 from repro.fixedpoint import QFormat
 from repro.power import PowerModel, chip_area_breakdown
 from repro.runtime import SweepEngine
+from repro.service import DecodeService, PlanCache
 
 __version__ = "1.0.0"
 
@@ -52,12 +57,14 @@ __all__ = [
     "BaseMatrix",
     "DatapathParams",
     "DecodeResult",
+    "DecodeService",
     "DecoderChip",
     "DecoderConfig",
     "FloodingDecoder",
     "GenericEncoder",
     "LayeredDecoder",
     "PAPER_CHIP",
+    "PlanCache",
     "PowerModel",
     "QCLDPCCode",
     "QFormat",

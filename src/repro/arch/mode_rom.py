@@ -69,6 +69,7 @@ class ModeROM:
         self.optimize = optimize
         self.block_ordering = block_ordering
         self._entries: dict[str, ModeEntry] = {}
+        self._plans: dict[str, "DecodePlan"] = {}
 
     def lookup(self, mode: "str | QCLDPCCode") -> ModeEntry:
         """Resolve (and cache) the configuration for a mode.
@@ -111,6 +112,27 @@ class ModeROM:
         )
         self._entries[key] = entry
         return entry
+
+    def decode_plan(self, mode: "str | QCLDPCCode") -> "DecodePlan":
+        """The compiled functional decode plan for a mode's ROM record.
+
+        The ROM record stores the *optimized* layer order (the paper's
+        stall-avoidance reordering); this compiles — and caches — the
+        matching :class:`~repro.decoder.plan.DecodePlan`, so chip-level
+        consumers and the decode service share one set of gather tables
+        per mode.  Plans are immutable after construction (their working
+        buffers are thread-local), hence safe to hand to concurrent
+        decoders.
+        """
+        from repro.decoder.plan import DecodePlan
+
+        entry = self.lookup(mode)
+        plan = self._plans.get(entry.mode)
+        if plan is None:
+            plan = self._plans[entry.mode] = DecodePlan(
+                entry.code, entry.layer_order
+            )
+        return plan
 
     @property
     def loaded_modes(self) -> tuple[str, ...]:

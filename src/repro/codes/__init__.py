@@ -17,6 +17,7 @@ from repro.codes.dmbt import dmbt_base_matrix, dmbt_block_length, dmbt_rates
 from repro.codes.qc import QCLDPCCode
 from repro.codes.registry import (
     ModeDescriptor,
+    code_cache_info,
     describe_mode,
     get_code,
     list_modes,
@@ -36,6 +37,7 @@ __all__ = [
     "WIMAX_Z_VALUES",
     "ZERO_BLOCK",
     "build_qc_base_matrix",
+    "code_cache_info",
     "count_base_four_cycles",
     "describe_mode",
     "dmbt_base_matrix",

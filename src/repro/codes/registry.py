@@ -90,9 +90,17 @@ def describe_mode(mode: str) -> ModeDescriptor:
         ) from None
 
 
-@lru_cache(maxsize=64)
+@lru_cache(maxsize=None)
 def get_code(mode: str) -> QCLDPCCode:
     """Build (and cache) the expanded code for a mode string.
+
+    The cache is unbounded and thread-safe (``lru_cache`` locks
+    internally): the catalogue is finite (~100 modes) and a serving
+    process cycling through more than 64 of them used to thrash the old
+    bounded cache, re-expanding codes mid-traffic.  Expanded codes are
+    immutable, so sharing them across decoders, sweep workers and the
+    decode service is free; per-(mode, config) decoder state lives in
+    :class:`~repro.service.PlanCache`, which has its own (bounded) LRU.
 
     Examples
     --------
@@ -108,6 +116,23 @@ def get_code(mode: str) -> QCLDPCCode:
     else:
         base = dmbt_base_matrix(descriptor.rate)
     return QCLDPCCode(base)
+
+
+def code_cache_info() -> dict:
+    """Hit/miss statistics of the expanded-code cache.
+
+    Exposed for service observability: together with
+    ``PlanCache.stats()`` this shows whether a mode-switch cost was a
+    registry build (code expansion), a plan/ROM compile, or a pure
+    cache hit (the chip-equivalent control-register update).
+    """
+    info = get_code.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "size": info.currsize,
+        "catalogue": len(_CATALOGUE),
+    }
 
 
 def standards_summary() -> list[dict]:

@@ -225,6 +225,49 @@ class DecoderConfig:
 
         return dataclasses.replace(self, **changes)
 
+    def cache_key(self) -> tuple:
+        """A canonical, hashable identity of every configuration field.
+
+        This is the cache key of :class:`~repro.service.PlanCache` and
+        the batching key of :class:`~repro.service.DecodeService`: two
+        configs with equal ``cache_key()`` decode bit-identically, so
+        their requests may share one compiled plan, one set of
+        fixed-point ROM tables, and one working batch.  Unlike
+        ``hash(config)`` the key contains only primitives (no salted
+        ``str``/``float`` hashing surprises across processes) and
+        round-trips through ``repr`` losslessly.
+        """
+        import dataclasses
+
+        def canonical(value):
+            if isinstance(value, QFormat):
+                return ("QFormat", value.total_bits, value.frac_bits)
+            # layer_order is documented as a tuple but a list works
+            # everywhere else (resolve_layer_order re-tuples it); the
+            # key must not be the one place a list crashes unhashable.
+            if isinstance(value, (list, tuple)):
+                return tuple(value)
+            return value
+
+        return tuple(
+            (field.name, canonical(getattr(self, field.name)))
+            for field in dataclasses.fields(self)
+        )
+
+    def stable_hash(self) -> str:
+        """A short process-stable digest of :meth:`cache_key`.
+
+        Python's built-in ``hash`` is salted per process
+        (``PYTHONHASHSEED``), so it cannot name a config in logs,
+        metrics or on-disk artifacts.  This digest can: equal configs
+        produce equal strings in every interpreter.
+        """
+        import hashlib
+
+        return hashlib.sha256(
+            repr(self.cache_key()).encode("utf-8")
+        ).hexdigest()[:16]
+
 
 @dataclass
 class DecodeResult:
@@ -293,6 +336,32 @@ class DecodeResult:
     def convergence_rate(self) -> float:
         """Fraction of frames whose parity checks are satisfied."""
         return float(np.mean(self.converged))
+
+    def slice(self, start: int, stop: int) -> "DecodeResult":
+        """The sub-batch result for frames ``[start, stop)``.
+
+        Every check-node kernel, early-termination monitor and the
+        compaction bookkeeping are elementwise along the batch axis, so
+        a batch decode is frame-for-frame identical to decoding any
+        sub-batch separately — slicing a merged result apart is how
+        :class:`~repro.service.DecodeService` returns per-request
+        results from one dynamically batched decode.  Array fields are
+        *copies*: a view would keep the whole merged batch's arrays
+        alive for as long as any client holds its (possibly tiny)
+        slice, amplifying service memory by up to the batch size; the
+        copy costs one small memcpy per request against a full decode.
+        ``history`` is whole-batch diagnostic state and is dropped
+        rather than misattributed.
+        """
+        return DecodeResult(
+            bits=self.bits[start:stop].copy(),
+            llr=self.llr[start:stop].copy(),
+            iterations=self.iterations[start:stop].copy(),
+            converged=self.converged[start:stop].copy(),
+            et_stopped=self.et_stopped[start:stop].copy(),
+            n_info=self.n_info,
+            history=None,
+        )
 
     def bit_errors(self, reference_info: np.ndarray) -> int:
         """Total info-bit errors against a reference ``(B, K)`` array."""

@@ -24,7 +24,7 @@ from repro.decoder.backends import make_backend
 from repro.decoder.backends.base import break_zero_messages
 from repro.decoder.compaction import ActiveFrameSet
 from repro.decoder.early_termination import make_monitor
-from repro.decoder.plan import DecodePlan
+from repro.decoder.plan import DecodePlan, check_plan_compatible
 
 
 class FloodingDecoder:
@@ -37,12 +37,25 @@ class FloodingDecoder:
     config:
         Decoder settings.  ``layer_order`` is irrelevant under flooding
         and ignored.
+    plan:
+        Optional prebuilt natural-order plan (see
+        :class:`~repro.decoder.layered.LayeredDecoder`); flooding always
+        processes in natural order, so a reordered plan is rejected.
     """
 
-    def __init__(self, code: QCLDPCCode, config: DecoderConfig | None = None):
+    def __init__(
+        self,
+        code: QCLDPCCode,
+        config: DecoderConfig | None = None,
+        plan: DecodePlan | None = None,
+    ):
         self.code = code
         self.config = config if config is not None else DecoderConfig()
-        self.plan = DecodePlan(code)  # natural order; flooding has no layers
+        if plan is None:
+            plan = DecodePlan(code)  # natural order; flooding has no layers
+        else:
+            check_plan_compatible(plan, code, None)
+        self.plan = plan
         self.backend = make_backend(self.plan, self.config)
 
     def decode(self, channel_llr: np.ndarray) -> DecodeResult:

@@ -32,7 +32,7 @@ from repro.decoder.api import DecodeResult, DecoderConfig
 from repro.decoder.backends import make_backend
 from repro.decoder.compaction import ActiveFrameSet
 from repro.decoder.early_termination import make_monitor
-from repro.decoder.plan import DecodePlan
+from repro.decoder.plan import DecodePlan, check_plan_compatible
 
 
 class LayeredDecoder:
@@ -45,6 +45,13 @@ class LayeredDecoder:
     config:
         Decoder settings; defaults to the paper's configuration (full BP,
         sum-subtract check node, 10 iterations, paper early termination).
+    plan:
+        Optional prebuilt :class:`~repro.decoder.plan.DecodePlan` for
+        this code and the config's ``layer_order`` — the sharing hook
+        for :class:`~repro.service.PlanCache` (compiled plans are
+        immutable and thread-shareable; see :meth:`DecodePlan.scratch`).
+        Built fresh when omitted.  A plan for a different code or layer
+        order raises :class:`~repro.errors.DecoderConfigError`.
 
     Examples
     --------
@@ -58,10 +65,19 @@ class LayeredDecoder:
     True
     """
 
-    def __init__(self, code: QCLDPCCode, config: DecoderConfig | None = None):
+    def __init__(
+        self,
+        code: QCLDPCCode,
+        config: DecoderConfig | None = None,
+        plan: DecodePlan | None = None,
+    ):
         self.code = code
         self.config = config if config is not None else DecoderConfig()
-        self.plan = DecodePlan(code, self.config.layer_order)
+        if plan is None:
+            plan = DecodePlan(code, self.config.layer_order)
+        else:
+            check_plan_compatible(plan, code, self.config.layer_order)
+        self.plan = plan
         self.backend = make_backend(self.plan, self.config)
 
     # ------------------------------------------------------------------

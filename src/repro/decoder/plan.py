@@ -17,6 +17,8 @@ variable ``c * z + (r + x) % z``.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.codes.qc import QCLDPCCode
@@ -36,6 +38,48 @@ def resolve_layer_order(
             f"0..{code.base.j - 1}"
         )
     return order
+
+
+def check_plan_compatible(
+    plan: "DecodePlan",
+    code: QCLDPCCode,
+    layer_order: tuple[int, ...] | None,
+) -> None:
+    """Verify a prebuilt plan actually belongs to ``(code, layer_order)``.
+
+    Decoders accept externally built plans (shared through
+    :class:`~repro.service.PlanCache` or
+    :meth:`~repro.arch.mode_rom.ModeROM.decode_plan`); a plan compiled
+    for a different code or layer permutation would silently decode with
+    the wrong gather tables, so the mismatch is rejected up front.
+
+    Raises
+    ------
+    DecoderConfigError
+        If the plan's code or processing order differs.
+    """
+    if plan.code is not code and (
+        plan.code.name != code.name
+        or plan.code.n != code.n
+        or plan.code.z != code.z
+        # Names alone are not identity: synthetic codes default to
+        # "unnamed", so two structurally different codes can share one.
+        # BlockEntry is a frozen dataclass, so this compares every
+        # (layer, column, shift) of every block — the exact structure
+        # the gather tables were compiled from.
+        or plan.code.layer_tables != code.layer_tables
+    ):
+        raise DecoderConfigError(
+            f"plan was compiled for code {plan.code.name!r} "
+            f"(n={plan.code.n}, z={plan.code.z}), which is not "
+            f"structurally identical to {code.name!r} "
+            f"(n={code.n}, z={code.z})"
+        )
+    expected = resolve_layer_order(code, layer_order)
+    if plan.layer_order != expected:
+        raise DecoderConfigError(
+            f"plan layer order {plan.layer_order} != configured {expected}"
+        )
 
 
 class DecodePlan:
@@ -104,7 +148,7 @@ class DecodePlan:
         self.degree_buckets: dict[int, list[int]] = {}
         for pos, degree in enumerate(degrees):
             self.degree_buckets.setdefault(degree, []).append(pos)
-        self._scratch: dict[tuple, np.ndarray] = {}
+        self._scratch = threading.local()
 
     def scratch(self, key: str, shape: tuple[int, ...], dtype) -> np.ndarray:
         """A reusable working buffer for one backend stage.
@@ -118,17 +162,22 @@ class DecodePlan:
         slot per surviving batch size.  Contents are unspecified on
         return; the returned prefix view is C-contiguous.
 
-        Buffers are shared mutable state: a plan (and therefore any
-        decoder/backend built on it) must not be used from multiple
-        threads concurrently.  Build one decoder per thread instead —
-        construction is cheap and the heavy tables are derived
-        deterministically.
+        The buffer pool is **thread-local**: the compiled index tables
+        are immutable after construction and every mutable working
+        buffer lives in per-thread storage, so one plan (and therefore
+        one decoder/backend built on it) can serve concurrent decodes
+        from a worker pool — the sharing model of
+        :class:`~repro.service.PlanCache`.  Each thread pays for its own
+        buffers; nothing is shared between decodes on different threads.
         """
+        pools = getattr(self._scratch, "pools", None)
+        if pools is None:
+            pools = self._scratch.pools = {}
         slot = (key, shape[1:], np.dtype(dtype))
-        buffer = self._scratch.get(slot)
+        buffer = pools.get(slot)
         if buffer is None or buffer.shape[0] < shape[0]:
             buffer = np.empty(shape, dtype=dtype)
-            self._scratch[slot] = buffer
+            pools[slot] = buffer
         return buffer[: shape[0]]
 
     def validate(self) -> None:

@@ -1,8 +1,9 @@
 """Execution runtime: parallel sweep sharding, checkpointing, pooling.
 
-The decoding core (:mod:`repro.decoder`) is single-threaded by design —
-one compiled plan, one working batch.  Scaling to production Monte-Carlo
-volumes happens here instead:
+The decoding core (:mod:`repro.decoder`) stays sequential per call —
+one compiled plan, one working batch — but its compiled plans are
+thread-shareable (working buffers are thread-local).  Scaling happens
+here:
 
 - :class:`SweepEngine` shards (point, chunk) work items across a process
   pool with deterministic per-chunk RNG streams and exact ordered
@@ -10,7 +11,9 @@ volumes happens here instead:
 - :class:`SweepCheckpoint` persists finished chunks as JSON for
   resume-after-interrupt;
 - :func:`map_ordered` is the light thread-pool fan-out used by the
-  generic :func:`repro.analysis.sweep.run_sweep`.
+  generic :func:`repro.analysis.sweep.run_sweep`;
+- :class:`WorkerPool` is the persistent named thread pool the decode
+  service (:mod:`repro.service`) dispatches batches onto.
 """
 
 from repro.runtime.checkpoint import SweepCheckpoint, chunk_key
@@ -23,12 +26,13 @@ from repro.runtime.engine import (
     plan_chunks,
     point_key,
 )
-from repro.runtime.parallel import map_ordered
+from repro.runtime.parallel import WorkerPool, map_ordered
 
 __all__ = [
     "SCHEDULES",
     "SweepCheckpoint",
     "SweepEngine",
+    "WorkerPool",
     "chunk_key",
     "chunk_rng",
     "chunk_seed_sequence",

@@ -69,10 +69,22 @@ class SweepCheckpoint:
     def _load(self) -> None:
         try:
             data = json.loads(self.path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            # Truncated or garbled files (an interrupted non-atomic
+            # copy, disk corruption, a stray file at the given path)
+            # must die with an actionable message, not a JSON traceback.
             raise SimulationError(
-                f"unreadable sweep checkpoint {self.path}: {exc}"
+                f"unreadable sweep checkpoint {self.path}: {exc}; "
+                f"the file is not valid checkpoint JSON — delete it (or "
+                f"point the sweep at a fresh path) and re-run; completed "
+                f"chunks will simply be recomputed"
             ) from exc
+        if not isinstance(data, dict):
+            raise SimulationError(
+                f"unreadable sweep checkpoint {self.path}: top-level JSON "
+                f"value is {type(data).__name__}, expected an object — "
+                f"delete it (or point the sweep at a fresh path) and re-run"
+            )
         if data.get("version") != CHECKPOINT_VERSION:
             raise SimulationError(
                 f"checkpoint {self.path} has version {data.get('version')!r}; "
@@ -86,10 +98,25 @@ class SweepCheckpoint:
                 f"{self.fingerprint!r}); delete it or point the engine at "
                 f"a fresh path"
             )
-        self._chunks = {
-            key: SnrPoint.from_dict(entry)
-            for key, entry in data.get("chunks", {}).items()
-        }
+        chunks = data.get("chunks", {})
+        if not isinstance(chunks, dict):
+            raise SimulationError(
+                f"unreadable sweep checkpoint {self.path}: 'chunks' is "
+                f"{type(chunks).__name__}, expected an object — delete it "
+                f"(or point the sweep at a fresh path) and re-run"
+            )
+        try:
+            self._chunks = {
+                key: SnrPoint.from_dict(entry)
+                for key, entry in chunks.items()
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(
+                f"unreadable sweep checkpoint {self.path}: chunk record is "
+                f"malformed ({exc!r}) — delete it (or point the sweep at a "
+                f"fresh path) and re-run; completed chunks will simply be "
+                f"recomputed"
+            ) from exc
 
     def __len__(self) -> int:
         return len(self._chunks)

@@ -1,16 +1,19 @@
 """Small ordered-parallelism helpers shared by the analysis layer.
 
 The heavy Monte-Carlo machinery lives in
-:mod:`repro.runtime.engine`; this module covers the lighter case of
+:mod:`repro.runtime.engine`; this module covers the lighter cases:
 fanning arbitrary runner callables (closures included) over a value
-list.  Threads rather than processes: numpy kernels release the GIL, so
-decode-bound runners overlap, and closures need no pickling.
+list (:func:`map_ordered`), and a persistent named thread pool for
+long-lived dispatchers (:class:`WorkerPool`, the execution substrate of
+:class:`~repro.service.DecodeService`).  Threads rather than processes:
+numpy kernels release the GIL, so decode-bound runners overlap, and
+closures need no pickling.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 
 
 def map_ordered(
@@ -23,10 +26,11 @@ def map_ordered(
     Parameters
     ----------
     fn:
-        Any callable; with ``workers >= 2`` it must be thread-safe.  In
-        particular, don't share one decoder across runners — a
-        :class:`~repro.decoder.plan.DecodePlan`'s scratch buffers are
-        single-threaded state; build a decoder per call instead.
+        Any callable; with ``workers >= 2`` it must be thread-safe.
+        Sharing one decoder across runners is supported: a
+        :class:`~repro.decoder.plan.DecodePlan`'s working buffers are
+        thread-local, so concurrent decodes through the same compiled
+        plan do not interfere.
     values:
         Input values (consumed eagerly).
     workers:
@@ -40,3 +44,44 @@ def map_ordered(
         return [fn(value) for value in items]
     with ThreadPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(fn, items))
+
+
+class WorkerPool:
+    """A persistent, named thread pool with future-based submission.
+
+    :func:`map_ordered` spins a pool up and down around one value list;
+    a serving loop instead needs an executor that outlives any single
+    batch.  This thin wrapper pins down the lifecycle the service
+    relies on:
+
+    - ``submit`` after :meth:`shutdown` raises ``RuntimeError`` (the
+      underlying executor guarantee) rather than hanging;
+    - :meth:`shutdown` drains by default, so in-flight decodes finish
+      and their futures resolve before the pool dies;
+    - worker threads carry a recognizable name prefix, so a stuck
+      decode shows up attributably in thread dumps.
+
+    Usable as a context manager (drains on exit).
+    """
+
+    def __init__(self, workers: int, name: str = "repro-worker"):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix=name
+        )
+
+    def submit(self, fn: Callable, *args, **kwargs) -> Future:
+        """Schedule ``fn(*args, **kwargs)``; returns its future."""
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; by default block until in-flight work ends."""
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)

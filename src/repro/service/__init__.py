@@ -1,0 +1,30 @@
+"""Multi-standard decode serving: dynamic batching over cached plans.
+
+The paper's chip serves mixed 802.16e / 802.11n / DMB-T traffic through
+one datapath, switching modes via a ROM record read.  This package is
+the production-software analogue of that operating condition:
+
+- :class:`PlanCache` — LRU of compiled decode state (plans, fixed-point
+  ROM tables, decoders) keyed by ``(mode, DecoderConfig.cache_key())``;
+  a mode switch is a cache hit, like the chip's control-register update;
+- :class:`DecodeService` — accepts per-client requests, batches them
+  dynamically by ``(mode, config)`` under ``max_batch``/``max_wait``,
+  decodes on a thread worker pool, and resolves per-request futures in
+  per-client FIFO order;
+- :class:`ServiceMetrics` — frames/s, latency quantiles, batch fill,
+  queue depth, cache hits/misses and mode-switch counts.
+
+See ``examples/decode_service.py`` for a quickstart and
+``tests/test_service_stress.py`` for the bit-identity stress contract.
+"""
+
+from repro.service.cache import CacheEntry, PlanCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.service import DecodeService
+
+__all__ = [
+    "CacheEntry",
+    "DecodeService",
+    "PlanCache",
+    "ServiceMetrics",
+]

@@ -1,0 +1,148 @@
+"""Operational metrics for the decode service.
+
+The paper sells the chip on *sustained* figures — 1 Gbps at 10
+iterations, mode switches that cost one control-register write — so the
+software service tracks the same class of numbers: frames per second,
+per-request latency quantiles, dynamic-batch fill, queue depth, and the
+mode-ROM analogues (plan-cache hits/misses and mode-switch counts).
+
+:class:`ServiceMetrics` is the mutable, lock-protected accumulator the
+service updates on its hot path; :meth:`ServiceMetrics.snapshot`
+produces a plain dict of derived figures for logging, benchmarks and
+tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+#: Cap on retained per-request latencies.  A serving process outlives
+#: any fixed sample budget; once full, new samples overwrite the oldest
+#: (ring buffer), so the quantiles track the *recent* distribution
+#: instead of growing without bound.
+LATENCY_WINDOW = 65536
+
+
+class ServiceMetrics:
+    """Thread-safe counters and latency window for one service instance.
+
+    All ``record_*`` methods are cheap (a lock, a few adds) and are
+    called from the submit path, the dispatcher and the workers; the
+    derived statistics (quantiles, rates) are only computed in
+    :meth:`snapshot`.
+    """
+
+    def __init__(self, clock=time.perf_counter):
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._started = clock()
+        self.requests_submitted = 0
+        self.requests_completed = 0
+        self.requests_failed = 0
+        self.requests_cancelled = 0
+        self.frames_submitted = 0
+        self.frames_decoded = 0
+        self.batches_dispatched = 0
+        self.batch_frames_total = 0
+        self.max_batch_frames = 0
+        self.flushes_size = 0
+        self.flushes_deadline = 0
+        self.flushes_drain = 0
+        self.mode_switches = 0
+        self.queue_depth_frames = 0
+        self.peak_queue_depth_frames = 0
+        self._latencies = np.zeros(LATENCY_WINDOW, dtype=np.float64)
+        self._latency_count = 0  # total ever recorded (ring position)
+
+    # ------------------------------------------------------------------
+    # Hot-path recorders
+    # ------------------------------------------------------------------
+    def record_submit(self, frames: int) -> None:
+        with self._lock:
+            self.requests_submitted += 1
+            self.frames_submitted += frames
+            self.queue_depth_frames += frames
+            self.peak_queue_depth_frames = max(
+                self.peak_queue_depth_frames, self.queue_depth_frames
+            )
+
+    def record_dispatch(self, frames: int, trigger: str) -> None:
+        """A batch left the queue.  ``trigger``: size | deadline | drain."""
+        with self._lock:
+            self.batches_dispatched += 1
+            self.batch_frames_total += frames
+            self.max_batch_frames = max(self.max_batch_frames, frames)
+            self.queue_depth_frames -= frames
+            if trigger == "size":
+                self.flushes_size += 1
+            elif trigger == "deadline":
+                self.flushes_deadline += 1
+            else:
+                self.flushes_drain += 1
+
+    def record_mode_switch(self) -> None:
+        with self._lock:
+            self.mode_switches += 1
+
+    def record_completion(self, frames: int, latency_s: float) -> None:
+        with self._lock:
+            self.requests_completed += 1
+            self.frames_decoded += frames
+            self._latencies[self._latency_count % LATENCY_WINDOW] = latency_s
+            self._latency_count += 1
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.requests_failed += 1
+
+    def record_cancelled(self) -> None:
+        """Client cancelled its future before delivery; nothing resolved."""
+        with self._lock:
+            self.requests_cancelled += 1
+
+    # ------------------------------------------------------------------
+    # Derived view
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Current counters plus derived rates and latency quantiles."""
+        with self._lock:
+            elapsed = max(self._clock() - self._started, 1e-12)
+            filled = min(self._latency_count, LATENCY_WINDOW)
+            window = self._latencies[:filled]
+            if filled:
+                # Plain floats: snapshots end up in json.dumps (bench
+                # output), which rejects numpy scalars.
+                p50, p99 = (
+                    float(q) for q in np.percentile(window, [50, 99])
+                )
+                mean = float(window.mean())
+            else:
+                p50 = p99 = mean = 0.0
+            batches = self.batches_dispatched
+            return {
+                "uptime_s": elapsed,
+                "requests_submitted": self.requests_submitted,
+                "requests_completed": self.requests_completed,
+                "requests_failed": self.requests_failed,
+                "requests_cancelled": self.requests_cancelled,
+                "frames_submitted": self.frames_submitted,
+                "frames_decoded": self.frames_decoded,
+                "frames_per_second": self.frames_decoded / elapsed,
+                "batches_dispatched": batches,
+                "mean_batch_frames": (
+                    self.batch_frames_total / batches if batches else 0.0
+                ),
+                "max_batch_frames": self.max_batch_frames,
+                "flushes_size": self.flushes_size,
+                "flushes_deadline": self.flushes_deadline,
+                "flushes_drain": self.flushes_drain,
+                "mode_switches": self.mode_switches,
+                "queue_depth_frames": self.queue_depth_frames,
+                "peak_queue_depth_frames": self.peak_queue_depth_frames,
+                "latency_p50_ms": p50 * 1e3,
+                "latency_p99_ms": p99 * 1e3,
+                "latency_mean_ms": mean * 1e3,
+            }

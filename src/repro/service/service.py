@@ -1,0 +1,447 @@
+"""Dynamic-batching multi-standard decode service.
+
+The chip's operating condition is a continuous stream of frames from
+many users across *mixed* standards: WiMax, WLAN and DMB-T traffic
+multiplexed through one datapath, with the mode ROM re-targeting the
+controller per frame class.  :class:`DecodeService` models exactly that
+serving problem in software:
+
+- clients :meth:`~DecodeService.submit` per-request LLR batches tagged
+  with a registry mode and a :class:`~repro.decoder.DecoderConfig`;
+- a dispatcher groups pending requests by ``(mode,
+  config.cache_key())`` and flushes a group when it reaches
+  ``max_batch`` frames (**size trigger**) or its oldest request has
+  waited ``max_wait`` seconds (**deadline trigger**) — the standard
+  dynamic-batching contract (cf. the NoC-based flexible decoder of
+  Condo & Masera and multi-stream GPU LDPC decoders, which win the same
+  way: batch independent frames per code to amortize per-code setup);
+- flushed batches decode on a :class:`~repro.runtime.WorkerPool` of
+  threads (numpy kernels release the GIL) through decoders cached in a
+  :class:`~repro.service.PlanCache`, so a mode switch is a cache hit;
+- every request resolves a future with its own
+  :class:`~repro.decoder.DecodeResult` slice, delivered in **per-client
+  FIFO order** (request *k* of a client never resolves before request
+  *k-1*, whatever batches they landed in).
+
+Correctness rests on a property the backend contract already pins
+(``tests/test_backend_properties.py``): every kernel, monitor and the
+compaction bookkeeping are elementwise along the batch axis, so a
+dynamically merged batch decodes frame-for-frame identically to each
+request decoded alone.  The service stress test
+(``tests/test_service_stress.py``) asserts that end to end.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codes.qc import QCLDPCCode
+from repro.codes.registry import describe_mode
+from repro.decoder.api import DecodeResult, DecoderConfig
+from repro.runtime.parallel import WorkerPool
+from repro.service.cache import PlanCache
+from repro.service.metrics import ServiceMetrics
+
+
+@dataclass
+class _Request:
+    """One queued decode request (internal)."""
+
+    client: str
+    seq: int
+    mode: "str | QCLDPCCode"
+    config: DecoderConfig
+    llr: np.ndarray  # (B, N)
+    frames: int
+    future: Future
+    submitted: float  # monotonic clock at submit
+
+
+@dataclass
+class _Bucket:
+    """Pending requests of one batch group, with a running frame count.
+
+    The dispatcher polls every group on every wakeup; keeping ``frames``
+    incrementally maintained makes that poll O(groups), not O(pending
+    requests).
+    """
+
+    requests: deque = field(default_factory=deque)
+    frames: int = 0
+
+    def append(self, request: _Request) -> None:
+        self.requests.append(request)
+        self.frames += request.frames
+
+    def popleft(self) -> _Request:
+        request = self.requests.popleft()
+        self.frames -= request.frames
+        return request
+
+
+class DecodeService:
+    """Batching decode front-end over the cached multi-standard decoders.
+
+    Parameters
+    ----------
+    max_batch:
+        Frame budget per dispatched batch.  A group flushes as soon as
+        its pending frames reach this (requests are never split; one
+        request larger than ``max_batch`` dispatches alone, oversized).
+    max_wait:
+        Deadline in seconds: a pending request is dispatched no later
+        than this after submission, however empty its group is — the
+        latency bound that makes batching safe for sparse traffic.
+    workers:
+        Decode worker threads.  Batches of *different* groups decode
+        concurrently; within a group, dispatch order is preserved.
+    cache:
+        The :class:`PlanCache` to serve decoders from (default: a fresh
+        cache of 32 records).
+    default_config:
+        Config for requests that do not carry one (default: the cache's
+        default).
+    warm_modes:
+        Modes (registry strings, codes, or a
+        :class:`~repro.arch.mode_rom.ModeROM`) to compile eagerly at
+        construction so the first request of each mode is already a
+        cache hit.
+
+    Use as a context manager, or call :meth:`close` — it drains pending
+    requests (every submitted future resolves) before shutting the
+    workers down.
+    """
+
+    def __init__(
+        self,
+        max_batch: int = 64,
+        max_wait: float = 0.01,
+        workers: int = 2,
+        cache: PlanCache | None = None,
+        default_config: DecoderConfig | None = None,
+        warm_modes=None,
+        clock=time.monotonic,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be >= 0")
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self.cache = cache if cache is not None else PlanCache()
+        self.default_config = (
+            default_config
+            if default_config is not None
+            else self.cache.default_config
+        )
+        self.metrics = ServiceMetrics(clock=clock)
+        self._clock = clock
+        self._pool = WorkerPool(workers, name="repro-decode")
+        self._cond = threading.Condition()
+        #: group key -> _Bucket; insertion order ~ first pending.
+        self._buckets: "OrderedDict[tuple, _Bucket]" = OrderedDict()
+        self._closing = False
+        # Per-client FIFO delivery state, all guarded by _delivery_lock
+        # (submit takes it briefly *inside* _cond; _deliver never takes
+        # _cond, so the lock order _cond -> _delivery_lock is acyclic):
+        # seq counter, next seq to resolve, finished-but-held results,
+        # and a per-client "someone is firing" flag that serializes
+        # future resolution so delivery order cannot be inverted by a
+        # preempted worker.  Fully drained clients are pruned, so the
+        # maps track *active* clients, not everyone ever seen.
+        self._client_seq: dict[str, int] = {}
+        self._next_deliverable: dict[str, int] = {}
+        self._held: dict[str, dict[int, tuple]] = {}
+        self._firing: set[str] = set()
+        self._delivery_lock = threading.Lock()
+        self._last_batch_key: tuple | None = None
+        if warm_modes is not None:
+            self.cache.warm(warm_modes, (self.default_config,))
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        mode: "str | QCLDPCCode",
+        llr: np.ndarray,
+        config: DecoderConfig | None = None,
+        client: str = "default",
+    ) -> Future:
+        """Queue one decode request; returns a future of its result.
+
+        Parameters
+        ----------
+        mode:
+            Registry mode string (validated immediately against the
+            catalogue) or an expanded code object.
+        llr:
+            ``(N,)`` or ``(B, N)`` channel LLRs for that mode — same
+            conventions as :meth:`LayeredDecoder.decode`, including
+            integer inputs as raw fixed-point values.  The array is
+            copied; the caller may reuse its buffer.
+        config:
+            Decoder settings (default: the service default).  Requests
+            whose ``(mode, config.cache_key())`` match are batched
+            together.
+        client:
+            Client identity for FIFO ordering: this client's futures
+            resolve in submission order.
+
+        Raises
+        ------
+        UnknownCodeError
+            Unknown mode string (raised here, not in the worker).
+        ValueError
+            LLR shape mismatch, ``track_history=True`` (history is
+            whole-batch diagnostic state that cannot be attributed to
+            one request's slice — decode directly for diagnostics), or
+            service already closed.
+        """
+        config = config if config is not None else self.default_config
+        if config.track_history:
+            raise ValueError(
+                "track_history configs are not servable: per-iteration "
+                "history is whole-batch state and cannot be sliced per "
+                "request; use LayeredDecoder directly for diagnostics"
+            )
+        if isinstance(mode, str):
+            n = describe_mode(mode).n
+        else:
+            n = mode.n
+        frames_in = np.array(llr, copy=True)
+        if frames_in.ndim == 1:
+            frames_in = frames_in[None, :]
+        if frames_in.ndim != 2 or frames_in.shape[1] != n:
+            raise ValueError(
+                f"mode {self.cache.mode_key(mode)!r} expects (B, {n}) LLRs; "
+                f"got {np.asarray(llr).shape}"
+            )
+        # The dtype *kind* is part of the batch key: integer inputs are
+        # raw fixed-point values, floats are LLR units (the decoder
+        # switches interpretation on dtype), and np.concatenate of a
+        # mixed group would silently promote the raw integers to float
+        # LLRs — a wrong decode, not an error.  Same kind, different
+        # width (int16/int32, float32/float64) is safe: promotion
+        # preserves the values and the decoder normalizes.
+        is_raw = bool(np.issubdtype(frames_in.dtype, np.integer))
+        key = self.cache.key(mode, config) + (is_raw,)
+        future: Future = Future()
+        with self._cond:
+            if self._closing:
+                raise ValueError("DecodeService is closed")
+            with self._delivery_lock:
+                seq = self._client_seq.get(client, 0)
+                self._client_seq[client] = seq + 1
+            request = _Request(
+                client=client,
+                seq=seq,
+                mode=mode,
+                config=config,
+                llr=frames_in,
+                frames=int(frames_in.shape[0]),
+                future=future,
+                submitted=self._clock(),
+            )
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = self._buckets[key] = _Bucket()
+            bucket.append(request)
+            # Inside the lock, before the dispatcher can possibly pop
+            # the request: record_dispatch must never observe a frame
+            # it has not seen submitted (queue depth would go negative).
+            self.metrics.record_submit(request.frames)
+            self._cond.notify()
+        return future
+
+    def metrics_snapshot(self) -> dict:
+        """Service metrics plus the plan cache's hit/miss statistics."""
+        snapshot = self.metrics.snapshot()
+        snapshot["plan_cache"] = self.cache.stats()
+        return snapshot
+
+    def close(self) -> None:
+        """Drain pending requests, resolve every future, stop the workers.
+
+        Safe to call repeatedly and from multiple threads: *every*
+        caller blocks until the drain has finished (join and shutdown
+        are idempotent), so no caller can observe unresolved futures
+        after its close() returns.
+        """
+        with self._cond:
+            self._closing = True
+            self._cond.notify()
+        self._dispatcher.join()
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "DecodeService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    def _take_batch(self, key: tuple) -> "list[_Request] | None":
+        """Pop up to ``max_batch`` frames of whole requests from a bucket."""
+        bucket = self._buckets.get(key)
+        if bucket is None or not bucket.requests:
+            return None
+        taken: list[_Request] = []
+        frames = 0
+        requests = bucket.requests
+        while requests and (
+            not taken or frames + requests[0].frames <= self.max_batch
+        ):
+            request = bucket.popleft()
+            taken.append(request)
+            frames += request.frames
+        if not requests:
+            del self._buckets[key]
+        return taken
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            batches: list[tuple[tuple, list, str]] = []
+            with self._cond:
+                while True:
+                    now = self._clock()
+                    draining = self._closing
+                    nearest: float | None = None
+                    for key in list(self._buckets):
+                        bucket = self._buckets[key]
+                        age = now - bucket.requests[0].submitted
+                        if draining:
+                            trigger = "drain"
+                        elif bucket.frames >= self.max_batch:
+                            trigger = "size"
+                        elif age >= self.max_wait:
+                            trigger = "deadline"
+                        else:
+                            remaining = self.max_wait - age
+                            if nearest is None or remaining < nearest:
+                                nearest = remaining
+                            continue
+                        while True:
+                            remaining_bucket = self._buckets.get(key)
+                            if remaining_bucket is None:
+                                break
+                            if trigger == "size" and (
+                                remaining_bucket.frames < self.max_batch
+                            ):
+                                # A size flush ships only full batches;
+                                # the tail keeps queueing until its own
+                                # size or deadline trigger fires.
+                                break
+                            taken = self._take_batch(key)
+                            if not taken:
+                                break
+                            batches.append((key, taken, trigger))
+                    if batches:
+                        break
+                    if draining:
+                        return
+                    self._cond.wait(timeout=nearest)
+            for key, requests, trigger in batches:
+                frames = sum(r.frames for r in requests)
+                self.metrics.record_dispatch(frames, trigger)
+                # A batch whose group differs from the previous dispatch
+                # is the software analogue of a mode-ROM reconfiguration.
+                if self._last_batch_key is not None and key != self._last_batch_key:
+                    self.metrics.record_mode_switch()
+                self._last_batch_key = key
+                self._pool.submit(self._run_batch, requests)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _run_batch(self, requests: "list[_Request]") -> None:
+        first = requests[0]
+        try:
+            entry = self.cache.get(first.mode, first.config)
+            if len(requests) == 1:
+                merged = first.llr
+            else:
+                merged = np.concatenate([r.llr for r in requests], axis=0)
+            result = entry.decoder.decode(merged)
+            offset = 0
+            outcomes = []
+            for request in requests:
+                outcomes.append(
+                    ("result", result.slice(offset, offset + request.frames))
+                )
+                offset += request.frames
+        except BaseException as exc:  # delivered, never swallowed
+            outcomes = [("error", exc)] * len(requests)
+        for request, outcome in zip(requests, outcomes):
+            self._deliver(request, outcome)
+
+    def _deliver(self, request: _Request, outcome: tuple) -> None:
+        """Resolve futures in per-client submission order.
+
+        A finished request whose predecessor (same client) is still in
+        flight is *held*; resolving it now would break the FIFO
+        guarantee.  Delivery per client is serialized through the
+        ``_firing`` flag: exactly one thread drains a client's held
+        results (in sequence, outside the lock so future callbacks
+        cannot deadlock against it), and any result that lands while it
+        drains is picked up by the same loop — so two workers finishing
+        out of order can never invert the resolution order, even if the
+        earlier finisher is preempted between bookkeeping and firing.
+        """
+        client = request.client
+        with self._delivery_lock:
+            held = self._held.setdefault(client, {})
+            held[request.seq] = (request, outcome)
+            if client in self._firing:
+                return  # the draining thread will deliver this too
+            self._firing.add(client)
+        while True:
+            with self._delivery_lock:
+                held = self._held[client]
+                next_seq = self._next_deliverable.get(client, 0)
+                item = held.pop(next_seq, None)
+                if item is None:
+                    self._firing.discard(client)
+                    # Fully drained client (nothing held, everything
+                    # submitted has been delivered): prune its state so
+                    # ephemeral client ids cannot leak memory across a
+                    # long-lived service.  A later submit under the same
+                    # name simply starts a fresh seq 0 stream.
+                    if not held and next_seq == self._client_seq.get(client, 0):
+                        del self._held[client]
+                        self._next_deliverable.pop(client, None)
+                        self._client_seq.pop(client, None)
+                    return
+                self._next_deliverable[client] = next_seq + 1
+            ready, (kind, payload) = item
+            # A client may have cancel()ed its still-pending future;
+            # resolving it would raise InvalidStateError and wedge the
+            # drain loop (and with it the whole client).  Claiming the
+            # future first makes the race one-sided: after this call a
+            # late cancel() is a no-op, and a won cancel is skipped
+            # (the frames were decoded with their batch regardless).
+            if not ready.future.set_running_or_notify_cancel():
+                self.metrics.record_cancelled()
+                continue
+            latency = self._clock() - ready.submitted
+            if kind == "result":
+                self.metrics.record_completion(ready.frames, latency)
+                ready.future.set_result(payload)
+            else:
+                self.metrics.record_failure()
+                ready.future.set_exception(payload)
+
+
+__all__ = ["DecodeService", "DecodeResult"]

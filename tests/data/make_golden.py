@@ -35,10 +35,14 @@ from repro.fixedpoint import QFormat
 
 DATA_DIR = Path(__file__).resolve().parent
 
-#: (mode, short label) — one WiMax and one WiFi code.
+#: (mode, short label) — one code per supported standard.  DMB-T uses
+#: the structurally matched synthetic matrix (see repro/codes/dmbt.py);
+#: its vectors freeze the decoder numerics on the biggest (N=7493,
+#: z=127) mode the registry serves.
 GOLDEN_CODES = (
     ("802.16e:1/2:z24", "wimax_n576"),
     ("802.11n:1/2:z27", "wifi_n648"),
+    ("DMB-T:0.6:z127", "dmbt_n7493"),
 )
 
 #: Two operating points: one in the waterfall (frames keep iterating),
@@ -84,8 +88,19 @@ def make_case(mode: str, label: str, ebn0_db: float) -> Path:
     return path
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    """Regenerate all vectors, or only labels matching the given substrings.
+
+    ``python tests/data/make_golden.py dmbt`` writes just the DMB-T
+    files — adding a standard must not rewrite (and so re-baseline) the
+    existing vectors of the others.
+    """
+    import sys
+
+    filters = list(sys.argv[1:] if argv is None else argv)
     for mode, label in GOLDEN_CODES:
+        if filters and not any(f in label for f in filters):
+            continue
         for ebn0_db in GOLDEN_EBN0_DB:
             path = make_case(mode, label, ebn0_db)
             print(f"wrote {path.relative_to(DATA_DIR.parent.parent)}")

@@ -295,6 +295,58 @@ def test_float_cross_backend_agreement(case):
 
 
 # ---------------------------------------------------------------------------
+# Property 4: PlanCache serving is invisible
+# ---------------------------------------------------------------------------
+# The decode service hands every request to a decoder cached in
+# repro.service.PlanCache (shared compiled plan + ROM tables).  The
+# property: a cached-entry decode is bit-identical to a freshly built
+# decoder's, for every backend, and eviction/rebuild under a tiny
+# maxsize changes nothing.  Layered cases only — the cache serves the
+# layered schedule.
+LAYERED_CASES = [c for c in CASES if c.schedule == "layered"]
+
+
+@pytest.mark.parametrize("case", LAYERED_CASES, ids=_case_ids(LAYERED_CASES))
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_plan_cache_decode_bit_identity(case, backend):
+    from repro.service import PlanCache
+
+    code = CODES[case.code_index]
+    config = case.config(backend=backend)
+    cache = PlanCache(maxsize=4)
+    entry = cache.get(code, config)
+    assert cache.get(code, config) is entry  # second lookup is a hit
+    served = entry.decoder.decode(_case_llrs(case))
+    fresh = _decode(case, backend=backend)
+    _assert_identical(
+        served, fresh, f"{case.label}/{backend} cached plan vs fresh"
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_plan_cache_eviction_rebuild_changes_nothing(backend):
+    from repro.service import PlanCache
+
+    cases = LAYERED_CASES[:2]
+    assert len(cases) == 2
+    cache = PlanCache(maxsize=1)  # every alternation evicts the other
+    for _round in range(2):
+        for case in cases:
+            code = CODES[case.code_index]
+            config = case.config(backend=backend)
+            entry = cache.get(code, config)
+            served = entry.decoder.decode(_case_llrs(case))
+            _assert_identical(
+                served,
+                _decode(case, backend=backend),
+                f"{case.label}/{backend} round {_round} after eviction",
+            )
+    stats = cache.stats()
+    assert stats["evictions"] >= 3
+    assert stats["size"] == 1
+
+
+# ---------------------------------------------------------------------------
 # Matrix sanity: the sampled cases actually cover the interesting axes
 # ---------------------------------------------------------------------------
 def test_matrix_covers_both_schedules_and_datapaths():

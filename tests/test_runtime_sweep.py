@@ -222,6 +222,67 @@ class TestCheckpoint:
         with pytest.raises(SimulationError, match="unreadable"):
             SweepCheckpoint(path, {"seed": 0})
 
+    def test_truncated_checkpoint_surfaces_actionable_error(
+        self, small_code, tmp_path
+    ):
+        # A checkpoint cut off mid-write (non-atomic copy, full disk,
+        # kill -9 of a tool that bypassed the atomic writer) must die
+        # with a clean SimulationError that says what to do — not a
+        # JSONDecodeError traceback.
+        path = tmp_path / "sweep.json"
+        self._run(small_code, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(SimulationError, match="delete it"):
+            self._run(small_code, path)
+
+    def test_garbled_binary_checkpoint_raises_clean_error(self, tmp_path):
+        # Non-UTF-8 bytes at the path (say, a stray .npz) used to escape
+        # as UnicodeDecodeError; they must be wrapped like any other
+        # unreadable file.
+        path = tmp_path / "sweep.json"
+        path.write_bytes(b"\x80\x81\xfe\x00PK\x03\x04garbage")
+        with pytest.raises(SimulationError, match="unreadable"):
+            SweepCheckpoint(path, {"seed": 0})
+
+    def test_valid_json_wrong_shape_raises(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text('["this", "is", "not", "a", "checkpoint"]\n')
+        with pytest.raises(SimulationError, match="expected an object"):
+            SweepCheckpoint(path, {"seed": 0})
+        path.write_text(
+            '{"version": 1, "fingerprint": {"seed": 0}, "chunks": [1, 2]}\n'
+        )
+        with pytest.raises(SimulationError, match="'chunks'"):
+            SweepCheckpoint(path, {"seed": 0})
+
+    def test_malformed_chunk_record_raises(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "fingerprint": {"seed": 0},
+                    "chunks": {"e1.5:c0": {"bogus": 1}},
+                }
+            )
+        )
+        with pytest.raises(SimulationError, match="malformed"):
+            SweepCheckpoint(path, {"seed": 0})
+
+    def test_fresh_run_recovers_after_corruption(self, small_code, tmp_path):
+        # The documented remedy must actually work: delete the corrupt
+        # file, re-run, get statistics identical to a never-corrupted
+        # sweep (chunks recompute deterministically).
+        path = tmp_path / "sweep.json"
+        clean = self._run(small_code, path)
+        path.write_text(path.read_text()[:40])
+        with pytest.raises(SimulationError):
+            self._run(small_code, path)
+        path.unlink()
+        recovered = self._run(small_code, path)
+        assert _dicts(recovered) == _dicts(clean)
+
     def test_chunk_key_format(self):
         assert chunk_key(1.5, 2) == "e1.5:c2"
         assert chunk_key(1.5, 2) != chunk_key(1.5, 3)
