@@ -6,21 +6,24 @@ algorithm families the paper discusses: full BP (this work), normalized
 min-sum (comparison chip [3]'s class) and the linear approximation
 (comparison chip [4]'s class).  Prints a table and an ASCII waterfall.
 
+Each algorithm is one `repro.open(mode, config)` session; `Link.sweep`
+runs the unified `repro.runtime.SweepEngine`.
+
 Usage::
 
     python examples/ber_waterfall.py [frames_per_point] [workers]
 
-``workers >= 2`` shards each sweep's frame chunks across a process pool
-(`repro.runtime.SweepEngine`); the statistics are identical to a serial
-run.
+``workers >= 2`` shards each sweep's frame chunks across a process pool;
+the statistics are identical to a serial run.
 """
 
 import sys
 
 import numpy as np
 
-from repro import DecoderConfig, get_code
-from repro.analysis import BERSimulator, ascii_curve
+import repro
+from repro import DecoderConfig
+from repro.analysis import ascii_curve
 from repro.utils.tables import Table
 
 ALGORITHMS = (
@@ -33,14 +36,16 @@ EBN0_POINTS = (1.0, 1.5, 2.0, 2.5, 3.0)
 
 
 def main(frames: int = 400, seed: int = 11, workers: int = 0) -> None:
-    code = get_code("802.16e:1/2:z24")
-    print(f"code: {code}\n")
-
     sweeps = {}
     for algorithm, label in ALGORITHMS:
-        config = DecoderConfig(check_node=algorithm)
-        simulator = BERSimulator(code, config, seed=seed)
-        sweeps[label] = simulator.run_sweep(
+        link = repro.open(
+            "802.16e:1/2:z24",
+            DecoderConfig(check_node=algorithm),
+            seed=seed,
+        )
+        if not sweeps:
+            print(f"code: {link.code}\n")
+        sweeps[label] = link.sweep(
             EBN0_POINTS,
             max_frames=frames,
             min_frame_errors=max(frames // 4, 30),

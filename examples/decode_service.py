@@ -1,14 +1,17 @@
 #!/usr/bin/env python
 """Decode-service quickstart: submit, batch, await, observe.
 
-Minimal tour of :class:`repro.service.DecodeService`:
+Minimal tour of the serving bridge: every ``(mode, config)`` pair is a
+`repro.open(...)` session, traffic comes from `Link.channel_frames`,
+and `Link.submit` queues frames on one shared
+:class:`~repro.service.DecodeService`:
 
-1. build a service with a warm :class:`~repro.service.PlanCache`
-   (compiled plans + fixed-point ROMs resident per mode — the software
+1. open a Link per standard and datapath (float and Q8.2 fixed point)
+   — all sessions share the process-level plan cache (the software
    mode ROM);
-2. submit per-client requests for two standards and two datapaths
-   (float and Q8.2 fixed point) — requests with equal ``(mode,
-   config)`` batch together, others decode concurrently;
+2. create the service once via the first link's ``serve()`` and submit
+   per-client requests through every link — requests with equal
+   ``(mode, config)`` batch together, others decode concurrently;
 3. await the futures (per-client FIFO order is guaranteed);
 4. read the metrics: frames/s, batch fill, latency quantiles, cache
    hits, mode switches.
@@ -20,42 +23,37 @@ Usage::
 
 import numpy as np
 
-from repro import DecodeService, DecoderConfig, QFormat, get_code, make_encoder
-from repro.channel import AWGNChannel, BPSKModulator, ChannelFrontend
+import repro
+from repro import DecoderConfig, QFormat
 
 MODES = ("802.16e:1/2:z24", "802.11n:1/2:z27")
 FLOAT_CONFIG = DecoderConfig(backend="fast")
 FIXED_CONFIG = DecoderConfig(backend="fast", qformat=QFormat(8, 2))
 
 
-def noisy_frames(mode: str, frames: int, ebn0_db: float, rng) -> np.ndarray:
-    code = get_code(mode)
-    _, codewords = make_encoder(code).random_codewords(frames, rng)
-    frontend = ChannelFrontend(
-        BPSKModulator(), AWGNChannel.from_ebn0(ebn0_db, code.rate, rng=rng)
-    )
-    return frontend.run(codewords)
-
-
 def main(seed: int = 42) -> None:
     rng = np.random.default_rng(seed)
-    with DecodeService(
+    links = {
+        (mode, config): repro.open(mode, config, ebn0=3.5)
+        for mode in MODES
+        for config in (FLOAT_CONFIG, FIXED_CONFIG)
+    }
+
+    first = next(iter(links.values()))
+    with first.serve(
         max_batch=16,          # flush a (mode, config) group at 16 frames...
         max_wait=0.005,        # ...or 5 ms after its oldest request
         workers=2,
-        default_config=FLOAT_CONFIG,
         warm_modes=MODES,      # compile plans/ROMs before traffic arrives
     ) as service:
         futures = []
         for client in ("alice", "bob", "carol"):
-            for mode in MODES:
-                for config in (FLOAT_CONFIG, FIXED_CONFIG):
-                    llr = noisy_frames(mode, 3, 3.5, rng)
-                    futures.append(
-                        (client, mode, service.submit(llr=llr, mode=mode,
-                                                      config=config,
-                                                      client=client))
-                    )
+            for (mode, _), link in links.items():
+                _, _, llr = link.channel_frames(3, rng=rng)
+                futures.append(
+                    (client, mode,
+                     link.submit(llr, client=client, service=service))
+                )
 
         for client, mode, future in futures:
             result = future.result(timeout=60)

@@ -10,10 +10,15 @@ mode-ROM control-register update, here it is a :class:`PlanCache` hit
 resident).  The service batches same-mode requests dynamically, so the
 interleaved stream still decodes at batch throughput.
 
+`repro.open_all` is the session view of the same story: one Link per
+standard, all sharing the process-level plan cache, each generating its
+own traffic (`channel_frames`) and submitting into the one service
+(`submit(..., service=...)`).
+
 The cycle-accurate chip model remains available through
-``repro.arch.DecoderChip`` (see ``examples/architecture_explorer.py``
-and ``examples/power_savings.py``); this example is the *serving* view
-of the same reconfigurability story.
+``link.chip()`` / ``repro.arch.DecoderChip`` (see
+``examples/architecture_explorer.py`` and ``examples/power_savings.py``);
+this example is the *serving* view of the same reconfigurability story.
 
 Usage::
 
@@ -22,8 +27,8 @@ Usage::
 
 import numpy as np
 
-from repro import DecodeService, DecoderConfig, get_code, make_encoder
-from repro.channel import AWGNChannel, BPSKModulator, ChannelFrontend
+import repro
+from repro import DecodeService, DecoderConfig
 from repro.utils.tables import Table
 
 #: (mode, Eb/N0 dB, frames) — the mixed-standard traffic pattern.
@@ -41,16 +46,15 @@ def main(seed: int = 7) -> None:
     rng = np.random.default_rng(seed)
     config = DecoderConfig(backend="fast")
 
+    # One Link per standard in the stream, all over one plan cache —
+    # the software picture of the chip's resident mode-ROM record set.
+    links = repro.open_all([mode for mode, *_ in FRAME_STREAM], config)
+
     # Pre-generate the noisy traffic per mode (encode -> BPSK -> AWGN).
-    traffic = []  # (mode, info_bits, llr_frames)
+    traffic = []  # (mode, ebn0, info_bits, llr_frames)
     for mode, ebn0, frames in FRAME_STREAM:
-        code = get_code(mode)
-        encoder = make_encoder(code)
-        info, codewords = encoder.random_codewords(frames, rng)
-        frontend = ChannelFrontend(
-            BPSKModulator(), AWGNChannel.from_ebn0(ebn0, code.rate, rng=rng)
-        )
-        traffic.append((mode, ebn0, info, frontend.run(codewords)))
+        info, _, llr = links[mode].channel_frames(frames, ebn0=ebn0, rng=rng)
+        traffic.append((mode, ebn0, info, llr))
 
     table = Table(
         ["mode", "N", "Eb/N0", "frames", "avg iters", "ET rate", "ok"],
@@ -62,6 +66,7 @@ def main(seed: int = 7) -> None:
         max_batch=16,
         max_wait=0.005,
         workers=2,
+        cache=repro.default_plan_cache(),
         default_config=config,
         warm_modes=[mode for mode, *_ in FRAME_STREAM],  # <- mode ROM warm
     ) as service:
@@ -77,13 +82,14 @@ def main(seed: int = 7) -> None:
                 cursor = frame_cursors[idx]
                 if cursor < llr.shape[0]:
                     futures[mode].append(
-                        service.submit(mode, llr[cursor], client=mode)
+                        links[mode].submit(
+                            llr[cursor], client=mode, service=service
+                        )
                     )
                     frame_cursors[idx] = cursor + 1
                     remaining = True
 
         for mode, ebn0, info, llr in traffic:
-            code = get_code(mode)
             results = [f.result(timeout=60) for f in futures[mode]]
             bits = np.concatenate([r.info_bits for r in results])
             iters = np.concatenate([r.iterations for r in results])
@@ -91,7 +97,7 @@ def main(seed: int = 7) -> None:
             ok = bool(np.array_equal(bits, info))
             table.add_row(
                 [
-                    mode, code.n, f"{ebn0:.1f}", len(results),
+                    mode, links[mode].code.n, f"{ebn0:.1f}", len(results),
                     f"{iters.mean():.1f}", f"{et.mean():.2f}",
                     "yes" if ok else "NO",
                 ]

@@ -1,14 +1,16 @@
 #!/usr/bin/env python
 """Parallel BER sweep with checkpoint/resume and compaction.
 
-Demonstrates the `repro.runtime.SweepEngine`:
+Demonstrates `Link.sweep` — the front door of the
+`repro.runtime.SweepEngine`:
 
 1. runs a small Eb/N0 sweep serially and on a 2-worker process pool and
    verifies the statistics are *identical* (deterministic per-chunk RNG
    streams + exact ordered reduction);
 2. re-runs against the JSON checkpoint to show resume-without-decoding;
 3. compares decode wall time with active-frame compaction on vs off at
-   an SNR where the paper's early termination retires most frames.
+   an SNR where the paper's early termination retires most frames —
+   each compaction setting is its own one-knob `repro.open` session.
 
 Usage::
 
@@ -24,20 +26,17 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import DecoderConfig, get_code
+import repro
+from repro import DecoderConfig
 from repro.analysis import ber_table
-from repro.channel import AWGNChannel, BPSKModulator, ChannelFrontend
-from repro.decoder import LayeredDecoder
-from repro.encoder import make_encoder
-from repro.runtime import SweepEngine
 
 EBN0_POINTS = [1.0, 2.0, 3.0]
 
 
 def main(frames: int = 400, seed: int = 11) -> None:
-    code = get_code("802.16e:1/2:z24")
     config = DecoderConfig(backend="fast")
-    print(f"code: {code}\n")
+    link = repro.open("802.16e:1/2:z24", config, seed=seed)
+    print(f"code: {link.code}\n")
 
     with tempfile.TemporaryDirectory() as tmp:
         checkpoint = Path(tmp) / "sweep.json"
@@ -46,13 +45,13 @@ def main(frames: int = 400, seed: int = 11) -> None:
         )
 
         start = time.perf_counter()
-        serial = SweepEngine(code, config, seed=seed).run(EBN0_POINTS, **budget)
+        serial = link.sweep(EBN0_POINTS, **budget)
         serial_s = time.perf_counter() - start
 
         start = time.perf_counter()
-        parallel = SweepEngine(
-            code, config, seed=seed, workers=2, checkpoint_path=checkpoint
-        ).run(EBN0_POINTS, **budget)
+        parallel = link.sweep(
+            EBN0_POINTS, workers=2, checkpoint=checkpoint, **budget
+        )
         parallel_s = time.perf_counter() - start
 
         identical = all(
@@ -67,23 +66,20 @@ def main(frames: int = 400, seed: int = 11) -> None:
         # Resume: every chunk is already in the checkpoint, so this run
         # does no decoding at all.
         start = time.perf_counter()
-        SweepEngine(
-            code, config, seed=seed, checkpoint_path=checkpoint
-        ).run(EBN0_POINTS, **budget)
+        link.sweep(EBN0_POINTS, checkpoint=checkpoint, **budget)
         print(f"resume from checkpoint: {time.perf_counter() - start:.3f}s")
 
     # Compaction: same decode, working batch scattered vs carried.
     rng = np.random.default_rng(seed)
-    _, codewords = make_encoder(code).random_codewords(256, rng)
-    llr = ChannelFrontend(
-        BPSKModulator(), AWGNChannel.from_ebn0(3.5, code.rate, rng=rng)
-    ).run(codewords)
+    _, _, llr = link.channel_frames(256, ebn0=3.5, rng=rng)
     print("\ncompaction at 3.5 dB (paper ET, 256 frames):")
     for compact in (False, True):
-        decoder = LayeredDecoder(code, config.replace(compact_frames=compact))
-        decoder.decode(llr[:4])  # warm up
+        session = repro.open(
+            "802.16e:1/2:z24", config.replace(compact_frames=compact)
+        )
+        session.decode(llr[:4])  # warm up
         start = time.perf_counter()
-        result = decoder.decode(llr)
+        result = session.decode(llr)
         elapsed = time.perf_counter() - start
         label = "compacted" if compact else "carried  "
         print(

@@ -1,60 +1,53 @@
 #!/usr/bin/env python
-"""Quickstart: encode -> AWGN channel -> layered BP decode.
+"""Quickstart: encode -> AWGN channel -> layered BP decode, in one call.
 
 Runs the paper's flagship code (IEEE 802.16e WiMax, N = 2304, rate 1/2)
 through the full transmit/receive chain at a waterfall operating point
 and prints the decoding statistics, including the early-termination
 iteration savings that drive the paper's Fig. 9a.
 
+The whole chain is one `repro.open(...)` session — the software
+analogue of the chip's single mode-ROM reconfiguration knob.
+
 Usage::
 
-    python examples/quickstart.py [ebn0_db]
+    python examples/quickstart.py [ebn0_db] [frames]
 """
 
 import sys
 
 import numpy as np
 
-from repro import DecoderConfig, LayeredDecoder, get_code, make_encoder
-from repro.channel import AWGNChannel, BPSKModulator, ChannelFrontend
+import repro
 
 
 def main(ebn0_db: float = 2.0, frames: int = 100, seed: int = 42) -> None:
-    # 1. Pick a code from the mode registry (the chip's "mode ROM").
-    code = get_code("802.16e:1/2:z96")
-    print(f"code: {code}")
+    # One call: pick the mode from the registry (the chip's "mode ROM"),
+    # bind the Eb/N0 operating point, pull the compiled decoder from the
+    # shared plan cache.
+    link = repro.open("802.16e:1/2:z96", ebn0=ebn0_db, seed=seed)
+    print(f"code: {link.code}")
 
-    # 2. Encode random information bits (linear-time dual-diagonal encoder).
-    encoder = make_encoder(code)
-    rng = np.random.default_rng(seed)
-    info, codewords = encoder.random_codewords(frames, rng)
-    assert code.is_codeword(codewords).all()
+    # End-to-end: random info bits -> dual-diagonal encode -> BPSK ->
+    # AWGN -> layered BP (paper config: 10 iterations, two-condition ET).
+    outcome = link.run_frames(frames)
+    assert link.code.is_codeword(outcome.codewords).all()
+    result = outcome.result
 
-    # 3. BPSK over AWGN at the requested Eb/N0; exact channel LLRs.
-    frontend = ChannelFrontend(
-        BPSKModulator(), AWGNChannel.from_ebn0(ebn0_db, code.rate, rng=rng)
-    )
-    llr = frontend.run(codewords)
-
-    # 4. Decode with the paper's configuration: layered BP, 10 iterations,
-    #    two-condition early termination.
-    decoder = LayeredDecoder(code, DecoderConfig())
-    result = decoder.decode(llr)
-
-    # 5. Report.
     print(f"Eb/N0               : {ebn0_db:.2f} dB")
     print(f"frames              : {frames}")
-    print(f"bit errors          : {result.bit_errors(info)}"
-          f"  (BER = {result.bit_errors(info) / info.size:.3e})")
-    print(f"frame errors        : {result.frame_errors(info)}"
-          f"  (FER = {result.frame_errors(info) / frames:.3e})")
+    print(f"bit errors          : {outcome.bit_errors}"
+          f"  (BER = {outcome.ber:.3e})")
+    print(f"frame errors        : {outcome.frame_errors}"
+          f"  (FER = {outcome.fer:.3e})")
     print(f"parity converged    : {100 * result.convergence_rate:.1f}%")
     print(f"avg iterations      : {result.average_iterations:.2f} / "
-          f"{decoder.config.max_iterations}"
+          f"{link.config.max_iterations}"
           "  <- the early-termination power lever (Fig. 9a)")
     print(f"ET stopped frames   : {100 * np.mean(result.et_stopped):.1f}%")
 
 
 if __name__ == "__main__":
     ebn0 = float(sys.argv[1]) if len(sys.argv) > 1 else 2.0
-    main(ebn0)
+    n_frames = int(sys.argv[2]) if len(sys.argv) > 2 else 100
+    main(ebn0, n_frames)

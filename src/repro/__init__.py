@@ -2,7 +2,30 @@
 Reconfigurable LDPC Decoder Design for Multiple 4G Wireless Standards"
 (SOCC 2008).
 
-The library has four layers:
+The front door is :func:`repro.open`: like the chip's one mode-ROM
+register update, one call retargets the whole stack.  It returns a
+:class:`~repro.link.Link` session owning the full chain for one
+``(mode, DecoderConfig)`` pair — code, encoder, modulator/AWGN
+frontend, and the compiled decode plan + decoder pulled through a
+shared process-level :class:`~repro.service.PlanCache`:
+
+Quickstart::
+
+    import repro
+
+    link = repro.open("802.16e:1/2:z96", ebn0=2.0)   # WiMax N=2304
+    outcome = link.run_frames(100)                   # TX -> AWGN -> decode
+    print(outcome.ber, outcome.result.average_iterations)
+
+    points = link.sweep([1.0, 2.0, 3.0], workers=4)  # parallel waterfall
+    future = link.submit(outcome.channel_llr)        # dynamic-batch serving
+    chip = link.chip()                               # cycle-accurate model
+
+``repro.open_all(modes)`` opens several standards at once over one plan
+cache — the software analogue of the chip's resident mode ROM.
+
+Underneath, the library keeps its layers (all still importable
+directly):
 
 - **codes / encoder / channel** — QC-LDPC codes for 802.11n / 802.16e /
   DMB-T, linear-time encoding and an AWGN transmit chain;
@@ -13,22 +36,12 @@ The library has four layers:
   units, circular shifter, memory banks, pipeline stalls, mode ROM);
 - **power / analysis / experiments** — calibrated area/power models and
   the harnesses regenerating every table and figure of the paper;
-- **runtime / service** — the scaling layer: parallel Monte-Carlo sweep
-  sharding with checkpoint/resume, and the dynamic-batching
-  multi-standard decode service backed by a plan cache (the software
+- **runtime / service** — the scaling layer: the unified
+  :class:`~repro.runtime.SweepEngine` (parallel Monte-Carlo sharding
+  with checkpoint/resume — ``Link.sweep`` and the deprecated
+  ``BERSimulator`` shims both run through it), and the dynamic-batching
+  multi-standard decode service backed by the plan cache (the software
   mode ROM).
-
-Quickstart::
-
-    from repro import get_code, make_encoder, DecoderConfig, LayeredDecoder
-    from repro.channel import AWGNChannel, BPSKModulator, ChannelFrontend
-
-    code = get_code("802.16e:1/2:z96")           # WiMax N=2304
-    encoder = make_encoder(code)
-    info, tx = encoder.random_codewords(10, rng)
-    llr = ChannelFrontend(BPSKModulator(),
-                          AWGNChannel.from_ebn0(2.0, code.rate)).run(tx)
-    result = LayeredDecoder(code, DecoderConfig()).decode(llr)
 """
 
 from repro.arch import DecoderChip, PAPER_CHIP, DatapathParams
@@ -47,11 +60,21 @@ from repro.decoder import (
 )
 from repro.encoder import GenericEncoder, SystematicQCEncoder, make_encoder
 from repro.fixedpoint import QFormat
+from repro.link import (
+    Link,
+    LinkResult,
+    default_plan_cache,
+    open_all,
+    open_link,
+)
 from repro.power import PowerModel, chip_area_breakdown
 from repro.runtime import SweepEngine
 from repro.service import DecodeService, PlanCache
 
-__version__ = "1.0.0"
+#: The one-call session entry point (see :mod:`repro.link`).
+open = open_link
+
+__version__ = "1.1.0"
 
 __all__ = [
     "BaseMatrix",
@@ -63,6 +86,8 @@ __all__ = [
     "FloodingDecoder",
     "GenericEncoder",
     "LayeredDecoder",
+    "Link",
+    "LinkResult",
     "PAPER_CHIP",
     "PlanCache",
     "PowerModel",
@@ -72,8 +97,12 @@ __all__ = [
     "SystematicQCEncoder",
     "__version__",
     "chip_area_breakdown",
+    "default_plan_cache",
     "get_code",
     "list_modes",
     "make_encoder",
+    "open",
+    "open_all",
+    "open_link",
     "standards_summary",
 ]

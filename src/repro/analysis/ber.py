@@ -15,6 +15,7 @@ results are bit-identical to serial ones).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -138,6 +139,13 @@ class SnrPoint:
 class BERSimulator:
     """Batch Monte-Carlo simulator for one (code, decoder) pair.
 
+    .. deprecated:: 1.1
+        ``run_point``/``run_sweep`` are thin shims over the unified
+        :class:`~repro.runtime.SweepEngine` and emit a
+        :class:`DeprecationWarning`; results are bit-identical.  Use
+        ``repro.open(mode, config).sweep(...)`` (or ``SweepEngine``
+        directly for synthetic codes).
+
     Parameters
     ----------
     code:
@@ -207,6 +215,16 @@ class BERSimulator:
             encoder=self.encoder,
         )
 
+    def _warn_deprecated(self, method: str) -> None:
+        warnings.warn(
+            f"BERSimulator.{method} is deprecated; use "
+            "repro.open(mode, config).sweep(...) or "
+            "repro.runtime.SweepEngine — same engine, bit-identical "
+            "results",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
     def run_point(
         self,
         ebn0_db: float,
@@ -214,12 +232,13 @@ class BERSimulator:
         min_frame_errors: int = 50,
         batch_size: int = 100,
     ) -> SnrPoint:
-        """Simulate one Eb/N0 point.
+        """Simulate one Eb/N0 point (deprecated shim over SweepEngine).
 
         Stops after ``min_frame_errors`` frame errors or ``max_frames``
         frames, whichever comes first (the error budget is checked every
         ``batch_size`` frames).
         """
+        self._warn_deprecated("run_point")
         return self._engine().run_point(
             float(ebn0_db),
             max_frames=max_frames,
@@ -236,7 +255,9 @@ class BERSimulator:
         workers: int = 0,
         checkpoint_path=None,
     ) -> list[SnrPoint]:
-        """Simulate a list of Eb/N0 points (independent streams each).
+        """Simulate a list of Eb/N0 points (deprecated SweepEngine shim).
+
+        Every point draws from an independent stream.
 
         Parameters
         ----------
@@ -249,6 +270,7 @@ class BERSimulator:
             Optional JSON checkpoint for resume-after-interrupt (see
             :class:`~repro.runtime.SweepCheckpoint`).
         """
+        self._warn_deprecated("run_sweep")
         return self._engine(workers=workers, checkpoint_path=checkpoint_path).run(
             [float(ebn0) for ebn0 in ebn0_list],
             max_frames=max_frames,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.ber import BERSimulator, SnrPoint
+from repro.analysis.ber import SnrPoint
 from repro.arch.datapath import DatapathParams
 from repro.codes.qc import QCLDPCCode
 from repro.decoder.api import DecoderConfig
@@ -40,6 +40,7 @@ def profile_iterations(
     config: DecoderConfig | None = None,
     frames_per_point: int = 200,
     seed: int = 0,
+    workers: int = 0,
 ) -> IterationProfile:
     """Measure average iterations vs Eb/N0 with early termination.
 
@@ -55,10 +56,16 @@ def profile_iterations(
     frames_per_point:
         Monte-Carlo frames per point (iteration averages converge much
         faster than BER, so a few hundred frames suffice).
+    workers:
+        ``>= 2`` shards the sweep's frame chunks across a process pool
+        (statistics identical to a serial run).
     """
+    # Deferred import: repro.runtime imports SnrPoint from this package.
+    from repro.runtime.engine import SweepEngine
+
     config = config if config is not None else DecoderConfig()
-    simulator = BERSimulator(code, config, seed=seed)
-    points: list[SnrPoint] = simulator.run_sweep(
+    engine = SweepEngine(code, config, seed=seed, workers=workers)
+    points: list[SnrPoint] = engine.run(
         ebn0_list,
         max_frames=frames_per_point,
         min_frame_errors=frames_per_point + 1,  # never stop early

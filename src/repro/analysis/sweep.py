@@ -1,77 +1,31 @@
-"""Generic parameter-sweep utility used by benches and examples.
+"""Deprecated shim over :mod:`repro.runtime.sweep`.
 
-A sweep maps a list of parameter values through a runner callable,
-collects per-value result dicts, and renders them as a table.  Runners
-are plain callables so every experiment stays import-light and testable.
-Fan-out is delegated to :func:`repro.runtime.map_ordered`, so a sweep
-can run its values on a thread pool (``workers >= 2``) without changing
-the collected order.
+The generic parameter sweep lives in the runtime layer now (one home
+for all fan-out: :func:`repro.runtime.run_sweep` for parameter grids,
+:class:`repro.runtime.SweepEngine` — reachable as
+:meth:`repro.link.Link.sweep` — for Monte-Carlo Eb/N0 sweeps).  This
+module keeps the old import path alive: :class:`SweepResult` is the
+same class object, and :func:`run_sweep` emits a
+:class:`DeprecationWarning` before delegating, producing identical
+results.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable, Sequence
-from dataclasses import dataclass
+import warnings
 
-from repro.runtime.parallel import map_ordered
-from repro.utils.tables import Table
+from repro.runtime.sweep import SweepResult, run_sweep as _run_sweep
 
-
-@dataclass(frozen=True)
-class SweepResult:
-    """Outcome of :func:`run_sweep`."""
-
-    parameter: str
-    values: tuple
-    rows: tuple[dict, ...]
-
-    def column(self, key: str) -> list:
-        """Extract one result column across the sweep."""
-        return [row[key] for row in self.rows]
-
-    def to_table(self, columns: Sequence[str], title: str | None = None) -> Table:
-        """Render selected columns (parameter first) as a Table."""
-        table = Table([self.parameter, *columns], title=title)
-        for value, row in zip(self.values, self.rows):
-            table.add_row([value, *[row[c] for c in columns]])
-        return table
+__all__ = ["SweepResult", "run_sweep"]
 
 
-def run_sweep(
-    parameter: str,
-    values: Iterable,
-    runner: Callable[[object], dict],
-    workers: int = 0,
-) -> SweepResult:
-    """Run ``runner(value)`` for each value and collect the result dicts.
-
-    Parameters
-    ----------
-    parameter:
-        Name of the swept parameter (table header).
-    values:
-        Parameter values.
-    runner:
-        Callable returning a flat dict of metrics for one value.
-    workers:
-        ``0``/``1`` runs the values serially; ``>= 2`` fans them out on a
-        thread pool of that size (see
-        :func:`repro.runtime.map_ordered`).  Runners must then be
-        thread-safe — in particular, build any decoder *inside* the
-        runner rather than sharing one across calls.  Row order always
-        matches ``values``.
-    """
-    values = tuple(values)
-
-    def checked(value):
-        # Validate inside the mapped callable so a bad runner fails fast
-        # (serial mode stops at the first bad value, not after the sweep).
-        row = runner(value)
-        if not isinstance(row, dict):
-            raise TypeError(
-                f"sweep runner must return a dict, got {type(row).__name__}"
-            )
-        return row
-
-    rows = map_ordered(checked, values, workers=workers)
-    return SweepResult(parameter=parameter, values=values, rows=tuple(rows))
+def run_sweep(*args, **kwargs) -> SweepResult:
+    """Deprecated alias of :func:`repro.runtime.run_sweep`."""
+    warnings.warn(
+        "repro.analysis.sweep.run_sweep is deprecated; use "
+        "repro.runtime.run_sweep (same signature, same results) — or "
+        "repro.open(mode).sweep(...) for Monte-Carlo Eb/N0 sweeps",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_sweep(*args, **kwargs)

@@ -13,6 +13,9 @@ is an array over the batch dimension.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,6 +37,31 @@ BP_IMPLEMENTATIONS = ("sum-sub", "forward-backward")
 
 #: Valid early-termination rules.
 ET_MODES = ("none", "paper", "syndrome", "paper-or-syndrome")
+
+
+def _canonical_value(value):
+    """Primitive, hashable, JSON-expressible identity of one field value.
+
+    Shared by :meth:`DecoderConfig.cache_key` and
+    :meth:`DecoderConfig.to_dict` so the cache identity and the wire
+    format can never disagree.  Non-finite floats are canonicalized to
+    the strings ``"inf"`` / ``"-inf"`` / ``"nan"``: two configs built
+    with e.g. ``app_clip=float("inf")`` must produce equal keys (NaN
+    would otherwise compare unequal to itself inside the key tuple),
+    and strict JSON has no literal for any of the three.
+    """
+    if isinstance(value, QFormat):
+        return ("QFormat", value.total_bits, value.frac_bits)
+    # layer_order is documented as a tuple but a list works everywhere
+    # else (resolve_layer_order re-tuples it); the key must not be the
+    # one place a list crashes unhashable.
+    if isinstance(value, (list, tuple)):
+        return tuple(value)
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "nan"
+        return "inf" if value > 0 else "-inf"
+    return value
 
 
 @dataclass(frozen=True)
@@ -221,8 +249,6 @@ class DecoderConfig:
 
     def replace(self, **changes) -> "DecoderConfig":
         """Functional update (dataclasses.replace wrapper)."""
-        import dataclasses
-
         return dataclasses.replace(self, **changes)
 
     def cache_key(self) -> tuple:
@@ -234,23 +260,12 @@ class DecoderConfig:
         their requests may share one compiled plan, one set of
         fixed-point ROM tables, and one working batch.  Unlike
         ``hash(config)`` the key contains only primitives (no salted
-        ``str``/``float`` hashing surprises across processes) and
-        round-trips through ``repr`` losslessly.
+        ``str``/``float`` hashing surprises across processes,
+        non-finite floats canonicalized to strings) and round-trips
+        through ``repr`` losslessly.
         """
-        import dataclasses
-
-        def canonical(value):
-            if isinstance(value, QFormat):
-                return ("QFormat", value.total_bits, value.frac_bits)
-            # layer_order is documented as a tuple but a list works
-            # everywhere else (resolve_layer_order re-tuples it); the
-            # key must not be the one place a list crashes unhashable.
-            if isinstance(value, (list, tuple)):
-                return tuple(value)
-            return value
-
         return tuple(
-            (field.name, canonical(getattr(self, field.name)))
+            (field.name, _canonical_value(getattr(self, field.name)))
             for field in dataclasses.fields(self)
         )
 
@@ -262,11 +277,62 @@ class DecoderConfig:
         metrics or on-disk artifacts.  This digest can: equal configs
         produce equal strings in every interpreter.
         """
-        import hashlib
-
         return hashlib.sha256(
             repr(self.cache_key()).encode("utf-8")
         ).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        """Every field as a ``json.dumps``-safe mapping.
+
+        The wire format of a config: :class:`~repro.link.Link`
+        checkpoints, service requests and logs can name a configuration
+        as plain JSON and rebuild it with :meth:`from_dict`.  Values go
+        through the same canonicalization as :meth:`cache_key`
+        (:func:`_canonical_value`), so ``from_dict(to_dict())`` always
+        reproduces the exact cache identity: ``qformat`` serializes as
+        ``["QFormat", total_bits, frac_bits]``, ``layer_order`` as a
+        list, and non-finite floats as ``"inf"``/``"-inf"``/``"nan"``
+        strings (strict JSON has no literal for them).
+        """
+        out = {}
+        for config_field in dataclasses.fields(self):
+            value = _canonical_value(getattr(self, config_field.name))
+            if isinstance(value, tuple):
+                value = list(value)
+            out[config_field.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecoderConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Missing keys take the field defaults (so the wire format stays
+        readable across versions that add fields); unknown keys raise
+        :class:`~repro.errors.DecoderConfigError` rather than being
+        silently dropped — a typo'd field name must not decode with a
+        different configuration than the sender asked for.
+        """
+        fields_by_name = {f.name: f for f in dataclasses.fields(cls)}
+        unknown = set(data) - set(fields_by_name)
+        if unknown:
+            raise DecoderConfigError(
+                f"unknown DecoderConfig fields: {sorted(unknown)}"
+            )
+        kwargs = {}
+        for name, value in data.items():
+            if name == "qformat" and value is not None:
+                total_bits, frac_bits = value[-2], value[-1]
+                value = QFormat(int(total_bits), int(frac_bits))
+            elif name == "layer_order" and value is not None:
+                value = tuple(int(v) for v in value)
+            elif (
+                isinstance(value, str)
+                and value in ("inf", "-inf", "nan")
+                and "float" in str(fields_by_name[name].type)
+            ):
+                value = float(value)
+            kwargs[name] = value
+        return cls(**kwargs)
 
 
 @dataclass

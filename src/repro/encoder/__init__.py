@@ -3,29 +3,67 @@
 - :class:`SystematicQCEncoder` — O(N) dual-diagonal encoder (all registry
   codes);
 - :class:`GenericEncoder` — GF(2) fallback for arbitrary full-rank H;
-- :func:`make_encoder` — picks the fastest applicable encoder.
+- :func:`make_encoder` — picks the fastest applicable encoder, cached
+  per code object.
 """
+
+from functools import lru_cache
 
 from repro.encoder.generic import GenericEncoder
 from repro.encoder.systematic import SystematicQCEncoder, detect_parity_structure
 from repro.errors import EncodingError
 
 
-def make_encoder(code):
-    """Return the fastest encoder applicable to ``code``.
-
-    Tries the linear-time dual-diagonal encoder first and falls back to
-    the generic GF(2) encoder.
-    """
+def _build_encoder(code):
     try:
         return SystematicQCEncoder(code)
     except EncodingError:
         return GenericEncoder(code)
 
 
+@lru_cache(maxsize=64)
+def _cached_encoder(code):
+    return _build_encoder(code)
+
+
+def make_encoder(code, cached: bool = True):
+    """Return the fastest encoder applicable to ``code``.
+
+    Tries the linear-time dual-diagonal encoder first and falls back to
+    the generic GF(2) encoder.
+
+    Encoders are cached per code *object* (a bounded, thread-safe LRU):
+    constructing the systematic encoder runs the dual-diagonal structure
+    detection and, for the generic fallback, a full GF(2) elimination —
+    work that :class:`~repro.link.Link` sessions, sweep workers and the
+    examples would otherwise repeat on every call.  Registry codes are
+    process-level singletons (see :func:`repro.codes.get_code`), so
+    identity keying deduplicates exactly; distinct-but-equal synthetic
+    codes cost a duplicate build, never a wrong encode.  Encoders are
+    immutable after construction and safe to share across threads
+    (``random_codewords`` draws from the caller's generator).  Pass
+    ``cached=False`` to force a fresh build.
+    """
+    if not cached:
+        return _build_encoder(code)
+    return _cached_encoder(code)
+
+
+def encoder_cache_info() -> dict:
+    """Hit/miss statistics of the per-code encoder cache."""
+    info = _cached_encoder.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "size": info.currsize,
+        "maxsize": info.maxsize,
+    }
+
+
 __all__ = [
     "GenericEncoder",
     "SystematicQCEncoder",
     "detect_parity_structure",
+    "encoder_cache_info",
     "make_encoder",
 ]

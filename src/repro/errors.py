@@ -57,3 +57,12 @@ class ReconfigurationError(ArchitectureError):
 
 class SimulationError(ReproError):
     """A Monte-Carlo simulation was configured inconsistently."""
+
+
+class LinkError(ReproError, ValueError):
+    """A :class:`repro.link.Link` session was used inconsistently.
+
+    Examples: transmitting without an Eb/N0 operating point (neither the
+    session default nor the call argument is set), an unknown decode
+    schedule, or reconfiguring a session's already-running service.
+    """

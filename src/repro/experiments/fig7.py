@@ -12,14 +12,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arch.chip import DecoderChip
-from repro.channel.awgn import AWGNChannel
-from repro.channel.llr import ChannelFrontend
-from repro.channel.modulation import BPSKModulator
-from repro.codes.registry import get_code
 from repro.decoder.api import DecoderConfig
-from repro.decoder.layered import LayeredDecoder
-from repro.encoder import make_encoder
 from repro.fixedpoint.quantize import QFormat
+from repro.link import open_link
 from repro.utils.rng import make_rng
 from repro.utils.tables import Table
 
@@ -32,17 +27,8 @@ def run(
     seed: int = 7,
 ) -> dict:
     """Bit-exactness + activity accounting of the full datapath."""
-    code = get_code(mode)
     chip = DecoderChip()
     entry = chip.configure(mode)
-    encoder = make_encoder(code)
-    rng = make_rng(seed)
-    info, codewords = encoder.random_codewords(frames, rng)
-    frontend = ChannelFrontend(
-        BPSKModulator(), AWGNChannel.from_ebn0(ebn0_db, code.rate, rng=rng)
-    )
-    llrs = frontend.run(codewords)
-
     config = DecoderConfig(
         qformat=QFormat(chip.params.msg_bits, 2),
         bp_impl="sum-sub",
@@ -50,7 +36,14 @@ def run(
         max_iterations=iterations,
         layer_order=entry.layer_order,
     )
-    reference = LayeredDecoder(code, config).decode(llrs)
+    link = open_link(mode, config, ebn0=ebn0_db)
+    code = link.code
+    # Float-unit LLRs: the chip's input buffer runs its own zero-breaking
+    # quantizer, so both consumers must see the same float stream.
+    info, codewords, llrs = link.channel_frames(
+        frames, rng=make_rng(seed), quantized=False
+    )
+    reference = link.decode(llrs)
 
     matches = 0
     activity_totals: dict[str, int] = {}

@@ -10,8 +10,8 @@ here:
   reduction — a parallel sweep reproduces the serial one bit for bit;
 - :class:`SweepCheckpoint` persists finished chunks as JSON for
   resume-after-interrupt;
-- :func:`map_ordered` is the light thread-pool fan-out used by the
-  generic :func:`repro.analysis.sweep.run_sweep`;
+- :func:`run_sweep` / :class:`SweepResult` — the generic parameter
+  sweep (runner over a value grid), fanned out via :func:`map_ordered`;
 - :class:`WorkerPool` is the persistent named thread pool the decode
   service (:mod:`repro.service`) dispatches batches onto.
 """
@@ -27,11 +27,13 @@ from repro.runtime.engine import (
     point_key,
 )
 from repro.runtime.parallel import WorkerPool, map_ordered
+from repro.runtime.sweep import SweepResult, run_sweep
 
 __all__ = [
     "SCHEDULES",
     "SweepCheckpoint",
     "SweepEngine",
+    "SweepResult",
     "WorkerPool",
     "chunk_key",
     "chunk_rng",
@@ -40,4 +42,5 @@ __all__ = [
     "map_ordered",
     "plan_chunks",
     "point_key",
+    "run_sweep",
 ]

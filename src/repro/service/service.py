@@ -270,6 +270,12 @@ class DecodeService:
         snapshot["plan_cache"] = self.cache.stats()
         return snapshot
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has begun; submissions will be refused."""
+        with self._cond:
+            return self._closing
+
     def close(self) -> None:
         """Drain pending requests, resolve every future, stop the workers.
 

@@ -1,21 +1,29 @@
-"""Tests for the Monte-Carlo analysis harness."""
+"""Tests for the Monte-Carlo analysis harness.
 
-import numpy as np
+``BERSimulator.run_point``/``run_sweep`` and
+``repro.analysis.sweep.run_sweep`` are deprecated shims over the
+unified runtime (:class:`repro.runtime.SweepEngine` /
+:func:`repro.runtime.run_sweep`); every exercise of a shimmed path here
+goes through ``pytest.deprecated_call`` so the suite stays clean under
+``-W error::DeprecationWarning``.
+"""
+
 import pytest
 
 from repro.analysis.ber import BERSimulator, SnrPoint
 from repro.analysis.iterations import et_power_curve, profile_iterations
 from repro.analysis.reporting import ascii_curve, ber_table, save_exhibit
-from repro.analysis.sweep import run_sweep
 from repro.arch.datapath import PAPER_CHIP
 from repro.decoder import DecoderConfig
 from repro.errors import SimulationError
+from repro.runtime import SweepEngine, run_sweep
 
 
 class TestBERSimulator:
     def test_point_statistics_accumulate(self, small_code):
         simulator = BERSimulator(small_code, seed=1)
-        point = simulator.run_point(2.0, max_frames=40, batch_size=20)
+        with pytest.deprecated_call():
+            point = simulator.run_point(2.0, max_frames=40, batch_size=20)
         assert point.frames == 40
         assert 0.0 <= point.ber <= 1.0
         assert 0.0 <= point.fer <= 1.0
@@ -24,29 +32,50 @@ class TestBERSimulator:
 
     def test_stops_at_error_budget(self, small_code):
         simulator = BERSimulator(small_code, seed=2)
-        point = simulator.run_point(
-            -2.0, max_frames=500, min_frame_errors=10, batch_size=10
-        )
+        with pytest.deprecated_call():
+            point = simulator.run_point(
+                -2.0, max_frames=500, min_frame_errors=10, batch_size=10
+            )
         assert point.frame_errors >= 10
         assert point.frames < 500
 
+    def test_shim_bit_identical_to_engine(self, small_code):
+        """The deprecated simulator is a pure shim: same statistics."""
+        simulator = BERSimulator(small_code, seed=3)
+        with pytest.deprecated_call():
+            via_shim = simulator.run_sweep(
+                [2.0, 3.0], max_frames=20, batch_size=20
+            )
+        direct = SweepEngine(small_code, seed=3).run(
+            [2.0, 3.0], max_frames=20, batch_size=20
+        )
+        assert [p.to_dict() for p in via_shim] == [
+            p.to_dict() for p in direct
+        ]
+
     def test_deterministic_given_seed(self, small_code):
-        a = BERSimulator(small_code, seed=3).run_point(2.0, max_frames=20,
-                                                       batch_size=20)
-        b = BERSimulator(small_code, seed=3).run_point(2.0, max_frames=20,
-                                                       batch_size=20)
+        with pytest.deprecated_call():
+            a = BERSimulator(small_code, seed=3).run_point(
+                2.0, max_frames=20, batch_size=20
+            )
+        with pytest.deprecated_call():
+            b = BERSimulator(small_code, seed=3).run_point(
+                2.0, max_frames=20, batch_size=20
+            )
         assert a.bit_errors == b.bit_errors
 
     def test_ber_decreases_with_snr(self, small_code):
         simulator = BERSimulator(small_code, seed=4)
-        points = simulator.run_sweep(
-            [0.0, 3.5], max_frames=60, min_frame_errors=100, batch_size=30
-        )
+        with pytest.deprecated_call():
+            points = simulator.run_sweep(
+                [0.0, 3.5], max_frames=60, min_frame_errors=100, batch_size=30
+            )
         assert points[0].ber > points[1].ber
 
     def test_flooding_schedule_option(self, small_code):
         simulator = BERSimulator(small_code, schedule="flooding", seed=5)
-        point = simulator.run_point(3.0, max_frames=10, batch_size=10)
+        with pytest.deprecated_call():
+            point = simulator.run_point(3.0, max_frames=10, batch_size=10)
         assert point.frames == 10
 
     def test_unknown_schedule_raises(self, small_code):
@@ -55,8 +84,9 @@ class TestBERSimulator:
 
     def test_invalid_budget_raises(self, small_code):
         simulator = BERSimulator(small_code, seed=6)
-        with pytest.raises(SimulationError):
-            simulator.run_point(1.0, max_frames=0)
+        with pytest.deprecated_call():
+            with pytest.raises(SimulationError):
+                simulator.run_point(1.0, max_frames=0)
 
 
 class TestIterationProfile:
@@ -100,6 +130,21 @@ class TestSweep:
     def test_non_dict_runner_raises(self):
         with pytest.raises(TypeError):
             run_sweep("x", [1], lambda x: x)
+
+    def test_analysis_shim_warns_and_matches(self):
+        """The old import path warns but produces identical rows."""
+        from repro.analysis.sweep import run_sweep as old_run_sweep
+
+        with pytest.deprecated_call():
+            via_shim = old_run_sweep("x", [1, 2], lambda x: {"y": x * x})
+        direct = run_sweep("x", [1, 2], lambda x: {"y": x * x})
+        assert via_shim == direct
+
+    def test_sweepresult_is_same_class(self):
+        from repro.analysis.sweep import SweepResult as old_cls
+        from repro.runtime import SweepResult as new_cls
+
+        assert old_cls is new_cls
 
 
 class TestReporting:

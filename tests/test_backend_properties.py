@@ -380,3 +380,27 @@ def test_matrix_covers_both_guard_modes():
     }
     assert 0 in guards, "seed-era (guard 0) fixed BP fold never exercised"
     assert any(g for g in guards if g), "guarded fixed BP fold never exercised"
+
+
+# ---------------------------------------------------------------------------
+# Property 5: Link sessions are invisible
+# ---------------------------------------------------------------------------
+# repro.open wraps code lookup, plan compilation (through the shared
+# PlanCache) and decoding into one session object.  The property: for
+# every case in the matrix, Link.decode is bit-identical to a freshly
+# hand-built decoder — the one-call API adds no arithmetic of its own.
+@pytest.mark.parametrize("case", CASES, ids=_case_ids(CASES))
+def test_link_decode_bit_identity(case):
+    from repro.link import Link
+    from repro.service import PlanCache
+
+    code = CODES[case.code_index]
+    link = Link(
+        code,
+        case.config(),
+        schedule=case.schedule,
+        cache=PlanCache(maxsize=4),
+    )
+    via_link = link.decode(_case_llrs(case))
+    fresh = _decode(case)
+    _assert_identical(via_link, fresh, f"{case.label} Link vs hand-built")

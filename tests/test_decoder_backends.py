@@ -553,14 +553,21 @@ class TestBERSimulatorIntegration:
         sim = BERSimulator(small_code, seed=1, backend="fast")
         assert sim.config.backend == "fast"
         assert isinstance(sim.decoder.backend, FastBackend)
-        point = sim.run_point(3.0, max_frames=20, batch_size=10)
+        with pytest.deprecated_call():
+            point = sim.run_point(3.0, max_frames=20, batch_size=10)
         assert point.frames == 20
 
     def test_fast_and_reference_statistics_close(self, small_code):
+        from repro.runtime import SweepEngine
+
         points = {}
         for backend in ("reference", "fast"):
-            sim = BERSimulator(small_code, seed=5, backend=backend)
-            points[backend] = sim.run_point(3.0, max_frames=40, batch_size=20)
+            engine = SweepEngine(
+                small_code, DecoderConfig(backend=backend), seed=5
+            )
+            points[backend] = engine.run_point(
+                3.0, max_frames=40, batch_size=20
+            )
         delta = abs(
             points["reference"].frame_errors - points["fast"].frame_errors
         )

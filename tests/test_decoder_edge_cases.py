@@ -174,7 +174,8 @@ class TestMinSumEdgeCases:
 class TestSimulatorBudgets:
     def test_batch_size_larger_than_max_frames(self, small_code):
         sim = BERSimulator(small_code, seed=11)
-        point = sim.run_point(3.0, max_frames=5, batch_size=50)
+        with pytest.deprecated_call():
+            point = sim.run_point(3.0, max_frames=5, batch_size=50)
         assert point.frames == 5
 
     def test_engine_batch_size_larger_than_max_frames(self, small_code):
@@ -183,7 +184,7 @@ class TestSimulatorBudgets:
         assert point.frames == 5
 
     def test_single_frame_budget(self, small_code):
-        point = BERSimulator(small_code, seed=12).run_point(
+        point = SweepEngine(small_code, seed=12).run_point(
             3.0, max_frames=1, batch_size=1
         )
         assert point.frames == 1

@@ -128,9 +128,12 @@ class TestSerialParallelEquivalence:
         assert _dicts(serial) == _dicts(parallel)
 
     def test_simulator_run_sweep_workers_identical(self, small_code):
+        # The deprecated BERSimulator shim, exercised explicitly.
         sim = BERSimulator(small_code, seed=9)
-        serial = sim.run_sweep(EBN0, **BUDGET)
-        parallel = sim.run_sweep(EBN0, workers=2, **BUDGET)
+        with pytest.deprecated_call():
+            serial = sim.run_sweep(EBN0, **BUDGET)
+        with pytest.deprecated_call():
+            parallel = sim.run_sweep(EBN0, workers=2, **BUDGET)
         assert _dicts(serial) == _dicts(parallel)
 
     def test_point_statistics_independent_of_sweep_order(self, small_code):
@@ -321,8 +324,8 @@ class TestMapOrdered:
         with pytest.raises(ValueError):
             map_ordered(boom, range(6), workers=3)
 
-    def test_analysis_run_sweep_workers(self):
-        from repro.analysis.sweep import run_sweep
+    def test_runtime_run_sweep_workers(self):
+        from repro.runtime import run_sweep
 
         result = run_sweep("x", [1, 2, 3, 4], lambda x: {"y": x * x}, workers=3)
         assert result.column("y") == [1, 4, 9, 16]
