@@ -37,6 +37,12 @@ Two further scenarios ride along and land in the same JSON:
   bit-identity and records frames/s, the speedup, batch fill, mode
   switches and latency quantiles (``--check-service-speedup X`` gates
   CI on the batching win).
+- **server** — the same workload through the asyncio socket front door
+  (:class:`~repro.server.DecodeServer` + one pipelined
+  :class:`~repro.server.DecodeClient`) vs the in-process service:
+  frames/s and client-observed p99 on both paths, so the framed-
+  protocol transport cost is tracked from PR to PR; asserts socket
+  results stay bit-identical to direct decodes.
 
 Usage::
 
@@ -385,6 +391,124 @@ def run_service_benchmark(requests: int, repeats: int = 1) -> dict:
     }
 
 
+def run_server_benchmark(requests: int, repeats: int = 1) -> dict:
+    """Socket front door vs in-process service: frames/s and p99.
+
+    The same single-frame mixed-standard workload as the ``service``
+    scenario travels two paths built on identical service knobs: (a)
+    in-process ``DecodeService.submit`` futures, (b) a loopback
+    :class:`~repro.server.DecodeServer` with one pipelined
+    :class:`~repro.server.DecodeClient` connection — so the delta is
+    pure transport (framing, JSON headers, asyncio, TCP), not batching.
+    Client-side per-request latency (send to response) gives the socket
+    p99; the in-process p99 comes from the service's own metrics.
+    Results are asserted bit-identical to direct per-mode decodes.
+    """
+    import asyncio
+
+    from repro.server import DecodeClient, DecodeServer
+    from repro.service import DecodeService
+
+    requests -= requests % len(SERVICE_MODES)
+    requests = max(requests, len(SERVICE_MODES))
+    config = DecoderConfig(backend="fast")
+    per_mode = requests // len(SERVICE_MODES)
+    workload = []
+    for mode in SERVICE_MODES:
+        code, llr = make_workload(mode, per_mode)
+        for i in range(llr.shape[0]):
+            workload.append((mode, llr[i]))
+    interleaved = [
+        workload[m * per_mode + i]
+        for i in range(per_mode)
+        for m in range(len(SERVICE_MODES))
+    ]
+    decoders = {
+        mode: LayeredDecoder(get_code(mode), config) for mode in SERVICE_MODES
+    }
+    direct = [decoders[mode].decode(frame) for mode, frame in interleaved]
+
+    def service_kwargs():
+        return dict(
+            max_batch=SERVICE_MAX_BATCH,
+            max_wait=SERVICE_MAX_WAIT,
+            workers=2,
+            default_config=config,
+            warm_modes=SERVICE_MODES,
+        )
+
+    inproc_s = float("inf")
+    inproc_p99 = None
+    inproc_results = None
+    for _ in range(repeats):
+        with DecodeService(**service_kwargs()) as service:
+            start = time.perf_counter()
+            futures = [
+                service.submit(mode, frame, client=f"user{i % 8}")
+                for i, (mode, frame) in enumerate(interleaved)
+            ]
+            attempt = [f.result(timeout=120) for f in futures]
+            elapsed = time.perf_counter() - start
+            if elapsed < inproc_s:
+                inproc_s = elapsed
+                inproc_p99 = service.metrics_snapshot()["latency_p99_ms"]
+            inproc_results = attempt
+
+    async def socket_pass():
+        service = DecodeService(**service_kwargs())
+        try:
+            async with DecodeServer(service=service) as server:
+                async with await DecodeClient.connect(*server.address) as client:
+                    latencies = []
+
+                    async def one(mode, frame):
+                        t0 = time.perf_counter()
+                        result = await client.decode(mode, frame)
+                        latencies.append(time.perf_counter() - t0)
+                        return result
+
+                    start = time.perf_counter()
+                    attempt = await asyncio.gather(*[
+                        one(mode, frame) for mode, frame in interleaved
+                    ])
+                    elapsed = time.perf_counter() - start
+                    return elapsed, latencies, attempt
+        finally:
+            service.close()
+
+    socket_s = float("inf")
+    socket_p99 = None
+    socket_results = None
+    for _ in range(repeats):
+        elapsed, latencies, attempt = asyncio.run(socket_pass())
+        if elapsed < socket_s:
+            socket_s = elapsed
+            socket_p99 = float(np.percentile(latencies, 99) * 1000.0)
+        socket_results = attempt
+
+    identical = all(
+        np.array_equal(a.bits, b.bits)
+        and np.array_equal(a.llr, b.llr)
+        and np.array_equal(a.iterations, b.iterations)
+        for served in (inproc_results, socket_results)
+        for a, b in zip(direct, served)
+    )
+    return {
+        "modes": list(SERVICE_MODES),
+        "requests": requests,
+        "frames_per_request": 1,
+        "connections": 1,
+        "inproc_s": round(inproc_s, 3),
+        "inproc_fps": round(requests / inproc_s, 1),
+        "inproc_p99_ms": round(inproc_p99, 3),
+        "socket_s": round(socket_s, 3),
+        "socket_fps": round(requests / socket_s, 1),
+        "socket_p99_ms": round(socket_p99, 3),
+        "socket_overhead": round(socket_s / inproc_s, 2),
+        "bit_identical": bool(identical),
+    }
+
+
 def run_parallel_sweep_benchmark(frames: int) -> dict:
     """Serial vs 2-worker SweepEngine on a small sweep; must match exactly."""
     code = get_code("802.16e:1/2:z24")
@@ -498,6 +622,16 @@ def summarize(results: dict) -> str:
             f"{service['latency_p50_ms']}/{service['latency_p99_ms']} ms, "
             f"bit-identical: {service['bit_identical']}"
         )
+    server = results.get("server")
+    if server:
+        rendered += (
+            f"\ndecode server ({server['requests']} single-frame requests, "
+            f"1 pipelined connection): in-process {server['inproc_fps']} fps "
+            f"p99 {server['inproc_p99_ms']} ms, socket "
+            f"{server['socket_fps']} fps p99 {server['socket_p99_ms']} ms "
+            f"({server['socket_overhead']}x wall-clock), bit-identical: "
+            f"{server['bit_identical']}"
+        )
     return rendered
 
 
@@ -556,6 +690,9 @@ def main(argv=None) -> int:
     results["service"] = run_service_benchmark(
         48 if args.smoke else max(frames, 192), repeats=repeats
     )
+    results["server"] = run_server_benchmark(
+        24 if args.smoke else 96, repeats=repeats
+    )
     print(summarize(results))
 
     failures = []
@@ -573,6 +710,8 @@ def main(argv=None) -> int:
         failures.append("parallel_sweep: serial != parallel statistics")
     if results["service"]["bit_identical"] is not True:
         failures.append("service: batched results != direct decode")
+    if results["server"]["bit_identical"] is not True:
+        failures.append("server: socket results != direct decode")
     if args.check_service_speedup is not None:
         speedup = results["service"]["service_speedup"]
         if speedup < args.check_service_speedup:

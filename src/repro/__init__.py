@@ -41,7 +41,12 @@ directly):
   with checkpoint/resume — ``Link.sweep`` and the deprecated
   ``BERSimulator`` shims both run through it), and the dynamic-batching
   multi-standard decode service backed by the plan cache (the software
-  mode ROM).
+  mode ROM) — hardened with per-request deadlines, bounded admission,
+  supervised workers and deterministic fault injection
+  (:class:`~repro.runtime.FaultPlan`);
+- **server** — the asyncio network front door
+  (:class:`~repro.server.DecodeServer` / ``DecodeClient``) speaking a
+  framed binary protocol over the same service.
 """
 
 from repro.arch import DecoderChip, PAPER_CHIP, DatapathParams
@@ -68,8 +73,14 @@ from repro.link import (
     open_link,
 )
 from repro.power import PowerModel, chip_area_breakdown
-from repro.runtime import SweepEngine
-from repro.service import DecodeService, PlanCache
+from repro.runtime import FaultPlan, SweepEngine
+from repro.server import DecodeClient, DecodeServer
+from repro.service import (
+    AdmissionPolicy,
+    DecodeService,
+    PlanCache,
+    RetryPolicy,
+)
 
 #: The one-call session entry point (see :mod:`repro.link`).
 open = open_link
@@ -77,12 +88,16 @@ open = open_link
 __version__ = "1.1.0"
 
 __all__ = [
+    "AdmissionPolicy",
     "BaseMatrix",
     "DatapathParams",
+    "DecodeClient",
     "DecodeResult",
+    "DecodeServer",
     "DecodeService",
     "DecoderChip",
     "DecoderConfig",
+    "FaultPlan",
     "FloodingDecoder",
     "GenericEncoder",
     "LayeredDecoder",
@@ -93,6 +108,7 @@ __all__ = [
     "PowerModel",
     "QCLDPCCode",
     "QFormat",
+    "RetryPolicy",
     "SweepEngine",
     "SystematicQCEncoder",
     "__version__",

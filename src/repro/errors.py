@@ -66,3 +66,69 @@ class LinkError(ReproError, ValueError):
     session default nor the call argument is set), an unknown decode
     schedule, or reconfiguring a session's already-running service.
     """
+
+
+class ServiceError(ReproError):
+    """Base class for decode-service failures.
+
+    Everything the serving tier (:mod:`repro.service`,
+    :mod:`repro.server`) can deliver through a request future derives
+    from here, so a client needs exactly one ``except ServiceError`` to
+    handle every service-side outcome that is not a decode result.
+    """
+
+
+class DeadlineExceeded(ServiceError, TimeoutError):
+    """A request's per-request deadline expired before its result.
+
+    Delivered through the request's future (never raised into the
+    service loops): the request either waited in the admission queue
+    past its deadline or was dispatched to a worker that did not finish
+    in time.  Also a :class:`TimeoutError`, so generic timeout handling
+    catches it.
+    """
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission control refused or shed a request.
+
+    Raised synchronously by ``submit`` under the ``reject`` policy (full
+    queue) or a per-client quota breach; delivered through the future of
+    a victim request under the ``shed-oldest`` policy.
+    """
+
+
+class ServiceClosedError(ServiceError, ValueError):
+    """``submit`` was called on a service that is closed or closing.
+
+    Create a new :class:`~repro.service.DecodeService` (or use
+    ``Link.serve()``, which transparently replaces a closed service).
+    Also a :class:`ValueError` for backward compatibility with callers
+    that caught the pre-hardening error.
+    """
+
+
+class WorkerCrashedError(ServiceError):
+    """A worker thread died or hung while holding in-flight work.
+
+    The supervised :class:`~repro.runtime.WorkerPool` delivers this to
+    the futures of the work the lost worker held; the pool itself
+    respawns the worker and keeps serving.
+    """
+
+
+class ProtocolError(ServiceError):
+    """A malformed frame arrived on the decode-server wire protocol.
+
+    Examples: bad magic bytes, an oversized or truncated header, JSON
+    that does not parse, a payload whose byte length disagrees with the
+    declared shape/dtype, or an unknown frame type.
+    """
+
+
+class InjectedFault(ReproError):
+    """An error deliberately raised by a :class:`repro.runtime.faults.FaultPlan`.
+
+    Chaos tests treat this as the canonical *transient* backend error:
+    the service retry policy retries it by default.
+    """

@@ -456,6 +456,12 @@ class Link:
         closed externally (e.g. by its own context manager) is dropped
         here, so the next call builds a fresh one instead of handing
         back a dead service.
+
+        The hardening knobs pass straight through: e.g.
+        ``link.serve(queue_limit=256, overload_policy="block",
+        default_timeout=0.5, retry=RetryPolicy(), hang_timeout=2.0)``
+        yields a service with bounded admission, per-request deadlines
+        and supervised workers — see :class:`DecodeService`.
         """
         with self._lock:
             if self._service is not None and self._service.closed:
@@ -477,16 +483,27 @@ class Link:
         service.cache.warm([self.mode], (self.config,))
         return service
 
-    def submit(self, llr: np.ndarray, client: str = "default", service=None):
+    def submit(
+        self,
+        llr: np.ndarray,
+        client: str = "default",
+        service=None,
+        timeout: "float | None" = None,
+    ):
         """Queue LLR frames on the decode service; returns a Future.
 
         Uses the link's own service (creating it with defaults if
         needed) unless an explicit ``service`` is passed — the way
         several Links across modes share one dynamic-batching service,
-        as mixed-standard traffic should.
+        as mixed-standard traffic should.  ``timeout`` is the
+        per-request deadline forwarded to
+        :meth:`DecodeService.submit`: the future resolves by then, with
+        the result or :class:`~repro.errors.DeadlineExceeded`.
         """
         target = service if service is not None else self.serve()
-        return target.submit(self.mode, llr, config=self.config, client=client)
+        return target.submit(
+            self.mode, llr, config=self.config, client=client, timeout=timeout
+        )
 
     # ------------------------------------------------------------------
     # Architecture + power, same mode

@@ -12,8 +12,13 @@ here:
   resume-after-interrupt;
 - :func:`run_sweep` / :class:`SweepResult` — the generic parameter
   sweep (runner over a value grid), fanned out via :func:`map_ordered`;
-- :class:`WorkerPool` is the persistent named thread pool the decode
-  service (:mod:`repro.service`) dispatches batches onto.
+- :class:`WorkerPool` is the persistent named *supervised* thread pool
+  the decode service (:mod:`repro.service`) dispatches batches onto —
+  it detects crashed and hung workers, fails their futures with a typed
+  error and respawns replacements;
+- :class:`FaultPlan` scripts deterministic fault injection (payload
+  corruption, worker crash/stall, backend errors, cache drops) for the
+  chaos tests.
 """
 
 from repro.runtime.checkpoint import SweepCheckpoint, chunk_key
@@ -26,14 +31,18 @@ from repro.runtime.engine import (
     plan_chunks,
     point_key,
 )
+from repro.runtime.faults import FAULT_SITES, FaultPlan, WorkerKilled
 from repro.runtime.parallel import WorkerPool, map_ordered
 from repro.runtime.sweep import SweepResult, run_sweep
 
 __all__ = [
+    "FAULT_SITES",
+    "FaultPlan",
     "SCHEDULES",
     "SweepCheckpoint",
     "SweepEngine",
     "SweepResult",
+    "WorkerKilled",
     "WorkerPool",
     "chunk_key",
     "chunk_rng",

@@ -3,17 +3,23 @@
 The heavy Monte-Carlo machinery lives in
 :mod:`repro.runtime.engine`; this module covers the lighter cases:
 fanning arbitrary runner callables (closures included) over a value
-list (:func:`map_ordered`), and a persistent named thread pool for
-long-lived dispatchers (:class:`WorkerPool`, the execution substrate of
-:class:`~repro.service.DecodeService`).  Threads rather than processes:
-numpy kernels release the GIL, so decode-bound runners overlap, and
-closures need no pickling.
+list (:func:`map_ordered`), and a persistent named *supervised* thread
+pool for long-lived dispatchers (:class:`WorkerPool`, the execution
+substrate of :class:`~repro.service.DecodeService`).  Threads rather
+than processes: numpy kernels release the GIL, so decode-bound runners
+overlap, and closures need no pickling.
 """
 
 from __future__ import annotations
 
+import threading
+import time
+from collections import deque
 from collections.abc import Callable, Iterable
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import WorkerCrashedError
 
 
 def map_ordered(
@@ -46,39 +52,330 @@ def map_ordered(
         return list(pool.map(fn, items))
 
 
+@dataclass
+class _Task:
+    fn: Callable
+    args: tuple
+    kwargs: dict
+    future: Future
+
+    def describe(self) -> str:
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"{name}(...)"
+
+
+@dataclass
+class _Slot:
+    """One worker thread's supervision state (guarded by the pool lock)."""
+
+    thread: threading.Thread = None
+    current: "_Task | None" = None
+    started: "float | None" = None
+    finished: bool = False    # clean loop exit (shutdown drain complete)
+    abandoned: bool = False   # hung; replaced, must not take more work
+    generation: int = field(default=0)
+
+
 class WorkerPool:
-    """A persistent, named thread pool with future-based submission.
+    """A persistent, named, *supervised* thread pool with futures.
 
     :func:`map_ordered` spins a pool up and down around one value list;
     a serving loop instead needs an executor that outlives any single
-    batch.  This thin wrapper pins down the lifecycle the service
-    relies on:
+    batch — and, for a serving tier that must never hang a request,
+    one that survives its own workers misbehaving.  Beyond the executor
+    basics (``submit`` after :meth:`shutdown` raises ``RuntimeError``;
+    :meth:`shutdown` drains by default; threads carry a recognizable
+    name prefix), the pool runs a supervisor thread that:
 
-    - ``submit`` after :meth:`shutdown` raises ``RuntimeError`` (the
-      underlying executor guarantee) rather than hanging;
-    - :meth:`shutdown` drains by default, so in-flight decodes finish
-      and their futures resolve before the pool dies;
-    - worker threads carry a recognizable name prefix, so a stuck
-      decode shows up attributably in thread dumps.
+    - detects a **crashed** worker (the thread died with a task still
+      assigned — e.g. an exception escaping the task runner, which
+      ``except Exception`` cannot catch), fails that task's future with
+      :class:`~repro.errors.WorkerCrashedError`, and respawns a
+      replacement thread;
+    - detects a **hung** worker (a task running longer than
+      ``hang_timeout`` seconds, when one is configured), fails its
+      future the same way, *abandons* the stuck thread (Python cannot
+      kill threads; the daemon thread is left to finish or not) and
+      spawns a replacement so pool capacity is preserved.  A late
+      result from an abandoned worker is discarded, never delivered.
+
+    Either way no submitted future can hang on a lost worker, and the
+    pool keeps its advertised parallelism — the serving analogue of the
+    chip's pipeline never stalling on one bad lane.
+
+    Parameters
+    ----------
+    workers:
+        Worker thread count (>= 1).
+    name:
+        Thread name prefix for dumps and logs.
+    hang_timeout:
+        Seconds a single task may run before its worker is declared
+        hung.  ``None`` (default) disables hang detection — only
+        crashes are supervised.  Set it comfortably above the slowest
+        legitimate task: a false positive costs an abandoned (but
+        still-running, daemon) thread and a failed future.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultPlan`; its
+        ``on_worker_task`` hook runs as each task is dequeued, so chaos
+        tests can crash or stall workers at scripted points.
+    supervise_interval:
+        Supervisor polling period, seconds.
 
     Usable as a context manager (drains on exit).
     """
 
-    def __init__(self, workers: int, name: str = "repro-worker"):
+    def __init__(
+        self,
+        workers: int,
+        name: str = "repro-worker",
+        hang_timeout: "float | None" = None,
+        faults=None,
+        supervise_interval: float = 0.02,
+        clock=time.monotonic,
+    ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if hang_timeout is not None and hang_timeout <= 0:
+            raise ValueError("hang_timeout must be positive (or None)")
         self.workers = int(workers)
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.workers, thread_name_prefix=name
+        self.name = name
+        self.hang_timeout = hang_timeout
+        self._faults = faults
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._tasks: "deque[_Task]" = deque()
+        self._slots: list[_Slot] = []
+        self._shutdown = False
+        self._spawned = 0
+        self.crashes_detected = 0
+        self.hangs_detected = 0
+        self.respawns = 0
+        with self._lock:
+            for _ in range(self.workers):
+                self._spawn_slot()
+        self._stop_supervisor = threading.Event()
+        self._supervisor = threading.Thread(
+            target=self._supervise_loop,
+            name=f"{name}-supervisor",
+            daemon=True,
         )
+        self._supervise_interval = float(supervise_interval)
+        self._supervisor.start()
 
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
     def submit(self, fn: Callable, *args, **kwargs) -> Future:
-        """Schedule ``fn(*args, **kwargs)``; returns its future."""
-        return self._pool.submit(fn, *args, **kwargs)
+        """Schedule ``fn(*args, **kwargs)``; returns its future.
 
+        The future resolves with the call's result or exception — or
+        with :class:`~repro.errors.WorkerCrashedError` if the worker
+        running it crashes or hangs past ``hang_timeout``.
+        """
+        future: Future = Future()
+        with self._cond:
+            if self._shutdown:
+                raise RuntimeError("cannot submit to a shut-down WorkerPool")
+            self._tasks.append(_Task(fn, args, kwargs, future))
+            self._cond.notify()
+        return future
+
+    def stats(self) -> dict:
+        """Supervision counters and current occupancy."""
+        with self._lock:
+            busy = sum(1 for s in self._slots if s.current is not None)
+            return {
+                "workers": self.workers,
+                "busy": busy,
+                "queued": len(self._tasks),
+                "crashes_detected": self.crashes_detected,
+                "hangs_detected": self.hangs_detected,
+                "respawns": self.respawns,
+            }
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _spawn_slot(self) -> _Slot:
+        """Start one worker thread (caller holds the lock)."""
+        slot = _Slot(generation=self._spawned)
+        self._spawned += 1
+        slot.thread = threading.Thread(
+            target=self._worker_main,
+            args=(slot,),
+            name=f"{self.name}-{slot.generation}",
+            daemon=True,
+        )
+        self._slots.append(slot)
+        slot.thread.start()
+        return slot
+
+    def _worker_main(self, slot: _Slot) -> None:
+        try:
+            self._worker_loop(slot)
+            slot.finished = True
+        except BaseException:
+            # A crash (injected WorkerKilled or anything else escaping
+            # the loop): die silently with slot.finished False and
+            # slot.current still assigned — the supervisor turns that
+            # into a failed future and a respawn.  Printing a traceback
+            # here would be noise: the failure is delivered where it
+            # belongs, on the task's future.
+            pass
+
+    def _worker_loop(self, slot: _Slot) -> None:
+        while True:
+            with self._cond:
+                slot.current = None
+                slot.started = None
+                self._cond.notify_all()  # wake shutdown/drain waiters
+                while True:
+                    if slot.abandoned:
+                        return
+                    if self._tasks:
+                        break
+                    if self._shutdown:
+                        return
+                    self._cond.wait()
+                task = self._tasks.popleft()
+                slot.current = task
+                slot.started = self._clock()
+            if self._faults is not None:
+                # May raise WorkerKilled (escapes -> supervised crash)
+                # or sleep (-> supervised hang).
+                self._faults.on_worker_task()
+            if task.future.done():
+                # The supervisor already failed this future (it declared
+                # this worker hung while the fault hook stalled above).
+                continue
+            try:
+                if not task.future.set_running_or_notify_cancel():
+                    continue  # cancelled while queued
+            except (InvalidStateError, RuntimeError):
+                # Same race, lost after the done() check: on a FINISHED
+                # future set_running_or_notify_cancel raises a bare
+                # RuntimeError, not InvalidStateError.
+                continue
+            try:
+                result = task.fn(*task.args, **task.kwargs)
+            except BaseException as exc:
+                self._resolve(task, error=exc)
+                if not isinstance(exc, Exception):
+                    raise  # KeyboardInterrupt etc.: die like a crash
+            else:
+                self._resolve(task, result=result)
+
+    @staticmethod
+    def _resolve(task: _Task, result=None, error=None) -> None:
+        try:
+            if error is not None:
+                task.future.set_exception(error)
+            else:
+                task.future.set_result(result)
+        except InvalidStateError:
+            # Already failed by the supervisor (hung-worker verdict, or
+            # a crash raced with completion).  The late outcome is
+            # discarded: the future's owner was already told.
+            pass
+
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+    def _supervise_loop(self) -> None:
+        while not self._stop_supervisor.wait(self._supervise_interval):
+            self.check_workers()
+        # One final sweep so a crash during shutdown drain still fails
+        # its future rather than leaking an unresolved one.
+        self.check_workers()
+
+    def check_workers(self) -> None:
+        """One supervision pass: detect crashes/hangs, respawn, fail futures.
+
+        Called periodically by the supervisor thread; public so tests
+        and drain paths can force a deterministic sweep.
+        """
+        victims: list[tuple[_Task, str]] = []
+        with self._cond:
+            now = self._clock()
+            for slot in list(self._slots):
+                if slot.abandoned or slot.finished:
+                    continue
+                if not slot.thread.is_alive():
+                    # Crashed: thread died without the clean-exit flag.
+                    self._slots.remove(slot)
+                    self.crashes_detected += 1
+                    if slot.current is not None:
+                        victims.append((
+                            slot.current,
+                            f"worker {slot.thread.name!r} crashed while "
+                            f"running {slot.current.describe()}; the task "
+                            "failed and the worker was respawned",
+                        ))
+                    if not self._shutdown or self._tasks:
+                        self.respawns += 1
+                        self._spawn_slot()
+                    continue
+                if (
+                    self.hang_timeout is not None
+                    and slot.current is not None
+                    and now - slot.started > self.hang_timeout
+                ):
+                    # Hung: abandon the thread (cannot be killed), take
+                    # its task, keep capacity with a replacement.
+                    slot.abandoned = True
+                    self._slots.remove(slot)
+                    self.hangs_detected += 1
+                    victims.append((
+                        slot.current,
+                        f"worker {slot.thread.name!r} exceeded "
+                        f"hang_timeout={self.hang_timeout}s running "
+                        f"{slot.current.describe()}; the task failed, the "
+                        "stuck thread was abandoned and a replacement "
+                        "worker was spawned",
+                    ))
+                    self.respawns += 1
+                    self._spawn_slot()
+            if victims:
+                self._cond.notify_all()
+        for task, message in victims:
+            self._resolve(task, error=WorkerCrashedError(message))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work; by default block until in-flight work ends."""
-        self._pool.shutdown(wait=wait)
+        """Stop accepting work; by default block until in-flight work ends.
+
+        Draining tolerates misbehaving workers: crashed workers are
+        respawned while queued tasks remain, and (with ``hang_timeout``
+        set) hung workers are abandoned — so shutdown completes and
+        every accepted future resolves even under injected chaos.
+        """
+        with self._cond:
+            self._shutdown = True
+            self._cond.notify_all()
+        if wait:
+            while True:
+                self.check_workers()
+                with self._cond:
+                    live = [
+                        s for s in self._slots
+                        if not (s.abandoned or s.finished)
+                        and s.thread.is_alive()
+                    ]
+                    drained = not self._tasks and all(
+                        s.current is None for s in live
+                    )
+                if drained and not live:
+                    break
+                if drained and live:
+                    for slot in live:
+                        slot.thread.join(timeout=self._supervise_interval)
+                else:
+                    time.sleep(self._supervise_interval)
+        self._stop_supervisor.set()
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -1,0 +1,25 @@
+"""Network front door for the decode service.
+
+The serving tier in :mod:`repro.service` is in-process; this package
+puts it behind a socket:
+
+- :mod:`repro.server.protocol` — a framed binary protocol (12-byte
+  prelude, JSON header via :meth:`DecoderConfig.to_dict`, raw LLR /
+  result payloads) with strict validation: malformed frames raise
+  :class:`~repro.errors.ProtocolError`, never crash the server;
+- :class:`DecodeServer` — an asyncio TCP server forwarding requests
+  into a :class:`~repro.service.DecodeService`, with per-connection
+  backpressure, typed error frames, a Prometheus metrics scrape, and
+  graceful drain on SIGTERM / :meth:`DecodeServer.close`;
+- :class:`DecodeClient` — an async client multiplexing concurrent
+  decodes over one connection, re-raising the server's typed errors as
+  the same :mod:`repro.errors` classes a local service would raise.
+
+Quickstart: ``examples/decode_server.py``; protocol/chaos coverage:
+``tests/test_server.py`` and ``tests/test_server_soak.py``.
+"""
+
+from repro.server.client import DecodeClient
+from repro.server.server import DecodeServer
+
+__all__ = ["DecodeClient", "DecodeServer"]

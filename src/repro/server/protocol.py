@@ -1,0 +1,436 @@
+"""Framed wire protocol for the decode server.
+
+One frame = a fixed 12-byte prelude, a JSON header, and a raw binary
+payload::
+
+    +-------+---------+------+------------+-------------+--------+---------+
+    | magic | version | type | header_len | payload_len | header | payload |
+    | 2B    | 1B      | 1B   | u32 BE     | u32 BE      | JSON   | bytes   |
+    +-------+---------+------+------------+-------------+--------+---------+
+
+The header carries everything small and structured — request ids, the
+mode string, :meth:`DecoderConfig.to_dict` (the library's one
+versioned, validated wire format for configs), dtype/shape metadata —
+while LLR and result arrays travel as raw bytes in the payload, so a
+frame of ``(B, 2304)`` float64 LLRs costs its array bytes plus ~200
+bytes of envelope, not a base64 blow-up.
+
+Every malformed input — bad magic, unknown version or frame type,
+oversized or non-JSON header, a payload whose byte count disagrees with
+the declared ``shape``/``dtype``, a dtype that is not a real-valued
+LLR type — raises :class:`~repro.errors.ProtocolError` with a message
+naming the field.  Errors cross the wire by exception-class *name*
+(plus message); :func:`parse_error` maps names back to the library's
+exception types so a client ``except DeadlineExceeded`` works across
+the socket exactly as it does in process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import json
+import struct
+
+import numpy as np
+
+from repro.decoder.api import DecodeResult, DecoderConfig
+from repro.errors import (
+    DeadlineExceeded,
+    DecoderConfigError,
+    InjectedFault,
+    ProtocolError,
+    QuantizationError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloaded,
+    UnknownCodeError,
+    WorkerCrashedError,
+)
+
+MAGIC = b"RD"
+VERSION = 1
+#: Prelude layout: magic, version, frame type, header length, payload
+#: length (big-endian, like every sane wire format).
+PRELUDE = struct.Struct(">2sBBII")
+MAX_HEADER_BYTES = 1 << 16   # 64 KiB of JSON is already absurd
+MAX_PAYLOAD_BYTES = 1 << 28  # 256 MiB caps hostile allocation
+
+
+class FrameType(enum.IntEnum):
+    REQUEST = 1           # client -> server: decode these LLRs
+    RESPONSE = 2          # server -> client: the DecodeResult slice
+    ERROR = 3             # server -> client: typed failure (id may be null)
+    METRICS_REQUEST = 4   # client -> server: scrape metrics
+    METRICS_RESPONSE = 5  # server -> client: Prometheus exposition text
+
+
+#: Exception classes reconstructible by name on the client side.  The
+#: service-tier errors plus the request-validation errors ``submit``
+#: raises; anything else degrades to :class:`ServiceError` (the message
+#: still names the original class).
+WIRE_ERRORS: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        DeadlineExceeded,
+        ServiceOverloaded,
+        ServiceClosedError,
+        WorkerCrashedError,
+        ProtocolError,
+        InjectedFault,
+        ServiceError,
+        UnknownCodeError,
+        DecoderConfigError,
+        QuantizationError,
+        ValueError,
+        TypeError,
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(ftype: FrameType, header: dict, payload: bytes = b"") -> bytes:
+    """Serialize one complete frame."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(header_bytes) > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"header too large ({len(header_bytes)} bytes, "
+            f"limit {MAX_HEADER_BYTES})"
+        )
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"payload too large ({len(payload)} bytes, "
+            f"limit {MAX_PAYLOAD_BYTES})"
+        )
+    prelude = PRELUDE.pack(
+        MAGIC, VERSION, int(ftype), len(header_bytes), len(payload)
+    )
+    return prelude + header_bytes + payload
+
+
+def decode_prelude(raw: bytes) -> tuple[FrameType, int, int]:
+    """Validate a 12-byte prelude; returns (type, header_len, payload_len)."""
+    if len(raw) != PRELUDE.size:
+        raise ProtocolError(
+            f"truncated prelude: {len(raw)} of {PRELUDE.size} bytes"
+        )
+    magic, version, ftype_raw, header_len, payload_len = PRELUDE.unpack(raw)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r} (expected {MAGIC!r})")
+    if version != VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} (this build speaks "
+            f"{VERSION})"
+        )
+    try:
+        ftype = FrameType(ftype_raw)
+    except ValueError:
+        raise ProtocolError(f"unknown frame type {ftype_raw}") from None
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"declared header length {header_len} exceeds limit "
+            f"{MAX_HEADER_BYTES}"
+        )
+    if payload_len > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"declared payload length {payload_len} exceeds limit "
+            f"{MAX_PAYLOAD_BYTES}"
+        )
+    return ftype, header_len, payload_len
+
+
+def decode_header(raw: bytes) -> dict:
+    try:
+        header = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"header is not valid JSON: {exc}") from None
+    if not isinstance(header, dict):
+        raise ProtocolError(
+            f"header must be a JSON object, got {type(header).__name__}"
+        )
+    return header
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> "tuple[FrameType, dict, bytes] | None":
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    EOF *inside* a frame — or any framing violation — raises
+    :class:`~repro.errors.ProtocolError`: there is no way to resync a
+    byte stream after a half frame, so the connection must be dropped.
+    """
+    prelude = await reader.read(PRELUDE.size)
+    if not prelude:
+        return None  # clean close between frames
+    while len(prelude) < PRELUDE.size:
+        more = await reader.read(PRELUDE.size - len(prelude))
+        if not more:
+            raise ProtocolError(
+                f"connection closed mid-prelude "
+                f"({len(prelude)} of {PRELUDE.size} bytes)"
+            )
+        prelude += more
+    ftype, header_len, payload_len = decode_prelude(prelude)
+    try:
+        body = await reader.readexactly(header_len + payload_len)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)} of "
+            f"{header_len + payload_len} body bytes)"
+        ) from None
+    header = decode_header(body[:header_len])
+    return ftype, header, body[header_len:]
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+def _require(header: dict, key: str, kinds, what: str):
+    value = header.get(key)
+    if not isinstance(value, kinds) or isinstance(value, bool):
+        raise ProtocolError(
+            f"request header field {key!r} must be {what}, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def llr_dtype(name) -> np.dtype:
+    """Validate a wire dtype string for LLR payloads.
+
+    Only real integer / floating types make sense (integers are raw
+    fixed-point values by the decoder's convention); anything else —
+    object, complex, strings, or an unparseable name — is a protocol
+    error, not a numpy exception deep in the server.
+    """
+    if not isinstance(name, str):
+        raise ProtocolError(f"dtype must be a string, got {name!r}")
+    try:
+        dtype = np.dtype(name)
+    except TypeError:
+        raise ProtocolError(f"unparseable dtype {name!r}") from None
+    if dtype.kind not in ("f", "i") or dtype.itemsize > 8:
+        raise ProtocolError(
+            f"dtype {name!r} is not a valid LLR type (need a real "
+            "integer or float of at most 8 bytes)"
+        )
+    return dtype
+
+
+def encode_request(
+    request_id: int,
+    mode: str,
+    llr: np.ndarray,
+    config: DecoderConfig | None = None,
+    timeout: "float | None" = None,
+) -> bytes:
+    """Build a REQUEST frame for one LLR batch."""
+    llr = np.ascontiguousarray(llr)
+    if llr.ndim == 1:
+        llr = llr[None, :]
+    header = {
+        "id": int(request_id),
+        "mode": mode,
+        "config": config.to_dict() if config is not None else None,
+        "dtype": llr.dtype.str,
+        "shape": list(llr.shape),
+        "timeout": timeout,
+    }
+    return encode_frame(FrameType.REQUEST, header, llr.tobytes())
+
+
+def parse_request(header: dict, payload: bytes):
+    """Validate a REQUEST; returns ``(id, mode, llr, config, timeout)``.
+
+    Raises :class:`ProtocolError` for malformed envelopes and
+    :class:`~repro.errors.DecoderConfigError` for a well-framed but
+    invalid config dict (the distinction matters to the server: the
+    former may poison the stream, the latter is a per-request failure).
+    """
+    request_id = _require(header, "id", int, "an integer")
+    if request_id < 0:
+        raise ProtocolError(f"request id must be >= 0, got {request_id}")
+    mode = _require(header, "mode", str, "a mode string")
+    dtype = llr_dtype(header.get("dtype"))
+    shape = header.get("shape")
+    if (
+        not isinstance(shape, list)
+        or len(shape) != 2
+        or not all(isinstance(s, int) and not isinstance(s, bool) for s in shape)
+        or any(s < 0 for s in shape)
+    ):
+        raise ProtocolError(
+            f"shape must be a [frames, n] pair of non-negative "
+            f"integers, got {shape!r}"
+        )
+    expected = int(shape[0]) * int(shape[1]) * dtype.itemsize
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"payload is {len(payload)} bytes but shape {shape} of "
+            f"dtype {dtype.str} needs {expected}"
+        )
+    llr = np.frombuffer(payload, dtype=dtype).reshape(shape)
+    config_dict = header.get("config")
+    if config_dict is None:
+        config = None
+    elif isinstance(config_dict, dict):
+        config = DecoderConfig.from_dict(config_dict)
+    else:
+        raise ProtocolError(
+            f"config must be a DecoderConfig.to_dict() object or null, "
+            f"got {type(config_dict).__name__}"
+        )
+    timeout = header.get("timeout")
+    if timeout is not None:
+        if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+            raise ProtocolError(f"timeout must be a number, got {timeout!r}")
+        if timeout <= 0:
+            raise ProtocolError(f"timeout must be positive, got {timeout}")
+        timeout = float(timeout)
+    return request_id, mode, llr, config, timeout
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+#: Fixed result-payload segment layout: (attribute, dtype, per-frame or
+#: per-bit).  Order matters; both ends walk it identically.
+_RESULT_SEGMENTS = (
+    ("bits", np.dtype(np.uint8), "bits"),
+    ("llr", np.dtype(np.float64), "bits"),
+    ("iterations", np.dtype(np.int64), "frames"),
+    ("converged", np.dtype(np.uint8), "frames"),
+    ("et_stopped", np.dtype(np.uint8), "frames"),
+)
+
+
+def encode_result(request_id: int, result: DecodeResult) -> bytes:
+    """Build a RESPONSE frame from one request's DecodeResult."""
+    frames, n = result.bits.shape
+    header = {
+        "id": int(request_id),
+        "frames": int(frames),
+        "n": int(n),
+        "n_info": int(result.n_info),
+    }
+    parts = []
+    for attr, dtype, _ in _RESULT_SEGMENTS:
+        parts.append(
+            np.ascontiguousarray(getattr(result, attr), dtype=dtype).tobytes()
+        )
+    return encode_frame(FrameType.RESPONSE, header, b"".join(parts))
+
+
+def parse_result(header: dict, payload: bytes) -> tuple[int, DecodeResult]:
+    """Reconstruct ``(id, DecodeResult)`` from a RESPONSE frame."""
+    request_id = _require(header, "id", int, "an integer")
+    frames = _require(header, "frames", int, "an integer")
+    n = _require(header, "n", int, "an integer")
+    n_info = _require(header, "n_info", int, "an integer")
+    if frames < 0 or n < 0 or not 0 <= n_info <= n:
+        raise ProtocolError(
+            f"inconsistent result geometry frames={frames} n={n} "
+            f"n_info={n_info}"
+        )
+    sizes = {
+        "bits": frames * n,
+        "frames": frames,
+    }
+    expected = sum(
+        sizes[extent] * dtype.itemsize for _, dtype, extent in _RESULT_SEGMENTS
+    )
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"result payload is {len(payload)} bytes, geometry needs "
+            f"{expected}"
+        )
+    arrays = {}
+    offset = 0
+    for attr, dtype, extent in _RESULT_SEGMENTS:
+        count = sizes[extent]
+        nbytes = count * dtype.itemsize
+        arrays[attr] = np.frombuffer(
+            payload, dtype=dtype, count=count, offset=offset
+        ).copy()
+        offset += nbytes
+    result = DecodeResult(
+        bits=arrays["bits"].reshape(frames, n),
+        llr=arrays["llr"].reshape(frames, n),
+        iterations=arrays["iterations"],
+        converged=arrays["converged"].astype(bool),
+        et_stopped=arrays["et_stopped"].astype(bool),
+        n_info=n_info,
+    )
+    return request_id, result
+
+
+# ----------------------------------------------------------------------
+# Errors and metrics
+# ----------------------------------------------------------------------
+def encode_error(request_id: "int | None", exc: BaseException) -> bytes:
+    """Build an ERROR frame; ``request_id=None`` marks a stream-level error."""
+    header = {
+        "id": int(request_id) if request_id is not None else None,
+        "error": type(exc).__name__,
+        "message": str(exc),
+    }
+    return encode_frame(FrameType.ERROR, header)
+
+
+def parse_error(header: dict) -> "tuple[int | None, BaseException]":
+    """Reconstruct ``(id, exception)`` from an ERROR frame.
+
+    Unknown class names degrade to :class:`ServiceError` with the
+    original name folded into the message — never a parse failure, so a
+    newer server can ship new error types to an older client.
+    """
+    request_id = header.get("id")
+    if request_id is not None and (
+        isinstance(request_id, bool) or not isinstance(request_id, int)
+    ):
+        raise ProtocolError(f"error id must be an integer or null, got {request_id!r}")
+    name = header.get("error")
+    message = header.get("message", "")
+    cls = WIRE_ERRORS.get(name)
+    if cls is None:
+        return request_id, ServiceError(f"{name}: {message}")
+    return request_id, cls(message)
+
+
+def encode_metrics_request(request_id: int) -> bytes:
+    return encode_frame(FrameType.METRICS_REQUEST, {"id": int(request_id)})
+
+
+def encode_metrics_response(request_id: int, text: str) -> bytes:
+    return encode_frame(
+        FrameType.METRICS_RESPONSE,
+        {"id": int(request_id)},
+        text.encode("utf-8"),
+    )
+
+
+__all__ = [
+    "FrameType",
+    "MAGIC",
+    "MAX_HEADER_BYTES",
+    "MAX_PAYLOAD_BYTES",
+    "PRELUDE",
+    "VERSION",
+    "WIRE_ERRORS",
+    "decode_header",
+    "decode_prelude",
+    "encode_error",
+    "encode_frame",
+    "encode_metrics_request",
+    "encode_metrics_response",
+    "encode_request",
+    "encode_result",
+    "llr_dtype",
+    "parse_error",
+    "parse_request",
+    "parse_result",
+    "read_frame",
+]

@@ -9,22 +9,37 @@ the production-software analogue of that operating condition:
   a mode switch is a cache hit, like the chip's control-register update;
 - :class:`DecodeService` — accepts per-client requests, batches them
   dynamically by ``(mode, config)`` under ``max_batch``/``max_wait``,
-  decodes on a thread worker pool, and resolves per-request futures in
-  per-client FIFO order;
+  decodes on a supervised thread worker pool, and resolves per-request
+  futures in per-client FIFO order — with per-request deadlines,
+  bounded admission (:class:`AdmissionPolicy`), transient-failure
+  retries (:class:`RetryPolicy`) and a no-hung-futures guarantee;
 - :class:`ServiceMetrics` — frames/s, latency quantiles, batch fill,
-  queue depth, cache hits/misses and mode-switch counts.
+  queue depth, cache and mode-switch counters plus the robustness
+  counters (rejected / shed / timed-out / retried), exportable as
+  Prometheus text via :func:`prometheus_text`.
 
-See ``examples/decode_service.py`` for a quickstart and
-``tests/test_service_stress.py`` for the bit-identity stress contract.
+See ``examples/decode_service.py`` for a quickstart,
+``tests/test_service_stress.py`` for the bit-identity stress contract
+and ``tests/test_service_faults.py`` for the chaos matrix.  The
+network-facing front door lives in :mod:`repro.server`.
 """
 
 from repro.service.cache import CacheEntry, PlanCache
-from repro.service.metrics import ServiceMetrics
+from repro.service.metrics import ServiceMetrics, prometheus_text
+from repro.service.policies import (
+    OVERLOAD_POLICIES,
+    AdmissionPolicy,
+    RetryPolicy,
+)
 from repro.service.service import DecodeService
 
 __all__ = [
+    "AdmissionPolicy",
     "CacheEntry",
     "DecodeService",
+    "OVERLOAD_POLICIES",
     "PlanCache",
+    "RetryPolicy",
     "ServiceMetrics",
+    "prometheus_text",
 ]

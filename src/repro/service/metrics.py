@@ -43,6 +43,12 @@ class ServiceMetrics:
         self.requests_completed = 0
         self.requests_failed = 0
         self.requests_cancelled = 0
+        self.requests_rejected = 0
+        self.requests_quota_rejected = 0
+        self.requests_shed = 0
+        self.requests_timed_out = 0
+        self.requests_retried = 0
+        self.submits_blocked = 0
         self.frames_submitted = 0
         self.frames_decoded = 0
         self.batches_dispatched = 0
@@ -103,6 +109,40 @@ class ServiceMetrics:
         with self._lock:
             self.requests_cancelled += 1
 
+    # -- robustness counters (PR 6) ------------------------------------
+    def record_rejected(self, quota: bool = False) -> None:
+        """Admission control refused a submit (full queue or quota)."""
+        with self._lock:
+            if quota:
+                self.requests_quota_rejected += 1
+            else:
+                self.requests_rejected += 1
+
+    def record_blocked(self) -> None:
+        """A submit had to wait for queue space under the block policy."""
+        with self._lock:
+            self.submits_blocked += 1
+
+    def record_shed(self) -> None:
+        """A queued request was evicted under the shed-oldest policy."""
+        with self._lock:
+            self.requests_shed += 1
+
+    def record_timeout(self) -> None:
+        """A request's deadline expired before its result."""
+        with self._lock:
+            self.requests_timed_out += 1
+
+    def record_retry(self) -> None:
+        """One retry attempt was dispatched for a transient failure."""
+        with self._lock:
+            self.requests_retried += 1
+
+    def record_unqueued(self, frames: int) -> None:
+        """Frames left the queue without being dispatched (shed/expired)."""
+        with self._lock:
+            self.queue_depth_frames -= frames
+
     # ------------------------------------------------------------------
     # Derived view
     # ------------------------------------------------------------------
@@ -128,6 +168,12 @@ class ServiceMetrics:
                 "requests_completed": self.requests_completed,
                 "requests_failed": self.requests_failed,
                 "requests_cancelled": self.requests_cancelled,
+                "requests_rejected": self.requests_rejected,
+                "requests_quota_rejected": self.requests_quota_rejected,
+                "requests_shed": self.requests_shed,
+                "requests_timed_out": self.requests_timed_out,
+                "requests_retried": self.requests_retried,
+                "submits_blocked": self.submits_blocked,
                 "frames_submitted": self.frames_submitted,
                 "frames_decoded": self.frames_decoded,
                 "frames_per_second": self.frames_decoded / elapsed,
@@ -146,3 +192,47 @@ class ServiceMetrics:
                 "latency_p99_ms": p99 * 1e3,
                 "latency_mean_ms": mean * 1e3,
             }
+
+
+#: Snapshot keys that are monotonically non-decreasing totals; everything
+#: else (depths, rates, quantiles) is a point-in-time gauge.  Prometheus
+#: semantics care: counters may be rate()d, gauges may not.
+_COUNTER_KEYS = frozenset({
+    "requests_submitted", "requests_completed", "requests_failed",
+    "requests_cancelled", "requests_rejected", "requests_quota_rejected",
+    "requests_shed", "requests_timed_out", "requests_retried",
+    "submits_blocked", "frames_submitted", "frames_decoded",
+    "batches_dispatched", "flushes_size", "flushes_deadline",
+    "flushes_drain", "mode_switches", "hits", "misses", "evictions",
+    "crashes_detected", "hangs_detected", "respawns",
+})
+
+
+def prometheus_text(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a metrics snapshot as Prometheus exposition text.
+
+    Accepts the (possibly nested) dict shape of
+    ``DecodeService.metrics_snapshot()``: scalar values become
+    ``<prefix>_<key>`` samples, nested dicts (``plan_cache``,
+    ``worker_pool``) flatten to ``<prefix>_<group>_<key>``.  Each sample
+    carries a ``# TYPE`` line (``counter`` for monotone totals,
+    ``gauge`` otherwise), which is all a Prometheus scraper needs — no
+    client library involved.
+    """
+    lines: list[str] = []
+
+    def emit(name: str, key: str, value) -> None:
+        if isinstance(value, dict):
+            for sub_key, sub_value in value.items():
+                emit(f"{name}_{sub_key}", sub_key, sub_value)
+            return
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return  # text/odd values have no exposition form
+        kind = "counter" if key in _COUNTER_KEYS else "gauge"
+        metric = name.replace(".", "_").replace("-", "_")
+        lines.append(f"# TYPE {metric} {kind}")
+        lines.append(f"{metric} {value}")
+
+    for key, value in snapshot.items():
+        emit(f"{prefix}_{key}", key, value)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,149 @@
+"""Admission-control and retry policies for the decode service.
+
+The paper's chip never queues unboundedly: its input buffer is a fixed
+memory, and the pipeline's answer to pressure is architectural, not
+"grow a list".  The software serving tier gets the same discipline
+here, as data:
+
+- :class:`AdmissionPolicy` — a bounded admission queue (``queue_limit``
+  pending frames) with an explicit overload response (``reject`` /
+  ``block`` / ``shed-oldest``) and an optional per-client quota on
+  outstanding requests;
+- :class:`RetryPolicy` — bounded retry-with-exponential-backoff for
+  *transient* decode failures (injected backend errors, lost workers),
+  so one flaky batch does not surface as client-visible errors.
+
+Both are immutable descriptions; the enforcement lives in
+:class:`~repro.service.DecodeService`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InjectedFault, WorkerCrashedError
+
+#: Valid responses to a full admission queue.
+#:
+#: - ``reject``: ``submit`` raises :class:`~repro.errors.ServiceOverloaded`
+#:   immediately — the caller owns the retry decision (load shedding at
+#:   the edge).
+#: - ``block``: ``submit`` blocks until queue space frees (or the
+#:   request's deadline expires, or the service closes) — classic
+#:   backpressure for cooperative in-process producers.
+#: - ``shed-oldest``: the oldest *queued* requests are evicted (their
+#:   futures fail with :class:`~repro.errors.ServiceOverloaded`) until
+#:   the new request fits — freshest-data-wins, the right policy when
+#:   stale frames are worthless (live streams).
+OVERLOAD_POLICIES = ("reject", "block", "shed-oldest")
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Bounded-queue admission control for :class:`DecodeService`.
+
+    Parameters
+    ----------
+    queue_limit:
+        Maximum *admitted* frames in the system — queued or decoding,
+        not yet resolved.  (Counting only undispatched frames would let
+        work pile up unbounded behind busy workers.)  ``None`` means
+        unbounded — the pre-hardening behaviour.  A single request
+        larger than the whole limit is still admitted (alone, once the
+        system has drained under ``shed-oldest``/``block``; immediately
+        rejected under ``reject``): mirroring ``max_batch``, oversized
+        requests are legal but lonely.
+    overload:
+        One of :data:`OVERLOAD_POLICIES`, applied when admitting a
+        request would exceed ``queue_limit``.
+    client_quota:
+        Maximum outstanding (submitted, not yet resolved) requests per
+        client id; exceeding it raises
+        :class:`~repro.errors.ServiceOverloaded` immediately under
+        *every* overload policy — a quota breach is a misbehaving
+        client, and blocking the service on it would hand that client a
+        denial-of-service lever over everyone else.  ``None`` disables
+        quotas.
+    """
+
+    queue_limit: "int | None" = None
+    overload: str = "reject"
+    client_quota: "int | None" = None
+
+    def __post_init__(self):
+        if self.overload not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"unknown overload policy {self.overload!r}; "
+                f"valid: {OVERLOAD_POLICIES}"
+            )
+        if self.queue_limit is not None and self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1 (or None)")
+        if self.client_quota is not None and self.client_quota < 1:
+            raise ValueError("client_quota must be >= 1 (or None)")
+
+    def over_queue(self, queued_frames: int, incoming_frames: int) -> bool:
+        """Would admitting ``incoming_frames`` exceed the queue limit?
+
+        An oversized request against an *empty* queue is admitted (see
+        ``queue_limit``) so oversize is not a permanent wedge.
+        """
+        if self.queue_limit is None:
+            return False
+        if queued_frames == 0:
+            return False
+        return queued_frames + incoming_frames > self.queue_limit
+
+    def over_quota(self, outstanding: int) -> bool:
+        """Has this client hit its outstanding-request quota?"""
+        return self.client_quota is not None and outstanding >= self.client_quota
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for transient decode failures.
+
+    Parameters
+    ----------
+    attempts:
+        *Additional* tries after the first failure (``attempts=2`` means
+        a request decodes at most 3 times).
+    backoff:
+        Base delay before the first retry, seconds; doubles per attempt.
+    max_backoff:
+        Ceiling on any single delay.
+    retryable:
+        Exception types treated as transient.  Defaults to the two the
+        fault-injection subsystem produces: scripted backend errors
+        (:class:`~repro.errors.InjectedFault`) and lost workers
+        (:class:`~repro.errors.WorkerCrashedError`).  Shape errors,
+        unknown modes and other deterministic failures are *not*
+        retryable — replaying them burns workers to reach the same
+        error.
+
+    A failed *merged* batch with more than one request is not replayed
+    wholesale: the service splits it and retries each request alone, so
+    one poisoned request cannot make its batch-mates fail with it.
+    """
+
+    attempts: int = 2
+    backoff: float = 0.005
+    max_backoff: float = 0.25
+    retryable: tuple = field(
+        default=(InjectedFault, WorkerCrashedError)
+    )
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff delays must be >= 0")
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        return isinstance(exc, tuple(self.retryable))
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return min(self.backoff * (2 ** (attempt - 1)), self.max_backoff)
+
+
+__all__ = ["AdmissionPolicy", "OVERLOAD_POLICIES", "RetryPolicy"]

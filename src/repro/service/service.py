@@ -15,13 +15,41 @@ serving problem in software:
   dynamic-batching contract (cf. the NoC-based flexible decoder of
   Condo & Masera and multi-stream GPU LDPC decoders, which win the same
   way: batch independent frames per code to amortize per-code setup);
-- flushed batches decode on a :class:`~repro.runtime.WorkerPool` of
-  threads (numpy kernels release the GIL) through decoders cached in a
+- flushed batches decode on a supervised
+  :class:`~repro.runtime.WorkerPool` of threads (numpy kernels release
+  the GIL) through decoders cached in a
   :class:`~repro.service.PlanCache`, so a mode switch is a cache hit;
 - every request resolves a future with its own
   :class:`~repro.decoder.DecodeResult` slice, delivered in **per-client
   FIFO order** (request *k* of a client never resolves before request
   *k-1*, whatever batches they landed in).
+
+The chip keeps its pipeline alive across mode switches by design; the
+service keeps its futures alive across *failures* by design — the
+robustness contract (PR 6):
+
+- **No future ever hangs silently.**  Every admitted request resolves
+  with a result or a typed :class:`~repro.errors.ServiceError`:
+  :class:`~repro.errors.DeadlineExceeded` (per-request ``timeout=``),
+  :class:`~repro.errors.ServiceOverloaded` (admission control),
+  :class:`~repro.errors.WorkerCrashedError` (a lost worker, once
+  retries are exhausted), or :class:`~repro.errors.ServiceClosedError`
+  (the close-drain safety net).  ``submit`` after :meth:`close` raises
+  :class:`~repro.errors.ServiceClosedError` synchronously, and the
+  close-vs-submit race is deterministic: a submit either raises it or
+  its future is guaranteed drain delivery.
+- **Bounded admission.**  ``queue_limit`` caps queued frames with an
+  explicit ``overload_policy`` (``reject`` / ``block`` / ``shed-oldest``,
+  see :class:`~repro.service.policies.AdmissionPolicy`) and
+  ``client_quota`` caps any one client's outstanding requests.
+- **Transient failures retry.**  A :class:`~repro.service.RetryPolicy`
+  replays retryable decode failures with exponential backoff, splitting
+  merged batches so one poisoned request cannot fail its batch-mates.
+- **Chaos is first-class.**  A seeded
+  :class:`~repro.runtime.faults.FaultPlan` (``faults=``) can corrupt
+  payloads, crash/stall workers, and fail batch decodes at scripted
+  event indices; ``tests/test_service_faults.py`` reconciles the
+  service metrics against the plan's injection counts.
 
 Correctness rests on a property the backend contract already pins
 (``tests/test_backend_properties.py``): every kernel, monitor and the
@@ -33,6 +61,8 @@ request decoded alone.  The service stress test
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import threading
 import time
 from collections import OrderedDict, deque
@@ -44,12 +74,18 @@ import numpy as np
 from repro.codes.qc import QCLDPCCode
 from repro.codes.registry import describe_mode
 from repro.decoder.api import DecodeResult, DecoderConfig
+from repro.errors import (
+    DeadlineExceeded,
+    ServiceClosedError,
+    ServiceOverloaded,
+)
 from repro.runtime.parallel import WorkerPool
 from repro.service.cache import PlanCache
-from repro.service.metrics import ServiceMetrics
+from repro.service.metrics import ServiceMetrics, prometheus_text
+from repro.service.policies import AdmissionPolicy, RetryPolicy
 
 
-@dataclass
+@dataclass(eq=False)  # identity semantics: hashable, remove() by `is`
 class _Request:
     """One queued decode request (internal)."""
 
@@ -61,6 +97,10 @@ class _Request:
     frames: int
     future: Future
     submitted: float  # monotonic clock at submit
+    key: tuple = None
+    deadline: "float | None" = None
+    dispatched: bool = False  # left the admission queue (guarded by _cond)
+    resolved: bool = False    # outcome claimed (guarded by _delivery_lock)
 
 
 @dataclass
@@ -69,20 +109,36 @@ class _Bucket:
 
     The dispatcher polls every group on every wakeup; keeping ``frames``
     incrementally maintained makes that poll O(groups), not O(pending
-    requests).
+    requests).  ``min_deadline`` is maintained as a running minimum on
+    append only: after a mid-queue removal (shed or expiry) it may be
+    stale-early, which at worst flushes the remaining batch a little
+    sooner than strictly necessary — never later than a live deadline.
     """
 
     requests: deque = field(default_factory=deque)
     frames: int = 0
+    min_deadline: "float | None" = None
 
     def append(self, request: _Request) -> None:
         self.requests.append(request)
         self.frames += request.frames
+        if request.deadline is not None:
+            if self.min_deadline is None or request.deadline < self.min_deadline:
+                self.min_deadline = request.deadline
 
     def popleft(self) -> _Request:
         request = self.requests.popleft()
         self.frames -= request.frames
         return request
+
+    def remove(self, request: _Request) -> bool:
+        """Drop one queued request (shed / expired); False if absent."""
+        try:
+            self.requests.remove(request)
+        except ValueError:
+            return False
+        self.frames -= request.frames
+        return True
 
 
 class DecodeService:
@@ -97,7 +153,13 @@ class DecodeService:
     max_wait:
         Deadline in seconds: a pending request is dispatched no later
         than this after submission, however empty its group is — the
-        latency bound that makes batching safe for sparse traffic.
+        latency bound that makes batching safe for sparse traffic.  The
+        flush clock is anchored to the *oldest* pending request, so
+        tail arrivals can never push an earlier request's dispatch out;
+        and a request with a tight per-request ``timeout`` pulls its
+        group's flush forward (to a full ``max_wait`` before that
+        deadline), so queueing can never consume a request's whole
+        deadline budget.
     workers:
         Decode worker threads.  Batches of *different* groups decode
         concurrently; within a group, dispatch order is preserved.
@@ -112,6 +174,27 @@ class DecodeService:
         :class:`~repro.arch.mode_rom.ModeROM`) to compile eagerly at
         construction so the first request of each mode is already a
         cache hit.
+    queue_limit / overload_policy / client_quota:
+        Admission control — see
+        :class:`~repro.service.policies.AdmissionPolicy`.  Defaults
+        keep the pre-hardening behaviour (unbounded queue, no quotas).
+    default_timeout:
+        Per-request deadline (seconds) applied when ``submit`` is not
+        given an explicit ``timeout``.  ``None`` = no deadline.
+    retry:
+        A :class:`~repro.service.policies.RetryPolicy` for transient
+        decode failures (``None`` disables retries).
+    hang_timeout:
+        Worker supervision bound, seconds: a batch decode running
+        longer than this fails its requests with
+        :class:`~repro.errors.WorkerCrashedError` (retried if a retry
+        policy allows) and the stuck worker thread is replaced.  Also
+        bounds :meth:`close` against a hung worker.  ``None`` disables
+        hang detection (crashed workers are still supervised).
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultPlan`, wired into
+        the submit path (payload corruption), the worker pool
+        (crash/stall) and the batch decode (backend errors).
 
     Use as a context manager, or call :meth:`close` — it drains pending
     requests (every submitted future resolves) before shutting the
@@ -127,13 +210,29 @@ class DecodeService:
         default_config: DecoderConfig | None = None,
         warm_modes=None,
         clock=time.monotonic,
+        queue_limit: "int | None" = None,
+        overload_policy: str = "reject",
+        client_quota: "int | None" = None,
+        default_timeout: "float | None" = None,
+        retry: "RetryPolicy | None" = None,
+        hang_timeout: "float | None" = None,
+        faults=None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait < 0:
             raise ValueError("max_wait must be >= 0")
+        if default_timeout is not None and default_timeout <= 0:
+            raise ValueError("default_timeout must be positive (or None)")
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait)
+        self.policy = AdmissionPolicy(
+            queue_limit=queue_limit,
+            overload=overload_policy,
+            client_quota=client_quota,
+        )
+        self.retry = retry
+        self.default_timeout = default_timeout
         self.cache = cache if cache is not None else PlanCache()
         self.default_config = (
             default_config
@@ -142,10 +241,29 @@ class DecodeService:
         )
         self.metrics = ServiceMetrics(clock=clock)
         self._clock = clock
-        self._pool = WorkerPool(workers, name="repro-decode")
+        self._faults = faults
+        self._pool = WorkerPool(
+            workers,
+            name="repro-decode",
+            hang_timeout=hang_timeout,
+            faults=faults,
+        )
         self._cond = threading.Condition()
         #: group key -> _Bucket; insertion order ~ first pending.
         self._buckets: "OrderedDict[tuple, _Bucket]" = OrderedDict()
+        #: admitted-but-unresolved frames — queued *or* decoding
+        #: (admission-control view; guarded by _cond).  Counting only
+        #: undispatched frames would let a busy pool defeat the bound:
+        #: the dispatcher eagerly flushes buckets into the pool queue,
+        #: so the admission queue would look empty while unbounded work
+        #: piled up behind the workers.
+        self._admitted_frames = 0
+        #: min-heap of (deadline, tiebreak, request) for every admitted
+        #: request with a timeout; the dispatcher reaps it (guarded by
+        #: _cond).  Entries for already-resolved requests are skipped
+        #: lazily on pop.
+        self._timed: list = []
+        self._tick = itertools.count()
         self._closing = False
         # Per-client FIFO delivery state, all guarded by _delivery_lock
         # (submit takes it briefly *inside* _cond; _deliver never takes
@@ -159,6 +277,11 @@ class DecodeService:
         self._next_deliverable: dict[str, int] = {}
         self._held: dict[str, dict[int, tuple]] = {}
         self._firing: set[str] = set()
+        #: unresolved outstanding requests per client (quota accounting).
+        self._outstanding: dict[str, int] = {}
+        #: every admitted, not-yet-resolved request — the close() safety
+        #: net walks this so nothing can leak unresolved.
+        self._live: set[_Request] = set()
         self._delivery_lock = threading.Lock()
         self._last_batch_key: tuple | None = None
         if warm_modes is not None:
@@ -177,6 +300,7 @@ class DecodeService:
         llr: np.ndarray,
         config: DecoderConfig | None = None,
         client: str = "default",
+        timeout: "float | None" = None,
     ) -> Future:
         """Queue one decode request; returns a future of its result.
 
@@ -195,18 +319,36 @@ class DecodeService:
             whose ``(mode, config.cache_key())`` match are batched
             together.
         client:
-            Client identity for FIFO ordering: this client's futures
-            resolve in submission order.
+            Client identity for FIFO ordering and quotas: this client's
+            futures resolve in submission order.
+        timeout:
+            Per-request deadline, seconds (default: the service's
+            ``default_timeout``).  The future is guaranteed to resolve
+            by then — with the result if it is ready, else with
+            :class:`~repro.errors.DeadlineExceeded` (delivery still
+            honours per-client FIFO, so a timed-out request resolves
+            after its predecessors).  Under the ``block`` overload
+            policy the deadline also bounds the time spent blocked
+            waiting for queue space.
 
         Raises
         ------
         UnknownCodeError
             Unknown mode string (raised here, not in the worker).
+        ServiceClosedError
+            The service is closed or closing (also under ``block`` when
+            the service closes mid-wait).
+        ServiceOverloaded
+            Admission queue full under the ``reject`` policy, or the
+            client exceeded its quota of outstanding requests.
+        DeadlineExceeded
+            Under ``block``: the deadline expired while waiting for
+            queue space (the request was never admitted).
         ValueError
-            LLR shape mismatch, ``track_history=True`` (history is
-            whole-batch diagnostic state that cannot be attributed to
-            one request's slice — decode directly for diagnostics), or
-            service already closed.
+            LLR shape mismatch, non-positive ``timeout``, or
+            ``track_history=True`` (history is whole-batch diagnostic
+            state that cannot be attributed to one request's slice —
+            decode directly for diagnostics).
         """
         config = config if config is not None else self.default_config
         if config.track_history:
@@ -215,6 +357,9 @@ class DecodeService:
                 "history is whole-batch state and cannot be sliced per "
                 "request; use LayeredDecoder directly for diagnostics"
             )
+        timeout = timeout if timeout is not None else self.default_timeout
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
         if isinstance(mode, str):
             n = describe_mode(mode).n
         else:
@@ -227,6 +372,16 @@ class DecodeService:
                 f"mode {self.cache.mode_key(mode)!r} expects (B, {n}) LLRs; "
                 f"got {np.asarray(llr).shape}"
             )
+        if frames_in.dtype.kind not in ("f", "i", "u"):
+            raise ValueError(
+                f"LLR dtype must be a real float or integer type, got "
+                f"{frames_in.dtype} (bool/complex/object payloads are "
+                "malformed, not decodable)"
+            )
+        if self._faults is not None:
+            # Chaos hook: scripted submits get a deterministically
+            # corrupted payload (our private copy, never the caller's).
+            frames_in = self._faults.corrupt(frames_in)
         # The dtype *kind* is part of the batch key: integer inputs are
         # raw fixed-point values, floats are LLR units (the decoder
         # switches interpretation on dtype), and np.concatenate of a
@@ -236,39 +391,157 @@ class DecodeService:
         # preserves the values and the decoder normalizes.
         is_raw = bool(np.issubdtype(frames_in.dtype, np.integer))
         key = self.cache.key(mode, config) + (is_raw,)
+        frames = int(frames_in.shape[0])
         future: Future = Future()
+        shed_victims: list[_Request] = []
         with self._cond:
             if self._closing:
-                raise ValueError("DecodeService is closed")
+                raise ServiceClosedError(
+                    "DecodeService is closed; create a new service or use "
+                    "Link.serve() (which replaces a closed service "
+                    "transparently)"
+                )
+            deadline = (
+                self._clock() + timeout if timeout is not None else None
+            )
+            with self._delivery_lock:
+                outstanding = self._outstanding.get(client, 0)
+            if self.policy.over_quota(outstanding):
+                self.metrics.record_rejected(quota=True)
+                raise ServiceOverloaded(
+                    f"client {client!r} has {outstanding} outstanding "
+                    f"requests (quota {self.policy.client_quota}); wait for "
+                    "some to resolve before submitting more"
+                )
+            if self.policy.over_queue(self._admitted_frames, frames):
+                if self.policy.overload == "reject":
+                    self.metrics.record_rejected()
+                    raise ServiceOverloaded(
+                        f"admission queue full ({self._admitted_frames} "
+                        f"frames in flight, limit {self.policy.queue_limit}); "
+                        "retry later, or construct the service with "
+                        "overload_policy='block' or 'shed-oldest'"
+                    )
+                if self.policy.overload == "block":
+                    self.metrics.record_blocked()
+                    while self.policy.over_queue(self._admitted_frames, frames):
+                        if self._closing:
+                            raise ServiceClosedError(
+                                "DecodeService closed while blocked waiting "
+                                "for queue space"
+                            )
+                        if deadline is not None:
+                            remaining = deadline - self._clock()
+                            if remaining <= 0:
+                                self.metrics.record_timeout()
+                                raise DeadlineExceeded(
+                                    f"deadline ({timeout}s) expired while "
+                                    "blocked waiting for admission queue "
+                                    "space"
+                                )
+                            self._cond.wait(timeout=remaining)
+                        else:
+                            self._cond.wait()
+                else:  # shed-oldest
+                    shed_victims = self._shed_for(frames)
             with self._delivery_lock:
                 seq = self._client_seq.get(client, 0)
                 self._client_seq[client] = seq + 1
+                # Re-read: under the block policy other submits of this
+                # client may have resolved (or landed) while we waited.
+                self._outstanding[client] = (
+                    self._outstanding.get(client, 0) + 1
+                )
             request = _Request(
                 client=client,
                 seq=seq,
                 mode=mode,
                 config=config,
                 llr=frames_in,
-                frames=int(frames_in.shape[0]),
+                frames=frames,
                 future=future,
                 submitted=self._clock(),
+                key=key,
+                deadline=deadline,
             )
+            with self._delivery_lock:
+                self._live.add(request)
             bucket = self._buckets.get(key)
             if bucket is None:
                 bucket = self._buckets[key] = _Bucket()
             bucket.append(request)
+            self._admitted_frames += frames
+            if deadline is not None:
+                heapq.heappush(
+                    self._timed, (deadline, next(self._tick), request)
+                )
             # Inside the lock, before the dispatcher can possibly pop
             # the request: record_dispatch must never observe a frame
             # it has not seen submitted (queue depth would go negative).
-            self.metrics.record_submit(request.frames)
-            self._cond.notify()
+            self.metrics.record_submit(frames)
+            self._cond.notify_all()
+        for victim in shed_victims:
+            self._deliver(
+                victim,
+                "shed",
+                ServiceOverloaded(
+                    f"request shed by a newer arrival under the "
+                    f"'shed-oldest' policy (queue_limit="
+                    f"{self.policy.queue_limit} frames)"
+                ),
+            )
         return future
 
+    def _shed_for(self, frames: int) -> "list[_Request]":
+        """Evict oldest queued requests until ``frames`` fit (lock held).
+
+        Victims are removed from their buckets and from the queue
+        accounting here (exclusively — only one thread can remove a
+        given request); their futures are failed by the caller *after*
+        releasing ``_cond`` (future callbacks run arbitrary client
+        code).
+        """
+        victims: list[_Request] = []
+        while self.policy.over_queue(self._admitted_frames, frames):
+            oldest: _Request | None = None
+            oldest_key = None
+            for key, bucket in self._buckets.items():
+                head = bucket.requests[0]
+                if oldest is None or head.submitted < oldest.submitted:
+                    oldest, oldest_key = head, key
+            if oldest is None:
+                # Nothing left to shed: the pressure is all in-flight
+                # (or the request is oversized against an empty queue).
+                # Freshest-data-wins never drops the *new* data, so
+                # admit — the transient overshoot drains with the
+                # in-flight work.
+                break
+            self._remove_queued(oldest_key, oldest)
+            # The victim's admission share frees when _deliver claims it
+            # (the caller does so right after releasing _cond).
+            victims.append(oldest)
+        return victims
+
+    def _remove_queued(self, key: tuple, request: _Request) -> bool:
+        """Un-queue one request (lock held); False if already gone."""
+        bucket = self._buckets.get(key)
+        if bucket is None or not bucket.remove(request):
+            return False
+        if not bucket.requests:
+            del self._buckets[key]
+        self.metrics.record_unqueued(request.frames)
+        return True
+
     def metrics_snapshot(self) -> dict:
-        """Service metrics plus the plan cache's hit/miss statistics."""
+        """Service metrics plus plan-cache and worker-pool statistics."""
         snapshot = self.metrics.snapshot()
         snapshot["plan_cache"] = self.cache.stats()
+        snapshot["worker_pool"] = self._pool.stats()
         return snapshot
+
+    def metrics_text(self) -> str:
+        """The full metrics snapshot as Prometheus exposition text."""
+        return prometheus_text(self.metrics_snapshot())
 
     @property
     def closed(self) -> bool:
@@ -282,13 +555,36 @@ class DecodeService:
         Safe to call repeatedly and from multiple threads: *every*
         caller blocks until the drain has finished (join and shutdown
         are idempotent), so no caller can observe unresolved futures
-        after its close() returns.
+        after its close() returns.  Blocked submitters (``block``
+        policy) are woken and raise
+        :class:`~repro.errors.ServiceClosedError`.  The drain tolerates
+        chaos: crashed workers respawn to finish the queue, hung
+        workers (with ``hang_timeout`` set) are abandoned, and any
+        request that still has no outcome when the pool is down — which
+        only a lost worker can cause — is failed with
+        :class:`~repro.errors.ServiceClosedError` rather than leaked.
         """
         with self._cond:
             self._closing = True
-            self._cond.notify()
+            self._cond.notify_all()
         self._dispatcher.join()
         self._pool.shutdown(wait=True)
+        # Safety net: no admitted request may outlive close() without an
+        # outcome.  With healthy workers this finds nothing (the drain
+        # flush resolved everything); after worker loss it is what turns
+        # "hung silently" into a typed, actionable error.
+        with self._delivery_lock:
+            leftovers = list(self._live)
+        for request in leftovers:
+            self._deliver(
+                request,
+                "closed",
+                ServiceClosedError(
+                    "service closed before this request resolved (its "
+                    "worker was lost during drain); create a new service "
+                    "or use Link.serve() and resubmit"
+                ),
+            )
 
     def __enter__(self) -> "DecodeService":
         return self
@@ -311,6 +607,7 @@ class DecodeService:
             not taken or frames + requests[0].frames <= self.max_batch
         ):
             request = bucket.popleft()
+            request.dispatched = True
             taken.append(request)
             frames += request.frames
         if not requests:
@@ -320,22 +617,49 @@ class DecodeService:
     def _dispatch_loop(self) -> None:
         while True:
             batches: list[tuple[tuple, list, str]] = []
+            expired: list[_Request] = []
             with self._cond:
                 while True:
                     now = self._clock()
                     draining = self._closing
-                    nearest: float | None = None
+                    # Reap expired per-request deadlines.  Queued
+                    # victims leave their bucket here (exclusive
+                    # removal); in-flight victims just get their future
+                    # failed — the worker's late outcome is discarded by
+                    # the resolved guard.
+                    while self._timed and self._timed[0][0] <= now:
+                        _, _, timed_out = heapq.heappop(self._timed)
+                        if timed_out.resolved:
+                            continue
+                        if not timed_out.dispatched:
+                            self._remove_queued(timed_out.key, timed_out)
+                        expired.append(timed_out)
+                    nearest: float | None = (
+                        self._timed[0][0] - now if self._timed else None
+                    )
                     for key in list(self._buckets):
                         bucket = self._buckets[key]
-                        age = now - bucket.requests[0].submitted
+                        oldest = bucket.requests[0]
+                        # A request with a deadline tighter than the
+                        # group's max_wait window pulls the whole flush
+                        # forward — a full max_wait *before* that
+                        # deadline (flushing at the deadline itself
+                        # would lose the race against the reaper above),
+                        # so queueing can never eat a request's whole
+                        # deadline budget.
+                        flush_at = oldest.submitted + self.max_wait
+                        if bucket.min_deadline is not None:
+                            flush_at = min(
+                                flush_at, bucket.min_deadline - self.max_wait
+                            )
                         if draining:
                             trigger = "drain"
                         elif bucket.frames >= self.max_batch:
                             trigger = "size"
-                        elif age >= self.max_wait:
+                        elif now >= flush_at:
                             trigger = "deadline"
                         else:
-                            remaining = self.max_wait - age
+                            remaining = flush_at - now
                             if nearest is None or remaining < nearest:
                                 nearest = remaining
                             continue
@@ -354,11 +678,25 @@ class DecodeService:
                             if not taken:
                                 break
                             batches.append((key, taken, trigger))
-                    if batches:
+                    if batches or expired:
+                        # Frames left the queue: blocked submitters may
+                        # now fit.
+                        self._cond.notify_all()
                         break
                     if draining:
                         return
                     self._cond.wait(timeout=nearest)
+            for request in expired:
+                self._deliver(
+                    request,
+                    "timeout",
+                    DeadlineExceeded(
+                        f"request deadline expired after "
+                        f"{self._clock() - request.submitted:.3f}s "
+                        "(queued or in flight); increase timeout= or "
+                        "reduce service load"
+                    ),
+                )
             for key, requests, trigger in batches:
                 frames = sum(r.frames for r in requests)
                 self.metrics.record_dispatch(frames, trigger)
@@ -367,34 +705,139 @@ class DecodeService:
                 if self._last_batch_key is not None and key != self._last_batch_key:
                     self.metrics.record_mode_switch()
                 self._last_batch_key = key
-                self._pool.submit(self._run_batch, requests)
+                self._dispatch_batch(requests, attempt=1)
+
+    def _dispatch_batch(self, requests: "list[_Request]", attempt: int) -> None:
+        """Hand a batch to the pool, with crash/hang recovery attached."""
+        try:
+            batch_future = self._pool.submit(self._run_batch, requests, attempt)
+        except RuntimeError:
+            # Pool already shut down (a retry raced close()): the drain
+            # safety net would catch these, but failing them here keeps
+            # the error specific.
+            for request in requests:
+                self._deliver(
+                    request,
+                    "closed",
+                    ServiceClosedError(
+                        "service closed while this request awaited retry"
+                    ),
+                )
+            return
+        batch_future.add_done_callback(
+            lambda f, reqs=requests, n=attempt: self._on_batch_done(f, reqs, n)
+        )
+
+    def _on_batch_done(self, batch_future, requests, attempt) -> None:
+        """Recover requests whose worker never returned.
+
+        ``_run_batch`` resolves every request itself on the normal and
+        error paths; the batch future fails only when the worker was
+        lost (crash, hang) with :class:`WorkerCrashedError` — exactly
+        the case that used to hang futures forever.  Retry if policy
+        allows; otherwise deliver the worker error.
+        """
+        if batch_future.cancelled():
+            exc: BaseException | None = None
+        else:
+            exc = batch_future.exception()
+        if exc is None:
+            return
+        pending = [r for r in requests if not r.resolved]
+        if not pending:
+            return
+        self._retry_or_fail(pending, attempt, exc)
+
+    def _retry_or_fail(self, pending, attempt, exc) -> None:
+        """Schedule a retry for transient failures, or deliver the error."""
+        retryable = (
+            self.retry is not None
+            and self.retry.is_retryable(exc)
+            and attempt <= self.retry.attempts
+        )
+        if retryable:
+            delay = self.retry.delay(attempt)
+            groups = (
+                [[r] for r in pending] if len(pending) > 1 else [pending]
+            )
+            for group in groups:
+                for _ in group:
+                    self.metrics.record_retry()
+                try:
+                    retry_future = self._pool.submit(
+                        self._retry_batch, group, attempt + 1, delay
+                    )
+                except RuntimeError:
+                    # Pool already shut down: surface a typed closed
+                    # error (with the transient failure as its cause),
+                    # not the raw retryable exception the caller was
+                    # never meant to see.
+                    closed = ServiceClosedError(
+                        "service closed while this request awaited retry"
+                    )
+                    closed.__cause__ = exc
+                    for request in group:
+                        self._deliver(request, "closed", closed)
+                    continue
+                retry_future.add_done_callback(
+                    lambda f, reqs=group, n=attempt + 1: self._on_batch_done(
+                        f, reqs, n
+                    )
+                )
+        else:
+            for request in pending:
+                self._deliver(request, "error", exc)
 
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
-    def _run_batch(self, requests: "list[_Request]") -> None:
-        first = requests[0]
+    def _retry_batch(self, requests, attempt, delay) -> None:
+        """Backoff, then replay — runs on a pool worker like any batch."""
+        if delay > 0:
+            time.sleep(delay)
+        self._run_batch(requests, attempt)
+
+    def _run_batch(self, requests: "list[_Request]", attempt: int = 1) -> None:
+        live: list[_Request] = []
+        for request in requests:
+            if request.resolved:
+                continue  # timed out / shed while queued or in flight
+            live.append(request)
+        if not live:
+            return
+        first = live[0]
         try:
             entry = self.cache.get(first.mode, first.config)
-            if len(requests) == 1:
+            if self._faults is not None:
+                self._faults.on_batch_decode()
+            if len(live) == 1:
                 merged = first.llr
             else:
-                merged = np.concatenate([r.llr for r in requests], axis=0)
+                merged = np.concatenate([r.llr for r in live], axis=0)
             result = entry.decoder.decode(merged)
             offset = 0
             outcomes = []
-            for request in requests:
+            for request in live:
                 outcomes.append(
                     ("result", result.slice(offset, offset + request.frames))
                 )
                 offset += request.frames
-        except BaseException as exc:  # delivered, never swallowed
-            outcomes = [("error", exc)] * len(requests)
-        for request, outcome in zip(requests, outcomes):
-            self._deliver(request, outcome)
+        except BaseException as exc:  # delivered or retried, never swallowed
+            pending = [r for r in live if not r.resolved]
+            if pending:
+                self._retry_or_fail(pending, attempt, exc)
+            return
+        for request, (kind, payload) in zip(live, outcomes):
+            self._deliver(request, kind, payload)
 
-    def _deliver(self, request: _Request, outcome: tuple) -> None:
-        """Resolve futures in per-client submission order.
+    def _deliver(self, request: _Request, kind: str, payload) -> bool:
+        """Resolve one request's outcome, exactly once, in FIFO order.
+
+        ``kind`` is one of ``result`` / ``error`` / ``shed`` /
+        ``timeout`` / ``closed``; the matching metrics counter is
+        bumped if and only if this call wins the request's outcome (the
+        ``resolved`` claim), so a timeout racing a late worker result
+        is counted — and delivered — exactly once.
 
         A finished request whose predecessor (same client) is still in
         flight is *held*; resolving it now would break the FIFO
@@ -408,11 +851,29 @@ class DecodeService:
         """
         client = request.client
         with self._delivery_lock:
+            if request.resolved:
+                return False  # outcome already claimed by another path
+            request.resolved = True
+            self._live.discard(request)
+            remaining = self._outstanding.get(client, 1) - 1
+            if remaining > 0:
+                self._outstanding[client] = remaining
+            else:
+                self._outstanding.pop(client, None)
             held = self._held.setdefault(client, {})
-            held[request.seq] = (request, outcome)
-            if client in self._firing:
-                return  # the draining thread will deliver this too
-            self._firing.add(client)
+            held[request.seq] = (request, kind, payload)
+            firing = client in self._firing
+            if not firing:
+                self._firing.add(client)
+        # Won the claim: free this request's admission share and wake
+        # blocked submitters.  Done here — by the claimer, exactly once,
+        # holding no other lock — because taking _cond inside
+        # _delivery_lock would invert the submit path's lock order.
+        with self._cond:
+            self._admitted_frames -= request.frames
+            self._cond.notify_all()
+        if firing:
+            return True  # the draining thread will deliver this too
         while True:
             with self._delivery_lock:
                 held = self._held[client]
@@ -429,9 +890,9 @@ class DecodeService:
                         del self._held[client]
                         self._next_deliverable.pop(client, None)
                         self._client_seq.pop(client, None)
-                    return
+                    return True
                 self._next_deliverable[client] = next_seq + 1
-            ready, (kind, payload) = item
+            ready, ready_kind, ready_payload = item
             # A client may have cancel()ed its still-pending future;
             # resolving it would raise InvalidStateError and wedge the
             # drain loop (and with it the whole client).  Claiming the
@@ -442,12 +903,17 @@ class DecodeService:
                 self.metrics.record_cancelled()
                 continue
             latency = self._clock() - ready.submitted
-            if kind == "result":
+            if ready_kind == "result":
                 self.metrics.record_completion(ready.frames, latency)
-                ready.future.set_result(payload)
+                ready.future.set_result(ready_payload)
             else:
-                self.metrics.record_failure()
-                ready.future.set_exception(payload)
+                if ready_kind == "shed":
+                    self.metrics.record_shed()
+                elif ready_kind == "timeout":
+                    self.metrics.record_timeout()
+                else:  # error / closed
+                    self.metrics.record_failure()
+                ready.future.set_exception(ready_payload)
 
 
 __all__ = ["DecodeService", "DecodeResult"]

@@ -19,7 +19,13 @@ from repro.arch.mode_rom import ModeROM
 from repro.codes import code_cache_info, get_code
 from repro.decoder import DecodePlan, DecoderConfig, LayeredDecoder
 from repro.decoder.flooding import FloodingDecoder
-from repro.errors import DecoderConfigError, UnknownCodeError
+from repro.errors import (
+    DeadlineExceeded,
+    DecoderConfigError,
+    ServiceClosedError,
+    ServiceOverloaded,
+    UnknownCodeError,
+)
 from repro.fixedpoint import QFormat
 from repro.runtime import WorkerPool
 from repro.service import DecodeService, PlanCache
@@ -456,9 +462,49 @@ class TestDecodeService:
     def test_submit_after_close_raises(self):
         svc = DecodeService(default_config=FLOAT_CONFIG)
         svc.close()
+        # The dedicated type, which is also a ValueError for callers of
+        # the pre-hardening contract, with an actionable message.
+        with pytest.raises(ServiceClosedError, match="Link.serve"):
+            svc.submit(WIMAX, _llr(WIMAX, 1, seed=18))
         with pytest.raises(ValueError, match="closed"):
             svc.submit(WIMAX, _llr(WIMAX, 1, seed=18))
         svc.close()  # idempotent
+
+    def test_close_vs_submit_race_is_deterministic(self):
+        # Whatever the interleaving: submit either raises
+        # ServiceClosedError or returns a future that RESOLVES (drain
+        # delivery) — never a hung future, never a third outcome.
+        for round_ in range(4):
+            svc = DecodeService(
+                max_batch=4, max_wait=0.001, workers=2,
+                default_config=FLOAT_CONFIG,
+            )
+            futures, raised = [], []
+            barrier = threading.Barrier(3)
+
+            def submitter(seed):
+                barrier.wait()
+                for i in range(10):
+                    try:
+                        futures.append(
+                            svc.submit(WIMAX, _llr(WIMAX, 1, seed=seed + i))
+                        )
+                    except ServiceClosedError:
+                        raised.append(i)
+                        return
+
+            threads = [
+                threading.Thread(target=submitter, args=(100 * k,))
+                for k in range(2)
+            ]
+            for t in threads:
+                t.start()
+            barrier.wait()
+            svc.close()
+            for t in threads:
+                t.join()
+            for f in futures:
+                f.result(timeout=30)  # admitted => delivered
 
     def test_unknown_mode_raises_at_submit(self):
         with DecodeService(default_config=FLOAT_CONFIG) as svc:
@@ -593,3 +639,232 @@ def test_code_cache_info_reports_catalogue():
     assert info["catalogue"] > 50
     assert info["size"] >= 1
     assert info["hits"] >= 0 and info["misses"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Hardening: deadlines, admission control, quotas (PR 6)
+# ---------------------------------------------------------------------------
+class TestDeadlines:
+    def test_default_timeout_applies_and_expires(self, small_code):
+        # max_wait is huge and nothing else arrives, so without a
+        # deadline the request would sit queued ~forever; the service
+        # default_timeout must fail it crisply instead.  (The tight
+        # deadline also pulls the flush forward, but with workers=0
+        # decode capacity... workers>=1 -- so block the only worker.)
+        import time as _time
+
+        with DecodeService(
+            max_batch=64, max_wait=30.0, workers=1,
+            default_config=FLOAT_CONFIG, default_timeout=0.15,
+        ) as svc:
+            gate = threading.Event()
+            svc._pool.submit(gate.wait)  # occupy the only worker
+            future = svc.submit(WIMAX, _llr(WIMAX, 1, seed=50))
+            t0 = _time.monotonic()
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=10)
+            assert _time.monotonic() - t0 < 5.0
+            gate.set()
+        assert svc.metrics_snapshot()["requests_timed_out"] == 1
+
+    def test_explicit_timeout_overrides_default(self):
+        with DecodeService(
+            max_batch=4, max_wait=0.001, workers=2,
+            default_config=FLOAT_CONFIG, default_timeout=0.001,
+        ) as svc:
+            gate = threading.Event()
+            svc._pool.submit(gate.wait)
+            svc._pool.submit(gate.wait)
+            future = svc.submit(WIMAX, _llr(WIMAX, 1, seed=51), timeout=60.0)
+            gate.set()
+            future.result(timeout=30)  # generous explicit deadline: result
+
+    def test_nonpositive_timeout_rejected(self):
+        with DecodeService(default_config=FLOAT_CONFIG) as svc:
+            with pytest.raises(ValueError, match="timeout"):
+                svc.submit(WIMAX, _llr(WIMAX, 1, seed=52), timeout=0.0)
+
+    def test_tail_arrivals_cannot_extend_oldest_wait(self, small_code):
+        # Regression (PR 6 satellite): the flush clock anchors to the
+        # OLDEST pending request.  A stream of tail requests, each
+        # arriving just under max_wait after the previous one, must not
+        # push the oldest request past its own deadline.
+        import time as _time
+
+        llr = _llr(WIMAX, 1, seed=53)
+        direct = LayeredDecoder(small_code, FLOAT_CONFIG).decode(llr)
+        with DecodeService(
+            max_batch=10_000, max_wait=0.15, workers=2,
+            default_config=FLOAT_CONFIG,
+        ) as svc:
+            oldest = svc.submit(WIMAX, llr, timeout=1.5)
+            t0 = _time.monotonic()
+            while _time.monotonic() - t0 < 0.6 and not oldest.done():
+                svc.submit(WIMAX, _llr(WIMAX, 1, seed=54), timeout=5.0)
+                _time.sleep(0.05)  # well under max_wait: keeps re-arming
+            result = oldest.result(timeout=5)  # result, NOT DeadlineExceeded
+            _assert_identical(result, direct, "oldest under tail pressure")
+            assert _time.monotonic() - t0 < 1.2
+
+    def test_tight_deadline_pulls_flush_forward(self, small_code):
+        # timeout < max_wait: waiting the full batching window would
+        # guarantee a timeout, so the group must flush early instead.
+        llr = _llr(WIMAX, 2, seed=55)
+        direct = LayeredDecoder(small_code, FLOAT_CONFIG).decode(llr)
+        with DecodeService(
+            max_batch=10_000, max_wait=10.0, workers=1,
+            default_config=FLOAT_CONFIG,
+        ) as svc:
+            future = svc.submit(WIMAX, llr, timeout=0.8)
+            _assert_identical(
+                future.result(timeout=5), direct, "tight-deadline flush"
+            )
+
+
+class TestAdmissionControl:
+    @staticmethod
+    def _stalled_service(**kwargs):
+        """A service whose (large max_wait) queue holds requests."""
+        kwargs.setdefault("max_batch", 10_000)
+        kwargs.setdefault("max_wait", 30.0)
+        kwargs.setdefault("workers", 1)
+        kwargs.setdefault("default_config", FLOAT_CONFIG)
+        return DecodeService(**kwargs)
+
+    def test_reject_policy_raises_when_full(self):
+        svc = self._stalled_service(queue_limit=2, overload_policy="reject")
+        try:
+            queued = svc.submit(WIMAX, _llr(WIMAX, 2, seed=60))
+            with pytest.raises(ServiceOverloaded, match="admission queue full"):
+                svc.submit(WIMAX, _llr(WIMAX, 1, seed=61))
+            assert svc.metrics_snapshot()["requests_rejected"] == 1
+        finally:
+            svc.close()  # drain: the admitted request still resolves
+        queued.result(timeout=0)
+
+    def test_oversized_request_admitted_against_empty_queue(self):
+        with self._stalled_service(
+            queue_limit=2, overload_policy="reject", max_wait=0.001
+        ) as svc:
+            # 4 frames > limit 2, but the queue is empty: legal, alone.
+            future = svc.submit(WIMAX, _llr(WIMAX, 4, seed=62))
+            assert future.result(timeout=30).bits.shape[0] == 4
+
+    def test_shed_oldest_evicts_queued_head(self):
+        svc = self._stalled_service(
+            queue_limit=2, overload_policy="shed-oldest"
+        )
+        try:
+            old = svc.submit(WIMAX, _llr(WIMAX, 2, seed=63))
+            new = svc.submit(WIMAX, _llr(WIMAX, 2, seed=64))
+            with pytest.raises(ServiceOverloaded, match="shed"):
+                old.result(timeout=10)
+        finally:
+            svc.close()
+        new.result(timeout=0)  # the newer request survived and resolved
+        snap = svc.metrics_snapshot()
+        assert snap["requests_shed"] == 1
+        assert snap["requests_completed"] == 1
+
+    def test_block_policy_waits_for_space(self, small_code):
+        import time as _time
+
+        llr = _llr(WIMAX, 2, seed=65)
+        direct = LayeredDecoder(small_code, FLOAT_CONFIG).decode(llr)
+        with DecodeService(
+            max_batch=2, max_wait=0.001, workers=1, queue_limit=2,
+            overload_policy="block", default_config=FLOAT_CONFIG,
+        ) as svc:
+            first = svc.submit(WIMAX, _llr(WIMAX, 2, seed=66))
+            # The second submit must block until the first resolves,
+            # then be admitted and decoded -- no error, no drop.
+            second = svc.submit(WIMAX, llr)
+            assert first.done()  # space only frees at resolution
+            _assert_identical(second.result(timeout=30), direct, "blocked")
+        assert svc.metrics_snapshot()["submits_blocked"] == 1
+
+    def test_block_policy_honours_deadline(self):
+        svc = self._stalled_service(queue_limit=2, overload_policy="block")
+        try:
+            queued = svc.submit(WIMAX, _llr(WIMAX, 2, seed=67))
+            with pytest.raises(DeadlineExceeded, match="blocked"):
+                svc.submit(WIMAX, _llr(WIMAX, 1, seed=68), timeout=0.1)
+        finally:
+            svc.close()
+        queued.result(timeout=0)
+
+    def test_block_policy_wakes_on_close(self):
+        svc = self._stalled_service(queue_limit=2, overload_policy="block")
+        queued = svc.submit(WIMAX, _llr(WIMAX, 2, seed=69))
+        outcome = []
+
+        def blocked_submit():
+            try:
+                outcome.append(svc.submit(WIMAX, _llr(WIMAX, 1, seed=70)))
+            except ServiceClosedError as exc:
+                outcome.append(exc)
+
+        thread = threading.Thread(target=blocked_submit)
+        thread.start()
+        deadline = threading.Event()
+        deadline.wait(0.1)  # let the submitter reach the wait
+        svc.close()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert isinstance(outcome[0], ServiceClosedError)
+        queued.result(timeout=0)
+
+    def test_client_quota_rejects_only_the_hog(self):
+        svc = self._stalled_service(client_quota=2)
+        futures = [
+            svc.submit(WIMAX, _llr(WIMAX, 1, seed=71 + i), client="hog")
+            for i in range(2)
+        ]
+        try:
+            with pytest.raises(ServiceOverloaded, match="quota"):
+                svc.submit(WIMAX, _llr(WIMAX, 1, seed=73), client="hog")
+            # Another client is unaffected by the hog's quota breach.
+            futures.append(
+                svc.submit(WIMAX, _llr(WIMAX, 1, seed=74), client="polite")
+            )
+            assert svc.metrics_snapshot()["requests_quota_rejected"] == 1
+        finally:
+            svc.close()
+        for future in futures:
+            future.result(timeout=0)
+
+    def test_quota_frees_as_requests_resolve(self):
+        with DecodeService(
+            max_batch=4, max_wait=0.001, workers=2,
+            default_config=FLOAT_CONFIG, client_quota=1,
+        ) as svc:
+            for i in range(3):  # sequential: each resolves, freeing quota
+                svc.submit(
+                    WIMAX, _llr(WIMAX, 1, seed=80 + i), client="serial"
+                ).result(timeout=30)
+
+    def test_invalid_policy_configuration(self):
+        with pytest.raises(ValueError, match="overload policy"):
+            DecodeService(overload_policy="panic")
+        with pytest.raises(ValueError, match="queue_limit"):
+            DecodeService(queue_limit=0)
+        with pytest.raises(ValueError, match="client_quota"):
+            DecodeService(client_quota=-1)
+
+
+class TestMetricsText:
+    def test_prometheus_exposition(self):
+        with DecodeService(
+            max_batch=4, max_wait=0.001, default_config=FLOAT_CONFIG
+        ) as svc:
+            svc.submit(WIMAX, _llr(WIMAX, 2, seed=90)).result(timeout=30)
+            text = svc.metrics_text()
+        assert "# TYPE repro_requests_completed counter" in text
+        assert "repro_requests_completed 1" in text
+        assert "# TYPE repro_queue_depth_frames gauge" in text
+        # Nested groups flatten with their prefix.
+        assert "repro_plan_cache_misses" in text
+        assert "repro_worker_pool_respawns" in text
+        # Non-numeric snapshot values are skipped, not mangled.
+        assert "maxsize" in text  # numeric nested value IS exported
+        assert text.endswith("\n")
