@@ -201,10 +201,12 @@ def _require(header: dict, key: str, kinds, what: str):
 def llr_dtype(name) -> np.dtype:
     """Validate a wire dtype string for LLR payloads.
 
-    Only real integer / floating types make sense (integers are raw
-    fixed-point values by the decoder's convention); anything else —
-    object, complex, strings, or an unparseable name — is a protocol
-    error, not a numpy exception deep in the server.
+    Only real integer / floating types make sense (integers — signed
+    or unsigned — are raw fixed-point values by the decoder's
+    convention, exactly the kinds ``DecodeService.submit`` admits in
+    process); anything else — object, complex, strings, or an
+    unparseable name — is a protocol error, not a numpy exception deep
+    in the server.
     """
     if not isinstance(name, str):
         raise ProtocolError(f"dtype must be a string, got {name!r}")
@@ -212,7 +214,7 @@ def llr_dtype(name) -> np.dtype:
         dtype = np.dtype(name)
     except TypeError:
         raise ProtocolError(f"unparseable dtype {name!r}") from None
-    if dtype.kind not in ("f", "i") or dtype.itemsize > 8:
+    if dtype.kind not in ("f", "i", "u") or dtype.itemsize > 8:
         raise ProtocolError(
             f"dtype {name!r} is not a valid LLR type (need a real "
             "integer or float of at most 8 bytes)"

@@ -139,11 +139,18 @@ class DecodeServer:
         # Let in-flight decodes resolve and their responses flush.
         pending = [t for t in self._inflight if not t.done()]
         if pending:
-            with contextlib.suppress(asyncio.TimeoutError):
-                await asyncio.wait_for(
-                    asyncio.gather(*pending, return_exceptions=True),
-                    self.drain_timeout,
-                )
+            _, laggards = await asyncio.wait(
+                pending, timeout=self.drain_timeout
+            )
+            # drain_timeout is a promise: requests still stuck after it
+            # (a hung worker, an unbounded service future) are abandoned
+            # here — cancelling the serve tasks unsticks the connection
+            # handlers' finally blocks, and closing the connections
+            # below fails the remote waiters instead of hanging them.
+            for task in laggards:
+                task.cancel()
+            if laggards:
+                await asyncio.gather(*laggards, return_exceptions=True)
         # Connection handlers are blocked reading their sockets; cancel
         # them (their finally blocks close the writers).
         for task in list(self._connections):
@@ -292,8 +299,8 @@ class DecodeServer:
     async def _serve_request(
         self, writer, write_lock, gate, conn_id, header, payload
     ) -> None:
+        request_id = None
         try:
-            request_id = None
             self.stats["requests_received"] += 1
             try:
                 request_id, mode, llr, config, timeout = protocol.parse_request(
@@ -342,6 +349,16 @@ class DecodeServer:
             self.stats["responses_sent"] += 1
         except (asyncio.CancelledError, ConnectionResetError):
             pass  # connection torn down under us; service still resolves
+        except Exception as exc:
+            # No-hung-futures holds for the *unexpected* too: anything
+            # escaping the paths above (e.g. encode_result refusing a
+            # response payload over MAX_PAYLOAD_BYTES — result bytes
+            # run ~9x a float32 request's) must still answer the
+            # client, whose decode() deliberately has no local timer.
+            with contextlib.suppress(Exception):
+                await self._send(
+                    writer, write_lock, protocol.encode_error(request_id, exc)
+                )
         finally:
             gate.release()
 

@@ -283,6 +283,11 @@ class DecodeService:
         #: net walks this so nothing can leak unresolved.
         self._live: set[_Request] = set()
         self._delivery_lock = threading.Lock()
+        #: pending retry backoffs: token -> (Timer, group, attempt).
+        #: Guarded by _retry_lock; timers run off-pool so a backoff
+        #: never occupies a decode worker or trips its hang clock.
+        self._retry_timers: dict = {}
+        self._retry_lock = threading.Lock()
         self._last_batch_key: tuple | None = None
         if warm_modes is not None:
             self.cache.warm(warm_modes, (self.default_config,))
@@ -502,7 +507,12 @@ class DecodeService:
         code).
         """
         victims: list[_Request] = []
-        while self.policy.over_queue(self._admitted_frames, frames):
+        # Victims' admission shares are only released in _deliver, after
+        # _cond is dropped — so account for frames already freed here,
+        # or every overload would evict the whole queue, not just
+        # enough to fit the newcomer.
+        freed = 0
+        while self.policy.over_queue(self._admitted_frames - freed, frames):
             oldest: _Request | None = None
             oldest_key = None
             for key, bucket in self._buckets.items():
@@ -519,6 +529,7 @@ class DecodeService:
             self._remove_queued(oldest_key, oldest)
             # The victim's admission share frees when _deliver claims it
             # (the caller does so right after releasing _cond).
+            freed += oldest.frames
             victims.append(oldest)
         return victims
 
@@ -568,6 +579,10 @@ class DecodeService:
             self._closing = True
             self._cond.notify_all()
         self._dispatcher.join()
+        # Retries parked on backoff timers re-dispatch immediately: the
+        # pool drain below replays them on healthy workers rather than
+        # sleeping through (or worse, past) its own shutdown.
+        self._flush_retries()
         self._pool.shutdown(wait=True)
         # Safety net: no admitted request may outlive close() without an
         # outcome.  With healthy workers this finds nothing (the drain
@@ -763,40 +778,61 @@ class DecodeService:
             for group in groups:
                 for _ in group:
                     self.metrics.record_retry()
-                try:
-                    retry_future = self._pool.submit(
-                        self._retry_batch, group, attempt + 1, delay
-                    )
-                except RuntimeError:
-                    # Pool already shut down: surface a typed closed
-                    # error (with the transient failure as its cause),
-                    # not the raw retryable exception the caller was
-                    # never meant to see.
-                    closed = ServiceClosedError(
-                        "service closed while this request awaited retry"
-                    )
-                    closed.__cause__ = exc
-                    for request in group:
-                        self._deliver(request, "closed", closed)
-                    continue
-                retry_future.add_done_callback(
-                    lambda f, reqs=group, n=attempt + 1: self._on_batch_done(
-                        f, reqs, n
-                    )
-                )
+                self._schedule_retry(group, attempt + 1, delay)
         else:
             for request in pending:
                 self._deliver(request, "error", exc)
 
+    def _schedule_retry(self, group, attempt, delay) -> None:
+        """Re-dispatch ``group`` after its backoff, off the worker pool.
+
+        The backoff runs on a timer thread, never a pool worker: a
+        sleeping worker would both occupy one of the few decode slots
+        and count its nap toward the pool's hang clock, so any
+        ``hang_timeout`` at or below the retry policy's ``max_backoff``
+        would falsely declare every backed-off retry hung (spurious
+        :class:`WorkerCrashedError`, an abandoned thread, and another
+        retry — a livelock, not a policy).  :meth:`close` fires pending
+        timers early (:meth:`_flush_retries`) so the drain replays
+        retries on the still-healthy pool instead of sleeping through
+        its own shutdown.
+        """
+        with self._cond:
+            closing = self._closing
+        if delay <= 0 or closing:
+            # While closing, the backoff is pointless latency: dispatch
+            # now so the pool drain (or its RuntimeError -> typed
+            # ServiceClosedError path) resolves the requests.
+            self._dispatch_batch(group, attempt)
+            return
+        token = object()
+        timer = threading.Timer(delay, self._fire_retry, (token,))
+        timer.daemon = True
+        with self._retry_lock:
+            self._retry_timers[token] = (timer, group, attempt)
+        timer.start()
+
+    def _fire_retry(self, token) -> None:
+        with self._retry_lock:
+            entry = self._retry_timers.pop(token, None)
+        if entry is None:
+            return  # the close() drain already fired this retry early
+        _, group, attempt = entry
+        self._dispatch_batch(group, attempt)
+
+    def _flush_retries(self) -> None:
+        """Fire every pending retry timer now (the close() drain)."""
+        while True:
+            with self._retry_lock:
+                if not self._retry_timers:
+                    return
+                token, (timer, group, attempt) = self._retry_timers.popitem()
+            timer.cancel()
+            self._dispatch_batch(group, attempt)
+
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
-    def _retry_batch(self, requests, attempt, delay) -> None:
-        """Backoff, then replay — runs on a pool worker like any batch."""
-        if delay > 0:
-            time.sleep(delay)
-        self._run_batch(requests, attempt)
-
     def _run_batch(self, requests: "list[_Request]", attempt: int = 1) -> None:
         live: list[_Request] = []
         for request in requests:

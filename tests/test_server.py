@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -295,6 +296,45 @@ class TestDecodeServer:
         for result, expected in zip(results, direct):
             assert np.array_equal(result.bits, expected.bits)
 
+    def test_uint_llr_batch_decodes_over_the_wire(self):
+        # Unsigned integers are raw fixed-point payloads in process
+        # (DecodeService.submit admits kind 'u'); the wire must agree,
+        # or a batch that decodes locally is rejected remotely and the
+        # advertised remote/in-process parity breaks.
+        code = get_code(WIMAX)
+        rng = np.random.default_rng(40)
+        raw = rng.integers(0, 32, size=(2, code.n), dtype=np.uint8)
+        direct = LayeredDecoder(code, CONFIG).decode(raw)
+
+        async def scenario(server):
+            async with await DecodeClient.connect(*server.address) as client:
+                return await client.decode(WIMAX, raw, config=CONFIG)
+
+        result = _serve(scenario)
+        assert np.array_equal(result.bits, direct.bits)
+        assert np.array_equal(result.iterations, direct.iterations)
+
+    def test_oversized_result_payload_still_answers_the_client(
+        self, monkeypatch
+    ):
+        # A RESPONSE payload runs ~9x a float32 request's bytes (8-byte
+        # LLRs plus bits per bit); a request can therefore fit the
+        # frame cap while its result does not.  encode_result raising
+        # must still produce an ERROR frame — the client's decode()
+        # deliberately has no local timer, so a swallowed exception
+        # here would hang its waiter forever.
+        llr = _llr(1, seed=41).astype(np.float32)
+        monkeypatch.setattr(
+            protocol, "MAX_PAYLOAD_BYTES", llr.nbytes + 512
+        )
+
+        async def scenario(server):
+            async with await DecodeClient.connect(*server.address) as client:
+                with pytest.raises(ProtocolError, match="payload too large"):
+                    await asyncio.wait_for(client.decode(WIMAX, llr), 30)
+
+        _serve(scenario)
+
     def test_garbage_bytes_get_stream_error_and_disconnect(self):
         async def scenario(server):
             reader, writer = await asyncio.open_connection(*server.address)
@@ -379,6 +419,42 @@ class TestDecodeServer:
 
         result = asyncio.run(_main())
         assert np.array_equal(result.bits, direct.bits)
+
+    def test_close_abandons_drain_after_timeout_with_hung_worker(self):
+        # drain_timeout is a hard bound, even when a wedged worker (no
+        # hang_timeout, no request deadline) means the service future
+        # will never resolve: close() must abandon the laggard request
+        # and fail the remote waiter via the closing connection, not
+        # block forever on it.
+        service = DecodeService(
+            max_batch=4, max_wait=0.001, workers=1, default_config=CONFIG
+        )
+        gate = threading.Event()
+
+        async def _main():
+            server = await DecodeServer(
+                service=service, drain_timeout=0.3
+            ).start()
+            service._pool.submit(gate.wait)  # wedge the only worker
+            client = await DecodeClient.connect(*server.address)
+            pending = asyncio.create_task(
+                client.decode(WIMAX, _llr(1, seed=42))
+            )
+            await asyncio.sleep(0.05)  # let the request reach the service
+            t0 = time.monotonic()
+            await asyncio.wait_for(server.close(), timeout=10)
+            elapsed = time.monotonic() - t0
+            with pytest.raises(ProtocolError):
+                await pending
+            await client.close()
+            return elapsed
+
+        try:
+            elapsed = asyncio.run(_main())
+        finally:
+            gate.set()
+            service.close()
+        assert elapsed < 5  # bounded by drain_timeout, not the worker
 
     def test_closed_client_fails_pending_instead_of_hanging(self):
         service = DecodeService(

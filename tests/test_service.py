@@ -766,6 +766,38 @@ class TestAdmissionControl:
         assert snap["requests_shed"] == 1
         assert snap["requests_completed"] == 1
 
+    def test_shed_oldest_sheds_only_enough_to_fit(self):
+        # Regression: shedding must account for the frames it has
+        # already freed within one overload event (victims' admission
+        # shares are only released later, in _deliver) — evict the
+        # *minimum* number of oldest requests, never the whole queue.
+        svc = self._stalled_service(
+            queue_limit=4, overload_policy="shed-oldest"
+        )
+        try:
+            victims = [
+                svc.submit(WIMAX, _llr(WIMAX, 1, seed=90 + i))
+                for i in range(2)
+            ]
+            survivors = [
+                svc.submit(WIMAX, _llr(WIMAX, 1, seed=92 + i))
+                for i in range(2)
+            ]
+            # 2 incoming frames against 4 queued (limit 4): exactly the
+            # two oldest must go; the other two queued requests stay.
+            newcomer = svc.submit(WIMAX, _llr(WIMAX, 2, seed=95))
+            for victim in victims:
+                with pytest.raises(ServiceOverloaded, match="shed"):
+                    victim.result(timeout=10)
+            assert not any(f.done() for f in survivors)
+        finally:
+            svc.close()
+        for future in survivors + [newcomer]:
+            future.result(timeout=0)  # survived the shed, decoded on drain
+        snap = svc.metrics_snapshot()
+        assert snap["requests_shed"] == 2
+        assert snap["requests_completed"] == 3
+
     def test_block_policy_waits_for_space(self, small_code):
         import time as _time
 

@@ -282,6 +282,32 @@ def test_retry_exhaustion_surfaces_the_transient_error():
     assert snap["requests_retried"] == 2  # the full budget was spent
 
 
+def test_retry_backoff_does_not_trip_the_hang_clock():
+    # The backoff runs on a timer thread, never a pool worker: with a
+    # hang_timeout *below* the backoff delay, a retry must still decode
+    # cleanly.  (A worker sleeping through the backoff would be
+    # declared hung, turning every backed-off retry into a spurious
+    # WorkerCrashedError, an abandoned thread, and another retry.)
+    plan = FaultPlan(seed=29, backend_error=[0])
+    llr = _llr(WIMAX, 1, seed=45)
+    expected = _direct(WIMAX, llr)
+    svc = DecodeService(
+        max_batch=4, max_wait=0.001, workers=1,
+        default_config=CONFIG, faults=plan,
+        retry=RetryPolicy(attempts=2, backoff=0.3, max_backoff=0.3),
+        hang_timeout=0.15,
+    )
+    try:
+        result = svc.submit(WIMAX, llr).result(timeout=60)
+    finally:
+        svc.close()
+    assert np.array_equal(result.bits, expected.bits)
+    snap = svc.metrics_snapshot()
+    assert snap["requests_retried"] == 1  # one injected fault, one retry
+    assert snap["requests_failed"] == 0
+    assert snap["worker_pool"]["hangs_detected"] == 0
+
+
 def test_failed_merged_batch_splits_so_batchmates_survive():
     # One batch decode fails (injected); with retries on, the batch is
     # split per-request — every member must still resolve with a
