@@ -395,6 +395,7 @@ class Link:
         workers: int = 0,
         checkpoint=None,
         chunk_frames: int | None = None,
+        force_parallel: bool = False,
     ) -> SweepEngine:
         """A :class:`~repro.runtime.SweepEngine` for this session.
 
@@ -403,8 +404,9 @@ class Link:
         :mod:`repro.runtime.engine`), so a parallel engine gets only
         what this session has already built — compiling a decoder the
         parent process would never run is pure startup latency.
+        ``force_parallel=True`` bypasses the engine's break-even gate.
         """
-        serial = workers < 2
+        serial = workers < 2 and not force_parallel
         return SweepEngine(
             self.code,
             self.config,
@@ -414,6 +416,7 @@ class Link:
             workers=workers,
             chunk_frames=chunk_frames,
             checkpoint_path=checkpoint,
+            force_parallel=force_parallel,
             decoder=self.decoder if serial else self._decoder,
             encoder=self.encoder if serial else None,
         )
@@ -426,16 +429,23 @@ class Link:
         batch_size: int = 100,
         workers: int = 0,
         checkpoint=None,
+        force_parallel: bool = False,
     ):
         """Monte-Carlo BER/FER sweep over an Eb/N0 grid.
 
         Delegates to the unified :class:`~repro.runtime.SweepEngine`:
         deterministic per-chunk RNG streams (independent of sweep order
-        and worker count), exact ordered reduction, optional process
-        pool (``workers >= 2``) and JSON ``checkpoint`` resume.  Returns
-        one :class:`~repro.analysis.ber.SnrPoint` per grid value.
+        and worker count), the shared process pool behind a measured
+        break-even gate (``workers >= 2`` is a ceiling, not a command;
+        ``force_parallel=True`` bypasses the gate) and JSON
+        ``checkpoint`` resume.  Returns one
+        :class:`~repro.analysis.ber.SnrPoint` per grid value.
         """
-        return self.engine(workers=workers, checkpoint=checkpoint).run(
+        return self.engine(
+            workers=workers,
+            checkpoint=checkpoint,
+            force_parallel=force_parallel,
+        ).run(
             [float(ebn0) for ebn0 in ebn0_grid],
             max_frames=max_frames,
             min_frame_errors=min_frame_errors,

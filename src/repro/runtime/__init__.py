@@ -16,6 +16,10 @@ here:
   the decode service (:mod:`repro.service`) dispatches batches onto —
   it detects crashed and hung workers, fails their futures with a typed
   error and respawns replacements;
+- :class:`ProcessWorkerPool` is its process-sharded sibling (ROADMAP
+  item 2a): persistent supervised worker processes with per-worker plan
+  caches and shared-memory array transport; :func:`shared_process_pool`
+  keeps one alive per worker count for the whole interpreter;
 - :class:`FaultPlan` scripts deterministic fault injection (payload
   corruption, worker crash/stall, backend errors, cache drops) for the
   chaos tests.
@@ -32,12 +36,19 @@ from repro.runtime.engine import (
     point_key,
 )
 from repro.runtime.faults import FAULT_SITES, FaultPlan, WorkerKilled
-from repro.runtime.parallel import WorkerPool, map_ordered
+from repro.runtime.parallel import (
+    ProcessWorkerPool,
+    WorkerPool,
+    map_ordered,
+    shared_process_pool,
+    shutdown_shared_pools,
+)
 from repro.runtime.sweep import SweepResult, run_sweep
 
 __all__ = [
     "FAULT_SITES",
     "FaultPlan",
+    "ProcessWorkerPool",
     "SCHEDULES",
     "SweepCheckpoint",
     "SweepEngine",
@@ -52,4 +63,6 @@ __all__ = [
     "plan_chunks",
     "point_key",
     "run_sweep",
+    "shared_process_pool",
+    "shutdown_shared_pools",
 ]

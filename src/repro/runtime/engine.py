@@ -4,9 +4,10 @@ The Fig. 9/Table 3 exhibits and every BER waterfall are Monte-Carlo
 sweeps: (code, decoder config, Eb/N0 grid, frame budget).  The seed
 harness walked the grid serially on one core.  This module shards that
 work into **chunks** — ``(Eb/N0 point, chunk index, frame count)`` work
-items — and executes them either in-process or across a
-:class:`concurrent.futures.ProcessPoolExecutor`, with three invariants
-that make the parallelism invisible in the results:
+items — and executes them either in-process or across the persistent
+:class:`~repro.runtime.parallel.ProcessWorkerPool` shared by all sweeps
+in the interpreter, with three invariants that make the parallelism
+invisible in the results:
 
 1. **Deterministic child streams.**  Every chunk draws from
    ``np.random.SeedSequence(seed, spawn_key=(point_key, chunk))`` where
@@ -29,6 +30,21 @@ that make the parallelism invisible in the results:
    sweep resumes from the completed chunks, and a finished checkpoint
    replays with zero decoding work.
 
+On top of those, ``workers >= 2`` is a *request*, not a command: the
+engine first decodes one calibration chunk serially (its statistics are
+merged, nothing is wasted), then compares the estimated remaining work
+against the pool's measured dispatch overhead and the machine's actual
+core count, and only takes the process path when parallelism pays —
+otherwise it silently runs serial, so the parallel path is never slower
+than the serial one.  The verdict lands in
+:attr:`SweepEngine.last_decision`; ``force_parallel=True`` bypasses the
+gate for tests and benchmarks that must exercise the pool.  Chunks keep
+their budget-granularity size regardless (the chunk partition *is* the
+RNG stream partition); amortization instead comes from grouping
+consecutive chunks of one point into tasks of roughly
+``target_task_s`` seconds, each returning per-chunk statistics so the
+ordered reduction is untouched.
+
 :class:`~repro.analysis.ber.BERSimulator` delegates ``run_point`` /
 ``run_sweep`` here, so the serial API and the parallel engine share one
 code path by construction.
@@ -37,7 +53,8 @@ code path by construction.
 from __future__ import annotations
 
 import hashlib
-from concurrent.futures import ProcessPoolExecutor
+import os
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -53,6 +70,7 @@ from repro.decoder.layered import LayeredDecoder
 from repro.encoder import make_encoder
 from repro.errors import SimulationError
 from repro.runtime.checkpoint import SweepCheckpoint, chunk_key
+from repro.runtime.parallel import shared_process_pool
 
 #: Decode schedules the engine can build in a worker process.
 SCHEDULES = {"layered": LayeredDecoder, "flooding": FloodingDecoder}
@@ -153,37 +171,6 @@ def decode_chunk(
     return point
 
 
-#: Per-worker-process (decoder, encoder) cache: chunk payloads of one
-#: sweep all share a structural key, so each worker compiles the decode
-#: plan and the encoder's elimination exactly once.
-_PROCESS_CACHE: dict[str, tuple] = {}
-
-
-def _chunk_worker(payload: dict) -> dict:
-    """Process-pool entry point: build (or reuse) the decoder, run one chunk."""
-    key = payload["cache_key"]
-    cached = _PROCESS_CACHE.get(key)
-    if cached is None:
-        decoder_cls = SCHEDULES[payload["schedule"]]
-        decoder = decoder_cls(payload["code"], payload["config"])
-        encoder = make_encoder(payload["code"])
-        _PROCESS_CACHE.clear()
-        _PROCESS_CACHE[key] = (decoder, encoder)
-        cached = (decoder, encoder)
-    decoder, encoder = cached
-    point = decode_chunk(
-        decoder,
-        encoder,
-        payload["modulator"],
-        payload["seed"],
-        payload["ebn0_db"],
-        payload["chunk_index"],
-        payload["frames"],
-        payload["batch_size"],
-    )
-    return point.to_dict()
-
-
 # ---------------------------------------------------------------------------
 # The engine
 # ---------------------------------------------------------------------------
@@ -204,13 +191,18 @@ class SweepEngine:
         Master seed; chunk streams derive from it via
         :func:`chunk_seed_sequence`.
     workers:
-        ``0``/``1`` executes chunks in-process (serial); ``>= 2`` runs a
-        process pool of that size.  The results are identical either way.
+        ``0``/``1`` executes chunks in-process (serial); ``>= 2``
+        *requests* the shared persistent process pool of that size —
+        the break-even gate (module docstring) may still choose serial
+        when parallelism cannot pay.  The results are identical either
+        way; the verdict is recorded in :attr:`last_decision`.
     chunk_frames:
         Frames per work item; defaults to the ``batch_size`` of each run,
         which makes the serial engine check the error budget with the
-        same granularity as the seed harness did.  Larger chunks amortize
-        per-task overhead at the cost of coarser early stopping.
+        same granularity as the seed harness did.  The chunk partition
+        also fixes the per-chunk RNG streams, so it is *never* resized
+        behind the caller's back — per-task overhead is amortized by
+        grouping chunks into tasks instead (``target_task_s``).
     checkpoint_path:
         Optional JSON checkpoint file (see
         :class:`~repro.runtime.checkpoint.SweepCheckpoint`).
@@ -220,6 +212,27 @@ class SweepEngine:
         serial calls reuse one compiled plan and one encoder
         elimination.  Ignored by pool workers (they build and cache
         their own).
+    target_task_s:
+        Aimed-for seconds of decode work per pool task; the engine
+        packs ``round(target_task_s / measured_chunk_seconds)``
+        consecutive chunks of one point into each ``sweep_chunks``
+        task.  Statistics stay per-chunk, so this affects scheduling
+        only, never results.
+    break_even_s:
+        Explicit threshold overriding the measured break-even gate:
+        the process path is taken iff the estimated remaining work is
+        at least this many seconds (and at least two cores are
+        available).  ``None`` (default) compares estimated parallel
+        savings against the pool's measured dispatch overhead instead.
+    force_parallel:
+        Take the process path whenever there is work to run, skipping
+        the core-count and break-even gates — for tests and benchmarks
+        that must exercise the pool even where it cannot win.
+    pool:
+        Optional explicit :class:`~repro.runtime.parallel.ProcessWorkerPool`;
+        defaults to :func:`~repro.runtime.parallel.shared_process_pool`
+        for the requested worker count, reused across every sweep in
+        the interpreter.
 
     Examples
     --------
@@ -242,6 +255,10 @@ class SweepEngine:
         checkpoint_path=None,
         decoder=None,
         encoder=None,
+        target_task_s: float = 0.05,
+        break_even_s: "float | None" = None,
+        force_parallel: bool = False,
+        pool=None,
     ):
         if schedule not in SCHEDULES:
             raise SimulationError(
@@ -251,6 +268,10 @@ class SweepEngine:
             raise SimulationError("workers must be non-negative")
         if chunk_frames is not None and chunk_frames < 1:
             raise SimulationError("chunk_frames must be >= 1")
+        if target_task_s <= 0:
+            raise SimulationError("target_task_s must be positive")
+        if break_even_s is not None and break_even_s < 0:
+            raise SimulationError("break_even_s must be non-negative")
         self.code = code
         self.config = config if config is not None else DecoderConfig()
         self.schedule = schedule
@@ -259,6 +280,13 @@ class SweepEngine:
         self.workers = workers
         self.chunk_frames = chunk_frames
         self.checkpoint_path = checkpoint_path
+        self.target_task_s = float(target_task_s)
+        self.break_even_s = break_even_s
+        self.force_parallel = bool(force_parallel)
+        #: Executor verdict of the most recent :meth:`run` — executor
+        #: chosen, reason, calibration measurements, task sizing.
+        self.last_decision: "dict | None" = None
+        self._pool = pool
         self._decoder = decoder
         self._encoder = encoder
         # Structural identity of (code, config, schedule): worker-side
@@ -284,7 +312,13 @@ class SweepEngine:
             self._encoder = make_encoder(self.code)
         return self._encoder
 
-    def _payload(self, ebn0_db, chunk_index, frames, batch_size) -> dict:
+    def _group_payload(self, ebn0_db, chunks, batch_size) -> dict:
+        """Descriptor of one ``sweep_chunks`` pool task.
+
+        ``chunks`` is ``[(chunk_index, frames), ...]`` — consecutive
+        chunks of one point, each run on its own RNG stream and
+        returned individually so the parent merges in chunk order.
+        """
         return {
             "cache_key": self._cache_key,
             "code": self.code,
@@ -293,8 +327,7 @@ class SweepEngine:
             "modulator": self.modulator,
             "seed": self.seed,
             "ebn0_db": ebn0_db,
-            "chunk_index": chunk_index,
-            "frames": frames,
+            "chunks": list(chunks),
             "batch_size": batch_size,
         }
 
@@ -358,16 +391,29 @@ class SweepEngine:
         checkpoint = self._make_checkpoint(
             max_frames, min_frame_errors, batch_size, chunk_frames
         )
-        if self.workers >= 2:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                return self._run_parallel(
-                    pool, checkpoint, points, sizes, batch_size,
-                    max_frames, min_frame_errors,
-                )
+        precomputed: dict = {}
+        if self.workers >= 2 or self.force_parallel:
+            decision, precomputed = self._plan_execution(
+                checkpoint, points, sizes, batch_size,
+                max_frames, min_frame_errors,
+            )
+        else:
+            decision = {"executor": "serial", "reason": "workers < 2",
+                        "requested_workers": self.workers}
+        self.last_decision = decision
+        if decision["executor"] == "process":
+            pool = self._pool
+            if pool is None or getattr(pool, "closed", False):
+                pool = shared_process_pool(decision["requested_workers"])
+            return self._run_parallel(
+                pool, checkpoint, points, sizes, batch_size,
+                max_frames, min_frame_errors,
+                decision["chunks_per_task"], precomputed,
+            )
         return [
             self._run_point_serial(
                 checkpoint, ebn0, sizes, batch_size,
-                max_frames, min_frame_errors,
+                max_frames, min_frame_errors, precomputed,
             )
             for ebn0 in points
         ]
@@ -392,10 +438,142 @@ class SweepEngine:
         )
 
     # ------------------------------------------------------------------
+    # Executor choice: calibrate, then take parallelism only if it pays
+    # ------------------------------------------------------------------
+    def _plan_execution(
+        self, checkpoint, points, sizes, batch_size,
+        max_frames, min_frame_errors,
+    ) -> tuple[dict, dict]:
+        """Measure one chunk serially, then pick the executor.
+
+        Returns ``(decision, precomputed)`` where ``precomputed`` maps
+        ``(point_key, chunk_index)`` to the calibration chunk's
+        statistics — merged later by whichever path runs, so the
+        measurement is never wasted work.  The remaining-work scan
+        replays checkpointed chunks through the budget check, so a
+        point whose error budget is already proven hit contributes no
+        work (and a fully budget-complete checkpoint skips calibration
+        entirely — resume stays decode-free).  Past the first *missing*
+        chunk of a point the budget state is unknowable without
+        decoding, so the estimate assumes the rest of that point's
+        frame budget runs; that only ever biases the gate *toward*
+        parallel, and the floor stays "never slower than serial"
+        because a sweep short enough to overestimate is also short
+        enough that the shared pool's per-task overhead is all that's
+        at stake.
+        """
+        requested = max(2, self.workers)
+        effective = min(requested, os.cpu_count() or 1)
+        decision = {
+            "executor": "serial",
+            "reason": "",
+            "requested_workers": requested,
+            "effective_workers": effective,
+            "chunks_per_task": 1,
+            "calibration_s": None,
+            "frames_per_s": None,
+            "estimated_work_s": 0.0,
+            "estimated_overhead_s": None,
+            "break_even_s": self.break_even_s,
+        }
+        probe = None
+        remaining_frames = 0
+        remaining_chunks = 0
+        for ebn0 in points:
+            merged = self._empty_point(ebn0)
+            for c, frames_c in enumerate(sizes):
+                if merged is not None and self._budget_hit(
+                    merged, max_frames, min_frame_errors
+                ):
+                    break  # point proven complete by checkpointed chunks
+                chunk = (
+                    checkpoint.get(chunk_key(ebn0, c))
+                    if checkpoint is not None else None
+                )
+                if chunk is not None:
+                    if merged is not None:
+                        merged = merged.merge(chunk)
+                    continue
+                if probe is None:
+                    probe = (ebn0, c, frames_c)
+                remaining_frames += frames_c
+                remaining_chunks += 1
+                # Budget state past a missing chunk is unknowable
+                # without decoding: count the rest of the point.
+                merged = None
+        if probe is None:
+            decision["reason"] = "checkpoint already complete"
+            return decision, {}
+        ebn0_p, c_p, frames_p = probe
+        t0 = time.perf_counter()
+        chunk = decode_chunk(
+            self._serial_decoder(), self._serial_encoder(), self.modulator,
+            self.seed, ebn0_p, c_p, frames_p, batch_size,
+        )
+        elapsed = max(time.perf_counter() - t0, 1e-9)
+        if checkpoint is not None:
+            checkpoint.store(chunk_key(ebn0_p, c_p), chunk, flush=True)
+        precomputed = {(point_key(ebn0_p), c_p): chunk}
+        rate = frames_p / elapsed
+        chunk_seconds = sizes[0] / rate
+        chunks_per_task = max(1, round(self.target_task_s / chunk_seconds))
+        estimated_work_s = (remaining_frames - frames_p) / rate
+        decision.update(
+            calibration_s=elapsed,
+            frames_per_s=rate,
+            chunks_per_task=chunks_per_task,
+            estimated_work_s=estimated_work_s,
+        )
+        if self.force_parallel:
+            decision.update(executor="process", reason="force_parallel")
+            return decision, precomputed
+        if effective < 2:
+            decision["reason"] = (
+                f"only {effective} usable core(s); process parallelism "
+                "cannot beat serial"
+            )
+            return decision, precomputed
+        if self.break_even_s is not None:
+            if estimated_work_s >= self.break_even_s:
+                decision.update(
+                    executor="process",
+                    reason=f"estimated work {estimated_work_s:.3f}s >= "
+                           f"break_even_s={self.break_even_s}",
+                )
+            else:
+                decision["reason"] = (
+                    f"estimated work {estimated_work_s:.3f}s < "
+                    f"break_even_s={self.break_even_s}"
+                )
+            return decision, precomputed
+        pool = self._pool
+        if pool is None or getattr(pool, "closed", False):
+            pool = shared_process_pool(requested)
+        task_count = -(-remaining_chunks // chunks_per_task)
+        # Margin for what the overhead probe can't see: result pickling,
+        # per-chunk merge, one cold plan compile per worker.
+        overhead_s = pool.dispatch_overhead() * task_count + 0.05
+        savings_s = estimated_work_s * (1.0 - 1.0 / effective)
+        decision["estimated_overhead_s"] = overhead_s
+        if savings_s > overhead_s:
+            decision.update(
+                executor="process",
+                reason=f"estimated parallel savings {savings_s:.3f}s > "
+                       f"overhead {overhead_s:.3f}s",
+            )
+        else:
+            decision["reason"] = (
+                f"estimated parallel savings {savings_s:.3f}s <= "
+                f"overhead {overhead_s:.3f}s"
+            )
+        return decision, precomputed
+
+    # ------------------------------------------------------------------
     # Serial execution: plain ordered loop
     # ------------------------------------------------------------------
     def _run_point_serial(
-        self, checkpoint, ebn0, sizes, batch_size, max_frames, min_frame_errors
+        self, checkpoint, ebn0, sizes, batch_size, max_frames,
+        min_frame_errors, precomputed=None,
     ) -> SnrPoint:
         merged = self._empty_point(ebn0)
         unflushed = 0
@@ -403,16 +581,25 @@ class SweepEngine:
             for c, frames_c in enumerate(sizes):
                 if self._budget_hit(merged, max_frames, min_frame_errors):
                     break
-                key = chunk_key(ebn0, c)
-                chunk = checkpoint.get(key) if checkpoint is not None else None
+                chunk = (
+                    precomputed.get((point_key(ebn0), c))
+                    if precomputed else None
+                )
                 if chunk is None:
-                    chunk = decode_chunk(
-                        self._serial_decoder(), self._serial_encoder(),
-                        self.modulator, self.seed, ebn0, c, frames_c,
-                        batch_size,
+                    key = chunk_key(ebn0, c)
+                    chunk = (
+                        checkpoint.get(key) if checkpoint is not None else None
                     )
-                    if checkpoint is not None:
-                        unflushed = self._store(checkpoint, key, chunk, unflushed)
+                    if chunk is None:
+                        chunk = decode_chunk(
+                            self._serial_decoder(), self._serial_encoder(),
+                            self.modulator, self.seed, ebn0, c, frames_c,
+                            batch_size,
+                        )
+                        if checkpoint is not None:
+                            unflushed = self._store(
+                                checkpoint, key, chunk, unflushed
+                            )
                 merged = merged.merge(chunk)
         finally:
             if checkpoint is not None and unflushed:
@@ -420,44 +607,66 @@ class SweepEngine:
         return merged
 
     # ------------------------------------------------------------------
-    # Parallel execution: one pool shared by all points, speculative
-    # submission ahead of the ordered merge frontier
+    # Parallel execution: the shared persistent pool, chunk groups,
+    # speculative submission ahead of the ordered merge frontier
     # ------------------------------------------------------------------
     def _run_parallel(
         self, pool, checkpoint, points, sizes, batch_size,
-        max_frames, min_frame_errors,
+        max_frames, min_frame_errors, chunks_per_task, precomputed,
     ) -> list[SnrPoint]:
-        # One flattened task list across all points keeps the pool
+        # One flattened group list across all points keeps the pool
         # saturated through point boundaries (points are independent, so
-        # point i+1's chunks can run while point i's merge drains).  The
-        # lookahead window bounds speculative work: an early budget stop
-        # wastes at most `window` chunks, and `finished` points are
+        # point i+1's groups can run while point i's merge drains).  A
+        # group is up to `chunks_per_task` consecutive chunks of one
+        # point — big enough to amortize dispatch, returned per-chunk so
+        # the ordered merge (and its budget stop) is exactly serial.
+        # The lookahead window bounds speculative work: an early budget
+        # stop wastes at most `window` groups, and `finished` points are
         # skipped by later submissions.
         num_chunks = len(sizes)
-        tasks = [(ebn0, c) for ebn0 in points for c in range(num_chunks)]
-        window = 2 * self.workers
+        starts = list(range(0, num_chunks, chunks_per_task))
+        groups = [(ebn0, start) for ebn0 in points for start in starts]
+        window = 2 * max(2, self.workers)
         futures: dict[tuple, object] = {}
+        ready: dict[tuple, SnrPoint] = {}
         finished: set[float] = set()
         cursor = 0
         unflushed = 0
 
-        def submit_through(index: int) -> None:
-            nonlocal cursor
-            end = min(len(tasks), index + 1 + window)
-            while cursor < end:
-                ebn0_t, c_t = tasks[cursor]
-                cursor += 1
-                if ebn0_t in finished or (ebn0_t, c_t) in futures:
+        def group_chunks(ebn0_t: float, start: int) -> list[tuple[int, int]]:
+            chunks = []
+            for c in range(start, min(start + chunks_per_task, num_chunks)):
+                if (point_key(ebn0_t), c) in precomputed:
+                    continue
+                if (ebn0_t, c) in ready:
                     continue
                 if (
                     checkpoint is not None
-                    and checkpoint.get(chunk_key(ebn0_t, c_t)) is not None
+                    and checkpoint.get(chunk_key(ebn0_t, c)) is not None
                 ):
                     continue
-                futures[(ebn0_t, c_t)] = pool.submit(
-                    _chunk_worker,
-                    self._payload(ebn0_t, c_t, sizes[c_t], batch_size),
+                chunks.append((c, sizes[c]))
+            return chunks
+
+        def submit_through(index: int) -> None:
+            nonlocal cursor
+            end = min(len(groups), index + 1 + window)
+            while cursor < end:
+                ebn0_t, start_t = groups[cursor]
+                cursor += 1
+                if ebn0_t in finished or (ebn0_t, start_t) in futures:
+                    continue
+                chunks = group_chunks(ebn0_t, start_t)
+                if not chunks:
+                    continue
+                futures[(ebn0_t, start_t)] = pool.submit(
+                    "sweep_chunks",
+                    self._group_payload(ebn0_t, chunks, batch_size),
                 )
+
+        def collect(future, ebn0_t: float) -> None:
+            for c_done, chunk_dict in future.result():
+                ready[(ebn0_t, c_done)] = SnrPoint.from_dict(chunk_dict)
 
         results = []
         try:
@@ -466,26 +675,36 @@ class SweepEngine:
                 for c, frames_c in enumerate(sizes):
                     if self._budget_hit(merged, max_frames, min_frame_errors):
                         break
-                    submit_through(pi * num_chunks + c)
-                    key = chunk_key(ebn0, c)
-                    chunk = (
-                        checkpoint.get(key) if checkpoint is not None else None
-                    )
+                    submit_through(pi * len(starts) + c // chunks_per_task)
+                    chunk = precomputed.get((point_key(ebn0), c))
                     if chunk is None:
-                        future = futures.pop((ebn0, c), None)
-                        if future is None:
-                            # Only reachable when the same Eb/N0 value
-                            # appears twice in one sweep (the first
-                            # occurrence consumed the future).
-                            future = pool.submit(
-                                _chunk_worker,
-                                self._payload(ebn0, c, frames_c, batch_size),
-                            )
-                        chunk = SnrPoint.from_dict(future.result())
-                        if checkpoint is not None:
-                            unflushed = self._store(
-                                checkpoint, key, chunk, unflushed
-                            )
+                        key = chunk_key(ebn0, c)
+                        chunk = (
+                            checkpoint.get(key)
+                            if checkpoint is not None else None
+                        )
+                        if chunk is None:
+                            chunk = ready.pop((ebn0, c), None)
+                            if chunk is None:
+                                start = (c // chunks_per_task) * chunks_per_task
+                                future = futures.pop((ebn0, start), None)
+                                if future is None:
+                                    # Only reachable when the same Eb/N0
+                                    # value appears twice in one sweep
+                                    # (the first occurrence consumed the
+                                    # group's future).
+                                    future = pool.submit(
+                                        "sweep_chunks",
+                                        self._group_payload(
+                                            ebn0, [(c, frames_c)], batch_size
+                                        ),
+                                    )
+                                collect(future, ebn0)
+                                chunk = ready.pop((ebn0, c))
+                            if checkpoint is not None:
+                                unflushed = self._store(
+                                    checkpoint, key, chunk, unflushed
+                                )
                     merged = merged.merge(chunk)
                 finished.add(ebn0)
                 results.append(merged)

@@ -161,6 +161,29 @@ class FaultPlan:
     # ------------------------------------------------------------------
     # Hook sites
     # ------------------------------------------------------------------
+    def worker_directive(self) -> "dict | None":
+        """The scripted action, if any, for the next worker task.
+
+        Consumes the shared ``worker`` event counter and *describes*
+        the fault instead of performing it: ``{"crash": True}`` at
+        ``worker_crash`` indices, ``{"hang": hang_duration}`` at
+        ``worker_hang`` indices, ``None`` otherwise.
+        :class:`~repro.runtime.parallel.ProcessWorkerPool` calls this
+        parent-side at task assignment — keeping placement counters in
+        one process however children race — and ships the directive to
+        the worker, which dies (``os._exit``) or sleeps *before*
+        running the task, mirroring the thread pool's dequeue-time
+        hook below.
+        """
+        index = self._next("worker")
+        if index in self.worker_crash:
+            self._record("worker_crash")
+            return {"crash": True, "index": index}
+        if index in self.worker_hang:
+            self._record("worker_hang")
+            return {"hang": self.hang_duration, "index": index}
+        return None
+
     def on_worker_task(self) -> None:
         """WorkerPool hook: called as a worker dequeues each task.
 
@@ -169,13 +192,14 @@ class FaultPlan:
         in-flight future, and respawn); sleeps ``hang_duration`` at
         ``worker_hang`` indices.
         """
-        index = self._next("worker")
-        if index in self.worker_crash:
-            self._record("worker_crash")
-            raise WorkerKilled(f"injected worker crash at task #{index}")
-        if index in self.worker_hang:
-            self._record("worker_hang")
-            time.sleep(self.hang_duration)
+        directive = self.worker_directive()
+        if directive is None:
+            return
+        if directive.get("crash"):
+            raise WorkerKilled(
+                f"injected worker crash at task #{directive['index']}"
+            )
+        time.sleep(directive["hang"])
 
     def on_batch_decode(self) -> None:
         """DecodeService hook: called before each batch decode attempt.

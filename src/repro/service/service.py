@@ -79,7 +79,8 @@ from repro.errors import (
     ServiceClosedError,
     ServiceOverloaded,
 )
-from repro.runtime.parallel import WorkerPool
+from repro.runtime.parallel import ProcessWorkerPool, WorkerPool
+from repro.runtime.procworker import decode_out_spec
 from repro.service.cache import PlanCache
 from repro.service.metrics import ServiceMetrics, prometheus_text
 from repro.service.policies import AdmissionPolicy, RetryPolicy
@@ -194,7 +195,23 @@ class DecodeService:
     faults:
         Optional :class:`~repro.runtime.faults.FaultPlan`, wired into
         the submit path (payload corruption), the worker pool
-        (crash/stall) and the batch decode (backend errors).
+        (crash/stall) and the batch decode (backend errors).  Under the
+        process executor, worker crash/stall directives are evaluated
+        parent-side at task assignment and executed in the child —
+        same scripted placement, same supervisor recovery.
+    executor:
+        ``"thread"`` (default) decodes batches on a supervised
+        :class:`~repro.runtime.WorkerPool` of threads sharing the
+        service's :class:`PlanCache`.  ``"process"`` shards batches
+        across a dedicated
+        :class:`~repro.runtime.parallel.ProcessWorkerPool`: each
+        worker process owns its own plan cache, LLR frames and result
+        arrays travel through shared-memory segments, and pure-Python
+        schedule bookkeeping escapes the GIL.  Deadlines, admission,
+        retries, per-client FIFO and fault injection behave
+        identically; results are bit-identical.  Prefer registry-string
+        modes with the process executor (code *objects* re-pickle per
+        batch and defeat the per-worker plan cache).
 
     Use as a context manager, or call :meth:`close` — it drains pending
     requests (every submitted future resolves) before shutting the
@@ -217,6 +234,7 @@ class DecodeService:
         retry: "RetryPolicy | None" = None,
         hang_timeout: "float | None" = None,
         faults=None,
+        executor: str = "thread",
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -224,6 +242,11 @@ class DecodeService:
             raise ValueError("max_wait must be >= 0")
         if default_timeout is not None and default_timeout <= 0:
             raise ValueError("default_timeout must be positive (or None)")
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        self.executor = executor
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait)
         self.policy = AdmissionPolicy(
@@ -242,12 +265,20 @@ class DecodeService:
         self.metrics = ServiceMetrics(clock=clock)
         self._clock = clock
         self._faults = faults
-        self._pool = WorkerPool(
-            workers,
-            name="repro-decode",
-            hang_timeout=hang_timeout,
-            faults=faults,
-        )
+        if executor == "process":
+            self._pool = ProcessWorkerPool(
+                workers,
+                name="repro-decode",
+                hang_timeout=hang_timeout,
+                faults=faults,
+            )
+        else:
+            self._pool = WorkerPool(
+                workers,
+                name="repro-decode",
+                hang_timeout=hang_timeout,
+                faults=faults,
+            )
         self._cond = threading.Condition()
         #: group key -> _Bucket; insertion order ~ first pending.
         self._buckets: "OrderedDict[tuple, _Bucket]" = OrderedDict()
@@ -724,6 +755,9 @@ class DecodeService:
 
     def _dispatch_batch(self, requests: "list[_Request]", attempt: int) -> None:
         """Hand a batch to the pool, with crash/hang recovery attached."""
+        if self.executor == "process":
+            self._dispatch_batch_process(requests, attempt)
+            return
         try:
             batch_future = self._pool.submit(self._run_batch, requests, attempt)
         except RuntimeError:
@@ -742,6 +776,101 @@ class DecodeService:
         batch_future.add_done_callback(
             lambda f, reqs=requests, n=attempt: self._on_batch_done(f, reqs, n)
         )
+
+    def _dispatch_batch_process(
+        self, requests: "list[_Request]", attempt: int
+    ) -> None:
+        """Process-executor dispatch: ship one merged batch over shm.
+
+        The thread path's worker body (:meth:`_run_batch`) splits in
+        two here: everything that must see *parent* state — the
+        per-attempt fault hooks, payload merging, retry adjudication —
+        runs in this process, and only the pure decode crosses to a
+        worker, which serves it from its own plan cache.  Fault-hook
+        order matches the thread path exactly (cache hook, then batch
+        hook, then decode), so a scripted
+        :class:`~repro.runtime.faults.FaultPlan` fires at the same
+        event indices under either executor.
+        """
+        live = [r for r in requests if not r.resolved]
+        if not live:
+            return
+        first = live[0]
+        try:
+            cache_drop = False
+            cache_faults = getattr(self.cache, "_faults", None)
+            if cache_faults is not None:
+                # The thread path's cache.get() consumes one cache-fault
+                # event per batch attempt; consume it here and forward
+                # the verdict so the *worker's* cache takes the drop.
+                cache_drop = cache_faults.on_cache_get()
+            if self._faults is not None:
+                self._faults.on_batch_decode()
+            if len(live) == 1:
+                merged = first.llr
+            else:
+                merged = np.concatenate([r.llr for r in live], axis=0)
+            meta = {
+                "mode": first.mode,
+                "config": first.config,
+                "cache_drop": cache_drop,
+            }
+            out_spec = decode_out_spec(*merged.shape)
+        except BaseException as exc:  # retried or delivered, never swallowed
+            pending = [r for r in live if not r.resolved]
+            if pending:
+                self._retry_or_fail(pending, attempt, exc)
+            return
+        try:
+            batch_future = self._pool.submit(
+                "decode", meta, arrays={"llr": merged}, out_spec=out_spec
+            )
+        except RuntimeError:
+            for request in live:
+                self._deliver(
+                    request,
+                    "closed",
+                    ServiceClosedError(
+                        "service closed while this request awaited retry"
+                    ),
+                )
+            return
+        self.metrics.record_offloaded()
+        batch_future.add_done_callback(
+            lambda f, reqs=live, n=attempt: self._finish_offloaded(f, reqs, n)
+        )
+
+    def _finish_offloaded(self, batch_future, requests, attempt) -> None:
+        """Reassemble a worker's shared-memory decode and deliver slices.
+
+        Runs on the pool's collector thread.  Errors — the worker's own
+        exceptions and :class:`WorkerCrashedError` from the supervisor —
+        go through the same retry adjudication as the thread path, so
+        crash recovery and backend-error retries behave identically
+        under either executor.
+        """
+        if batch_future.cancelled():
+            return
+        exc = batch_future.exception()
+        if exc is not None:
+            pending = [r for r in requests if not r.resolved]
+            if pending:
+                self._retry_or_fail(pending, attempt, exc)
+            return
+        payload, outputs = batch_future.result()
+        result = DecodeResult(
+            bits=outputs["bits"],
+            llr=outputs["llr"],
+            iterations=outputs["iterations"],
+            converged=outputs["converged"],
+            et_stopped=outputs["et_stopped"],
+            n_info=payload["n_info"],
+        )
+        offset = 0
+        for request in requests:
+            sliced = result.slice(offset, offset + request.frames)
+            offset += request.frames
+            self._deliver(request, "result", sliced)
 
     def _on_batch_done(self, batch_future, requests, attempt) -> None:
         """Recover requests whose worker never returned.

@@ -404,3 +404,67 @@ def test_link_decode_bit_identity(case):
     via_link = link.decode(_case_llrs(case))
     fresh = _decode(case)
     _assert_identical(via_link, fresh, f"{case.label} Link vs hand-built")
+
+
+# ---------------------------------------------------------------------------
+# Property 6: the process executor is invisible
+# ---------------------------------------------------------------------------
+# The process-sharded execution layer (ROADMAP 2a) moves batches through
+# shared memory into per-worker plan caches.  The property: decoding a
+# matrix case through ``DecodeService(executor="process")`` — and running
+# a sweep through the forced process pool — is bit-identical to the
+# serial, in-process path.  One service/pool serves every sampled case
+# (that is the deployment shape; it also keeps the fork cost bounded).
+def _process_cases():
+    layered = [c for c in CASES if c.schedule == "layered"]
+    # Sample across codes and datapaths without spinning one service
+    # per case: first and last case of each code.
+    picked = []
+    for index in range(N_CODES):
+        of_code = [c for c in layered if c.code_index == index]
+        picked.extend({id(c): c for c in (of_code[0], of_code[-1])}.values())
+    return picked
+
+
+def test_process_service_decode_bit_identity():
+    from repro.service import DecodeService, PlanCache
+
+    cases = _process_cases()
+    with DecodeService(
+        max_batch=8,
+        max_wait=0.002,
+        workers=2,
+        executor="process",
+        cache=PlanCache(maxsize=8),
+    ) as service:
+        futures = [
+            (case, service.submit(
+                CODES[case.code_index], _case_llrs(case), config=case.config()
+            ))
+            for case in cases
+        ]
+        for case, future in futures:
+            served = future.result(timeout=120)
+            _assert_identical(
+                served, _decode(case), f"{case.label} process-served vs direct"
+            )
+            assert served.n_info == CODES[case.code_index].n_info
+
+
+@pytest.mark.parametrize("schedule", ["layered", "flooding"])
+def test_process_sweep_bit_identity(schedule):
+    from repro.runtime import ProcessWorkerPool, SweepEngine
+
+    case = next(c for c in CASES if c.schedule == schedule)
+    code = CODES[case.code_index]
+    budget = dict(max_frames=40, min_frame_errors=1000, batch_size=20)
+    ebn0 = [2.0, 4.0]
+    serial = SweepEngine(
+        code, case.config(), schedule=schedule, seed=MASTER_SEED
+    ).run(ebn0, **budget)
+    with ProcessWorkerPool(2) as pool:
+        forced = SweepEngine(
+            code, case.config(), schedule=schedule, seed=MASTER_SEED,
+            workers=2, force_parallel=True, pool=pool,
+        ).run(ebn0, **budget)
+    assert [p.to_dict() for p in serial] == [p.to_dict() for p in forced]

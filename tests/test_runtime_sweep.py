@@ -329,3 +329,152 @@ class TestMapOrdered:
 
         result = run_sweep("x", [1, 2, 3, 4], lambda x: {"y": x * x}, workers=3)
         assert result.column("y") == [1, 4, 9, 16]
+
+
+class TestExecutorGate:
+    """The break-even gate and the forced process path (ROADMAP 2a)."""
+
+    def _pool(self):
+        from repro.runtime import ProcessWorkerPool
+
+        return ProcessWorkerPool(2)
+
+    def test_serial_engine_records_trivial_decision(self, small_code):
+        engine = SweepEngine(small_code, seed=9)
+        engine.run(EBN0, **BUDGET)
+        assert engine.last_decision["executor"] == "serial"
+        assert engine.last_decision["reason"] == "workers < 2"
+
+    def test_auto_gate_always_records_a_verdict(self, small_code):
+        engine = SweepEngine(small_code, seed=9, workers=2)
+        engine.run(EBN0, **BUDGET)
+        decision = engine.last_decision
+        assert decision["executor"] in ("serial", "process")
+        assert decision["reason"]
+        assert decision["requested_workers"] == 2
+        assert decision["calibration_s"] > 0.0
+        assert decision["frames_per_s"] > 0.0
+
+    def test_break_even_threshold_forces_serial(self, small_code, monkeypatch):
+        # Pretend the box has cores (the core-count gate would otherwise
+        # preempt the threshold on single-CPU runners): an absurd
+        # threshold still picks serial, with exact statistics.
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        engine = SweepEngine(
+            small_code, seed=9, workers=2, break_even_s=1e9
+        )
+        gated = engine.run(EBN0, **BUDGET)
+        assert engine.last_decision["executor"] == "serial"
+        assert "break_even_s" in engine.last_decision["reason"]
+        serial = SweepEngine(small_code, seed=9).run(EBN0, **BUDGET)
+        assert _dicts(gated) == _dicts(serial)
+
+    def test_break_even_zero_takes_the_process_path(
+        self, small_code, monkeypatch
+    ):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        serial = SweepEngine(small_code, seed=9).run(EBN0, **BUDGET)
+        with self._pool() as pool:
+            engine = SweepEngine(
+                small_code, seed=9, workers=2, break_even_s=0.0, pool=pool
+            )
+            taken = engine.run(EBN0, **BUDGET)
+            assert engine.last_decision["executor"] == "process"
+        assert _dicts(taken) == _dicts(serial)
+
+    def test_single_core_box_falls_back_to_serial(
+        self, small_code, monkeypatch
+    ):
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        engine = SweepEngine(small_code, seed=9, workers=4)
+        engine.run(EBN0, **BUDGET)
+        assert engine.last_decision["executor"] == "serial"
+        assert "usable core" in engine.last_decision["reason"]
+
+    def test_forced_process_is_bit_identical_to_serial(self, small_code):
+        serial = SweepEngine(small_code, seed=9).run(EBN0, **BUDGET)
+        with self._pool() as pool:
+            engine = SweepEngine(
+                small_code, seed=9, workers=2, force_parallel=True, pool=pool
+            )
+            forced = engine.run(EBN0, **BUDGET)
+            assert engine.last_decision["executor"] == "process"
+            assert engine.last_decision["reason"] == "force_parallel"
+            assert _dicts(forced) == _dicts(serial)
+
+    def test_chunk_grouping_preserves_statistics(self, small_code):
+        # A huge target task size packs every chunk of a point into one
+        # task; per-chunk streams and the ordered merge keep results
+        # exactly serial.
+        serial = SweepEngine(small_code, seed=9).run(EBN0, **BUDGET)
+        with self._pool() as pool:
+            engine = SweepEngine(
+                small_code, seed=9, workers=2, force_parallel=True,
+                pool=pool, target_task_s=30.0,
+            )
+            grouped = engine.run(EBN0, **BUDGET)
+            assert engine.last_decision["chunks_per_task"] > 1
+            assert _dicts(grouped) == _dicts(serial)
+
+    def test_forced_process_early_budget_stop(self, small_code):
+        kw = dict(max_frames=500, min_frame_errors=10, batch_size=10)
+        serial = SweepEngine(small_code, seed=2).run([-2.0], **kw)
+        with self._pool() as pool:
+            forced = SweepEngine(
+                small_code, seed=2, workers=2, force_parallel=True, pool=pool
+            ).run([-2.0], **kw)
+        assert _dicts(forced) == _dicts(serial)
+        assert forced[0].frames < 500
+
+    def test_duplicate_points_in_one_sweep(self, small_code):
+        serial = SweepEngine(small_code, seed=9).run([3.0, 3.0], **BUDGET)
+        with self._pool() as pool:
+            forced = SweepEngine(
+                small_code, seed=9, workers=2, force_parallel=True, pool=pool
+            ).run([3.0, 3.0], **BUDGET)
+        assert _dicts(forced) == _dicts(serial)
+        assert _dicts([serial[0]]) == _dicts([serial[1]])
+
+    def test_two_sweeps_spawn_no_new_processes(self, small_code):
+        # THE regression this PR fixes: the seed engine built a fresh
+        # ProcessPoolExecutor per run_sweep call, so every sweep paid
+        # worker startup + imports and lost to serial.
+        with self._pool() as pool:
+            engine = SweepEngine(
+                small_code, seed=9, workers=2, force_parallel=True, pool=pool
+            )
+            first = engine.run(EBN0, **BUDGET)
+            spawned = pool.processes_spawned
+            second = engine.run(EBN0, **BUDGET)
+            assert pool.processes_spawned == spawned
+            assert _dicts(first) == _dicts(second)
+
+    def test_checkpointed_forced_process_resumes_without_decoding(
+        self, small_code, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "sweep.json"
+        with self._pool() as pool:
+            first = SweepEngine(
+                small_code, seed=9, workers=2, force_parallel=True,
+                pool=pool, checkpoint_path=path,
+            ).run(EBN0, **BUDGET)
+
+            import repro.runtime.engine as engine_mod
+
+            def explode(*args, **kwargs):
+                raise AssertionError("resume must not decode completed chunks")
+
+            monkeypatch.setattr(engine_mod, "decode_chunk", explode)
+            engine = SweepEngine(
+                small_code, seed=9, workers=2, force_parallel=True,
+                pool=pool, checkpoint_path=path,
+            )
+            resumed = engine.run(EBN0, **BUDGET)
+            assert engine.last_decision["reason"] == "checkpoint already complete"
+        assert _dicts(first) == _dicts(resumed)
+
+    def test_gate_parameter_validation(self, small_code):
+        with pytest.raises(SimulationError):
+            SweepEngine(small_code, target_task_s=0.0)
+        with pytest.raises(SimulationError):
+            SweepEngine(small_code, break_even_s=-1.0)

@@ -1,0 +1,243 @@
+"""DecodeService with ``executor="process"``: parity with the thread pool.
+
+The process executor must be a drop-in: bit-identical results, the same
+per-client FIFO delivery, the same deadline and retry semantics, the
+same typed errors — with batches crossing the process boundary through
+shared memory and every segment unlinked by close.  The full chaos
+matrix lives in ``test_service_faults.py``/``test_backend_properties``;
+this file covers the executor-specific service plumbing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.codes import get_code
+from repro.decoder import DecoderConfig, LayeredDecoder
+from repro.errors import DeadlineExceeded, ServiceClosedError
+from repro.runtime import FaultPlan
+from repro.service import DecodeService, PlanCache, RetryPolicy
+
+WIMAX = "802.16e:1/2:z24"
+WIFI = "802.11n:1/2:z27"
+CONFIG = DecoderConfig(backend="fast")
+TIMEOUT = 120
+
+
+def _llr(mode: str, frames: int, seed: int) -> np.ndarray:
+    code = get_code(mode)
+    rng = np.random.default_rng(seed)
+    return 4.0 * rng.standard_normal((frames, code.n))
+
+
+def _direct(mode: str, llr: np.ndarray):
+    return LayeredDecoder(get_code(mode), CONFIG).decode(llr)
+
+
+def _service(**kwargs) -> DecodeService:
+    kwargs.setdefault("max_batch", 8)
+    kwargs.setdefault("max_wait", 0.003)
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("default_config", CONFIG)
+    kwargs.setdefault("executor", "process")
+    return DecodeService(**kwargs)
+
+
+class TestProcessExecutorBasics:
+    def test_executor_name_is_validated(self):
+        with pytest.raises(ValueError, match="executor"):
+            DecodeService(executor="greenlet")
+
+    def test_single_request_matches_direct_decode(self):
+        llr = _llr(WIMAX, 3, seed=0)
+        with _service() as service:
+            result = service.submit(WIMAX, llr).result(timeout=TIMEOUT)
+        expected = _direct(WIMAX, llr)
+        assert np.array_equal(result.bits, expected.bits)
+        assert np.array_equal(result.llr, expected.llr)
+        assert np.array_equal(result.iterations, expected.iterations)
+        assert np.array_equal(result.et_stopped, expected.et_stopped)
+        assert result.n_info == expected.n_info
+
+    def test_mixed_modes_and_sizes_bit_identical_to_thread(self):
+        workload = [
+            (WIMAX, _llr(WIMAX, 1 + (i % 3), seed=i)) for i in range(6)
+        ] + [
+            (WIFI, _llr(WIFI, 1 + (i % 2), seed=100 + i)) for i in range(6)
+        ]
+        outputs = {}
+        for executor in ("thread", "process"):
+            with _service(executor=executor) as service:
+                futures = [
+                    service.submit(mode, llr, client=f"c{i % 3}")
+                    for i, (mode, llr) in enumerate(workload)
+                ]
+                outputs[executor] = [
+                    f.result(timeout=TIMEOUT) for f in futures
+                ]
+        for a, b in zip(outputs["thread"], outputs["process"]):
+            assert np.array_equal(a.bits, b.bits)
+            assert np.array_equal(a.llr, b.llr)
+            assert np.array_equal(a.iterations, b.iterations)
+            assert np.array_equal(a.converged, b.converged)
+            assert a.n_info == b.n_info
+
+    def test_batches_cross_the_process_boundary(self):
+        with _service() as service:
+            futures = [
+                service.submit(WIMAX, _llr(WIMAX, 2, seed=i))
+                for i in range(4)
+            ]
+            for future in futures:
+                future.result(timeout=TIMEOUT)
+            snapshot = service.metrics_snapshot()
+        assert snapshot["batches_offloaded"] >= 1
+        assert snapshot["batches_offloaded"] == snapshot["batches_dispatched"]
+        pool = snapshot["worker_pool"]
+        assert pool["processes_spawned"] >= 2
+        assert pool["tasks_completed"] >= 1
+        assert pool["segments_created"] >= 1
+
+    def test_segments_all_unlinked_after_close(self):
+        service = _service()
+        futures = [
+            service.submit(WIMAX, _llr(WIMAX, 2, seed=i)) for i in range(5)
+        ]
+        for future in futures:
+            future.result(timeout=TIMEOUT)
+        service.close()
+        pool = service.metrics_snapshot()["worker_pool"]
+        assert pool["segments_active"] == 0
+        assert pool["segments_free"] == 0
+        assert pool["segments_unlinked"] == pool["segments_created"]
+
+    def test_per_client_fifo_delivery(self):
+        resolved: list[int] = []
+        with _service(max_batch=4, max_wait=0.001) as service:
+            futures = []
+            for i in range(10):
+                future = service.submit(
+                    WIMAX, _llr(WIMAX, 1, seed=i), client="fifo"
+                )
+                future.add_done_callback(
+                    lambda f, i=i: resolved.append(i)
+                )
+                futures.append(future)
+            for future in futures:
+                future.result(timeout=TIMEOUT)
+        assert resolved == sorted(resolved)
+
+    def test_submit_after_close_raises(self):
+        service = _service()
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(WIMAX, _llr(WIMAX, 1, seed=0))
+
+
+class TestProcessExecutorDeadlines:
+    def test_deadline_expires_with_workers_occupied(self):
+        # Both workers busy on long named tasks: the tight deadline
+        # must fail the future crisply, exactly like the thread pool.
+        with _service(workers=2, max_batch=64, max_wait=0.001) as service:
+            blockers = [
+                service._pool.submit("sleep", {"seconds": 2.0})
+                for _ in range(2)
+            ]
+            future = service.submit(
+                WIMAX, _llr(WIMAX, 1, seed=0), timeout=0.15
+            )
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=TIMEOUT)
+            assert service.metrics_snapshot()["requests_timed_out"] == 1
+            for blocker in blockers:
+                blocker.result(timeout=TIMEOUT)
+
+    def test_tight_deadline_pulls_flush_forward(self):
+        # timeout < max_wait: the dispatcher must flush early and the
+        # process round trip still beats the deadline.
+        llr = _llr(WIMAX, 2, seed=1)
+        expected = _direct(WIMAX, llr)
+        with _service(max_batch=10_000, max_wait=10.0) as service:
+            result = service.submit(WIMAX, llr, timeout=5.0).result(
+                timeout=TIMEOUT
+            )
+        assert np.array_equal(result.bits, expected.bits)
+
+
+class TestProcessExecutorRecovery:
+    def test_worker_crash_is_retried_to_success(self):
+        plan = FaultPlan(worker_crash=[0])
+        llr = _llr(WIMAX, 2, seed=3)
+        with _service(
+            workers=2,
+            retry=RetryPolicy(attempts=3, backoff=0.002),
+            faults=plan,
+        ) as service:
+            result = service.submit(WIMAX, llr).result(timeout=TIMEOUT)
+            snapshot = service.metrics_snapshot()
+        expected = _direct(WIMAX, llr)
+        assert np.array_equal(result.bits, expected.bits)
+        assert np.array_equal(result.llr, expected.llr)
+        assert snapshot["requests_retried"] >= 1
+        assert snapshot["requests_failed"] == 0
+        assert snapshot["worker_pool"]["crashes_detected"] == 1
+        assert plan.injected()["worker_crash"] == 1
+
+    def test_cache_drop_directive_is_forwarded(self):
+        # cache_drop rides the task descriptor into the worker's own
+        # PlanCache; the decode stays correct (drop is correctness-
+        # neutral by the cache contract).
+        plan = FaultPlan(cache_drop=[0, 1])
+        llr = _llr(WIMAX, 2, seed=4)
+        with _service(
+            cache=PlanCache(maxsize=4, default_config=CONFIG, faults=plan),
+        ) as service:
+            result = service.submit(WIMAX, llr).result(timeout=TIMEOUT)
+        expected = _direct(WIMAX, llr)
+        assert np.array_equal(result.bits, expected.bits)
+        assert plan.injected()["cache_drop"] >= 1
+
+
+class TestProcessExecutorFrontDoors:
+    def test_server_round_trip_with_process_executor(self):
+        """server's **service_kwargs carries executor= to DecodeService."""
+        from repro.server import DecodeClient, DecodeServer
+
+        llr = _llr(WIMAX, 2, seed=5)
+        expected = _direct(WIMAX, llr)
+
+        async def roundtrip():
+            async with DecodeServer(
+                max_batch=8,
+                max_wait=0.003,
+                workers=2,
+                default_config=CONFIG,
+                executor="process",
+            ) as server:
+                assert server.service.executor == "process"
+                async with await DecodeClient.connect(
+                    *server.address
+                ) as client:
+                    return await client.decode(WIMAX, llr)
+
+        result = asyncio.run(roundtrip())
+        assert np.array_equal(result.bits, expected.bits)
+        assert np.array_equal(result.llr, expected.llr)
+        assert np.array_equal(result.iterations, expected.iterations)
+
+    def test_link_serve_with_process_executor(self):
+        from repro.link import Link
+
+        llr = _llr(WIMAX, 2, seed=6)
+        expected = _direct(WIMAX, llr)
+        with Link(WIMAX, CONFIG) as session:
+            service = session.serve(
+                max_batch=8, max_wait=0.003, workers=2, executor="process"
+            )
+            assert service.executor == "process"
+            result = service.submit(WIMAX, llr).result(timeout=TIMEOUT)
+        assert np.array_equal(result.bits, expected.bits)
+        assert np.array_equal(result.llr, expected.llr)
