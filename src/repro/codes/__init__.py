@@ -12,7 +12,11 @@ Public surface:
 """
 
 from repro.codes.base_matrix import ZERO_BLOCK, BaseMatrix, BlockEntry
-from repro.codes.construction import build_qc_base_matrix, count_base_four_cycles
+from repro.codes.construction import (
+    build_qc_base_matrix,
+    count_base_four_cycles,
+    huge_synthetic_code,
+)
 from repro.codes.dmbt import dmbt_base_matrix, dmbt_block_length, dmbt_rates
 from repro.codes.qc import QCLDPCCode
 from repro.codes.registry import (
@@ -44,6 +48,7 @@ __all__ = [
     "dmbt_block_length",
     "dmbt_rates",
     "get_code",
+    "huge_synthetic_code",
     "list_modes",
     "standards_summary",
     "validate_code",

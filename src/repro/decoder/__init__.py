@@ -28,6 +28,7 @@ from repro.decoder.backends import (
     ReferenceBackend,
     available_backends,
     make_backend,
+    make_shard_backend,
     register_backend,
     registered_backends,
     resolve_backend_name,
@@ -42,7 +43,14 @@ from repro.decoder.early_termination import (
     make_monitor,
 )
 from repro.decoder.flooding import FloodingDecoder
-from repro.decoder.layered import LayeredDecoder
+from repro.decoder.layered import LayeredDecoder, prepare_channel_llrs
+from repro.decoder.partition import (
+    BoundaryTable,
+    PartitionedPlan,
+    ShardSubPlan,
+    balanced_layer_segments,
+    expand_block_columns,
+)
 from repro.decoder.plan import DecodePlan, resolve_layer_order
 from repro.decoder.backends.base import KERNEL_TABLE, kernel_slot
 from repro.decoder.siso import (
@@ -61,6 +69,7 @@ __all__ = [
     "BP_IMPLEMENTATIONS",
     "BPForwardBackwardKernel",
     "BPSumSubKernel",
+    "BoundaryTable",
     "CHECK_NODE_ALGORITHMS",
     "CombinedEarlyTermination",
     "DecodePlan",
@@ -81,13 +90,19 @@ __all__ = [
     "MinSumKernel",
     "NumbaBackend",
     "PaperEarlyTermination",
+    "PartitionedPlan",
     "ReferenceBackend",
+    "ShardSubPlan",
     "SyndromeEarlyTermination",
     "available_backends",
+    "balanced_layer_segments",
+    "expand_block_columns",
     "make_backend",
+    "make_shard_backend",
     "make_checknode_kernel",
     "make_early_termination",
     "make_monitor",
+    "prepare_channel_llrs",
     "register_backend",
     "registered_backends",
     "resolve_backend_name",

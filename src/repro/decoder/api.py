@@ -176,6 +176,18 @@ class DecoderConfig:
         of last-bit differences), which is why the guarantee is stated
         per kernel call.  Ignored by the reference backend and by
         fixed-point configurations.
+    shards:
+        Shard count for the sharded decode fabric
+        (:class:`~repro.runtime.fabric.ShardedDecoder`).  ``1`` (the
+        default) decodes in process as before; ``K > 1`` splits the
+        layered schedule across K shard subplans exchanging boundary
+        APP values through an explicit interconnect — bit-identical to
+        ``shards=1`` for any K (the fabric replays the exact serial
+        layer order as a wavefront).  :class:`~repro.service.PlanCache`
+        (and therefore ``Link.decode``, :class:`DecodeService` and the
+        decode server) route layered decodes onto the fabric whenever
+        ``shards > 1``.  Requests clamp to the number of processed
+        layers; only the layered schedule shards.
     """
 
     check_node: str = "bp"
@@ -195,6 +207,7 @@ class DecoderConfig:
     compact_frames: bool = True
     backend: str = "auto"
     fast_exact: bool = False
+    shards: int = 1
 
     def __post_init__(self):
         if not isinstance(self.backend, str) or not self.backend:
@@ -227,6 +240,10 @@ class DecoderConfig:
             raise DecoderConfigError("siso_guard_bits must be in 0..4")
         if self.app_clip is not None and self.app_clip < self.llr_clip:
             raise DecoderConfigError("app_clip must be >= llr_clip")
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool):
+            raise DecoderConfigError("shards must be an int")
+        if self.shards < 1:
+            raise DecoderConfigError("shards must be >= 1")
 
     @property
     def is_fixed_point(self) -> bool:

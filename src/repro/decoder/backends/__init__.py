@@ -106,6 +106,20 @@ def make_backend(plan, config) -> DecoderBackend:
     return backend_cls(plan, config)
 
 
+def make_shard_backend(partition, shard_index: int, config) -> DecoderBackend:
+    """Instantiate the selected backend on one shard of a partitioned plan.
+
+    The fabric's counterpart to :func:`make_backend`: resolves the
+    backend exactly the same way, then binds it through
+    :meth:`DecoderBackend.for_shard` to the shard's
+    :class:`~repro.decoder.partition.ShardSubPlan`, so the same kernels
+    the K=1 decoder runs execute on the shard's local arrays.
+    """
+    name = resolve_backend_name(getattr(config, "backend", None))
+    backend_cls, _ = _REGISTRY[name]
+    return backend_cls.for_shard(partition, shard_index, config)
+
+
 # ---------------------------------------------------------------------------
 # In-tree registrations
 # ---------------------------------------------------------------------------
@@ -130,6 +144,7 @@ __all__ = [
     "ReferenceBackend",
     "available_backends",
     "make_backend",
+    "make_shard_backend",
     "register_backend",
     "registered_backends",
     "resolve_backend_name",

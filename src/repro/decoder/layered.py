@@ -35,6 +35,43 @@ from repro.decoder.early_termination import make_monitor
 from repro.decoder.plan import DecodePlan, check_plan_compatible
 
 
+def prepare_channel_llrs(
+    config: DecoderConfig, n: int, channel_llr: np.ndarray
+) -> tuple[np.ndarray, bool]:
+    """Normalize channel input to a ``(B, N)`` array in datapath units.
+
+    Shared by every decode front end (layered, flooding via its own
+    path, and the sharded fabric) so input conditioning — quantization
+    with zero-breaking in fixed point, clipping in float — is one
+    code path and stays bit-identical across them.  Returns the working
+    array and whether the input was a single ``(N,)`` frame.
+    """
+    llr = np.asarray(channel_llr)
+    single = llr.ndim == 1
+    if single:
+        llr = llr[None, :]
+    if llr.ndim != 2 or llr.shape[1] != n:
+        raise ValueError(
+            f"channel LLRs must be (B, {n}); got {llr.shape}"
+        )
+    if config.is_fixed_point:
+        # Channel LLRs enter through the 8-bit message port but live in
+        # the wider APP memory thereafter.  Floats are quantized with
+        # zero-breaking (an exactly-zero raw LLR is an absorbing
+        # erasure under the sum-subtract SISO — the PR 3 bug);
+        # integer inputs are the caller's explicit raw datapath
+        # values and pass through saturation only.
+        if np.issubdtype(llr.dtype, np.integer):
+            working = config.qformat.saturate(llr.astype(np.int64))
+        else:
+            working = config.qformat.quantize_nonzero(llr)
+    else:
+        working = np.clip(
+            llr.astype(np.float64), -config.llr_clip, config.llr_clip
+        )
+    return working, single
+
+
 class LayeredDecoder:
     """Block-serial layered BP decoder for one QC-LDPC code.
 
@@ -85,30 +122,7 @@ class LayeredDecoder:
     # ------------------------------------------------------------------
     def _prepare_llrs(self, channel_llr: np.ndarray) -> tuple[np.ndarray, bool]:
         """Normalize input to a (B, N) working array in datapath units."""
-        llr = np.asarray(channel_llr)
-        single = llr.ndim == 1
-        if single:
-            llr = llr[None, :]
-        if llr.ndim != 2 or llr.shape[1] != self.code.n:
-            raise ValueError(
-                f"channel LLRs must be (B, {self.code.n}); got {llr.shape}"
-            )
-        if self.config.is_fixed_point:
-            # Channel LLRs enter through the 8-bit message port but live in
-            # the wider APP memory thereafter.  Floats are quantized with
-            # zero-breaking (an exactly-zero raw LLR is an absorbing
-            # erasure under the sum-subtract SISO — the PR 3 bug);
-            # integer inputs are the caller's explicit raw datapath
-            # values and pass through saturation only.
-            if np.issubdtype(llr.dtype, np.integer):
-                working = self.config.qformat.saturate(llr.astype(np.int64))
-            else:
-                working = self.config.qformat.quantize_nonzero(llr)
-        else:
-            working = np.clip(
-                llr.astype(np.float64), -self.config.llr_clip, self.config.llr_clip
-            )
-        return working, single
+        return prepare_channel_llrs(self.config, self.code.n, channel_llr)
 
     def _empty_result(self) -> DecodeResult:
         """A well-formed result for a (0, N) batch."""

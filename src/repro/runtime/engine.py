@@ -381,6 +381,10 @@ class SweepEngine:
         whichever comes first.  Statistics are independent of ``workers``
         and of the point's position in ``ebn0_list``.
         """
+        # Reset up front, not only on success: if validation, planning
+        # or the run itself raises, a stale verdict from the previous
+        # run must not survive to describe this one.
+        self.last_decision = None
         if max_frames < 1 or batch_size < 1:
             raise SimulationError("max_frames and batch_size must be >= 1")
         points = [float(ebn0) for ebn0 in ebn0_list]

@@ -1,0 +1,1156 @@
+"""Sharded decode fabric: one decode spanning workers.
+
+The paper's chip reaches 1 Gbps by spreading one code's check rows
+across ``z`` parallel SISO units behind a permutation network; Condo &
+Masera's NoC decoder scales further by partitioning the Tanner graph
+across processing elements that exchange boundary messages through an
+explicit network-on-chip.  This module is the runtime half of that
+software analogue (the plan half is :mod:`repro.decoder.partition`):
+
+- :class:`ShardedDecoder` splits a layered decode across K shard
+  subplans, places shard steps on worker-pool slots (an in-process
+  executor for tests, :class:`~repro.runtime.ProcessWorkerPool` for
+  real process sharding), and runs each iteration as a
+  barrier-synchronized **superstep**;
+- boundary APP values move through an :class:`Interconnect` — an
+  in-process :class:`RingInterconnect` or a shared-memory
+  :class:`ShmMailboxInterconnect` whose payloads live in recycled
+  ``_ShmArena`` segments — with **per-epoch sequence numbers**, so a
+  crashed-and-respawned shard worker (or any out-of-order delivery)
+  surfaces as :class:`~repro.errors.WorkerCrashedError`, never as
+  silent corruption;
+- early termination is a **global all-reduce**: each shard returns the
+  final APP values of the columns it owns, the coordinator scatters
+  them into one ``(B, N)`` array and runs the unmodified §IV monitors
+  and :class:`~repro.decoder.compaction.ActiveFrameSet` on it, so the
+  ET rule (and therefore every reported iteration count) fires
+  identically to single-process decode.
+
+**Bit-identity is the invariant, so the wavefront is serial.**  Layered
+BP with saturating fixed-point arithmetic is order-sensitive: layer
+``l+1`` must read the APP values layer ``l`` just wrote.  The fabric
+therefore executes the K shards of each iteration *in order* (shard 0 →
+1 → … → K−1), each shard draining its inbox — boundary updates from
+every shard that ran since its last step, applied in global sequence
+order — before running its layer segment.  That replays the exact
+serial schedule, which is what makes sharded output bit-for-bit equal
+to ``shards=1`` for any K (including ET iteration counts; pinned by the
+property harness).  What sharding buys is *memory locality and scale*,
+not intra-frame parallel speedup: each worker holds only its shard's
+slice of the ``(B, total_blocks, z)`` check-message memory and its
+local APP columns, which is what lets codes with N ≫ 10⁴ be decoded at
+all — the Λ memory for such codes dwarfs a single worker's cache — and
+is the substrate the pipelined multi-frame fabric can ride on.
+
+Epoch/sequence discipline: every decode opens a fresh epoch on its
+interconnect; messages carry ``(epoch, seq)`` with ``seq`` globally
+monotonic within the epoch, and each shard's state header records the
+last applied sequence number.  The coordinator validates sequence
+continuity on every drain and each process worker validates its state
+header (epoch, iteration, batch, applied seq) before touching shard
+state; any mismatch — a respawned worker finding stale state, a lost or
+reordered message — aborts the decode with ``WorkerCrashedError`` and
+no partial results are delivered.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+from multiprocessing import shared_memory
+
+from repro.codes.qc import QCLDPCCode
+from repro.decoder.api import DecodeResult, DecoderConfig
+from repro.decoder.backends import make_shard_backend
+from repro.decoder.compaction import ActiveFrameSet
+from repro.decoder.early_termination import make_monitor
+from repro.decoder.layered import prepare_channel_llrs
+from repro.decoder.partition import (
+    PartitionedPlan,
+    expand_block_columns,
+)
+from repro.decoder.plan import DecodePlan, check_plan_compatible
+from repro.errors import DecoderConfigError, WorkerCrashedError
+from repro.runtime.parallel import (
+    ProcessWorkerPool,
+    WorkerPool,
+    _ShmArena,
+)
+from repro.runtime.procworker import ALIGNMENT
+
+#: Fabric shard-state header magic (first int64 of every state segment).
+STATE_MAGIC = 0x5FAB_C0DE
+#: Header slot indices (int64 each; the header occupies one 64-byte line).
+HDR_MAGIC, HDR_EPOCH, HDR_ITER, HDR_BATCH, HDR_SEQ, HDR_SHARD = range(6)
+_HEADER_BYTES = 64
+
+_FABRIC_IDS = itertools.count(1)
+
+
+def _aligned(nbytes: int) -> int:
+    return (int(nbytes) + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def shard_state_layout(
+    capacity: int, n_local: int, blocks: int, z: int, dtype
+) -> tuple[int, int, int]:
+    """Byte layout of one shard's persistent state segment.
+
+    ``[header | APP (capacity, n_local) | Λ (capacity, blocks, z)]``,
+    each region 64-byte aligned.  Returns ``(nbytes, app_offset,
+    lam_offset)``.  Both parent (allocation, initial write) and worker
+    (attach-per-task views) derive the layout from this one function.
+    """
+    item = np.dtype(dtype).itemsize
+    app_offset = _HEADER_BYTES
+    lam_offset = _aligned(app_offset + capacity * n_local * item)
+    nbytes = _aligned(lam_offset + capacity * blocks * z * item)
+    return nbytes, app_offset, lam_offset
+
+
+def _state_views(buf, capacity, n_local, blocks, z, dtype):
+    """Header / APP / Λ ndarray views over a state segment buffer."""
+    _, app_offset, lam_offset = shard_state_layout(
+        capacity, n_local, blocks, z, dtype
+    )
+    header = np.ndarray((8,), dtype=np.int64, buffer=buf)
+    app = np.ndarray(
+        (capacity, n_local), dtype=dtype, buffer=buf, offset=app_offset
+    )
+    lam = np.ndarray(
+        (capacity, blocks, z), dtype=dtype, buffer=buf, offset=lam_offset
+    )
+    return header, app, lam
+
+
+# ---------------------------------------------------------------------------
+# Interconnect
+# ---------------------------------------------------------------------------
+@dataclass
+class Message:
+    """One interconnect message.
+
+    ``kind="boundary"`` carries post-update APP values of the block
+    columns shared by ``(src, dst)``, in
+    :func:`~repro.decoder.partition.expand_block_columns` order — as an
+    in-process array (``payload``) on the ring, or as a shared-memory
+    ``segment`` in the mailbox.  ``kind="compact"`` is a coordinator
+    broadcast carrying the frame ``keep`` mask of an active-frame
+    retirement; shards apply inbox messages strictly in ``seq`` order,
+    which totally orders boundary writes against batch compactions —
+    the property that keeps every shard's row space aligned with the
+    coordinator's.
+    """
+
+    seq: int
+    epoch: int
+    src: int
+    dst: int
+    iteration: int
+    kind: str
+    payload: np.ndarray | None = None
+    segment: shared_memory.SharedMemory | None = None
+    shape: tuple = ()
+    dtype: object = None
+    nbytes: int = 0
+
+
+class Interconnect:
+    """Base interconnect: per-epoch sequencing, queues, validation.
+
+    One decode = one epoch.  ``send``/``post`` stamp each message with
+    the epoch and the next global sequence number; :meth:`drain` hands a
+    destination its pending messages and enforces that they belong to
+    the open epoch and extend the destination's sequence history
+    strictly monotonically.  Subclasses choose the payload transport.
+    The fabric coordinator serializes all calls (the wavefront is the
+    synchronization), so no internal locking is needed beyond what the
+    shared segment arena requires.
+    """
+
+    kind = "abstract"
+
+    def __init__(self, shards: int):
+        self.shards = int(shards)
+        self._queues: list[deque] = [deque() for _ in range(self.shards)]
+        self._epoch: int | None = None
+        self._seq = 0
+        self._last_drained = [-1] * self.shards
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- epoch lifecycle ----------------------------------------------
+    def open_epoch(self, epoch: int) -> None:
+        for queue in self._queues:
+            while queue:
+                self.release(queue.popleft())
+        self._epoch = int(epoch)
+        self._seq = 0
+        self._last_drained = [-1] * self.shards
+
+    def close(self) -> None:
+        """Drop (and free) every undelivered message; end the epoch."""
+        for queue in self._queues:
+            while queue:
+                self.release(queue.popleft())
+        self._epoch = None
+
+    # -- send side ----------------------------------------------------
+    def _enqueue(self, message: Message) -> Message:
+        if self._epoch is None or message.epoch != self._epoch:
+            raise RuntimeError(
+                f"send on closed or stale epoch {message.epoch} "
+                f"(open: {self._epoch})"
+            )
+        self._queues[message.dst].append(message)
+        self.messages_sent += 1
+        self.bytes_sent += message.nbytes
+        return message
+
+    def _stamp(self) -> tuple[int, int]:
+        seq = self._seq
+        self._seq += 1
+        return seq, self._epoch if self._epoch is not None else -1
+
+    def send(
+        self, src: int, dst: int, iteration: int, payload: np.ndarray
+    ) -> Message:
+        raise NotImplementedError
+
+    def send_compact(self, iteration: int, keep: np.ndarray) -> None:
+        """Broadcast a frame-retirement keep mask to every shard."""
+        for dst in range(self.shards):
+            seq, epoch = self._stamp()
+            self._enqueue(
+                Message(
+                    seq=seq,
+                    epoch=epoch,
+                    src=-1,
+                    dst=dst,
+                    iteration=iteration,
+                    kind="compact",
+                    payload=keep,
+                    nbytes=int(keep.size),
+                )
+            )
+
+    # -- receive side -------------------------------------------------
+    def drain(self, dst: int) -> list[Message]:
+        """All pending messages for ``dst``, validated, in seq order.
+
+        Raises
+        ------
+        WorkerCrashedError
+            On any epoch or sequence anomaly — a stale message from a
+            previous decode, a duplicate, or a gap that skips backwards.
+            Sequence *gaps forward* are legal (other shards' messages
+            occupy them); what must never happen is non-monotonicity.
+        """
+        queue = self._queues[dst]
+        messages: list[Message] = []
+        last = self._last_drained[dst]
+        while queue:
+            message = queue.popleft()
+            if message.epoch != self._epoch or message.seq <= last:
+                raise WorkerCrashedError(
+                    f"interconnect corruption at shard {dst}: message "
+                    f"(epoch={message.epoch}, seq={message.seq}) after "
+                    f"(epoch={self._epoch}, seq={last})"
+                )
+            last = message.seq
+            messages.append(message)
+        self._last_drained[dst] = last
+        return messages
+
+    def release(self, message: Message) -> None:
+        """Free a delivered message's transport resources (if any)."""
+
+    # -- telemetry ----------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "kind": self.kind,
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+        }
+
+
+class RingInterconnect(Interconnect):
+    """In-process ring: payloads are arrays, hops are counted.
+
+    The thread-executor transport.  Messages logically travel the ring
+    ``src → src+1 → … → dst`` (the hop count models the NoC distance a
+    hardware ring would pay and feeds the telemetry that the mailbox's
+    byte counters mirror); storage is a per-destination deque.
+    """
+
+    kind = "ring"
+
+    def __init__(self, shards: int):
+        super().__init__(shards)
+        self.hops = 0
+
+    def send(
+        self, src: int, dst: int, iteration: int, payload: np.ndarray
+    ) -> Message:
+        seq, epoch = self._stamp()
+        self.hops += (dst - src) % self.shards
+        return self._enqueue(
+            Message(
+                seq=seq,
+                epoch=epoch,
+                src=src,
+                dst=dst,
+                iteration=iteration,
+                kind="boundary",
+                payload=payload,
+                nbytes=int(payload.nbytes),
+            )
+        )
+
+    def stats(self) -> dict:
+        out = super().stats()
+        out["hops"] = self.hops
+        return out
+
+
+class ShmMailboxInterconnect(Interconnect):
+    """Shared-memory mailboxes: payloads live in recycled arena segments.
+
+    The process-executor transport.  The coordinator *reserves* a
+    segment per outgoing boundary message before dispatching a shard
+    step; the worker writes its payload straight into the mailbox (no
+    copy through the task segment), the completed step :meth:`post`\\ s
+    the message, and the destination worker attaches the same segment
+    on its next step.  Segments return to the arena free list on
+    :meth:`release` — the PR 7 recycling discipline, so a steady-state
+    decode allocates no new segments after its first iteration.
+    """
+
+    kind = "shm-mailbox"
+
+    def __init__(self, shards: int, arena: _ShmArena, lock: threading.Lock):
+        super().__init__(shards)
+        self._arena = arena
+        self._arena_lock = lock
+
+    def reserve(self, nbytes: int) -> shared_memory.SharedMemory:
+        with self._arena_lock:
+            return self._arena.acquire(max(1, int(nbytes)))
+
+    def post(
+        self,
+        src: int,
+        dst: int,
+        iteration: int,
+        segment: shared_memory.SharedMemory,
+        shape: tuple,
+        dtype,
+    ) -> Message:
+        seq, epoch = self._stamp()
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        return self._enqueue(
+            Message(
+                seq=seq,
+                epoch=epoch,
+                src=src,
+                dst=dst,
+                iteration=iteration,
+                kind="boundary",
+                segment=segment,
+                shape=tuple(shape),
+                dtype=np.dtype(dtype),
+                nbytes=nbytes,
+            )
+        )
+
+    def discard(self, segment: shared_memory.SharedMemory) -> None:
+        """Destroy a reserved segment (abort path: a crashed worker may
+        still be attached or mid-write, so the name is never reused)."""
+        with self._arena_lock:
+            self._arena.discard(segment)
+
+    def release(self, message: Message) -> None:
+        if message.segment is not None:
+            with self._arena_lock:
+                self._arena.release(message.segment)
+            message.segment = None
+
+
+# ---------------------------------------------------------------------------
+# Worker-side step (process executor)
+# ---------------------------------------------------------------------------
+def _build_shard_context(meta) -> dict:
+    """Compile the shard's partition/backend bundle inside a worker."""
+    code = QCLDPCCode(meta["base"])
+    config: DecoderConfig = meta["config"]
+    shard_index = int(meta["shard_index"])
+    plan = DecodePlan(code, config.layer_order)
+    partition = PartitionedPlan(plan, config.shards)
+    backend = make_shard_backend(partition, shard_index, config)
+    recv_tables = {
+        table.src: table
+        for tables in partition.send_tables
+        for table in tables
+        if table.dst == shard_index
+    }
+    sub = partition.subplans[shard_index]
+    return {
+        "sub": sub,
+        "backend": backend,
+        "recv": recv_tables,
+        "send": partition.send_tables[shard_index],
+        "owned": partition.owned_indices[shard_index],
+        "dtype": np.dtype(backend.work_dtype),
+    }
+
+
+def _shard_cache(state) -> dict:
+    cache = getattr(state, "fabric", None)
+    if cache is None:
+        cache = state.fabric = {}
+    return cache
+
+
+def run_shard_step(state, meta, inputs) -> tuple:
+    """Execute one shard superstep inside a pool worker.
+
+    The ``fabric_step`` task body (see
+    :data:`repro.runtime.procworker.TASKS`).  Attaches the shard's
+    parent-owned state segment, validates its header against the
+    coordinator's expectations, applies the inbox (boundary scatters
+    and batch compactions, strictly in sequence order), runs the
+    shard's layer segment through the unmodified backend kernels,
+    writes outgoing boundary payloads into the pre-reserved mailbox
+    segments, and returns the shard's owned-column APP slice for the
+    coordinator's early-termination all-reduce.
+    """
+    cache = _shard_cache(state)
+    key = (meta["fabric_id"], int(meta["shard_index"]))
+    ctx = cache.get(key)
+    if ctx is None:
+        ctx = _build_shard_context(meta)
+        # Workers serve whichever fabric sends work their way; keep the
+        # few most recent compiled shard bundles, mirroring the worker
+        # PlanCache's bounded footprint.
+        while len(cache) >= 4:
+            cache.pop(next(iter(cache)))
+        cache[key] = ctx
+    sub = ctx["sub"]
+    dtype = ctx["dtype"]
+    expected = meta["state"]
+    capacity = int(expected["capacity"])
+
+    segment = shared_memory.SharedMemory(name=expected["name"])
+    attached: list[shared_memory.SharedMemory] = [segment]
+    try:
+        header, app, lam = _state_views(
+            segment.buf, capacity, sub.n, sub.total_blocks, sub.z, dtype
+        )
+        if (
+            header[HDR_MAGIC] != STATE_MAGIC
+            or header[HDR_EPOCH] != meta["epoch"]
+            or header[HDR_ITER] != meta["iteration"] - 1
+            or header[HDR_BATCH] != expected["batch"]
+            or header[HDR_SEQ] != expected["applied_seq"]
+            or header[HDR_SHARD] != meta["shard_index"]
+        ):
+            raise WorkerCrashedError(
+                f"shard {meta['shard_index']} state desynchronized: header "
+                f"(epoch={int(header[HDR_EPOCH])}, "
+                f"iteration={int(header[HDR_ITER])}, "
+                f"batch={int(header[HDR_BATCH])}, "
+                f"seq={int(header[HDR_SEQ])}) != expected "
+                f"(epoch={meta['epoch']}, iteration={meta['iteration'] - 1}, "
+                f"batch={expected['batch']}, seq={expected['applied_seq']})"
+            )
+        batch = int(header[HDR_BATCH])
+        applied = int(header[HDR_SEQ])
+        for item in meta["inbox"]:
+            if item["seq"] <= applied:
+                raise WorkerCrashedError(
+                    f"shard {meta['shard_index']} inbox sequence regression: "
+                    f"{item['seq']} after {applied}"
+                )
+            applied = int(item["seq"])
+            if item["kind"] == "compact":
+                keep = item["keep"]
+                if keep.size != batch:
+                    raise WorkerCrashedError(
+                        f"shard {meta['shard_index']} compact mask for "
+                        f"{keep.size} frames against batch {batch}"
+                    )
+                survivors = app[:batch][keep]
+                app[: survivors.shape[0]] = survivors
+                lam[: survivors.shape[0]] = lam[:batch][keep]
+                batch = survivors.shape[0]
+            else:
+                table = ctx["recv"][item["src"]]
+                payload_shm = shared_memory.SharedMemory(name=item["name"])
+                attached.append(payload_shm)
+                payload = np.ndarray(
+                    item["shape"], dtype=item["dtype"], buffer=payload_shm.buf
+                )
+                app[:batch][:, table.dst_indices] = payload
+        if batch != int(meta["batch_out"]):
+            raise WorkerCrashedError(
+                f"shard {meta['shard_index']} batch {batch} != coordinator "
+                f"batch {meta['batch_out']} after inbox"
+            )
+
+        app_view = app[:batch]
+        lam_view = lam[:batch]
+        backend = ctx["backend"]
+        for layer_pos in range(sub.num_layers):
+            backend.update_layer(app_view, lam_view, layer_pos)
+
+        for item, table in zip(meta["outbox"], ctx["send"]):
+            out_shm = shared_memory.SharedMemory(name=item["name"])
+            attached.append(out_shm)
+            out = np.ndarray(
+                item["shape"], dtype=item["dtype"], buffer=out_shm.buf
+            )
+            out[...] = app_view[:, table.src_indices]
+
+        header[HDR_ITER] = meta["iteration"]
+        header[HDR_BATCH] = batch
+        header[HDR_SEQ] = applied
+        outputs = {}
+        if ctx["owned"].size:
+            outputs["owned"] = app_view[:, ctx["owned"]]
+        return {"batch": batch}, outputs
+    finally:
+        # Attach-per-task, exactly like the decode tasks: the parent
+        # owns every segment; workers never keep mappings across tasks.
+        for shm in attached:
+            shm.close()
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+@dataclass
+class _ShardSlot:
+    """Coordinator-side bookkeeping for one shard within one epoch."""
+
+    batch: int
+    applied_seq: int = -1
+    # Thread executor: in-process working arrays.
+    app: np.ndarray | None = None
+    lam: np.ndarray | None = None
+    # Process executor: parent-owned state segment.
+    segment: shared_memory.SharedMemory | None = None
+    capacity: int = 0
+
+
+class ShardedDecoder:
+    """Layered decode of one code split across K shard workers.
+
+    Drop-in :class:`~repro.decoder.LayeredDecoder` replacement for
+    ``config.shards > 1`` — same constructor shape, same
+    :meth:`decode` contract, bit-identical output for any shard count
+    (the module docstring explains why).  Built automatically by
+    :class:`~repro.service.PlanCache` (and therefore ``Link.decode``,
+    :class:`~repro.service.DecodeService` and the decode server)
+    whenever a config requests shards; instantiate directly to choose
+    the executor.
+
+    Parameters
+    ----------
+    code, config, plan:
+        As for ``LayeredDecoder``; ``config.shards`` sets the shard
+        count (clamped to the number of processed layers).
+    executor:
+        ``"thread"`` (default) runs shard steps in process — on
+        ``pool`` when one is given (a supervised
+        :class:`~repro.runtime.WorkerPool`; how the crash tests inject
+        faults), else inline on the calling thread, since the serial
+        wavefront has no intra-iteration parallelism to exploit.
+        ``"process"`` places shard state in parent-owned shared-memory
+        segments and runs steps on a
+        :class:`~repro.runtime.ProcessWorkerPool`, with boundary
+        payloads in :class:`ShmMailboxInterconnect` mailboxes.
+    pool:
+        Optional externally owned pool (matching the executor kind).
+        When omitted under ``executor="process"`` the decoder owns a
+        pool of ``workers`` processes and shuts it down on
+        :meth:`close`.
+    workers:
+        Size of an internally created process pool (default: one slot
+        per shard, capped at ``os.cpu_count()``).
+    faults:
+        Optional :class:`~repro.runtime.FaultPlan` forwarded to an
+        internally created pool (chaos tests).
+    """
+
+    def __init__(
+        self,
+        code: QCLDPCCode,
+        config: DecoderConfig | None = None,
+        plan: DecodePlan | None = None,
+        *,
+        executor: str = "thread",
+        pool=None,
+        workers: int | None = None,
+        faults=None,
+        hang_timeout: float | None = None,
+    ):
+        if executor not in ("thread", "process"):
+            raise DecoderConfigError(
+                f"executor must be 'thread' or 'process'; got {executor!r}"
+            )
+        self.code = code
+        self.config = config if config is not None else DecoderConfig()
+        if plan is None:
+            plan = DecodePlan(code, self.config.layer_order)
+        else:
+            check_plan_compatible(plan, code, self.config.layer_order)
+        self.plan = plan
+        self.partition = PartitionedPlan(plan, self.config.shards)
+        self.executor = executor
+        self._fabric_id = f"{os.getpid():x}:{next(_FABRIC_IDS)}"
+        self._epochs = itertools.count(1)
+        self._closed = False
+
+        shards = self.partition.shards
+        self._owns_pool = False
+        self._arena: _ShmArena | None = None
+        self._arena_lock = threading.Lock()
+        if executor == "process":
+            if pool is None:
+                pool = ProcessWorkerPool(
+                    workers
+                    if workers is not None
+                    else max(1, min(shards, os.cpu_count() or 1)),
+                    name="repro-fabric",
+                    faults=faults,
+                    hang_timeout=hang_timeout,
+                )
+                self._owns_pool = True
+            self._arena = _ShmArena()
+            # The parent compiles one shard backend only for its
+            # work_dtype (FastBackend narrows float to float32); the
+            # real kernels run inside the workers.
+            self.backends = [make_shard_backend(self.partition, 0, self.config)]
+        else:
+            if pool is None and faults is not None:
+                pool = WorkerPool(
+                    workers if workers is not None else max(2, shards),
+                    name="repro-fabric",
+                    faults=faults,
+                    hang_timeout=hang_timeout,
+                )
+                self._owns_pool = True
+            self.backends = [
+                make_shard_backend(self.partition, index, self.config)
+                for index in range(shards)
+            ]
+        self.pool = pool
+        self.work_dtype = np.dtype(self.backends[0].work_dtype)
+        #: Per (src, dst) boundary table, both directions.
+        self._pair_tables = {
+            (table.src, table.dst): table
+            for tables in self.partition.send_tables
+            for table in tables
+        }
+        self._telemetry_lock = threading.Lock()
+        self._telemetry = {
+            "decodes": 0,
+            "iterations_total": 0,
+            "supersteps": 0,
+            "boundary_messages": 0,
+            "boundary_bytes": 0,
+            "ring_hops": 0,
+            "barrier_wait_s": 0.0,
+            "crashes": 0,
+            "per_shard": [
+                {
+                    "supersteps": 0,
+                    "boundary_bytes_sent": 0,
+                    "barrier_wait_s": 0.0,
+                }
+                for _ in range(shards)
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    def decode(self, channel_llr: np.ndarray) -> DecodeResult:
+        """Decode one frame or a batch; see ``LayeredDecoder.decode``.
+
+        Raises
+        ------
+        WorkerCrashedError
+            If a shard worker crashes or hangs mid-superstep, or any
+            state/sequence validation fails.  The decode is aborted
+            whole: no partial results are ever delivered, and the
+            shard state of the failed epoch is discarded (a service
+            retry policy re-runs the full decode).
+        """
+        if self._closed:
+            raise RuntimeError("decode on a closed ShardedDecoder")
+        config = self.config
+        working, _ = prepare_channel_llrs(config, self.code.n, channel_llr)
+        batch = working.shape[0]
+        if batch == 0:
+            return self._empty_result()
+        dtype = self.work_dtype
+        l_active = working.astype(dtype, copy=False)
+
+        shards = self.partition.shards
+        epoch = next(self._epochs)
+        interconnect = self._make_interconnect(shards)
+        interconnect.open_epoch(epoch)
+        slots = self._start_epoch(epoch, l_active)
+
+        monitor = make_monitor(config, self.code, l_active)
+        frames = ActiveFrameSet(
+            batch, self.code.n, dtype, compact=config.compact_frames
+        )
+        history: dict | None = (
+            {"active_frames": [], "mean_abs_llr": [], "stopped": []}
+            if config.track_history
+            else None
+        )
+        stats = {
+            "iterations": 0,
+            "barrier_wait_s": [0.0] * shards,
+            "supersteps": [0] * shards,
+        }
+        owned_global = self.partition.owned_global_indices
+        aborted = False
+        try:
+            for iteration in range(1, config.max_iterations + 1):
+                for shard in range(shards):
+                    inbox = interconnect.drain(shard)
+                    owned = self._run_step(
+                        slots, shard, epoch, iteration, inbox,
+                        l_active.shape[0], interconnect, stats,
+                    )
+                    if owned is not None:
+                        l_active[:, owned_global[shard]] = owned
+                stats["iterations"] = iteration
+
+                if monitor is not None and iteration < config.max_iterations:
+                    stop_mask = monitor.update(l_active)
+                else:
+                    stop_mask = np.zeros(l_active.shape[0], dtype=bool)
+                if iteration == config.max_iterations:
+                    stop_mask[:] = True
+
+                if history is not None:
+                    logical = frames.active_rows(l_active)
+                    history["active_frames"].append(frames.num_active)
+                    history["mean_abs_llr"].append(
+                        float(np.mean(np.abs(logical)))
+                    )
+
+                before = frames.num_active
+                keep = ~stop_mask
+                (l_active,) = frames.retire(
+                    stop_mask, l_active, iteration, config.max_iterations,
+                    monitor=monitor,
+                )
+                if history is not None:
+                    history["stopped"].append(before - frames.num_active)
+                if frames.all_done:
+                    break
+                if config.compact_frames and stop_mask.any():
+                    interconnect.send_compact(iteration, keep)
+        except BaseException:
+            aborted = True
+            raise
+        finally:
+            self._end_epoch(slots, aborted)
+            ic_stats = interconnect.stats()
+            interconnect.close()
+            self._merge_telemetry(stats, ic_stats, aborted)
+
+        out_llr = frames.out_llr
+        bits = (out_llr < 0).astype(np.uint8)
+        converged = np.asarray(self.code.is_codeword(bits))
+        if converged.ndim == 0:
+            converged = converged[None]
+        llr_out = (
+            config.qformat.dequantize(out_llr)
+            if config.is_fixed_point
+            else out_llr.astype(np.float64, copy=False)
+        )
+        return DecodeResult(
+            bits=bits,
+            llr=llr_out,
+            iterations=frames.iterations,
+            converged=converged,
+            et_stopped=frames.et_stopped,
+            n_info=self.code.n_info,
+            history=history,
+        )
+
+    def _empty_result(self) -> DecodeResult:
+        return DecodeResult.empty(
+            self.code.n,
+            self.code.n_info,
+            history=(
+                {"active_frames": [], "mean_abs_llr": [], "stopped": []}
+                if self.config.track_history
+                else None
+            ),
+        )
+
+    def _make_interconnect(self, shards: int) -> Interconnect:
+        if self.executor == "process":
+            return ShmMailboxInterconnect(
+                shards, self._arena, self._arena_lock
+            )
+        return RingInterconnect(shards)
+
+    # ------------------------------------------------------------------
+    # Epoch lifecycle
+    # ------------------------------------------------------------------
+    def _start_epoch(self, epoch: int, l_active: np.ndarray) -> list[_ShardSlot]:
+        batch = l_active.shape[0]
+        dtype = self.work_dtype
+        slots: list[_ShardSlot] = []
+        for sub in self.partition.subplans:
+            local = l_active[:, expand_block_columns(sub.global_columns, sub.z)]
+            if self.executor == "process":
+                nbytes, _, _ = shard_state_layout(
+                    batch, sub.n, sub.total_blocks, sub.z, dtype
+                )
+                with self._arena_lock:
+                    segment = self._arena.acquire(nbytes)
+                header, app, lam = _state_views(
+                    segment.buf, batch, sub.n, sub.total_blocks, sub.z, dtype
+                )
+                header[:] = 0
+                header[HDR_MAGIC] = STATE_MAGIC
+                header[HDR_EPOCH] = epoch
+                header[HDR_ITER] = 0
+                header[HDR_BATCH] = batch
+                header[HDR_SEQ] = -1
+                header[HDR_SHARD] = sub.shard_index
+                app[:batch] = local
+                lam[:batch] = 0
+                slots.append(
+                    _ShardSlot(batch=batch, segment=segment, capacity=batch)
+                )
+            else:
+                slots.append(
+                    _ShardSlot(
+                        batch=batch,
+                        app=np.ascontiguousarray(local),
+                        lam=np.zeros(
+                            (batch, sub.total_blocks, sub.z), dtype=dtype
+                        ),
+                    )
+                )
+        return slots
+
+    def _end_epoch(self, slots: list[_ShardSlot], aborted: bool) -> None:
+        if self.executor != "process":
+            return
+        with self._arena_lock:
+            for slot in slots:
+                if slot.segment is None:
+                    continue
+                # A crashed worker may still be attached to (or half
+                # through writing) its state; never recycle that name.
+                if aborted:
+                    self._arena.discard(slot.segment)
+                else:
+                    self._arena.release(slot.segment)
+                slot.segment = None
+
+    # ------------------------------------------------------------------
+    # Superstep execution
+    # ------------------------------------------------------------------
+    def _run_step(
+        self,
+        slots: list[_ShardSlot],
+        shard: int,
+        epoch: int,
+        iteration: int,
+        inbox: list[Message],
+        batch_out: int,
+        interconnect: Interconnect,
+        stats: dict,
+    ) -> np.ndarray | None:
+        if self.executor == "process":
+            return self._run_step_process(
+                slots, shard, epoch, iteration, inbox, batch_out,
+                interconnect, stats,
+            )
+        return self._run_step_thread(
+            slots, shard, iteration, inbox, interconnect, stats
+        )
+
+    def _run_step_thread(
+        self, slots, shard, iteration, inbox, interconnect, stats
+    ):
+        def step():
+            slot = slots[shard]
+            batch = slot.batch
+            for message in inbox:
+                if message.kind == "compact":
+                    keep = message.payload
+                    survivors = slot.app[:batch][keep]
+                    slot.app[: survivors.shape[0]] = survivors
+                    slot.lam[: survivors.shape[0]] = slot.lam[:batch][keep]
+                    batch = survivors.shape[0]
+                else:
+                    table = self._pair_tables[(message.src, shard)]
+                    slot.app[:batch][:, table.dst_indices] = message.payload
+                slot.applied_seq = message.seq
+            slot.batch = batch
+            app = slot.app[:batch]
+            lam = slot.lam[:batch]
+            backend = self.backends[shard]
+            sub = self.partition.subplans[shard]
+            for layer_pos in range(sub.num_layers):
+                backend.update_layer(app, lam, layer_pos)
+            outbox = [
+                app[:, table.src_indices]
+                for table in self.partition.send_tables[shard]
+            ]
+            owned_idx = self.partition.owned_indices[shard]
+            owned = app[:, owned_idx] if owned_idx.size else None
+            return owned, outbox
+
+        start = time.perf_counter()
+        if self.pool is not None:
+            owned, outbox = self.pool.submit(step).result()
+        else:
+            owned, outbox = step()
+        waited = time.perf_counter() - start
+        sent = 0
+        for table, payload in zip(self.partition.send_tables[shard], outbox):
+            interconnect.send(shard, table.dst, iteration, payload)
+            sent += payload.nbytes
+        stats["supersteps"][shard] += 1
+        stats["barrier_wait_s"][shard] += waited
+        return owned
+
+    def _run_step_process(
+        self, slots, shard, epoch, iteration, inbox, batch_out,
+        interconnect, stats,
+    ):
+        slot = slots[shard]
+        sub = self.partition.subplans[shard]
+        dtype = self.work_dtype
+        inbox_meta = []
+        for message in inbox:
+            if message.kind == "compact":
+                inbox_meta.append(
+                    {
+                        "seq": message.seq,
+                        "kind": "compact",
+                        "keep": message.payload,
+                    }
+                )
+            else:
+                inbox_meta.append(
+                    {
+                        "seq": message.seq,
+                        "kind": "boundary",
+                        "src": message.src,
+                        "name": message.segment.name,
+                        "shape": message.shape,
+                        "dtype": message.dtype,
+                    }
+                )
+        outbox_meta = []
+        outbox_segments = []
+        for table in self.partition.send_tables[shard]:
+            shape = (batch_out, table.width)
+            segment = interconnect.reserve(
+                int(np.prod(shape)) * dtype.itemsize
+            )
+            outbox_segments.append(segment)
+            outbox_meta.append(
+                {
+                    "dst": table.dst,
+                    "name": segment.name,
+                    "shape": shape,
+                    "dtype": dtype,
+                }
+            )
+        owned_width = int(self.partition.owned_indices[shard].size)
+        meta = {
+            "fabric_id": self._fabric_id,
+            "shard_index": shard,
+            "base": self.code.base,
+            "config": self.config,
+            "epoch": epoch,
+            "iteration": iteration,
+            "batch_out": batch_out,
+            "state": {
+                "name": slot.segment.name,
+                "capacity": slot.capacity,
+                "batch": slot.batch,
+                "applied_seq": slot.applied_seq,
+            },
+            "inbox": inbox_meta,
+            "outbox": outbox_meta,
+        }
+        out_spec = (
+            {"owned": ((batch_out, owned_width), dtype)}
+            if owned_width
+            else None
+        )
+        start = time.perf_counter()
+        future = self.pool.submit("fabric_step", meta, out_spec=out_spec)
+        try:
+            resolved = future.result()
+        except BaseException:
+            # The worker died (or hung past the pool's timeout) with
+            # mailbox segments possibly mid-write: destroy, don't
+            # recycle.  Inbox segments get the same treatment — the
+            # crashed worker may still hold attachments.
+            for segment in outbox_segments:
+                interconnect.discard(segment)
+            for message in inbox:
+                if message.segment is not None:
+                    interconnect.discard(message.segment)
+                    message.segment = None
+            raise
+        waited = time.perf_counter() - start
+        if out_spec is not None:
+            payload, outputs = resolved
+            owned = outputs["owned"]
+        else:
+            payload, owned = resolved, None
+        for message in inbox:
+            interconnect.release(message)
+        sent = 0
+        for table, segment, item in zip(
+            self.partition.send_tables[shard], outbox_segments, outbox_meta
+        ):
+            interconnect.post(
+                shard, table.dst, iteration, segment, item["shape"], dtype
+            )
+            sent += int(np.prod(item["shape"])) * dtype.itemsize
+        slot.batch = int(payload["batch"])
+        if inbox_meta:
+            slot.applied_seq = int(inbox_meta[-1]["seq"])
+        stats["supersteps"][shard] += 1
+        stats["barrier_wait_s"][shard] += waited
+        return owned
+
+    # ------------------------------------------------------------------
+    # Telemetry / lifecycle
+    # ------------------------------------------------------------------
+    def _merge_telemetry(self, stats, ic_stats, aborted) -> None:
+        with self._telemetry_lock:
+            t = self._telemetry
+            t["decodes"] += 1
+            t["iterations_total"] += stats["iterations"]
+            t["supersteps"] += sum(stats["supersteps"])
+            t["boundary_messages"] += ic_stats["messages_sent"]
+            t["boundary_bytes"] += ic_stats["bytes_sent"]
+            t["ring_hops"] += ic_stats.get("hops", 0)
+            t["barrier_wait_s"] += sum(stats["barrier_wait_s"])
+            t["crashes"] += int(aborted)
+            for shard, per in enumerate(t["per_shard"]):
+                per["supersteps"] += stats["supersteps"][shard]
+                per["barrier_wait_s"] += stats["barrier_wait_s"][shard]
+        # Bytes each shard pushed into the interconnect are static per
+        # (partition, batch) — attribute the epoch total by table width.
+        total_width = sum(
+            table.width
+            for tables in self.partition.send_tables
+            for table in tables
+        )
+        if total_width and ic_stats["bytes_sent"]:
+            with self._telemetry_lock:
+                for shard, per in enumerate(self._telemetry["per_shard"]):
+                    width = sum(
+                        table.width
+                        for table in self.partition.send_tables[shard]
+                    )
+                    per["boundary_bytes_sent"] += int(
+                        round(ic_stats["bytes_sent"] * width / total_width)
+                    )
+
+    def telemetry(self) -> dict:
+        """Fabric counters, nested per shard (Prometheus-exportable)."""
+        with self._telemetry_lock:
+            t = self._telemetry
+            out = {
+                "executor": self.executor,
+                "interconnect": (
+                    "shm-mailbox" if self.executor == "process" else "ring"
+                ),
+                "shards": self.partition.shards,
+                "requested_shards": self.partition.requested_shards,
+                "boundary_columns": int(self.partition.boundary_columns.size),
+                "decodes": t["decodes"],
+                "iterations_total": t["iterations_total"],
+                "supersteps": t["supersteps"],
+                "boundary_messages": t["boundary_messages"],
+                "boundary_bytes": t["boundary_bytes"],
+                "ring_hops": t["ring_hops"],
+                "barrier_wait_s": t["barrier_wait_s"],
+                "crashes": t["crashes"],
+                "per_shard": {
+                    f"shard_{index}": dict(per)
+                    for index, per in enumerate(t["per_shard"])
+                },
+            }
+        if self._arena is not None:
+            with self._arena_lock:
+                out["mailbox"] = self._arena.stats()
+        if self._owns_pool and self.pool is not None:
+            out["worker_pool"] = self.pool.stats()
+        return out
+
+    def segment_names(self) -> list[str]:
+        """Live fabric-owned shared-memory segment names (leak tests)."""
+        if self._arena is None:
+            return []
+        with self._arena_lock:
+            return self._arena.names()
+
+    def close(self) -> None:
+        """Release fabric resources (idempotent).
+
+        Destroys every arena segment (state + mailboxes) and shuts down
+        an internally created pool.  Externally provided pools are the
+        caller's to close.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._arena is not None:
+            with self._arena_lock:
+                self._arena.close_all()
+        if self._owns_pool and self.pool is not None:
+            self.pool.shutdown()
+
+    def __enter__(self) -> "ShardedDecoder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedDecoder(code={self.code.name!r}, "
+            f"shards={self.partition.shards}, executor={self.executor!r})"
+        )
+
+
+__all__ = [
+    "Interconnect",
+    "Message",
+    "RingInterconnect",
+    "ShardedDecoder",
+    "ShmMailboxInterconnect",
+    "run_shard_step",
+    "shard_state_layout",
+]

@@ -200,6 +200,19 @@ class ServiceMetrics:
                 "latency_mean_ms": mean * 1e3,
             }
 
+    def prometheus_text(self, extra: dict | None = None, prefix: str = "repro") -> str:
+        """This accumulator's snapshot as Prometheus exposition text.
+
+        ``extra`` merges additional nested sections into the snapshot
+        before rendering — how the service attaches plan-cache,
+        worker-pool and decode-fabric statistics without this class
+        knowing about any of them.
+        """
+        snapshot = self.snapshot()
+        if extra:
+            snapshot.update(extra)
+        return prometheus_text(snapshot, prefix=prefix)
+
 
 #: Snapshot keys that are monotonically non-decreasing totals; everything
 #: else (depths, rates, quantiles) is a point-in-time gauge.  Prometheus
@@ -214,6 +227,10 @@ _COUNTER_KEYS = frozenset({
     "evictions", "crashes_detected", "hangs_detected", "respawns",
     "processes_spawned", "tasks_completed", "segments_created",
     "segments_unlinked",
+    # Sharded decode fabric (repro.runtime.fabric telemetry).
+    "decodes", "iterations_total", "supersteps", "boundary_messages",
+    "boundary_bytes", "boundary_bytes_sent", "barrier_wait_s",
+    "ring_hops", "crashes",
 })
 
 

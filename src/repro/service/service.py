@@ -575,10 +575,20 @@ class DecodeService:
         return True
 
     def metrics_snapshot(self) -> dict:
-        """Service metrics plus plan-cache and worker-pool statistics."""
+        """Service metrics plus plan-cache and worker-pool statistics.
+
+        When any cached decoder is a sharded fabric
+        (``DecoderConfig(shards=K)``), its aggregated telemetry —
+        superstep counts, boundary traffic, barrier wait, per-shard
+        sub-sections — nests under ``"fabric"``; the section is absent
+        otherwise, so single-shard deployments export no dead zeros.
+        """
         snapshot = self.metrics.snapshot()
         snapshot["plan_cache"] = self.cache.stats()
         snapshot["worker_pool"] = self._pool.stats()
+        fabric = self.cache.fabric_stats()
+        if fabric is not None:
+            snapshot["fabric"] = fabric
         return snapshot
 
     def metrics_text(self) -> str:

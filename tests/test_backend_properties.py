@@ -451,6 +451,68 @@ def test_process_service_decode_bit_identity():
             assert served.n_info == CODES[case.code_index].n_info
 
 
+# ---------------------------------------------------------------------------
+# Property 7: the sharded decode fabric is invisible
+# ---------------------------------------------------------------------------
+# ROADMAP item 4: one decode split across K shard workers, boundary APP
+# values moving through an explicit interconnect.  The property — the
+# *invariant the whole fabric is built around* — is that the shard count
+# changes nothing: for any K, every result field (bits, raw LLRs,
+# iteration counts including early-termination stops, ET flags,
+# convergence) is bit-identical to the single-decoder decode, for every
+# sampled (code, config, backend, datapath) cell.  Layered cases only:
+# the fabric partitions the layered schedule.
+@pytest.mark.parametrize("case", LAYERED_CASES, ids=_case_ids(LAYERED_CASES))
+@pytest.mark.parametrize("shards", [1, 2, 3, 5])
+def test_sharded_fabric_bit_identity(case, shards):
+    from repro.runtime import ShardedDecoder
+
+    code = CODES[case.code_index]
+    fabric = ShardedDecoder(code, case.config(shards=shards))
+    sharded = fabric.decode(_case_llrs(case))
+    _assert_identical(
+        sharded,
+        _decode(case),
+        f"{case.label} shards={shards} (placed {fabric.partition.shards}) "
+        f"vs single decoder",
+    )
+    telemetry = fabric.telemetry()
+    assert telemetry["requested_shards"] == shards
+    assert telemetry["supersteps"] == (
+        telemetry["iterations_total"] * fabric.partition.shards
+    )
+
+
+@pytest.mark.parametrize("compact", [True, False], ids=["compact", "carry"])
+def test_sharded_fabric_crash_mid_superstep_no_partial_results(compact):
+    """A shard worker crash mid-superstep aborts the whole decode with
+    WorkerCrashedError — no partial result object is ever returned —
+    and a retry on the same (respawned) pool is still bit-identical."""
+    from repro.errors import WorkerCrashedError
+    from repro.runtime import FaultPlan, ShardedDecoder, WorkerPool
+
+    case = next(
+        c for c in LAYERED_CASES
+        if dict(c.config_kwargs)["max_iterations"] >= 2 and c.batch >= 2
+    )
+    code = CODES[case.code_index]
+    config = case.config(shards=2, compact_frames=compact)
+    # 2nd shard step: reached by every K=2 decode regardless of how
+    # early the case's ET rule fires, for any master seed.
+    faults = FaultPlan(worker_crash=(1,))
+    with WorkerPool(2, name="fabric-chaos", faults=faults) as pool:
+        fabric = ShardedDecoder(code, config, pool=pool)
+        with pytest.raises(WorkerCrashedError):
+            fabric.decode(_case_llrs(case))
+        assert fabric.telemetry()["crashes"] == 1
+        retried = fabric.decode(_case_llrs(case))
+    _assert_identical(
+        retried,
+        _decode(case, compact_frames=compact),
+        f"{case.label} post-crash retry vs single decoder",
+    )
+
+
 @pytest.mark.parametrize("schedule", ["layered", "flooding"])
 def test_process_sweep_bit_identity(schedule):
     from repro.runtime import ProcessWorkerPool, SweepEngine

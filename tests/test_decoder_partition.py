@@ -1,0 +1,257 @@
+"""Plan-layer tests for the sharded decode fabric partitioner.
+
+Covers :mod:`repro.decoder.partition`: edge-balanced layer segmentation,
+shard subplan index rebasing (a :class:`ShardSubPlan` is a real
+``DecodePlan`` over the shard's local variable space), boundary/interior
+column classification, ownership, and the send/recv gather tables the
+runtime fabric moves boundary APP values through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codes import QCLDPCCode, build_qc_base_matrix, get_code
+from repro.decoder import (
+    DecodePlan,
+    DecoderConfig,
+    LayeredDecoder,
+    PartitionedPlan,
+    balanced_layer_segments,
+    expand_block_columns,
+    make_shard_backend,
+)
+from repro.decoder.plan import check_plan_compatible
+from repro.errors import DecoderConfigError
+
+
+@pytest.fixture(scope="module")
+def code():
+    return get_code("802.16e:1/2:z24")
+
+
+@pytest.fixture(scope="module")
+def plan(code):
+    return DecodePlan(code)
+
+
+# ---------------------------------------------------------------------------
+# balanced_layer_segments
+# ---------------------------------------------------------------------------
+def test_segments_cover_contiguously():
+    weights = [5, 1, 1, 7, 2, 4]
+    for shards in range(1, len(weights) + 1):
+        segments = balanced_layer_segments(weights, shards)
+        assert len(segments) == shards
+        assert segments[0][0] == 0
+        assert segments[-1][1] == len(weights)
+        for (_, stop), (start, _) in zip(segments, segments[1:]):
+            assert stop == start  # contiguous, no gaps, no overlap
+        assert all(stop > start for start, stop in segments)
+
+
+def test_segments_balance_by_weight():
+    # One heavy layer at the front: the splitter must not pile the
+    # remaining light layers onto the same shard.
+    weights = [10, 1, 1, 1, 1, 1]
+    [seg0, seg1] = balanced_layer_segments(weights, 2)
+    assert seg0 == (0, 1)
+    assert seg1 == (1, 6)
+
+
+def test_segments_reject_bad_shard_counts():
+    with pytest.raises(DecoderConfigError):
+        balanced_layer_segments([1, 2, 3], 0)
+    with pytest.raises(DecoderConfigError):
+        balanced_layer_segments([1, 2, 3], 4)
+
+
+# ---------------------------------------------------------------------------
+# expand_block_columns
+# ---------------------------------------------------------------------------
+def test_expand_block_columns_order_and_empty():
+    out = expand_block_columns(np.asarray([2, 0]), z=3)
+    assert out.tolist() == [6, 7, 8, 0, 1, 2]
+    assert expand_block_columns(np.asarray([], dtype=np.int64), z=3).size == 0
+
+
+# ---------------------------------------------------------------------------
+# ShardSubPlan: a real DecodePlan over the local variable space
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("shards", [1, 2, 3])
+def test_subplans_validate_and_partition_layers(plan, shards):
+    partition = PartitionedPlan(plan, shards)
+    assert partition.shards == shards
+    covered = []
+    for sub in partition.subplans:
+        sub.validate()  # rebuild-and-compare self check
+        covered.extend(sub.layer_order)
+        assert sub.n == sub.global_columns.size * plan.z
+        assert sub.num_layers == sub.layer_stop - sub.layer_start
+    assert tuple(covered) == plan.layer_order
+
+
+def test_subplan_gather_tables_are_rebased(plan):
+    partition = PartitionedPlan(plan, 2)
+    for sub in partition.subplans:
+        local_to_global = expand_block_columns(sub.global_columns, plan.z)
+        for pos in range(sub.num_layers):
+            parent_idx = plan.gather_indices[sub.layer_start + pos]
+            # Mapping the shard's local gather through its column list
+            # must reproduce the parent's global gather exactly.
+            assert np.array_equal(
+                local_to_global[sub.gather_indices[pos]], parent_idx
+            )
+        assert sub.total_blocks == sum(
+            plan.layer_degrees[sub.layer_start : sub.layer_stop]
+        )
+
+
+def test_subplan_accepted_by_check_plan_compatible(code, plan):
+    partition = PartitionedPlan(plan, 2)
+    for sub in partition.subplans:
+        check_plan_compatible(sub, code, None)
+    other = get_code("802.16e:1/2:z96")
+    with pytest.raises(DecoderConfigError):
+        check_plan_compatible(partition.subplans[0], other, None)
+
+
+# ---------------------------------------------------------------------------
+# Column classification and ownership
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("shards", [2, 3, 4])
+def test_interior_boundary_partition_the_touched_columns(plan, shards):
+    partition = PartitionedPlan(plan, shards)
+    interior = set(partition.interior_columns.tolist())
+    boundary = set(partition.boundary_columns.tolist())
+    untouched = set(partition.untouched_columns.tolist())
+    assert interior & boundary == set()
+    touched = interior | boundary
+    assert touched | untouched == set(range(plan.code.base.k))
+    # Every touched column is owned by exactly one shard.
+    owned = [set(cols.tolist()) for cols in partition.owned_columns]
+    assert set().union(*owned) == touched
+    assert sum(len(s) for s in owned) == len(touched)
+
+
+def test_owner_is_last_toucher_in_wavefront_order(plan):
+    partition = PartitionedPlan(plan, 3)
+    touchers = {}
+    for sub in partition.subplans:
+        for col in sub.global_columns.tolist():
+            touchers.setdefault(col, []).append(sub.shard_index)
+    for col, shards_touching in touchers.items():
+        assert partition.owner[col] == max(shards_touching), (
+            f"column {col}: owner must be the last shard in the serial "
+            f"wavefront, whose post-step values are the iteration's final"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Boundary tables
+# ---------------------------------------------------------------------------
+def test_send_tables_cover_shared_columns_both_directions(plan):
+    partition = PartitionedPlan(plan, 3)
+    for src, tables in enumerate(partition.send_tables):
+        for table in tables:
+            assert table.src == src
+            assert table.dst != src
+            shared = np.intersect1d(
+                partition.subplans[src].global_columns,
+                partition.subplans[table.dst].global_columns,
+            )
+            assert np.array_equal(table.columns, shared)
+            assert table.width == shared.size * plan.z
+            # src/dst index tables address the same values in each
+            # shard's local space: mapping both back to global indices
+            # must agree elementwise.
+            src_global = expand_block_columns(
+                partition.subplans[src].global_columns, plan.z
+            )[table.src_indices]
+            dst_global = expand_block_columns(
+                partition.subplans[table.dst].global_columns, plan.z
+            )[table.dst_indices]
+            assert np.array_equal(src_global, dst_global)
+
+
+def test_boundary_traffic_estimate_matches_tables(plan):
+    partition = PartitionedPlan(plan, 2)
+    expected = sum(
+        table.width
+        for tables in partition.send_tables
+        for table in tables
+    )
+    assert partition.boundary_values_per_iteration() == expected
+    described = partition.describe()
+    assert described["shards"] == 2
+    assert described["boundary_values_per_iteration"] == expected
+
+
+# ---------------------------------------------------------------------------
+# Clamping and errors
+# ---------------------------------------------------------------------------
+def test_shards_clamp_to_layer_count(plan):
+    partition = PartitionedPlan(plan, 99)
+    assert partition.shards == plan.num_layers
+    assert partition.requested_shards == 99
+    with pytest.raises(DecoderConfigError):
+        PartitionedPlan(plan, 0)
+
+
+def test_layer_order_permutation_respected():
+    code = get_code("802.16e:1/2:z24")
+    order = tuple(reversed(range(code.base.j)))
+    plan = DecodePlan(code, order)
+    partition = PartitionedPlan(plan, 2)
+    covered = []
+    for sub in partition.subplans:
+        covered.extend(sub.layer_order)
+    assert tuple(covered) == order
+
+
+# ---------------------------------------------------------------------------
+# Shard backends run the real kernels on local arrays
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["reference", "fast"])
+def test_shard_backend_replays_serial_layers(code, plan, backend):
+    """Running each shard's backend over its local slice, with owned
+    values scattered back between shards, reproduces one serial
+    iteration exactly — the plan-layer half of the fabric invariant,
+    with no runtime fabric involved."""
+    config = DecoderConfig(backend=backend)
+    partition = PartitionedPlan(plan, 2)
+    rng = np.random.default_rng(5)
+    llr = np.clip(rng.normal(1.0, 2.0, size=(3, code.n)), -16, 16)
+
+    serial = LayeredDecoder(code, config, plan=plan)
+    l_serial = llr.astype(serial.backend.work_dtype).copy()
+    lam = np.zeros((3, plan.total_blocks, code.z), dtype=l_serial.dtype)
+    for pos in range(plan.num_layers):
+        serial.backend.update_layer(l_serial, lam, pos)
+
+    l_global = llr.astype(serial.backend.work_dtype).copy()
+    for index, sub in enumerate(partition.subplans):
+        shard_backend = make_shard_backend(partition, index, config)
+        local_idx = expand_block_columns(sub.global_columns, code.z)
+        app = np.ascontiguousarray(l_global[:, local_idx])
+        lam_local = np.zeros(
+            (3, sub.total_blocks, code.z), dtype=l_global.dtype
+        )
+        for pos in range(sub.num_layers):
+            shard_backend.update_layer(app, lam_local, pos)
+        # Wavefront hand-off: later shards read every updated column.
+        l_global[:, local_idx] = app
+    assert np.array_equal(l_global, l_serial)
+
+
+def test_partition_of_synthetic_code_round_trips():
+    base = build_qc_base_matrix(
+        j=4, k=10, z=7, name="part_t", seed=9, info_column_degree=2
+    )
+    code = QCLDPCCode(base)
+    plan = DecodePlan(code)
+    partition = PartitionedPlan(plan, 3)
+    for sub in partition.subplans:
+        sub.validate()
+    assert "shards=3" in repr(partition)

@@ -1,0 +1,301 @@
+"""Runtime-layer tests for the sharded decode fabric.
+
+Covers :mod:`repro.runtime.fabric`: interconnect epoch/sequence
+discipline, thread- and process-executor decodes (bit-identity against
+the single decoder is pinned per-cell in
+``tests/test_backend_properties.py``; here the focus is the runtime
+machinery), crash containment, shared-memory hygiene, telemetry, and the
+service/metrics surfaces the fabric plugs into.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codes import get_code, huge_synthetic_code
+from repro.decoder import DecoderConfig, LayeredDecoder
+from repro.errors import DecoderConfigError, WorkerCrashedError
+from repro.fixedpoint import QFormat
+from repro.runtime import (
+    FaultPlan,
+    ProcessWorkerPool,
+    RingInterconnect,
+    ShardedDecoder,
+)
+from repro.runtime.fabric import Message
+
+MODE = "802.16e:1/2:z24"
+
+
+@pytest.fixture(scope="module")
+def code():
+    return get_code(MODE)
+
+
+@pytest.fixture(scope="module")
+def llr(code):
+    rng = np.random.default_rng(77)
+    # All-zero codeword over BPSK + AWGN at a mixed-convergence SNR:
+    # some frames retire early (exercising ET + compaction), some run
+    # to the iteration cap.
+    sigma = 0.78
+    return 2.0 * (1.0 + rng.normal(0, sigma, size=(6, code.n))) / sigma**2
+
+
+def _config(**kwargs) -> DecoderConfig:
+    kwargs.setdefault("max_iterations", 8)
+    kwargs.setdefault("qformat", QFormat(8, 2))
+    return DecoderConfig(**kwargs)
+
+
+def _assert_identical(a, b, context: str):
+    __tracebackhide__ = True
+    for field in ("bits", "llr", "iterations", "converged", "et_stopped"):
+        assert np.array_equal(getattr(a, field), getattr(b, field)), (
+            f"{context}: {field} differ"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Interconnect sequencing
+# ---------------------------------------------------------------------------
+def test_interconnect_orders_and_counts_messages():
+    ic = RingInterconnect(3)
+    ic.open_epoch(1)
+    payload = np.arange(4.0)
+    ic.send(0, 1, iteration=1, payload=payload)
+    ic.send(2, 1, iteration=1, payload=payload)
+    ic.send_compact(1, np.asarray([True, False]))
+    messages = ic.drain(1)
+    assert [m.kind for m in messages] == ["boundary", "boundary", "compact"]
+    assert [m.seq for m in messages] == sorted(m.seq for m in messages)
+    assert ic.drain(1) == []  # drained queues stay drained
+    stats = ic.stats()
+    assert stats["messages_sent"] == 2 + 3  # compact broadcasts to all
+    assert stats["bytes_sent"] > 0
+    assert stats["hops"] == ((1 - 0) % 3) + ((1 - 2) % 3)
+
+
+def test_interconnect_rejects_stale_epoch_and_replayed_seq():
+    ic = RingInterconnect(2)
+    ic.open_epoch(1)
+    stale = ic.send(0, 1, iteration=1, payload=np.zeros(2))
+    ic.open_epoch(2)  # new decode: epoch-1 messages must never surface
+    ic._queues[1].append(stale)
+    with pytest.raises(WorkerCrashedError):
+        ic.drain(1)
+
+    ic.open_epoch(3)
+    message = ic.send(0, 1, iteration=1, payload=np.zeros(2))
+    assert ic.drain(1) == [message]
+    replay = Message(
+        seq=message.seq, epoch=3, src=0, dst=1, iteration=1,
+        kind="boundary", payload=np.zeros(2),
+    )
+    ic._queues[1].append(replay)
+    with pytest.raises(WorkerCrashedError):
+        ic.drain(1)  # a respawned/duplicated sender surfaces, loudly
+
+
+def test_interconnect_send_after_close_raises():
+    ic = RingInterconnect(2)
+    ic.open_epoch(1)
+    ic.close()
+    with pytest.raises(RuntimeError):
+        ic.send(0, 1, iteration=1, payload=np.zeros(2))
+
+
+# ---------------------------------------------------------------------------
+# Thread executor
+# ---------------------------------------------------------------------------
+def test_thread_fabric_single_frame_and_empty_batch(code):
+    fabric = ShardedDecoder(code, _config(shards=2))
+    single = fabric.decode(10.0 * np.ones(code.n))
+    assert single.bits.shape == (1, code.n)
+    assert bool(single.converged[0])
+    empty = fabric.decode(np.zeros((0, code.n)))
+    assert empty.bits.shape == (0, code.n)
+    # The empty decode never opened an epoch's worth of supersteps.
+    assert fabric.telemetry()["decodes"] == 1
+
+
+def test_thread_fabric_telemetry_shape(code, llr):
+    config = _config(shards=3)
+    fabric = ShardedDecoder(code, config)
+    fabric.decode(llr)
+    telemetry = fabric.telemetry()
+    assert telemetry["executor"] == "thread"
+    assert telemetry["interconnect"] == "ring"
+    assert telemetry["shards"] == 3
+    assert set(telemetry["per_shard"]) == {"shard_0", "shard_1", "shard_2"}
+    per_0 = telemetry["per_shard"]["shard_0"]
+    assert per_0["supersteps"] == telemetry["iterations_total"]
+    assert telemetry["boundary_messages"] > 0
+    assert telemetry["boundary_bytes"] > 0
+    assert telemetry["ring_hops"] > 0
+    assert telemetry["crashes"] == 0
+
+
+def test_fabric_rejects_bad_executor_and_closed_decode(code, llr):
+    with pytest.raises(DecoderConfigError):
+        ShardedDecoder(code, _config(shards=2), executor="fork-bomb")
+    fabric = ShardedDecoder(code, _config(shards=2))
+    fabric.close()
+    with pytest.raises(RuntimeError):
+        fabric.decode(llr)
+
+
+def test_config_shards_validation():
+    with pytest.raises(DecoderConfigError):
+        DecoderConfig(shards=0)
+    with pytest.raises(DecoderConfigError):
+        DecoderConfig(shards=2.5)
+    # shards participates in the cache identity and the wire format.
+    assert DecoderConfig(shards=2).cache_key() != DecoderConfig().cache_key()
+    round_trip = DecoderConfig.from_dict(DecoderConfig(shards=3).to_dict())
+    assert round_trip.shards == 3
+
+
+# ---------------------------------------------------------------------------
+# Process executor
+# ---------------------------------------------------------------------------
+def test_process_fabric_decode_and_segment_hygiene(code, llr):
+    base = LayeredDecoder(code, _config()).decode(llr)
+    config = _config(shards=2)
+    with ShardedDecoder(code, config, executor="process") as fabric:
+        first = fabric.decode(llr)
+        created_after_first = fabric.telemetry()["mailbox"]["segments_created"]
+        second = fabric.decode(llr)
+        telemetry = fabric.telemetry()
+    _assert_identical(first, base, "process K=2 vs serial")
+    _assert_identical(second, base, "process K=2 second decode vs serial")
+    # Steady state recycles: the second decode allocated no new segments.
+    assert telemetry["mailbox"]["segments_created"] == created_after_first
+    assert telemetry["mailbox"]["segments_active"] == 0
+    assert telemetry["worker_pool"]["crashes_detected"] == 0
+    # close() destroyed every fabric-owned segment.
+    assert fabric.segment_names() == []
+
+
+def test_process_fabric_on_external_pool(code, llr):
+    base = LayeredDecoder(code, _config()).decode(llr)
+    with ProcessWorkerPool(2, name="fabric-ext") as pool:
+        fabric = ShardedDecoder(
+            code, _config(shards=2), executor="process", pool=pool
+        )
+        result = fabric.decode(llr)
+        fabric.close()
+        # The externally owned pool must survive the fabric's close.
+        assert not pool.closed
+        assert pool.submit("ping").result(timeout=30) == "pong"
+    _assert_identical(result, base, "external-pool fabric vs serial")
+
+
+def test_process_fabric_crash_aborts_whole_decode(code, llr):
+    base = LayeredDecoder(code, _config()).decode(llr)
+    faults = FaultPlan(worker_crash=(1,))
+    with ShardedDecoder(
+        code, _config(shards=2), executor="process",
+        faults=faults, hang_timeout=30.0,
+    ) as fabric:
+        with pytest.raises(WorkerCrashedError):
+            fabric.decode(llr)
+        telemetry = fabric.telemetry()
+        assert telemetry["crashes"] == 1
+        # The aborted epoch's segments were discarded, not recycled.
+        assert telemetry["mailbox"]["segments_unlinked"] > 0
+        assert telemetry["mailbox"]["segments_active"] == 0
+        # The pool respawned the worker; a retry decodes correctly.
+        retried = fabric.decode(llr)
+    _assert_identical(retried, base, "post-crash retry vs serial")
+
+
+# ---------------------------------------------------------------------------
+# Huge-code smoke: the regime the fabric exists for
+# ---------------------------------------------------------------------------
+def test_huge_code_two_shard_process_decode():
+    code = huge_synthetic_code()
+    assert code.n == 19992
+    rng = np.random.default_rng(20260807)
+    sigma = 0.6
+    llr = 2.0 * (1.0 + rng.normal(0, sigma, size=(2, code.n))) / sigma**2
+    config = _config(shards=2, max_iterations=6)
+    base = LayeredDecoder(code, _config(max_iterations=6)).decode(llr)
+    with ShardedDecoder(code, config, executor="process") as fabric:
+        result = fabric.decode(llr)
+        telemetry = fabric.telemetry()
+    _assert_identical(result, base, "huge-code K=2 process vs serial")
+    assert fabric.segment_names() == []  # zero leaked shm segments
+    assert telemetry["boundary_bytes"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Service surfaces
+# ---------------------------------------------------------------------------
+def test_plan_cache_routes_shards_and_aggregates_fabric_stats(code, llr):
+    from repro.service import PlanCache
+
+    cache = PlanCache()
+    assert cache.fabric_stats() is None  # no fabric entries yet
+    plain = cache.get(code, _config())
+    assert isinstance(plain.decoder, LayeredDecoder)
+    assert cache.fabric_stats() is None
+    sharded = cache.get(code, _config(shards=2))
+    assert isinstance(sharded.decoder, ShardedDecoder)
+    sharded.decoder.decode(llr)
+    stats = cache.fabric_stats()
+    assert stats["fabrics"] == 1
+    assert stats["decodes"] == 1
+    assert stats["supersteps"] > 0
+    assert "shard_0" in stats["per_shard"]
+
+
+def test_service_exports_fabric_metrics(code, llr):
+    from repro.service import DecodeService
+    from repro.service.metrics import ServiceMetrics
+
+    base = LayeredDecoder(code, _config()).decode(llr)
+    with DecodeService(workers=2) as service:
+        result = service.submit(
+            code, llr, config=_config(shards=2)
+        ).result(timeout=60)
+        snapshot = service.metrics_snapshot()
+        text = service.metrics_text()
+    _assert_identical(result, base, "service-routed fabric vs serial")
+    assert snapshot["fabric"]["decodes"] == 1
+    assert "# TYPE repro_fabric_supersteps counter" in text
+    assert "repro_fabric_per_shard_shard_0_supersteps" in text
+    assert "repro_worker_pool_workers" in text
+
+    # The accumulator's own exporter accepts extra nested sections.
+    text = ServiceMetrics().prometheus_text(
+        extra={"fabric": snapshot["fabric"]}
+    )
+    assert "repro_fabric_boundary_bytes" in text
+
+
+def test_service_without_fabric_omits_the_section(code, llr):
+    from repro.service import DecodeService
+
+    with DecodeService(workers=1) as service:
+        service.submit(code, llr, config=_config()).result(timeout=60)
+        snapshot = service.metrics_snapshot()
+    assert "fabric" not in snapshot
+
+
+# ---------------------------------------------------------------------------
+# SweepEngine.last_decision lifecycle (satellite fix)
+# ---------------------------------------------------------------------------
+def test_sweep_last_decision_resets_each_run(code):
+    from repro.errors import SimulationError
+    from repro.runtime import SweepEngine
+
+    engine = SweepEngine(code, _config(max_iterations=2))
+    assert engine.last_decision is None
+    engine.run([4.0], max_frames=4, min_frame_errors=100, batch_size=2)
+    assert engine.last_decision is not None
+    with pytest.raises(SimulationError):
+        engine.run([4.0], max_frames=0)
+    # A failed run must not leave the previous run's verdict behind.
+    assert engine.last_decision is None
