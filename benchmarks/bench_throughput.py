@@ -52,6 +52,15 @@ Two further scenarios ride along and land in the same JSON:
   bit-identity and records frames/s, the speedup, batch fill, mode
   switches and latency quantiles (``--check-service-speedup X`` gates
   CI on the batching win).
+- **policy** — adaptive decode policies (ROADMAP item 5) on a
+  mixed-SNR storm: the same traffic served by one static Q8.2 config
+  and by a policy-enabled service that picks check-node/datapath/
+  iteration budget per reported SNR band.  Records avg iterations and
+  energy-per-bit on both sides, per-rule selection counts, and the
+  *measured* converged-then-corrupted frame count of the service-tier
+  ``paper-or-syndrome`` rule (gated at zero — the PR 3 residual stays
+  retired); asserts per-request bit-identity against direct decodes
+  under each rule's config.
 - **server** — the same workload through the asyncio socket front door
   (:class:`~repro.server.DecodeServer` + one pipelined
   :class:`~repro.server.DecodeClient`) vs the in-process service:
@@ -363,6 +372,11 @@ def run_service_benchmark(requests: int, repeats: int = 1) -> dict:
             max_wait=SERVICE_MAX_WAIT,
             workers=2,
             cache=cache,
+            # Explicit: the baseline decodes with paper ET, so the
+            # service must too (a defaulted config would be upgraded to
+            # the service-tier paper-or-syndrome rule and the
+            # bit-identity gate would compare different ET rules).
+            default_config=config,
             warm_modes=SERVICE_MODES,
         ) as service:
             start = time.perf_counter()
@@ -759,6 +773,202 @@ def run_sharded_decode_benchmark(frames: int, repeats: int = 1) -> dict:
     return entry
 
 
+#: Mixed-SNR policy storm: Eb/N0 bands cycled round-robin.  At rate 1/2
+#: BPSK the channel SNR in dB equals Eb/N0 in dB, so the bands land one
+#: request in each of the default policy's three rules.
+POLICY_MODE = "802.16e:1/2:z24"
+POLICY_EBN0_BANDS = (1.0, 3.0, 6.0)
+POLICY_FRAMES_PER_REQUEST = 2
+
+
+def _measure_recorruption(code, config, llr) -> int:
+    """Converged-then-corrupted frames of one decode, measured.
+
+    Steps the resumable decoder one iteration at a time (uncompacted —
+    bit-identical per the property suite) and counts frames whose APP
+    signs formed a true codeword while live but whose final output is
+    not one.  Under the service-tier ``paper-or-syndrome`` rule this
+    must be zero by construction; the benchmark measures it anyway.
+    """
+    decoder = LayeredDecoder(code, config.replace(compact_frames=False))
+    state = decoder.begin_decode(llr)
+    ever_codeword = np.zeros(llr.shape[0], dtype=bool)
+    live = ~state.done_mask
+    while not state.done:
+        decoder.step(state, 1)
+        bits = (state.arrays[0] < 0).astype(np.uint8)
+        ever_codeword |= live & np.asarray(code.is_codeword(bits))
+        live = ~state.done_mask
+    result = decoder.finish(state)
+    return int((ever_codeword & ~result.converged).sum())
+
+
+def run_policy_benchmark(requests: int, repeats: int = 1) -> dict:
+    """Adaptive decode policy vs one static config on mixed-SNR traffic.
+
+    The storm cycles ``POLICY_EBN0_BANDS`` round-robin, two frames per
+    request.  The static side serves everything with the paper's single
+    Q8.2 operating point (service-tier ET); the policy side reports the
+    operating SNR per request and lets :class:`~repro.service.policy.
+    DecodePolicy` pick the check-node algorithm, datapath and iteration
+    budget per band.  Records avg iterations and energy-per-bit on both
+    sides (the measured adaptive saving), per-rule selection counts,
+    the measured converged-then-corrupted count of the static config
+    (must be zero — the PR 3 residual stays retired), and asserts every
+    policy-served request bit-identical to a direct decode under the
+    rule's config.
+    """
+    from repro.service import (
+        DecodePolicy,
+        DecodeService,
+        prometheus_text,
+    )
+
+    code = get_code(POLICY_MODE)
+    bands = len(POLICY_EBN0_BANDS)
+    requests -= requests % bands
+    requests = max(requests, bands)
+    per_band = requests // bands
+    rng = np.random.default_rng(SEED)
+    encoder = make_encoder(code)
+    by_band = []
+    for ebn0 in POLICY_EBN0_BANDS:
+        _, codewords = encoder.random_codewords(
+            per_band * POLICY_FRAMES_PER_REQUEST, rng
+        )
+        llr = ChannelFrontend(
+            BPSKModulator(), AWGNChannel.from_ebn0(ebn0, code.rate, rng=rng)
+        ).run(codewords)
+        by_band.append(
+            [
+                (ebn0, llr[i::per_band])
+                for i in range(per_band)
+            ]
+        )
+    storm = [by_band[b][i] for i in range(per_band) for b in range(bands)]
+
+    static_config = DecoderConfig(
+        backend="fast",
+        qformat=QFormat(8, 2),
+        early_termination="paper-or-syndrome",
+    )
+    entry: dict = {
+        "mode": POLICY_MODE,
+        "requests": requests,
+        "frames_per_request": POLICY_FRAMES_PER_REQUEST,
+        "ebn0_bands": list(POLICY_EBN0_BANDS),
+    }
+
+    static_s = float("inf")
+    static_snapshot = None
+    for _ in range(repeats):
+        with DecodeService(
+            max_batch=SERVICE_MAX_BATCH,
+            max_wait=SERVICE_MAX_WAIT,
+            workers=2,
+            default_config=static_config,
+            warm_modes=[POLICY_MODE],
+        ) as service:
+            start = time.perf_counter()
+            futures = [
+                service.submit(POLICY_MODE, llr) for _, llr in storm
+            ]
+            for future in futures:
+                future.result(timeout=120)
+            elapsed = time.perf_counter() - start
+            if elapsed < static_s:
+                static_s = elapsed
+                static_snapshot = service.metrics_snapshot()
+
+    policy = DecodePolicy()
+    policy_s = float("inf")
+    policy_snapshot = None
+    policy_results = None
+    policy_default = None
+    gauges_exported = False
+    for _ in range(repeats):
+        with DecodeService(
+            max_batch=SERVICE_MAX_BATCH,
+            max_wait=SERVICE_MAX_WAIT,
+            workers=2,
+            policy=policy,
+            warm_modes=[POLICY_MODE],
+        ) as service:
+            policy_default = service.default_config
+            start = time.perf_counter()
+            futures = [
+                service.submit(POLICY_MODE, llr, snr_db=snr)
+                for snr, llr in storm
+            ]
+            attempt = [f.result(timeout=120) for f in futures]
+            elapsed = time.perf_counter() - start
+            snapshot = service.metrics_snapshot()
+            if elapsed < policy_s:
+                policy_s = elapsed
+                policy_snapshot = snapshot
+            policy_results = attempt
+            text = prometheus_text(snapshot)
+            gauges_exported = all(
+                gauge in text
+                for gauge in (
+                    "repro_energy_pj_total",
+                    "repro_energy_per_bit_pj",
+                    "repro_avg_iterations",
+                    "repro_policy_iteration_savings_pct",
+                )
+            )
+
+    identical = True
+    for (snr, llr), served in zip(storm, policy_results):
+        _, expected_cfg = policy.select(snr, policy_default)
+        direct = LayeredDecoder(code, expected_cfg).decode(llr)
+        identical = identical and bool(
+            np.array_equal(direct.bits, served.bits)
+            and np.array_equal(direct.llr, served.llr)
+            and np.array_equal(direct.iterations, served.iterations)
+            and np.array_equal(direct.et_stopped, served.et_stopped)
+        )
+
+    total_frames = requests * POLICY_FRAMES_PER_REQUEST
+    entry["static_s"] = round(static_s, 3)
+    entry["static_fps"] = round(total_frames / static_s, 1)
+    entry["static_avg_iterations"] = round(
+        static_snapshot["avg_iterations"], 3
+    )
+    entry["static_energy_per_bit_pj"] = round(
+        static_snapshot["energy_per_bit_pj"], 3
+    )
+    entry["policy_s"] = round(policy_s, 3)
+    entry["policy_fps"] = round(total_frames / policy_s, 1)
+    entry["policy_avg_iterations"] = round(
+        policy_snapshot["avg_iterations"], 3
+    )
+    entry["policy_energy_per_bit_pj"] = round(
+        policy_snapshot["energy_per_bit_pj"], 3
+    )
+    entry["iteration_reduction_pct"] = round(
+        100.0
+        * (1.0 - entry["policy_avg_iterations"]
+           / entry["static_avg_iterations"]),
+        1,
+    )
+    entry["budget_savings_pct"] = round(
+        policy_snapshot["policy"]["iteration_savings_pct"], 1
+    )
+    entry["rule_selections"] = {
+        name: stats["selections"]
+        for name, stats in policy_snapshot["policy"]["rules"].items()
+    }
+    entry["recorrupted_frames"] = _measure_recorruption(
+        code,
+        static_config,
+        np.concatenate([llr for _, llr in storm]),
+    )
+    entry["energy_gauges_exported"] = bool(gauges_exported)
+    entry["bit_identical"] = bool(identical)
+    return entry
+
+
 def summarize(results: dict) -> str:
     table = Table(
         ["workload", "backend", "float Mbps", "fixed Mbps",
@@ -887,6 +1097,26 @@ def summarize(results: dict) -> str:
             f"{service['latency_p50_ms']}/{service['latency_p99_ms']} ms, "
             f"bit-identical: {service['bit_identical']}"
         )
+    policy = results.get("policy")
+    if policy:
+        selections = ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(policy["rule_selections"].items())
+        )
+        rendered += (
+            f"\nadaptive policy ({policy['requests']} requests x "
+            f"{policy['frames_per_request']} frames, bands "
+            f"{policy['ebn0_bands']} dB): static "
+            f"{policy['static_avg_iterations']} avg iters / "
+            f"{policy['static_energy_per_bit_pj']} pJ/bit, policy "
+            f"{policy['policy_avg_iterations']} avg iters / "
+            f"{policy['policy_energy_per_bit_pj']} pJ/bit "
+            f"({policy['iteration_reduction_pct']}% fewer iterations, "
+            f"{policy['budget_savings_pct']}% under budget), rules "
+            f"[{selections}], re-corrupted frames "
+            f"{policy['recorrupted_frames']}, bit-identical: "
+            f"{policy['bit_identical']}"
+        )
     server = results.get("server")
     if server:
         rendered += (
@@ -973,6 +1203,9 @@ def main(argv=None) -> int:
     results["server"] = run_server_benchmark(
         24 if args.smoke else 96, repeats=repeats
     )
+    results["policy"] = run_policy_benchmark(
+        12 if args.smoke else 48, repeats=repeats
+    )
     print(summarize(results))
 
     failures = []
@@ -998,6 +1231,15 @@ def main(argv=None) -> int:
             failures.append(f"sharded_decode: {key} = False")
     if results["server"]["bit_identical"] is not True:
         failures.append("server: socket results != direct decode")
+    if results["policy"]["bit_identical"] is not True:
+        failures.append("policy: served results != per-rule direct decode")
+    if results["policy"]["recorrupted_frames"] != 0:
+        failures.append(
+            "policy: measured re-corrupted frames = "
+            f"{results['policy']['recorrupted_frames']} (expected 0)"
+        )
+    if results["policy"]["energy_gauges_exported"] is not True:
+        failures.append("policy: energy gauges missing from prometheus text")
     if args.check_parallel_sweep_speedup is not None:
         speedup = results["parallel_sweep"]["auto_speedup"]
         if speedup < args.check_parallel_sweep_speedup:

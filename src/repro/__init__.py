@@ -75,10 +75,13 @@ from repro.link import (
 from repro.power import PowerModel, chip_area_breakdown
 from repro.runtime import FaultPlan, SweepEngine
 from repro.server import DecodeClient, DecodeServer
+from repro.channel import estimate_snr, estimate_snr_db
 from repro.service import (
     AdmissionPolicy,
+    DecodePolicy,
     DecodeService,
     PlanCache,
+    PolicyRule,
     RetryPolicy,
 )
 
@@ -92,6 +95,7 @@ __all__ = [
     "BaseMatrix",
     "DatapathParams",
     "DecodeClient",
+    "DecodePolicy",
     "DecodeResult",
     "DecodeServer",
     "DecodeService",
@@ -105,6 +109,7 @@ __all__ = [
     "LinkResult",
     "PAPER_CHIP",
     "PlanCache",
+    "PolicyRule",
     "PowerModel",
     "QCLDPCCode",
     "QFormat",
@@ -114,6 +119,8 @@ __all__ = [
     "__version__",
     "chip_area_breakdown",
     "default_plan_cache",
+    "estimate_snr",
+    "estimate_snr_db",
     "get_code",
     "list_modes",
     "make_encoder",

@@ -8,6 +8,7 @@ from repro.channel.modulation import (
     QPSKModulator,
     make_modulator,
 )
+from repro.channel.snr_estimate import SnrEstimate, estimate_snr, estimate_snr_db
 
 __all__ = [
     "AWGNChannel",
@@ -15,8 +16,11 @@ __all__ = [
     "ChannelFrontend",
     "QAM16Modulator",
     "QPSKModulator",
+    "SnrEstimate",
     "bpsk_llr",
     "ebn0_to_noise_var",
+    "estimate_snr",
+    "estimate_snr_db",
     "make_modulator",
     "noise_var_to_ebn0",
 ]

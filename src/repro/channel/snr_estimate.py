@@ -1,0 +1,133 @@
+"""Blind operating-SNR estimation from LLR magnitudes.
+
+The serving stack receives bare LLR payloads — no pilot symbols, no
+client-side channel report — yet the adaptive decode policies
+(:mod:`repro.service.policy`) need an operating-SNR estimate to pick an
+algorithm/datapath/iteration budget.  For BPSK over AWGN the channel
+LLRs themselves carry that information: with noise variance ``σ²`` the
+frontend emits ``L = 2y/σ²``, whose conditional distribution given the
+transmitted sign is the *consistent* Gaussian ``N(±μ, 2μ)`` with
+``μ = 2/σ²``.  The second moment is therefore sign-free::
+
+    E[L²] = μ² + 2μ        ⇒        μ̂ = sqrt(1 + mean(L²)) − 1
+
+and the per-symbol SNR (Es/N0) follows as ``1/σ² = μ/2``.  Only even
+moments enter, so a hostile or mis-signed payload cannot flip the
+estimate, and an all-zero payload degrades gracefully to ``μ̂ = 0``
+(−inf dB) with no division anywhere.
+
+Raw fixed-point payloads (any integer dtype, including unsigned ones a
+transport layer may hand us) are dequantized through the same
+:class:`~repro.fixedpoint.QFormat` lens the decoder itself applies —
+value-preserving ``int64`` widening first, so a ``uint8`` 255 is the
+large positive raw value the decoder would see, never a float cast
+artifact.  Note the floor the input quantizer imposes: because
+:meth:`QFormat.quantize_nonzero` breaks raw zeros to ``±1``, a
+quantized all-zero frame measures ``mean(L²) = step²`` rather than 0 —
+callers comparing against float-path estimates at very low SNR should
+expect that bias of at most one quantization step.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fixedpoint import QFormat
+
+__all__ = ["SnrEstimate", "estimate_snr", "estimate_snr_db"]
+
+
+@dataclass(frozen=True)
+class SnrEstimate:
+    """Moment-based SNR estimate for one LLR payload.
+
+    Attributes
+    ----------
+    snr_db:
+        Estimated per-symbol SNR (Es/N0) in dB.  ``-inf`` for an
+        all-zero payload, where the magnitudes carry no information.
+    llr_mean_abs:
+        Mean absolute LLR (in LLR units, after dequantization) — the
+        cheap confidence proxy policies may also want.
+    second_moment:
+        ``mean(L²)`` in LLR units, the sufficient statistic used.
+    frames:
+        Number of frames the estimate pooled.
+    """
+
+    snr_db: float
+    llr_mean_abs: float
+    second_moment: float
+    frames: int
+
+    @property
+    def noise_var(self) -> float:
+        """Implied BPSK noise variance ``σ²`` (``inf`` when snr is -inf)."""
+        if not math.isfinite(self.snr_db):
+            return math.inf
+        return 1.0 / (10.0 ** (self.snr_db / 10.0))
+
+
+def estimate_snr(
+    llr: np.ndarray, qformat: QFormat | None = None
+) -> SnrEstimate:
+    """Estimate operating SNR from an LLR payload.
+
+    Parameters
+    ----------
+    llr:
+        Channel LLRs, shape ``(n,)`` or ``(batch, n)``.  Float arrays
+        are taken in LLR units; integer arrays (any signedness) are raw
+        fixed-point values and require ``qformat``.
+    qformat:
+        The fixed-point lens for raw integer payloads.  Ignored for
+        float input.
+
+    Raises
+    ------
+    ValueError:
+        Raw integer input without a ``qformat``, or an empty payload.
+    """
+    arr = np.asarray(llr)
+    if arr.size == 0:
+        raise ValueError("cannot estimate SNR from an empty LLR payload")
+    frames = 1 if arr.ndim <= 1 else int(np.prod(arr.shape[:-1]))
+    if np.issubdtype(arr.dtype, np.integer):
+        if qformat is None:
+            raise ValueError(
+                "raw fixed-point LLR payload needs a qformat to dequantize"
+            )
+        # Widen before any arithmetic: uint dtypes must keep their
+        # value (a uint8 255 is +255 raw, the saturated positive the
+        # decoder sees), and int32² would overflow for wide formats.
+        values = arr.astype(np.int64, copy=False).astype(np.float64)
+        values = values / qformat.scale
+    elif np.issubdtype(arr.dtype, np.floating):
+        values = arr.astype(np.float64, copy=False)
+    else:
+        raise ValueError(f"unsupported LLR dtype {arr.dtype!r}")
+
+    second_moment = float(np.mean(np.square(values)))
+    mean_abs = float(np.mean(np.abs(values)))
+    # E[L²] = μ² + 2μ for the consistent Gaussian  ⇒  μ̂ = √(1+m2) − 1.
+    mu = math.sqrt(1.0 + second_moment) - 1.0
+    if mu <= 0.0:
+        snr_db = -math.inf
+    else:
+        snr_db = 10.0 * math.log10(mu / 2.0)
+    return SnrEstimate(
+        snr_db=snr_db,
+        llr_mean_abs=mean_abs,
+        second_moment=second_moment,
+        frames=frames,
+    )
+
+
+def estimate_snr_db(
+    llr: np.ndarray, qformat: QFormat | None = None
+) -> float:
+    """Shorthand for ``estimate_snr(llr, qformat).snr_db``."""
+    return estimate_snr(llr, qformat).snr_db

@@ -52,6 +52,7 @@ from repro.decoder.partition import (
     expand_block_columns,
 )
 from repro.decoder.plan import DecodePlan, resolve_layer_order
+from repro.decoder.state import DecodeState
 from repro.decoder.backends.base import KERNEL_TABLE, kernel_slot
 from repro.decoder.siso import (
     BPForwardBackwardKernel,
@@ -74,6 +75,7 @@ __all__ = [
     "CombinedEarlyTermination",
     "DecodePlan",
     "DecodeResult",
+    "DecodeState",
     "DecoderBackend",
     "DecoderConfig",
     "ET_MODES",

@@ -75,6 +75,20 @@ class ActiveFrameSet:
     def all_done(self) -> bool:
         return self._active_ids.size == 0
 
+    @property
+    def done_mask(self) -> np.ndarray:
+        """Full-batch mask of frames whose outputs are already latched.
+
+        The incremental scheduler reads this between iteration slices
+        to deliver requests whose frames have all retired while the
+        rest of the batch keeps decoding.
+        """
+        if self.compact:
+            mask = np.ones(self.out_llr.shape[0], dtype=bool)
+            mask[self._active_ids] = False
+            return mask
+        return self._done.copy()
+
     def active_rows(self, working: np.ndarray) -> np.ndarray:
         """The logically active rows of a working array.
 

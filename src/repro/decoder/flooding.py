@@ -25,6 +25,7 @@ from repro.decoder.backends.base import break_zero_messages
 from repro.decoder.compaction import ActiveFrameSet
 from repro.decoder.early_termination import make_monitor
 from repro.decoder.plan import DecodePlan, check_plan_compatible
+from repro.decoder.state import DecodeState, advance, assemble_result
 
 
 class FloodingDecoder:
@@ -58,8 +59,12 @@ class FloodingDecoder:
         self.plan = plan
         self.backend = make_backend(self.plan, self.config)
 
-    def decode(self, channel_llr: np.ndarray) -> DecodeResult:
-        """Decode ``(N,)`` or ``(B, N)`` channel LLRs (see LayeredDecoder)."""
+    def begin_decode(self, channel_llr: np.ndarray) -> DecodeState:
+        """Condition the input and build a resumable decode handle.
+
+        Same contract as :meth:`LayeredDecoder.begin_decode
+        <repro.decoder.layered.LayeredDecoder.begin_decode>`.
+        """
         config = self.config
         llr = np.asarray(channel_llr)
         if llr.ndim == 1:
@@ -80,106 +85,96 @@ class FloodingDecoder:
 
         batch = channel.shape[0]
         if batch == 0:
-            return DecodeResult.empty(self.code.n, self.code.n_info)
-        plan = self.plan
+            return DecodeState.empty(
+                DecodeResult.empty(self.code.n, self.code.n_info)
+            )
         l_total = channel.copy()
-        lam = np.zeros((batch, plan.total_blocks, self.code.z), dtype=dtype)
+        lam = np.zeros(
+            (batch, self.plan.total_blocks, self.code.z), dtype=dtype
+        )
 
         monitor = make_monitor(config, self.code, channel)
         frames = ActiveFrameSet(
             batch, self.code.n, channel.dtype, compact=config.compact_frames
         )
+        return DecodeState((l_total, lam, channel), monitor, frames)
 
+    def _iterate_once(self, state: DecodeState) -> None:
+        """One flooding iteration: check phase, then variable phase."""
+        config = self.config
+        plan = self.plan
+        l_total, lam, channel = state.arrays
         z = self.code.z
-        for iteration in range(1, config.max_iterations + 1):
-            # Check phase: all layers from the frozen APP of last
-            # iteration.  Layers sharing a check degree have identically
-            # shaped messages, and every kernel is elementwise along the
-            # z axis, so each degree bucket is evaluated in one kernel
-            # call on the z-concatenated messages (bit-identical to
-            # per-layer calls, far fewer Python-level kernel invocations).
-            new_lambda = np.empty_like(lam)
-            for degree, positions in plan.degree_buckets.items():
-                gathered = []
-                for pos in positions:
-                    idx = plan.gather_indices[pos]
-                    sl = plan.lambda_slices[pos]
-                    if config.is_fixed_point:
-                        # v->c messages pass through the narrow message
-                        # port (zero-broken, like the layered path).
-                        lam_vc = config.qformat.saturate(
-                            l_total[:, idx].astype(np.int64)
-                            - lam[:, sl, :]
-                        )
-                        break_zero_messages(lam_vc, lam[:, sl, :])
-                        gathered.append(lam_vc)
-                    else:
-                        gathered.append(
-                            np.clip(
-                                l_total[:, idx] - lam[:, sl, :],
-                                -config.llr_clip,
-                                config.llr_clip,
-                            )
-                        )
-                stacked = (
-                    np.concatenate(gathered, axis=2)
-                    if len(gathered) > 1
-                    else gathered[0]
-                )
-                checked = self.backend.compute_check(stacked, positions[0])
-                for i, pos in enumerate(positions):
-                    sl = plan.lambda_slices[pos]
-                    new_lambda[:, sl, :] = checked[:, :, i * z : (i + 1) * z]
-            lam = new_lambda
-
-            # Variable phase: APP = channel + sum of check messages, held in
-            # the wider APP accumulator format.
-            accumulator = channel.astype(
-                np.int64 if config.is_fixed_point else dtype, copy=True
-            )
-            for pos, flat in enumerate(plan.flat_indices):
+        # Check phase: all layers from the frozen APP of last
+        # iteration.  Layers sharing a check degree have identically
+        # shaped messages, and every kernel is elementwise along the
+        # z axis, so each degree bucket is evaluated in one kernel
+        # call on the z-concatenated messages (bit-identical to
+        # per-layer calls, far fewer Python-level kernel invocations).
+        new_lambda = np.empty_like(lam)
+        for degree, positions in plan.degree_buckets.items():
+            gathered = []
+            for pos in positions:
+                idx = plan.gather_indices[pos]
                 sl = plan.lambda_slices[pos]
-                accumulator[:, flat] += lam[:, sl, :].reshape(lam.shape[0], -1)
-            if config.is_fixed_point:
-                l_total = config.app_qformat.saturate(accumulator)
-            else:
-                l_total = np.clip(
-                    accumulator,
-                    -config.effective_app_clip,
-                    config.effective_app_clip,
-                )
-
-            if monitor is not None and iteration < config.max_iterations:
-                stop_mask = monitor.update(l_total)
-            else:
-                stop_mask = np.zeros(l_total.shape[0], dtype=bool)
-            if iteration == config.max_iterations:
-                stop_mask[:] = True
-
-            l_total, lam, channel = frames.retire(
-                stop_mask, l_total, iteration, config.max_iterations,
-                extra=(lam, channel), monitor=monitor,
+                if config.is_fixed_point:
+                    # v->c messages pass through the narrow message
+                    # port (zero-broken, like the layered path).
+                    lam_vc = config.qformat.saturate(
+                        l_total[:, idx].astype(np.int64)
+                        - lam[:, sl, :]
+                    )
+                    break_zero_messages(lam_vc, lam[:, sl, :])
+                    gathered.append(lam_vc)
+                else:
+                    gathered.append(
+                        np.clip(
+                            l_total[:, idx] - lam[:, sl, :],
+                            -config.llr_clip,
+                            config.llr_clip,
+                        )
+                    )
+            stacked = (
+                np.concatenate(gathered, axis=2)
+                if len(gathered) > 1
+                else gathered[0]
             )
-            if frames.all_done:
-                break
+            checked = self.backend.compute_check(stacked, positions[0])
+            for i, pos in enumerate(positions):
+                sl = plan.lambda_slices[pos]
+                new_lambda[:, sl, :] = checked[:, :, i * z : (i + 1) * z]
+        lam = new_lambda
 
-        out_llr = frames.out_llr
-        bits = (out_llr < 0).astype(np.uint8)
-        converged = np.asarray(self.code.is_codeword(bits))
-        if converged.ndim == 0:
-            converged = converged[None]
-        llr_out = (
-            config.qformat.dequantize(out_llr)
-            if config.is_fixed_point
-            # Always report float64 LLRs even when the backend worked in
-            # a narrower dtype.
-            else out_llr.astype(np.float64, copy=False)
+        # Variable phase: APP = channel + sum of check messages, held in
+        # the wider APP accumulator format.
+        accumulator = channel.astype(
+            np.int64 if config.is_fixed_point else self.backend.work_dtype,
+            copy=True,
         )
-        return DecodeResult(
-            bits=bits,
-            llr=llr_out,
-            iterations=frames.iterations,
-            converged=converged,
-            et_stopped=frames.et_stopped,
-            n_info=self.code.n_info,
-        )
+        for pos, flat in enumerate(plan.flat_indices):
+            sl = plan.lambda_slices[pos]
+            accumulator[:, flat] += lam[:, sl, :].reshape(lam.shape[0], -1)
+        if config.is_fixed_point:
+            l_total = config.app_qformat.saturate(accumulator)
+        else:
+            l_total = np.clip(
+                accumulator,
+                -config.effective_app_clip,
+                config.effective_app_clip,
+            )
+        state.arrays = (l_total, lam, channel)
+
+    def step(
+        self, state: DecodeState, max_new_iterations: int | None = None
+    ) -> DecodeState:
+        """Run up to ``max_new_iterations`` full iterations (all if None)."""
+        return advance(state, self.config, self._iterate_once,
+                       max_new_iterations)
+
+    def finish(self, state: DecodeState) -> DecodeResult:
+        """The :class:`DecodeResult` of a completed state."""
+        return assemble_result(self.code, self.config, state)
+
+    def decode(self, channel_llr: np.ndarray) -> DecodeResult:
+        """Decode ``(N,)`` or ``(B, N)`` channel LLRs (see LayeredDecoder)."""
+        return self.finish(self.step(self.begin_decode(channel_llr)))

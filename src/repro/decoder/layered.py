@@ -33,6 +33,11 @@ from repro.decoder.backends import make_backend
 from repro.decoder.compaction import ActiveFrameSet
 from repro.decoder.early_termination import make_monitor
 from repro.decoder.plan import DecodePlan, check_plan_compatible
+from repro.decoder.state import (
+    DecodeState,
+    advance,
+    assemble_result,
+)
 
 
 def prepare_channel_llrs(
@@ -137,8 +142,64 @@ class LayeredDecoder:
         )
 
     # ------------------------------------------------------------------
-    # Main decode loop
+    # Main decode loop (resumable: begin_decode / step / finish)
     # ------------------------------------------------------------------
+    def begin_decode(self, channel_llr: np.ndarray) -> DecodeState:
+        """Condition the input and build a resumable decode handle.
+
+        No iterations run yet; drive the handle with :meth:`step` and
+        collect the result with :meth:`finish`.  ``decode()`` is exactly
+        begin + step-to-completion + finish, so sliced decodes are
+        bit-identical to one-shot ones by construction.
+        """
+        config = self.config
+        l_active, _ = self._prepare_llrs(channel_llr)
+        batch = l_active.shape[0]
+        if batch == 0:
+            return DecodeState.empty(self._empty_result())
+        dtype = self.backend.work_dtype
+        l_active = l_active.astype(dtype, copy=False)
+        lam_active = np.zeros(
+            (batch, self.plan.total_blocks, self.code.z), dtype=dtype
+        )
+
+        monitor = make_monitor(config, self.code, l_active)
+        frames = ActiveFrameSet(
+            batch, self.code.n, dtype, compact=config.compact_frames
+        )
+        history: dict | None = (
+            {"active_frames": [], "mean_abs_llr": [], "stopped": []}
+            if config.track_history
+            else None
+        )
+        return DecodeState(
+            (l_active, lam_active), monitor, frames, history=history
+        )
+
+    def _iterate_once(self, state: DecodeState) -> None:
+        """One full iteration of layer updates over the working arrays."""
+        l_active, lam_active = state.arrays
+        for layer_pos in range(self.plan.num_layers):
+            self.backend.update_layer(l_active, lam_active, layer_pos)
+
+    def step(
+        self, state: DecodeState, max_new_iterations: int | None = None
+    ) -> DecodeState:
+        """Run up to ``max_new_iterations`` full iterations (all if None).
+
+        Converged frames retire through the
+        :class:`~repro.decoder.compaction.ActiveFrameSet` seam exactly
+        as in a one-shot decode; ``state.done`` reports completion.
+        """
+        return advance(state, self.config, self._iterate_once,
+                       max_new_iterations)
+
+    def finish(self, state: DecodeState) -> DecodeResult:
+        """The :class:`DecodeResult` of a completed state."""
+        return assemble_result(
+            self.code, self.config, state, history=state.history
+        )
+
     def decode(self, channel_llr: np.ndarray) -> DecodeResult:
         """Decode one frame or a batch of frames.
 
@@ -156,73 +217,4 @@ class LayeredDecoder:
             Final LLRs are always reported in LLR units.  Single-frame
             inputs keep batch-first shapes (index ``[0]``).
         """
-        config = self.config
-        l_active, _ = self._prepare_llrs(channel_llr)
-        batch = l_active.shape[0]
-        if batch == 0:
-            return self._empty_result()
-        dtype = self.backend.work_dtype
-        l_active = l_active.astype(dtype, copy=False)
-        lam_active = np.zeros(
-            (batch, self.plan.total_blocks, self.code.z), dtype=dtype
-        )
-
-        monitor = make_monitor(config, self.code, l_active)
-        frames = ActiveFrameSet(
-            batch, self.code.n, dtype, compact=config.compact_frames
-        )
-        history: dict | None = (
-            {"active_frames": [], "mean_abs_llr": [], "stopped": []}
-            if config.track_history
-            else None
-        )
-
-        backend = self.backend
-        num_layers = self.plan.num_layers
-        for iteration in range(1, config.max_iterations + 1):
-            for layer_pos in range(num_layers):
-                backend.update_layer(l_active, lam_active, layer_pos)
-
-            if monitor is not None and iteration < config.max_iterations:
-                stop_mask = monitor.update(l_active)
-            else:
-                stop_mask = np.zeros(l_active.shape[0], dtype=bool)
-            if iteration == config.max_iterations:
-                stop_mask[:] = True
-
-            if history is not None:
-                logical = frames.active_rows(l_active)
-                history["active_frames"].append(frames.num_active)
-                history["mean_abs_llr"].append(float(np.mean(np.abs(logical))))
-
-            before = frames.num_active
-            l_active, lam_active = frames.retire(
-                stop_mask, l_active, iteration, config.max_iterations,
-                extra=(lam_active,), monitor=monitor,
-            )
-            if history is not None:
-                history["stopped"].append(before - frames.num_active)
-            if frames.all_done:
-                break
-
-        out_llr = frames.out_llr
-        bits = (out_llr < 0).astype(np.uint8)
-        converged = np.asarray(self.code.is_codeword(bits))
-        if converged.ndim == 0:
-            converged = converged[None]
-        llr_out = (
-            config.qformat.dequantize(out_llr)
-            if config.is_fixed_point
-            # Always report float64 LLRs even when the backend worked in
-            # a narrower dtype.
-            else out_llr.astype(np.float64, copy=False)
-        )
-        return DecodeResult(
-            bits=bits,
-            llr=llr_out,
-            iterations=frames.iterations,
-            converged=converged,
-            et_stopped=frames.et_stopped,
-            n_info=self.code.n_info,
-            history=history,
-        )
+        return self.finish(self.step(self.begin_decode(channel_llr)))

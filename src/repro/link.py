@@ -58,6 +58,7 @@ from repro.errors import LinkError
 from repro.power.model import PowerModel
 from repro.runtime.engine import SweepEngine
 from repro.service.cache import PlanCache
+from repro.service.policy import service_default_config
 from repro.service.service import DecodeService
 from repro.utils.rng import make_rng
 
@@ -209,6 +210,11 @@ class Link:
         if isinstance(mode, str):
             describe_mode(mode)  # fail fast on unknown modes
         self.mode = mode
+        #: True when the caller never chose a config: the serving path
+        #: may then upgrade its early-termination rule (see
+        #: :attr:`serving_config`); analysis paths always use
+        #: :attr:`config` verbatim.
+        self._config_defaulted = config is None
         self.config = config if config is not None else DecoderConfig()
         self.ebn0_db = None if ebn0 is None else float(ebn0)
         self.schedule = schedule
@@ -461,6 +467,22 @@ class Link:
     # ------------------------------------------------------------------
     # Serving — the session as a DecodeService client
     # ------------------------------------------------------------------
+    @property
+    def serving_config(self) -> DecoderConfig:
+        """The config the serving path decodes with.
+
+        Identical to :attr:`config`, except that a *defaulted* config
+        (the link was built without one) gets the service-tier
+        early-termination upgrade ``"paper"`` → ``"paper-or-syndrome"``
+        (the PR 3 re-corruption fix; see
+        :func:`repro.service.service_default_config`).  Direct
+        :meth:`decode` / :meth:`run_frames` / :meth:`sweep` analysis
+        stays on :attr:`config`, paper-faithful.
+        """
+        if self._config_defaulted:
+            return service_default_config(self.config)
+        return self.config
+
     def serve(self, **service_kwargs) -> DecodeService:
         """The session's :class:`~repro.service.DecodeService`.
 
@@ -490,13 +512,13 @@ class Link:
                     )
                 return self._service
             service_kwargs.setdefault("cache", self.cache)
-            service_kwargs.setdefault("default_config", self.config)
+            service_kwargs.setdefault("default_config", self.serving_config)
             service = self._service = DecodeService(**service_kwargs)
         # Warm the cache the service actually reads (a caller may have
         # overridden cache=), so its first request is a hit.  Outside
         # the lock: warming compiles plans, and a racing submit during
         # the warm-up is merely a cold miss, never a wrong decode.
-        service.cache.warm([self.mode], (self.config,))
+        service.cache.warm([self.mode], (self.serving_config,))
         return service
 
     def submit(
@@ -505,6 +527,7 @@ class Link:
         client: str = "default",
         service=None,
         timeout: "float | None" = None,
+        snr_db: "float | None" = None,
     ):
         """Queue LLR frames on the decode service; returns a Future.
 
@@ -515,10 +538,19 @@ class Link:
         per-request deadline forwarded to
         :meth:`DecodeService.submit`: the future resolves by then, with
         the result or :class:`~repro.errors.DeadlineExceeded`.
+        ``snr_db`` is the operating-SNR estimate forwarded to the
+        service's decode policy (ignored without one).  Decodes with
+        :attr:`serving_config` — the link's config, with the
+        service-tier early-termination upgrade when it was defaulted.
         """
         target = service if service is not None else self.serve()
         return target.submit(
-            self.mode, llr, config=self.config, client=client, timeout=timeout
+            self.mode,
+            llr,
+            config=self.serving_config,
+            client=client,
+            timeout=timeout,
+            snr_db=snr_db,
         )
 
     # ------------------------------------------------------------------

@@ -15,8 +15,14 @@ the production-software analogue of that operating condition:
   retries (:class:`RetryPolicy`) and a no-hung-futures guarantee;
 - :class:`ServiceMetrics` — frames/s, latency quantiles, batch fill,
   queue depth, cache and mode-switch counters plus the robustness
-  counters (rejected / shed / timed-out / retried), exportable as
-  Prometheus text via :func:`prometheus_text`.
+  counters (rejected / shed / timed-out / retried) and the
+  power-aware serving gauges (energy per bit, iteration savings),
+  exportable as Prometheus text via :func:`prometheus_text`;
+- :class:`DecodePolicy` / :class:`PolicyRule` — adaptive per-request
+  config selection from an operating-SNR estimate, including the
+  service-tier ``"paper-or-syndrome"`` early-termination default
+  (:data:`SERVICE_EARLY_TERMINATION`, applied to defaulted configs via
+  :func:`service_default_config`).
 
 See ``examples/decode_service.py`` for a quickstart,
 ``tests/test_service_stress.py`` for the bit-identity stress contract
@@ -31,15 +37,27 @@ from repro.service.policies import (
     AdmissionPolicy,
     RetryPolicy,
 )
+from repro.service.policy import (
+    DEFAULT_RULES,
+    SERVICE_EARLY_TERMINATION,
+    DecodePolicy,
+    PolicyRule,
+    service_default_config,
+)
 from repro.service.service import DecodeService
 
 __all__ = [
     "AdmissionPolicy",
     "CacheEntry",
+    "DEFAULT_RULES",
+    "DecodePolicy",
     "DecodeService",
     "OVERLOAD_POLICIES",
     "PlanCache",
+    "PolicyRule",
     "RetryPolicy",
+    "SERVICE_EARLY_TERMINATION",
     "ServiceMetrics",
     "prometheus_text",
+    "service_default_config",
 ]

@@ -61,6 +61,17 @@ class ServiceMetrics:
         self.mode_switches = 0
         self.queue_depth_frames = 0
         self.peak_queue_depth_frames = 0
+        # -- power-aware serving + incremental scheduling (PR 9) --------
+        self.energy_pj_total = 0.0
+        self.info_bits_decoded = 0
+        self.iterations_executed = 0
+        self.iteration_budget_total = 0
+        self.decode_slices = 0
+        self.continuations_requeued = 0
+        self.requests_early_delivered = 0
+        self._energy_frames = 0
+        #: rule name -> [selections, frames, iterations, budget]
+        self._policy_rules: dict[str, list] = {}
         self._latencies = np.zeros(LATENCY_WINDOW, dtype=np.float64)
         self._latency_count = 0  # total ever recorded (ring position)
 
@@ -149,6 +160,80 @@ class ServiceMetrics:
         with self._lock:
             self.queue_depth_frames -= frames
 
+    # -- power-aware serving + incremental scheduling (PR 9) -----------
+    def record_decode_outcome(
+        self,
+        frames: int,
+        info_bits: int,
+        iterations: int,
+        budget: int,
+        energy_pj: float,
+        rule: str | None = None,
+    ) -> None:
+        """Account one delivered request's decode work and energy.
+
+        ``iterations`` is the summed per-frame iteration count,
+        ``budget`` the summed per-frame ``max_iterations`` the request
+        *would* have burned without early termination — their ratio is
+        the measured iteration saving.  ``rule`` attributes the work to
+        the policy rule that selected the config (None when no rule
+        fired).
+        """
+        with self._lock:
+            self.energy_pj_total += energy_pj
+            self.info_bits_decoded += info_bits
+            self.iterations_executed += iterations
+            self.iteration_budget_total += budget
+            self._energy_frames += frames
+            if rule is not None:
+                stats = self._policy_rules.setdefault(rule, [0, 0, 0, 0])
+                stats[0] += 1
+                stats[1] += frames
+                stats[2] += iterations
+                stats[3] += budget
+
+    def record_slice(self, requeued: bool) -> None:
+        """One iteration slice ran; ``requeued`` if survivors went back."""
+        with self._lock:
+            self.decode_slices += 1
+            if requeued:
+                self.continuations_requeued += 1
+
+    def record_early_delivery(self) -> None:
+        """A request resolved before its batch finished decoding."""
+        with self._lock:
+            self.requests_early_delivered += 1
+
+    def policy_snapshot(self) -> dict:
+        """Per-rule selection counts and measured iteration savings."""
+        with self._lock:
+            rules = {}
+            for name, (selections, frames, iterations, budget) in sorted(
+                self._policy_rules.items()
+            ):
+                rules[name] = {
+                    "selections": selections,
+                    "frames_total": frames,
+                    "iterations_total": iterations,
+                    "budget_total": budget,
+                    "avg_iterations": iterations / frames if frames else 0.0,
+                }
+            return {
+                "rules": rules,
+                "avg_iterations": (
+                    self.iterations_executed / self._energy_frames
+                    if self._energy_frames
+                    else 0.0
+                ),
+                "iteration_savings_pct": (
+                    100.0
+                    * (1.0 - self.iterations_executed
+                       / self.iteration_budget_total)
+                    if self.iteration_budget_total
+                    else 0.0
+                ),
+            }
+
     # ------------------------------------------------------------------
     # Derived view
     # ------------------------------------------------------------------
@@ -198,6 +283,23 @@ class ServiceMetrics:
                 "latency_p50_ms": p50 * 1e3,
                 "latency_p99_ms": p99 * 1e3,
                 "latency_mean_ms": mean * 1e3,
+                "energy_pj_total": self.energy_pj_total,
+                "info_bits_decoded": self.info_bits_decoded,
+                "energy_per_bit_pj": (
+                    self.energy_pj_total / self.info_bits_decoded
+                    if self.info_bits_decoded
+                    else 0.0
+                ),
+                "iterations_executed": self.iterations_executed,
+                "iteration_budget_total": self.iteration_budget_total,
+                "avg_iterations": (
+                    self.iterations_executed / self._energy_frames
+                    if self._energy_frames
+                    else 0.0
+                ),
+                "decode_slices": self.decode_slices,
+                "continuations_requeued": self.continuations_requeued,
+                "requests_early_delivered": self.requests_early_delivered,
             }
 
     def prometheus_text(self, extra: dict | None = None, prefix: str = "repro") -> str:
@@ -231,6 +333,13 @@ _COUNTER_KEYS = frozenset({
     "decodes", "iterations_total", "supersteps", "boundary_messages",
     "boundary_bytes", "boundary_bytes_sent", "barrier_wait_s",
     "ring_hops", "crashes",
+    # Power-aware serving + adaptive policies (PR 9).  The derived
+    # ratios (energy_per_bit_pj, avg_iterations, iteration_savings_pct)
+    # are gauges and intentionally absent here.
+    "energy_pj_total", "info_bits_decoded", "iterations_executed",
+    "iteration_budget_total", "decode_slices", "continuations_requeued",
+    "requests_early_delivered", "selections", "frames_total",
+    "budget_total",
 })
 
 

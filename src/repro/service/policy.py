@@ -1,0 +1,261 @@
+"""Adaptive decoding policies: pick the decode config per request.
+
+The repo measures every knob that matters — check-node algorithm,
+datapath width, iteration budget, early-termination rule — but until
+now the serving tier never *drove* them: every request decoded with
+whatever static config it (or the service default) carried.  This
+module closes the loop, in the spirit of Lee & Wolf's software-radio
+power study (PAPERS.md): given an operating-SNR estimate for a request
+(client-supplied, or measured blind from the LLR magnitudes by
+:mod:`repro.channel.snr_estimate`), a :class:`DecodePolicy` selects the
+cheapest configuration that still converges in that regime.
+
+Two levels, both immutable data:
+
+- :class:`PolicyRule` — one SNR band and the
+  :class:`~repro.decoder.DecoderConfig` field overrides to apply in it.
+- :class:`DecodePolicy` — an ordered rule set (highest band first)
+  plus the service-tier early-termination default.
+
+The ET default is the headline bugfix: ``"paper-or-syndrome"``
+replaces a plain ``"paper"`` rule on every policy-selected config
+(unless a rule explicitly overrides ``early_termination``), retiring
+the PR 3 re-corruption residual — frames on N>~2000 codes that reach a
+true codeword, fail the paper rule's confidence test, keep iterating,
+and are then re-corrupted by tight-saturation contagion.  The syndrome
+check stops them at the codeword.  ``DecoderConfig``'s own library
+default stays ``"paper"`` (the paper's rule, for paper-faithful
+analysis); only the serving tier upgrades.
+
+Enforcement lives in :class:`~repro.service.DecodeService` (see its
+``policy=`` parameter); this module has no service dependencies, so
+policies are easy to construct and unit-test standalone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+
+from repro.decoder.api import DecoderConfig
+from repro.fixedpoint import QFormat
+
+__all__ = [
+    "DEFAULT_RULES",
+    "DecodePolicy",
+    "PolicyRule",
+    "SERVICE_EARLY_TERMINATION",
+    "service_default_config",
+]
+
+#: The service-tier early-termination rule (see module docstring).
+SERVICE_EARLY_TERMINATION = "paper-or-syndrome"
+
+_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(DecoderConfig))
+
+#: Overrides that reinterpret the numeric payload.  A raw fixed-point
+#: request body is meaningless under a different qformat (and a float
+#: request quantizes differently), so these are dropped for raw
+#: payloads — see :meth:`DecodePolicy.select`'s ``allow_datapath``.
+_DATAPATH_FIELDS = frozenset(
+    {"qformat", "llr_clip", "app_extra_bits", "siso_guard_bits", "app_clip"}
+)
+
+
+def service_default_config(base: DecoderConfig) -> DecoderConfig:
+    """Upgrade a *defaulted* config to the service-tier ET rule.
+
+    Applied by DecodeService/Link only on config paths the caller never
+    explicitly chose (no ``default_config`` passed, no per-request
+    config on the wire).  An explicit ``early_termination`` — anything
+    other than the library default ``"paper"`` — passes through
+    untouched.
+    """
+    if base.early_termination == "paper":
+        return base.replace(early_termination=SERVICE_EARLY_TERMINATION)
+    return base
+
+
+def _canonical_overrides(overrides) -> tuple[tuple[str, object], ...]:
+    if isinstance(overrides, dict):
+        items = overrides.items()
+    else:
+        items = tuple(overrides)
+    canonical = tuple(sorted((str(k), v) for k, v in items))
+    unknown = [k for k, _ in canonical if k not in _CONFIG_FIELDS]
+    if unknown:
+        raise ValueError(
+            f"unknown DecoderConfig fields in policy overrides: {unknown}"
+        )
+    return canonical
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One SNR band of a :class:`DecodePolicy`.
+
+    Parameters
+    ----------
+    name:
+        Stable label; selection counts appear under it in
+        ``metrics_snapshot()["policy"]["rules"]``.
+    min_snr_db:
+        The band's lower edge (inclusive).  ``-inf`` makes the rule the
+        catch-all.
+    overrides:
+        ``DecoderConfig`` field overrides to apply when the rule fires
+        — a dict or an iterable of ``(field, value)`` pairs, stored
+        canonically (sorted tuple) so rules hash and compare stably.
+        Values are validated by ``DecoderConfig.replace`` at selection
+        time; field names are validated here.
+    """
+
+    name: str
+    min_snr_db: float
+    overrides: tuple = ()
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("policy rule needs a non-empty name")
+        object.__setattr__(
+            self, "overrides", _canonical_overrides(self.overrides)
+        )
+
+    def applies(self, snr_db: float) -> bool:
+        return snr_db >= self.min_snr_db
+
+    def config(
+        self, base: DecoderConfig, allow_datapath: bool = True
+    ) -> DecoderConfig:
+        """The base config with this rule's overrides applied."""
+        fields = {
+            k: v
+            for k, v in self.overrides
+            if allow_datapath or k not in _DATAPATH_FIELDS
+        }
+        return base.replace(**fields) if fields else base
+
+
+#: The stock rule set, tuned on the WiMax/WiFi/DMB-T registry codes:
+#:
+#: - **high-snr-minsum** (≥ 4.5 dB): the channel does most of the work;
+#:   normalized min-sum on the Q8.2 datapath with a 5-iteration budget
+#:   is the paper's low-power operating point (reduced switching
+#:   activity, no boxplus LUTs, early budget cutoff).
+#: - **mid-snr-fixed** (≥ 2.0 dB): full BP, still on the fixed-point
+#:   datapath — the paper's nominal configuration.
+#: - **low-snr-float** (catch-all): full BP on the float datapath; at
+#:   the waterfall edge the Q8.2 saturation costs measurable BER, so
+#:   spend the energy where it buys correctness.
+#:
+#: No rule *raises* ``max_iterations`` above the 10-iteration library
+#: default, so under the default policy the measured average iteration
+#: count can only fall relative to a static config — the property the
+#: CI ``policy-smoke`` gate pins.
+DEFAULT_RULES = (
+    PolicyRule(
+        "high-snr-minsum",
+        4.5,
+        {
+            "check_node": "normalized-minsum",
+            "qformat": QFormat(8, 2),
+            "max_iterations": 5,
+        },
+    ),
+    PolicyRule("mid-snr-fixed", 2.0, {"qformat": QFormat(8, 2)}),
+    PolicyRule("low-snr-float", -math.inf, {}),
+)
+
+
+@dataclass(frozen=True)
+class DecodePolicy:
+    """An ordered set of SNR-banded config rules.
+
+    Parameters
+    ----------
+    rules:
+        :class:`PolicyRule` instances; stored sorted by descending
+        ``min_snr_db`` and matched first-hit.  Must contain a catch-all
+        (``min_snr_db=-inf``) so every estimate selects something.
+    estimate:
+        When True (default), the service estimates SNR blind from the
+        request's LLR magnitudes whenever the client supplied none.
+        When False, requests without a client-supplied ``snr_db``
+        bypass the rules entirely (the ET upgrade still applies).
+    default_early_termination:
+        ET rule substituted for a plain ``"paper"`` on every selected
+        config (unless the winning rule overrides ET itself).
+    """
+
+    rules: tuple = DEFAULT_RULES
+    estimate: bool = True
+    default_early_termination: str = SERVICE_EARLY_TERMINATION
+
+    def __post_init__(self):
+        rules = tuple(self.rules)
+        if not rules:
+            raise ValueError("policy needs at least one rule")
+        names = [r.name for r in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate policy rule names: {names}")
+        if not any(math.isinf(r.min_snr_db) and r.min_snr_db < 0
+                   for r in rules):
+            raise ValueError(
+                "policy needs a catch-all rule with min_snr_db=-inf"
+            )
+        ordered = tuple(
+            sorted(rules, key=lambda r: r.min_snr_db, reverse=True)
+        )
+        object.__setattr__(self, "rules", ordered)
+
+    @property
+    def rule_names(self) -> tuple:
+        return tuple(r.name for r in self.rules)
+
+    def _finalize(self, config: DecoderConfig, et_overridden: bool):
+        if not et_overridden and config.early_termination == "paper":
+            config = config.replace(
+                early_termination=self.default_early_termination
+            )
+        return config
+
+    def select(
+        self,
+        snr_db: float | None,
+        base: DecoderConfig,
+        allow_datapath: bool = True,
+    ) -> tuple[str | None, DecoderConfig]:
+        """Pick the config for one request.
+
+        Parameters
+        ----------
+        snr_db:
+            Operating-SNR estimate, or ``None`` when unknown (client
+            sent none and estimation is off) — then no rule fires and
+            only the ET default applies.
+        base:
+            The config the request would otherwise decode with (its
+            explicit per-request config, or the service default).
+        allow_datapath:
+            False for raw fixed-point payloads, whose integer values
+            are only meaningful under the qformat the client encoded
+            them with — datapath overrides are dropped.
+
+        Returns
+        -------
+        (rule_name, config):
+            ``rule_name`` is ``None`` when no rule fired.
+        """
+        if snr_db is None or math.isnan(snr_db):
+            return None, self._finalize(base, et_overridden=False)
+        for rule in self.rules:
+            if rule.applies(snr_db):
+                et_overridden = any(
+                    k == "early_termination" for k, _ in rule.overrides
+                )
+                config = rule.config(base, allow_datapath=allow_datapath)
+                return rule.name, self._finalize(config, et_overridden)
+        # Unreachable with the mandatory catch-all, but keep the
+        # contract total for exotic subclasses.
+        return None, self._finalize(base, et_overridden=False)

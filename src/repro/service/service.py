@@ -71,19 +71,24 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.arch.datapath import DMBT_CHIP, PAPER_CHIP
+from repro.channel.snr_estimate import estimate_snr
 from repro.codes.qc import QCLDPCCode
-from repro.codes.registry import describe_mode
+from repro.codes.registry import describe_mode, get_code
 from repro.decoder.api import DecodeResult, DecoderConfig
+from repro.decoder.state import assemble_rows
 from repro.errors import (
     DeadlineExceeded,
     ServiceClosedError,
     ServiceOverloaded,
 )
+from repro.power.model import PowerModel
 from repro.runtime.parallel import ProcessWorkerPool, WorkerPool
 from repro.runtime.procworker import decode_out_spec
 from repro.service.cache import PlanCache
 from repro.service.metrics import ServiceMetrics, prometheus_text
 from repro.service.policies import AdmissionPolicy, RetryPolicy
+from repro.service.policy import DecodePolicy, service_default_config
 
 
 @dataclass(eq=False)  # identity semantics: hashable, remove() by `is`
@@ -102,6 +107,29 @@ class _Request:
     deadline: "float | None" = None
     dispatched: bool = False  # left the admission queue (guarded by _cond)
     resolved: bool = False    # outcome claimed (guarded by _delivery_lock)
+    rule: "str | None" = None  # decode-policy rule that picked the config
+    budget: int = 0  # per-frame iteration budget of the pre-policy config
+
+
+@dataclass(eq=False)
+class _Continuation:
+    """An in-flight sliced batch decode awaiting its next iteration slice.
+
+    Created by :meth:`DecodeService._run_batch` under incremental
+    scheduling (``iteration_slice=``): the decode's resumable
+    :class:`~repro.decoder.DecodeState` plus the request bookkeeping
+    needed to deliver finished rows early and to restart from the
+    channel LLRs if the worker running a slice is lost.
+    """
+
+    decoder: object
+    code: QCLDPCCode
+    config: DecoderConfig
+    state: object
+    requests: list
+    offsets: tuple
+    delivered: list
+    attempt: int
 
 
 @dataclass
@@ -168,8 +196,13 @@ class DecodeService:
         The :class:`PlanCache` to serve decoders from (default: a fresh
         cache of 32 records).
     default_config:
-        Config for requests that do not carry one (default: the cache's
-        default).
+        Config for requests that do not carry one.  When omitted, the
+        cache's default is adopted with its early-termination rule
+        upgraded from the library default ``"paper"`` to the service
+        tier's ``"paper-or-syndrome"`` (see
+        :func:`~repro.service.policy.service_default_config`) — the
+        PR 3 re-corruption residual fix.  An explicitly passed
+        ``default_config`` is used verbatim.
     warm_modes:
         Modes (registry strings, codes, or a
         :class:`~repro.arch.mode_rom.ModeROM`) to compile eagerly at
@@ -212,6 +245,24 @@ class DecodeService:
         identically; results are bit-identical.  Prefer registry-string
         modes with the process executor (code *objects* re-pickle per
         batch and defeat the per-worker plan cache).
+    policy:
+        Optional :class:`~repro.service.DecodePolicy`: every request's
+        decode config is then selected per its operating-SNR estimate
+        (client-supplied ``snr_db=`` at :meth:`submit`, else estimated
+        blind from the LLR magnitudes).  Requests batch by the
+        *selected* config, so the policy also shapes batching.
+        Selection counts and measured iteration savings appear under
+        ``metrics_snapshot()["policy"]``.
+    iteration_slice:
+        Incremental-iteration scheduling (thread executor only): decode
+        each batch in slices of this many iterations.  After a slice,
+        requests whose frames have all retired resolve immediately and
+        the surviving frames requeue behind freshly arrived traffic —
+        long low-SNR decodes can no longer convoy short ones on the
+        same worker.  Results are bit-identical to one-shot decodes
+        (same loop, cut differently; pinned by
+        ``tests/test_backend_properties.py``).  ``None`` (default)
+        decodes each batch in one shot.
 
     Use as a context manager, or call :meth:`close` — it drains pending
     requests (every submitted future resolves) before shutting the
@@ -235,6 +286,8 @@ class DecodeService:
         hang_timeout: "float | None" = None,
         faults=None,
         executor: str = "thread",
+        policy: "DecodePolicy | None" = None,
+        iteration_slice: "int | None" = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -246,7 +299,20 @@ class DecodeService:
             raise ValueError(
                 f"executor must be 'thread' or 'process', got {executor!r}"
             )
+        if iteration_slice is not None:
+            if iteration_slice < 1:
+                raise ValueError("iteration_slice must be >= 1 (or None)")
+            if executor == "process":
+                raise ValueError(
+                    "iteration_slice requires the thread executor: process "
+                    "workers run one-shot decodes in their own address "
+                    "space, so there is no resumable state to requeue"
+                )
         self.executor = executor
+        self.decode_policy = policy
+        self.iteration_slice = (
+            int(iteration_slice) if iteration_slice is not None else None
+        )
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait)
         self.policy = AdmissionPolicy(
@@ -257,11 +323,15 @@ class DecodeService:
         self.retry = retry
         self.default_timeout = default_timeout
         self.cache = cache if cache is not None else PlanCache()
-        self.default_config = (
-            default_config
-            if default_config is not None
-            else self.cache.default_config
-        )
+        if default_config is not None:
+            self.default_config = default_config
+        else:
+            # Service-tier ET default: a *defaulted* config upgrades
+            # "paper" to "paper-or-syndrome" (the PR 3 re-corruption
+            # fix); an explicit default_config passes through verbatim.
+            self.default_config = service_default_config(
+                self.cache.default_config
+            )
         self.metrics = ServiceMetrics(clock=clock)
         self._clock = clock
         self._faults = faults
@@ -320,6 +390,13 @@ class DecodeService:
         self._retry_timers: dict = {}
         self._retry_lock = threading.Lock()
         self._last_batch_key: tuple | None = None
+        #: sliced decodes awaiting their next iteration slice (guarded
+        #: by _cond); the dispatcher pops them *after* fresh batches, so
+        #: survivors queue behind newly arrived traffic.
+        self._continuations: deque = deque()
+        #: mode key -> (pJ per frame-iteration, n_info) for the energy
+        #: accounting; benign to race (idempotent rebuild under the GIL).
+        self._energy_profiles: dict = {}
         if warm_modes is not None:
             self.cache.warm(warm_modes, (self.default_config,))
         self._dispatcher = threading.Thread(
@@ -337,6 +414,7 @@ class DecodeService:
         config: DecoderConfig | None = None,
         client: str = "default",
         timeout: "float | None" = None,
+        snr_db: "float | None" = None,
     ) -> Future:
         """Queue one decode request; returns a future of its result.
 
@@ -366,6 +444,12 @@ class DecodeService:
             after its predecessors).  Under the ``block`` overload
             policy the deadline also bounds the time spent blocked
             waiting for queue space.
+        snr_db:
+            Client-supplied operating-SNR estimate (dB) for the decode
+            policy.  Ignored unless the service was constructed with
+            ``policy=``; when the policy is on and this is ``None``,
+            the SNR is estimated blind from the LLR magnitudes
+            (if ``policy.estimate``).
 
         Raises
         ------
@@ -426,6 +510,18 @@ class DecodeService:
         # width (int16/int32, float32/float64) is safe: promotion
         # preserves the values and the decoder normalizes.
         is_raw = bool(np.issubdtype(frames_in.dtype, np.integer))
+        rule = None
+        budget = int(config.max_iterations)
+        if self.decode_policy is not None:
+            snr = snr_db
+            if snr is None and self.decode_policy.estimate:
+                snr = self._estimate_snr(frames_in, config, is_raw)
+            # Raw integer payloads are only meaningful under the
+            # qformat the client encoded them with — datapath overrides
+            # are dropped for them (see DecodePolicy.select).
+            rule, config = self.decode_policy.select(
+                snr, config, allow_datapath=not is_raw
+            )
         key = self.cache.key(mode, config) + (is_raw,)
         frames = int(frames_in.shape[0])
         future: Future = Future()
@@ -499,6 +595,8 @@ class DecodeService:
                 submitted=self._clock(),
                 key=key,
                 deadline=deadline,
+                rule=rule,
+                budget=budget,
             )
             with self._delivery_lock:
                 self._live.add(request)
@@ -527,6 +625,21 @@ class DecodeService:
                 ),
             )
         return future
+
+    def _estimate_snr(self, frames_in, config, is_raw) -> "float | None":
+        """Blind per-request SNR estimate for the decode policy.
+
+        Integer payloads are dequantized under the config they will
+        decode with (raw fixed-point values under a fixed-point config,
+        plain LLR units otherwise — mirroring ``prepare_channel_llrs``).
+        """
+        if frames_in.size == 0:
+            return None  # nothing to measure; only the ET default applies
+        if not is_raw:
+            return estimate_snr(frames_in).snr_db
+        if config.is_fixed_point:
+            return estimate_snr(frames_in, qformat=config.qformat).snr_db
+        return estimate_snr(frames_in.astype(np.float64)).snr_db
 
     def _shed_for(self, frames: int) -> "list[_Request]":
         """Evict oldest queued requests until ``frames`` fit (lock held).
@@ -582,6 +695,9 @@ class DecodeService:
         superstep counts, boundary traffic, barrier wait, per-shard
         sub-sections — nests under ``"fabric"``; the section is absent
         otherwise, so single-shard deployments export no dead zeros.
+        Likewise, with a decode policy or incremental scheduling
+        configured, per-rule selection counts and measured iteration
+        savings nest under ``"policy"``.
         """
         snapshot = self.metrics.snapshot()
         snapshot["plan_cache"] = self.cache.stats()
@@ -589,6 +705,8 @@ class DecodeService:
         fabric = self.cache.fabric_stats()
         if fabric is not None:
             snapshot["fabric"] = fabric
+        if self.decode_policy is not None or self.iteration_slice is not None:
+            snapshot["policy"] = self.metrics.policy_snapshot()
         return snapshot
 
     def metrics_text(self) -> str:
@@ -674,6 +792,7 @@ class DecodeService:
         while True:
             batches: list[tuple[tuple, list, str]] = []
             expired: list[_Request] = []
+            continuations: list[_Continuation] = []
             with self._cond:
                 while True:
                     now = self._clock()
@@ -734,12 +853,18 @@ class DecodeService:
                             if not taken:
                                 break
                             batches.append((key, taken, trigger))
-                    if batches or expired:
+                    while self._continuations:
+                        continuations.append(self._continuations.popleft())
+                    if batches or expired or continuations:
                         # Frames left the queue: blocked submitters may
                         # now fit.
                         self._cond.notify_all()
                         break
                     if draining:
+                        # Nothing queued and no sliced decode awaiting
+                        # resumption: workers still mid-slice finish
+                        # inline (they observe _closing at requeue
+                        # time), so exiting here strands nothing.
                         return
                     self._cond.wait(timeout=nearest)
             for request in expired:
@@ -762,6 +887,10 @@ class DecodeService:
                     self.metrics.record_mode_switch()
                 self._last_batch_key = key
                 self._dispatch_batch(requests, attempt=1)
+            # Continuations go to the pool *after* the fresh batches:
+            # survivors of a sliced decode queue behind new traffic.
+            for cont in continuations:
+                self._dispatch_continuation(cont)
 
     def _dispatch_batch(self, requests: "list[_Request]", attempt: int) -> None:
         """Hand a batch to the pool, with crash/hang recovery attached."""
@@ -989,21 +1118,180 @@ class DecodeService:
                 merged = first.llr
             else:
                 merged = np.concatenate([r.llr for r in live], axis=0)
-            result = entry.decoder.decode(merged)
-            offset = 0
-            outcomes = []
-            for request in live:
-                outcomes.append(
-                    ("result", result.slice(offset, offset + request.frames))
+            decoder = entry.decoder
+            cont = None
+            if (
+                self.iteration_slice is not None
+                and merged.shape[0] > 0
+                and hasattr(decoder, "begin_decode")
+            ):
+                # Incremental scheduling: build the resumable state and
+                # drive the first slice; sharded decoders (no
+                # begin_decode) and empty batches fall through to the
+                # one-shot path.
+                offsets = []
+                offset = 0
+                for request in live:
+                    offsets.append(offset)
+                    offset += request.frames
+                cont = _Continuation(
+                    decoder=decoder,
+                    code=entry.code,
+                    config=decoder.config,
+                    state=decoder.begin_decode(merged),
+                    requests=live,
+                    offsets=tuple(offsets),
+                    delivered=[False] * len(live),
+                    attempt=attempt,
                 )
-                offset += request.frames
+            else:
+                result = decoder.decode(merged)
+                offset = 0
+                outcomes = []
+                for request in live:
+                    outcomes.append(
+                        ("result",
+                         result.slice(offset, offset + request.frames))
+                    )
+                    offset += request.frames
         except BaseException as exc:  # delivered or retried, never swallowed
             pending = [r for r in live if not r.resolved]
             if pending:
                 self._retry_or_fail(pending, attempt, exc)
             return
+        if cont is not None:
+            self._advance_continuation(cont)
+            return
         for request, (kind, payload) in zip(live, outcomes):
             self._deliver(request, kind, payload)
+
+    def _advance_continuation(self, cont: _Continuation) -> None:
+        """Run one iteration slice; deliver finished rows; requeue or end.
+
+        Worker-side.  A decode error goes through the standard retry
+        adjudication: a retry restarts the pending requests from their
+        channel LLRs, which is bit-identical per frame (every kernel is
+        elementwise along the batch axis), so losing the sliced state
+        costs work, never correctness.
+        """
+        try:
+            cont.decoder.step(cont.state, self.iteration_slice)
+        except BaseException as exc:  # delivered or retried, never swallowed
+            pending = [r for r in cont.requests if not r.resolved]
+            if pending:
+                self._retry_or_fail(pending, cont.attempt, exc)
+            return
+        self._deliver_finished_rows(cont)
+        if cont.state.done:
+            self.metrics.record_slice(requeued=False)
+            return
+        requeued = False
+        with self._cond:
+            if not self._closing:
+                self._continuations.append(cont)
+                self._cond.notify_all()
+                requeued = True
+        self.metrics.record_slice(requeued=requeued)
+        if requeued:
+            return
+        # Closing: the dispatcher is draining (or gone) and will not
+        # resume us — finish the decode inline so the close() drain
+        # cannot strand in-flight sliced state.
+        while not cont.state.done:
+            try:
+                cont.decoder.step(cont.state, self.iteration_slice)
+            except BaseException as exc:
+                pending = [r for r in cont.requests if not r.resolved]
+                if pending:
+                    self._retry_or_fail(pending, cont.attempt, exc)
+                return
+            self.metrics.record_slice(requeued=False)
+            self._deliver_finished_rows(cont)
+
+    def _deliver_finished_rows(self, cont: _Continuation) -> None:
+        """Resolve every request whose batch rows have all retired.
+
+        ``assemble_rows`` is final for retired rows even while the rest
+        of the batch iterates (every result field is elementwise), so a
+        short decode leaves its batch as soon as its own frames stop.
+        """
+        done_mask = cont.state.done_mask
+        final = cont.state.done
+        for i, request in enumerate(cont.requests):
+            if cont.delivered[i]:
+                continue
+            start = cont.offsets[i]
+            stop = start + request.frames
+            if not (final or bool(done_mask[start:stop].all())):
+                continue
+            cont.delivered[i] = True
+            if not final:
+                self.metrics.record_early_delivery()
+            payload = assemble_rows(
+                cont.code, cont.config, cont.state.frames, start, stop
+            )
+            self._deliver(request, "result", payload)
+
+    def _dispatch_continuation(self, cont: _Continuation) -> None:
+        """Resume a sliced decode on the pool (dispatcher side)."""
+        if all(r.resolved for r in cont.requests):
+            return  # every awaiter timed out or was shed; drop the state
+        try:
+            batch_future = self._pool.submit(self._advance_continuation, cont)
+        except RuntimeError:
+            for request in cont.requests:
+                self._deliver(
+                    request,
+                    "closed",
+                    ServiceClosedError(
+                        "service closed while this request's sliced decode "
+                        "awaited its next iteration slice"
+                    ),
+                )
+            return
+        batch_future.add_done_callback(
+            lambda f, c=cont: self._on_batch_done(f, c.requests, c.attempt)
+        )
+
+    def _energy_profile(self, mode) -> tuple:
+        """``(pJ per frame-iteration, n_info)`` for one mode, cached.
+
+        Each executed iteration is priced at the paper chip's active
+        power over the §III-E cycle count (``E / r`` cycles per
+        iteration), with lanes gated to the code's ``z`` — the DMB-T
+        datapath variant when the code exceeds the paper chip, exactly
+        as ``Link.datapath_params`` selects.
+        """
+        key = self.cache.mode_key(mode)
+        profile = self._energy_profiles.get(key)
+        if profile is None:
+            code = get_code(mode) if isinstance(mode, str) else mode
+            params = PAPER_CHIP if PAPER_CHIP.supports_code(code) else DMBT_CHIP
+            lanes = min(code.z, params.z_max)
+            power_mw = PowerModel(params).active_power_mw(lanes).total_mw
+            seconds_per_iteration = (
+                code.base.num_blocks
+                / params.messages_per_cycle
+                / (params.fclk_mhz * 1e6)
+            )
+            # mW * s = 1e-3 J -> 1e9 pJ.
+            profile = (power_mw * seconds_per_iteration * 1e9, code.n_info)
+            self._energy_profiles[key] = profile
+        return profile
+
+    def _record_outcome(self, request: _Request, result) -> None:
+        """Iteration and energy accounting for one delivered result."""
+        frames = int(result.iterations.shape[0])
+        iterations = int(result.iterations.sum())
+        pj_per_iteration, n_info = self._energy_profile(request.mode)
+        self.metrics.record_decode_outcome(
+            frames=frames,
+            info_bits=frames * n_info,
+            iterations=iterations,
+            budget=frames * request.budget,
+            energy_pj=iterations * pj_per_iteration,
+            rule=request.rule,
+        )
 
     def _deliver(self, request: _Request, kind: str, payload) -> bool:
         """Resolve one request's outcome, exactly once, in FIFO order.
@@ -1080,6 +1368,7 @@ class DecodeService:
             latency = self._clock() - ready.submitted
             if ready_kind == "result":
                 self.metrics.record_completion(ready.frames, latency)
+                self._record_outcome(ready, ready_payload)
                 ready.future.set_result(ready_payload)
             else:
                 if ready_kind == "shed":

@@ -530,3 +530,56 @@ def test_process_sweep_bit_identity(schedule):
             workers=2, force_parallel=True, pool=pool,
         ).run(ebn0, **budget)
     assert [p.to_dict() for p in serial] == [p.to_dict() for p in forced]
+
+
+# ---------------------------------------------------------------------------
+# Property 8: incremental-iteration slicing is invisible
+# ---------------------------------------------------------------------------
+# The incremental scheduler (DecodeService(iteration_slice=...)) cuts the
+# decode loop into begin_decode / step / finish slices.  Because both
+# schedules share the exact loop body (repro.decoder.state.advance), a
+# sliced decode must be bit-identical to the one-shot decode — outputs,
+# iteration counts and ET flags included — for every backend × schedule ×
+# datapath × compaction cell of the matrix.
+@pytest.mark.parametrize("case", CASES, ids=_case_ids(CASES))
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_incremental_slices_bit_identity(case, backend):
+    code = CODES[case.code_index]
+    llrs = _case_llrs(case)
+    for compact in (True, False):
+        config = case.config(backend=backend, compact_frames=compact)
+        decoder = SCHEDULES[case.schedule](code, config)
+        state = decoder.begin_decode(llrs)
+        steps = 0
+        while not state.done:
+            decoder.step(state, 2)
+            steps += 1
+            assert steps <= config.max_iterations  # progress guarantee
+        sliced = decoder.finish(state)
+        _assert_identical(
+            sliced,
+            SCHEDULES[case.schedule](code, config).decode(llrs),
+            f"{case.label} backend={backend} compact={compact} "
+            "2-iteration slices vs one-shot",
+        )
+
+
+def test_incremental_done_mask_monotone():
+    """done_mask only ever latches more rows, and finish() needs done."""
+    case = next(
+        c for c in CASES
+        if dict(c.config_kwargs)["max_iterations"] >= 4 and c.batch >= 3
+    )
+    code = CODES[case.code_index]
+    decoder = SCHEDULES[case.schedule](code, case.config())
+    state = decoder.begin_decode(_case_llrs(case))
+    if not state.done:
+        with pytest.raises(RuntimeError):
+            decoder.finish(state)
+    prev = state.done_mask.copy()
+    while not state.done:
+        decoder.step(state, 1)
+        mask = state.done_mask
+        assert mask[prev].all(), "a latched frame came back"
+        prev = mask.copy()
+    assert state.done_mask.all()

@@ -425,9 +425,10 @@ class TestLinkServiceBridge:
         try:
             service = link.serve(cache=own)
             assert service.cache is own
-            assert len(own) == 1  # the link's (mode, config) is resident
+            # The serving config (ET-upgraded default) is resident.
+            assert len(own) == 1
             stats = own.stats()
-            entry = own.get(link.mode, link.config)
+            entry = own.get(link.mode, link.serving_config)
             assert own.stats()["hits"] == stats["hits"] + 1
             assert entry.code.n == link.code.n
         finally:

@@ -1,0 +1,138 @@
+"""Tests for blind SNR estimation (:mod:`repro.channel.snr_estimate`).
+
+The estimator feeds the adaptive decode policies, so its contract is
+robustness-first: no division by zero on all-zero payloads, no sign
+sensitivity (only even moments enter), and raw fixed-point payloads —
+including unsigned dtypes from a transport layer — dequantize exactly
+as the decoder itself would see them.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.channel import SnrEstimate, estimate_snr, estimate_snr_db
+from repro.fixedpoint import QFormat
+
+SEED = 20260807
+
+
+def _consistent_llrs(snr_db: float, shape, rng) -> np.ndarray:
+    """BPSK/AWGN channel LLRs at the estimator's SNR convention.
+
+    ``snr_db = 10·log10(1/σ²)``; the frontend emits ``L = 2y/σ²`` with
+    ``y = ±1 + n``, ``n ~ N(0, σ²)`` — the consistent Gaussian
+    ``N(±μ, 2μ)``, ``μ = 2/σ²``.
+    """
+    sigma2 = 10.0 ** (-snr_db / 10.0)
+    signs = 1.0 - 2.0 * rng.integers(0, 2, shape)
+    y = signs + math.sqrt(sigma2) * rng.standard_normal(shape)
+    return 2.0 * y / sigma2
+
+
+class TestMomentMath:
+    @pytest.mark.parametrize("snr_db", [-2.0, 0.0, 3.0, 6.0])
+    def test_recovers_channel_snr(self, snr_db):
+        rng = np.random.default_rng(SEED)
+        llr = _consistent_llrs(snr_db, (64, 1024), rng)
+        est = estimate_snr(llr)
+        assert abs(est.snr_db - snr_db) < 0.35
+        assert est.frames == 64
+        assert est.second_moment > 0
+        assert est.llr_mean_abs > 0
+        assert abs(est.noise_var - 10.0 ** (-snr_db / 10.0)) < 0.1 * (
+            10.0 ** (-snr_db / 10.0)
+        ) + 1e-9
+
+    def test_sign_free(self):
+        """Only even moments enter: flipping every sign changes nothing."""
+        rng = np.random.default_rng(SEED + 1)
+        llr = _consistent_llrs(2.0, (8, 512), rng)
+        assert estimate_snr(llr).snr_db == estimate_snr(-llr).snr_db
+
+    def test_monotone_in_snr(self):
+        rng = np.random.default_rng(SEED + 2)
+        estimates = [
+            estimate_snr_db(_consistent_llrs(s, (32, 512), rng))
+            for s in (-4.0, 0.0, 4.0, 8.0)
+        ]
+        assert estimates == sorted(estimates)
+
+    def test_one_dimensional_payload_counts_one_frame(self):
+        rng = np.random.default_rng(SEED + 3)
+        est = estimate_snr(_consistent_llrs(3.0, (2048,), rng))
+        assert est.frames == 1
+
+
+class TestDegenerateInputs:
+    def test_all_zero_payload_is_minus_inf_no_division(self):
+        est = estimate_snr(np.zeros((4, 128)))
+        assert est.snr_db == -math.inf
+        assert est.noise_var == math.inf
+        assert est.second_moment == 0.0
+
+    def test_all_zero_raw_payload(self):
+        est = estimate_snr(
+            np.zeros((4, 128), dtype=np.int16), qformat=QFormat(8, 2)
+        )
+        assert est.snr_db == -math.inf
+
+    def test_empty_payload_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            estimate_snr(np.zeros((0, 64)))
+
+    def test_integer_without_qformat_raises(self):
+        with pytest.raises(ValueError, match="qformat"):
+            estimate_snr(np.ones((2, 8), dtype=np.int8))
+
+    def test_bool_payload_raises(self):
+        with pytest.raises(ValueError, match="dtype"):
+            estimate_snr(np.ones((2, 8), dtype=bool))
+
+
+class TestRawFixedPointPayloads:
+    """Raw integers dequantize exactly as the decoder's input path does."""
+
+    @pytest.mark.parametrize("total_bits,frac_bits", [(6, 2), (8, 2)])
+    def test_matches_quantize_nonzero_roundtrip(self, total_bits, frac_bits):
+        qformat = QFormat(total_bits, frac_bits)
+        rng = np.random.default_rng(SEED + 4)
+        llr = _consistent_llrs(3.0, (16, 512), rng)
+        raw = qformat.quantize_nonzero(llr)
+        assert np.issubdtype(raw.dtype, np.integer)
+        est_raw = estimate_snr(raw, qformat=qformat)
+        est_deq = estimate_snr(qformat.dequantize(raw))
+        assert est_raw.snr_db == pytest.approx(est_deq.snr_db)
+        assert est_raw.second_moment == pytest.approx(est_deq.second_moment)
+        # And the quantized estimate tracks the float one (saturation
+        # and the ±1 zero-break cost at most a fraction of a dB here).
+        assert abs(est_raw.snr_db - estimate_snr(llr).snr_db) < 1.0
+
+    def test_unsigned_dtype_keeps_raw_value(self):
+        """A uint payload must not be mis-signed by a narrowing cast."""
+        qformat = QFormat(8, 2)
+        signed = np.array([[120, 7, 33]], dtype=np.int16)
+        unsigned = signed.astype(np.uint8)  # same raw non-negative values
+        a = estimate_snr(signed, qformat=qformat)
+        b = estimate_snr(unsigned, qformat=qformat)
+        assert a.snr_db == b.snr_db
+        assert a.llr_mean_abs == b.llr_mean_abs
+
+    def test_wide_formats_do_not_overflow(self):
+        qformat = QFormat(16, 2)
+        big = np.full((2, 256), qformat.max_int, dtype=np.int32)
+        est = estimate_snr(big, qformat=qformat)
+        assert math.isfinite(est.snr_db)
+        assert est.second_moment == pytest.approx(
+            (qformat.max_int / qformat.scale) ** 2
+        )
+
+
+def test_result_is_frozen():
+    est = estimate_snr(np.ones((1, 8)))
+    assert isinstance(est, SnrEstimate)
+    with pytest.raises(AttributeError):
+        est.snr_db = 0.0
