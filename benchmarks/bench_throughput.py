@@ -61,6 +61,11 @@ Two further scenarios ride along and land in the same JSON:
   ``paper-or-syndrome`` rule (gated at zero — the PR 3 residual stays
   retired); asserts per-request bit-identity against direct decodes
   under each rule's config.
+- **harq** — IR-HARQ sessions on a 5G NR BG1 mode: rate-matched
+  transmissions at rv0→2→3→1 soft-combined and re-decoded over AWGN and
+  per-frame Rayleigh block fading, recording decoded frames/s and the
+  per-retransmission BER/FER trajectory; fails the run unless FER
+  improves monotonically with each redundancy version on both channels.
 - **server** — the same workload through the asyncio socket front door
   (:class:`~repro.server.DecodeServer` + one pipelined
   :class:`~repro.server.DecodeClient`) vs the in-process service:
@@ -969,6 +974,103 @@ def run_policy_benchmark(requests: int, repeats: int = 1) -> dict:
     return entry
 
 
+#: IR-HARQ scenario: a 5G NR BG1 mode, rate-matched to half the
+#: circular buffer, retransmitted through the standard rv order.  One
+#: operating point per channel, each chosen so rv0 alone fails for a
+#: visible fraction of blocks and combining digs the FER out — AWGN
+#: shows the chase+IR gain cliff, per-frame Rayleigh block fading shows
+#: the gradual per-retransmission trajectory HARQ exists for.
+HARQ_MODE = "NR:bg1:z8"
+HARQ_RV_ORDER = (0, 2, 3, 1)
+HARQ_CHANNELS = (("awgn", 1.0), ("rayleigh", 4.0))
+
+
+def run_harq_benchmark(frames: int, repeats: int = 1) -> dict:
+    """IR-HARQ sessions on an NR BG1 mode over AWGN and Rayleigh fading.
+
+    ``frames`` transport blocks ride one batched
+    :class:`~repro.nr.HarqSession`: each redundancy version is
+    rate-matched, sent through the channel, soft-combined, and the
+    *combined* buffer re-decoded — recording BER/FER after every
+    retransmission (the per-rv trajectory) plus decoded frames/s over
+    the whole HARQ round.  The FER trajectory must be monotonically
+    non-increasing rv-to-rv on both channels; ``main`` fails the run
+    otherwise.
+    """
+    from repro.channel import make_channel
+    from repro.nr import HarqSession, NRRateMatcher
+
+    code = get_code(HARQ_MODE)
+    matcher = NRRateMatcher(code)
+    e = matcher.ncb // 2
+    encoder = make_encoder(code)
+    config = DecoderConfig(
+        backend="fast", early_termination="paper-or-syndrome"
+    )
+    entry: dict = {
+        "mode": HARQ_MODE,
+        "n": code.n,
+        "k": code.n_info,
+        "e_per_transmission": e,
+        "rv_order": list(HARQ_RV_ORDER),
+        "frames": frames,
+        "channels": {},
+    }
+    for channel_name, ebn0_db in HARQ_CHANNELS:
+        best_s = float("inf")
+        kept = None
+        for _ in range(repeats):
+            rng = np.random.default_rng(SEED)
+            payload = rng.integers(
+                0, 2, (frames, matcher.n_payload), dtype=np.uint8
+            )
+            codewords = encoder.encode(matcher.place_fillers(payload))
+            session = HarqSession(code, config)
+            # Per-transmission Eb accounting: payload bits per sent bit.
+            tx_rate = matcher.n_payload / e
+            trajectory = []
+            decode_s = 0.0
+            for rv in HARQ_RV_ORDER:
+                frontend = ChannelFrontend(
+                    BPSKModulator(),
+                    make_channel(channel_name, ebn0_db, tx_rate, 1, rng=rng),
+                )
+                llr = frontend.run(matcher.rate_match(codewords, rv, e))
+                start = time.perf_counter()
+                result = session.receive(llr, rv)
+                decode_s += time.perf_counter() - start
+                decoded = matcher.extract_payload(
+                    result.bits[:, : code.n_info]
+                )
+                bit_errors = decoded != payload
+                trajectory.append(
+                    {
+                        "rv": rv,
+                        "ber": round(float(bit_errors.mean()), 6),
+                        "fer": round(float(bit_errors.any(axis=1).mean()), 6),
+                        "snr_db_estimate": round(session.snr_db(), 3),
+                        "avg_iterations": round(
+                            float(result.iterations.mean()), 3
+                        ),
+                    }
+                )
+            if decode_s < best_s:
+                best_s = decode_s
+                kept = trajectory
+        fers = [point["fer"] for point in kept]
+        entry["channels"][channel_name] = {
+            "ebn0_db": ebn0_db,
+            "trajectory": kept,
+            "decode_s": round(best_s, 3),
+            "fps": round(frames * len(HARQ_RV_ORDER) / best_s, 1),
+            "fer_monotone": bool(
+                all(a >= b for a, b in zip(fers, fers[1:]))
+            ),
+            "fer_improved": bool(fers[-1] < fers[0]),
+        }
+    return entry
+
+
 def summarize(results: dict) -> str:
     table = Table(
         ["workload", "backend", "float Mbps", "fixed Mbps",
@@ -1117,6 +1219,31 @@ def summarize(results: dict) -> str:
             f"{policy['recorrupted_frames']}, bit-identical: "
             f"{policy['bit_identical']}"
         )
+    harq = results.get("harq")
+    if harq:
+        htable = Table(
+            ["channel", "Eb/N0", "rv trajectory (FER)", "fps",
+             "monotone", "improved"],
+            title=(
+                f"IR-HARQ ({harq['mode']}, N={harq['n']}, "
+                f"{harq['frames']} blocks, e={harq['e_per_transmission']})"
+            ),
+        )
+        for name, chan in harq["channels"].items():
+            fer_path = " -> ".join(
+                f"rv{p['rv']}:{p['fer']:.3f}" for p in chan["trajectory"]
+            )
+            htable.add_row(
+                [
+                    name,
+                    f"{chan['ebn0_db']:.1f} dB",
+                    fer_path,
+                    f"{chan['fps']:.0f}",
+                    str(chan["fer_monotone"]),
+                    str(chan["fer_improved"]),
+                ]
+            )
+        rendered += "\n" + htable.render()
     server = results.get("server")
     if server:
         rendered += (
@@ -1206,6 +1333,9 @@ def main(argv=None) -> int:
     results["policy"] = run_policy_benchmark(
         12 if args.smoke else 48, repeats=repeats
     )
+    results["harq"] = run_harq_benchmark(
+        24 if args.smoke else 96, repeats=repeats
+    )
     print(summarize(results))
 
     failures = []
@@ -1240,6 +1370,16 @@ def main(argv=None) -> int:
         )
     if results["policy"]["energy_gauges_exported"] is not True:
         failures.append("policy: energy gauges missing from prometheus text")
+    for channel_name, chan in results["harq"]["channels"].items():
+        if chan["fer_monotone"] is not True:
+            failures.append(
+                f"harq/{channel_name}: FER trajectory not monotone "
+                f"{[p['fer'] for p in chan['trajectory']]}"
+            )
+        if chan["fer_improved"] is not True:
+            failures.append(
+                f"harq/{channel_name}: combining did not improve FER"
+            )
     if args.check_parallel_sweep_speedup is not None:
         speedup = results["parallel_sweep"]["auto_speedup"]
         if speedup < args.check_parallel_sweep_speedup:

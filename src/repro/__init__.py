@@ -72,6 +72,7 @@ from repro.link import (
     open_all,
     open_link,
 )
+from repro.nr import HarqManager, HarqSession, NRRateMatcher
 from repro.power import PowerModel, chip_area_breakdown
 from repro.runtime import FaultPlan, SweepEngine
 from repro.server import DecodeClient, DecodeServer
@@ -104,9 +105,12 @@ __all__ = [
     "FaultPlan",
     "FloodingDecoder",
     "GenericEncoder",
+    "HarqManager",
+    "HarqSession",
     "LayeredDecoder",
     "Link",
     "LinkResult",
+    "NRRateMatcher",
     "PAPER_CHIP",
     "PlanCache",
     "PolicyRule",

@@ -1,10 +1,12 @@
-"""Modulation, AWGN channel and LLR formation."""
+"""Modulation, AWGN/fading channels and LLR formation."""
 
 from repro.channel.awgn import AWGNChannel, ebn0_to_noise_var, noise_var_to_ebn0
+from repro.channel.fading import CHANNELS, RayleighBlockFadingChannel, make_channel
 from repro.channel.llr import ChannelFrontend, bpsk_llr
 from repro.channel.modulation import (
     BPSKModulator,
     QAM16Modulator,
+    QAM64Modulator,
     QPSKModulator,
     make_modulator,
 )
@@ -13,14 +15,18 @@ from repro.channel.snr_estimate import SnrEstimate, estimate_snr, estimate_snr_d
 __all__ = [
     "AWGNChannel",
     "BPSKModulator",
+    "CHANNELS",
     "ChannelFrontend",
     "QAM16Modulator",
+    "QAM64Modulator",
     "QPSKModulator",
+    "RayleighBlockFadingChannel",
     "SnrEstimate",
     "bpsk_llr",
     "ebn0_to_noise_var",
     "estimate_snr",
     "estimate_snr_db",
+    "make_channel",
     "make_modulator",
     "noise_var_to_ebn0",
 ]

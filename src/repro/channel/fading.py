@@ -1,0 +1,164 @@
+"""Rayleigh block-fading channel with receiver-side equalization.
+
+The 4G/5G workloads the reconfigurable decoder serves do not live on
+clean AWGN: NR HARQ exists *because* fading drops whole transmissions.
+This channel models the standard block-fading abstraction — the gain is
+constant over a block of symbols (one coherence interval) and i.i.d.
+Rayleigh across blocks — followed by the usual coherent equalizer:
+
+``y = h x + n``  →  ``ŷ = y / h = x + n / h``
+
+so the decoder-facing symbol is unit-gain with *per-symbol* effective
+noise variance ``σ² / |h|²``.  After each :meth:`transmit` the channel
+publishes that per-symbol variance on :attr:`noise_var` (an array the
+same shape as the output), which :class:`~repro.channel.llr.ChannelFrontend`
+reads at LLR time — the modulators' LLR formulas broadcast elementwise,
+so a faded symbol automatically yields proportionally weaker LLRs.
+This mirrors a real receiver, where the channel estimate scales the
+demapper output symbol by symbol.
+
+Real-valued constellations (BPSK) see the Rayleigh *amplitude* ``|h|``;
+complex constellations see the full complex gain (phase included) and
+are derotated by the equalizer.  Either way ``E[|h|²] = 1``, so the
+average Eb/N0 bookkeeping of :func:`~repro.channel.awgn.ebn0_to_noise_var`
+is unchanged — fading redistributes SNR across blocks, it does not
+change the mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.awgn import AWGNChannel, ebn0_to_noise_var
+from repro.utils.rng import make_rng
+
+__all__ = ["RayleighBlockFadingChannel", "make_channel", "CHANNELS"]
+
+#: Floor on ``|h|²`` when equalizing: a deep-faded block yields huge
+#: effective noise (near-zero LLRs), never an overflow.
+_MIN_GAIN_SQ = 1e-12
+
+
+class RayleighBlockFadingChannel:
+    """Block-fading Rayleigh channel, equalized at the receiver.
+
+    Parameters
+    ----------
+    noise_var:
+        Per-real-dimension AWGN variance ``σ²`` *before* fading (the
+        same number :class:`~repro.channel.awgn.AWGNChannel` takes).
+    block_size:
+        Symbols per fading block (coherence interval).  ``None`` fades
+        each frame as a single block — the harshest case, and the one
+        that makes IR-HARQ combining across retransmissions visibly
+        productive.
+    rng:
+        Seed or generator; fading gains and noise share it.
+
+    Notes
+    -----
+    :attr:`noise_var` starts as the scalar AWGN variance and becomes a
+    per-symbol array after each :meth:`transmit`; callers computing
+    LLRs must therefore transmit first, then ask for LLRs (the
+    :class:`~repro.channel.llr.ChannelFrontend` pipeline does exactly
+    this).  :attr:`last_gains` keeps the per-block gains of the most
+    recent transmission for tests and diagnostics.
+    """
+
+    def __init__(self, noise_var: float, block_size: int | None = None, rng=None):
+        if noise_var < 0:
+            raise ValueError("noise variance must be non-negative")
+        if block_size is not None and block_size < 1:
+            raise ValueError("block_size must be >= 1 (or None for per-frame)")
+        self.awgn_noise_var = float(noise_var)
+        self.block_size = block_size
+        self._rng = make_rng(rng)
+        # Scalar until the first transmit; per-symbol array afterwards.
+        self.noise_var: float | np.ndarray = float(noise_var)
+        self.last_gains: np.ndarray | None = None
+
+    @classmethod
+    def from_ebn0(
+        cls,
+        ebn0_db: float,
+        rate: float,
+        bits_per_symbol: int = 1,
+        block_size: int | None = None,
+        rng=None,
+    ) -> "RayleighBlockFadingChannel":
+        """Construct for an *average* (Eb/N0, rate, modulation) point."""
+        return cls(
+            ebn0_to_noise_var(ebn0_db, rate, bits_per_symbol),
+            block_size=block_size,
+            rng=rng,
+        )
+
+    def _draw_gains(self, shape: tuple[int, ...], complex_gains: bool) -> np.ndarray:
+        """I.i.d. unit-power Rayleigh gains, one per fading block."""
+        if complex_gains:
+            h = self._rng.normal(0.0, np.sqrt(0.5), shape) + 1j * self._rng.normal(
+                0.0, np.sqrt(0.5), shape
+            )
+        else:
+            # Rayleigh amplitude with E[|h|²] = 1.
+            h = np.hypot(
+                self._rng.normal(0.0, np.sqrt(0.5), shape),
+                self._rng.normal(0.0, np.sqrt(0.5), shape),
+            )
+        return h
+
+    def transmit(self, symbols: np.ndarray) -> np.ndarray:
+        """Fade, add noise, equalize; publish per-symbol noise variance."""
+        symbols = np.asarray(symbols)
+        single = symbols.ndim == 1
+        if single:
+            symbols = symbols[None, :]
+        batch, n_symbols = symbols.shape
+        block = n_symbols if self.block_size is None else min(self.block_size, n_symbols)
+        n_blocks = -(-n_symbols // block)  # ceil
+
+        complex_gains = bool(np.iscomplexobj(symbols))
+        gains = self._draw_gains((batch, n_blocks), complex_gains)
+        per_symbol = np.repeat(gains, block, axis=1)[:, :n_symbols]
+
+        sigma = np.sqrt(self.awgn_noise_var)
+        if complex_gains:
+            noise = self._rng.normal(0.0, sigma, symbols.shape) + 1j * self._rng.normal(
+                0.0, sigma, symbols.shape
+            )
+        else:
+            noise = self._rng.normal(0.0, sigma, symbols.shape)
+
+        received = per_symbol * symbols + noise
+        gain_sq = np.maximum(np.abs(per_symbol) ** 2, _MIN_GAIN_SQ)
+        equalized = received * np.conj(per_symbol) / gain_sq
+
+        self.last_gains = gains[0] if single else gains
+        noise_var = self.awgn_noise_var / gain_sq
+        self.noise_var = noise_var[0] if single else noise_var
+        return equalized[0] if single else equalized
+
+
+#: Channel factories by name, for sweep/bench plumbing.  Each maps
+#: ``(ebn0_db, rate, bits_per_symbol, rng)`` to a ready channel.
+CHANNELS = {
+    "awgn": AWGNChannel.from_ebn0,
+    "rayleigh": RayleighBlockFadingChannel.from_ebn0,
+}
+
+
+def make_channel(
+    name: str, ebn0_db: float, rate: float, bits_per_symbol: int = 1, rng=None
+):
+    """Instantiate a channel by name (``awgn``, ``rayleigh``).
+
+    ``rayleigh`` uses per-frame fading blocks (``block_size=None``),
+    the configuration the HARQ benchmark exercises.
+    """
+    try:
+        factory = CHANNELS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown channel {name!r}; valid: {sorted(CHANNELS)}"
+        ) from None
+    return factory(ebn0_db, rate, bits_per_symbol, rng=rng)

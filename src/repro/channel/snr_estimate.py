@@ -72,7 +72,9 @@ class SnrEstimate:
 
 
 def estimate_snr(
-    llr: np.ndarray, qformat: QFormat | None = None
+    llr: np.ndarray,
+    qformat: QFormat | None = None,
+    mask: np.ndarray | None = None,
 ) -> SnrEstimate:
     """Estimate operating SNR from an LLR payload.
 
@@ -85,15 +87,35 @@ def estimate_snr(
     qformat:
         The fixed-point lens for raw integer payloads.  Ignored for
         float input.
+    mask:
+        Optional boolean *transmitted-positions* mask over the last
+        axis.  Rate-matched NR payloads (:mod:`repro.nr.ratematch`)
+        carry zero LLRs at punctured positions and saturated LLRs at
+        filler positions — neither came off the channel, and pooling
+        them drags the moment estimate down (zeros) or up (fillers).
+        Passing the de-rate-matcher's transmitted mask restricts the
+        estimate to positions that actually carry channel observations.
 
     Raises
     ------
     ValueError:
-        Raw integer input without a ``qformat``, or an empty payload.
+        Raw integer input without a ``qformat``, an empty payload, a
+        mask whose length does not match the payload, or a mask that
+        selects nothing.
     """
     arr = np.asarray(llr)
     if arr.size == 0:
         raise ValueError("cannot estimate SNR from an empty LLR payload")
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.ndim != 1 or mask.shape[0] != arr.shape[-1]:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match LLR payload "
+                f"length {arr.shape[-1]}"
+            )
+        if not mask.any():
+            raise ValueError("mask selects no transmitted positions")
+        arr = arr[..., mask]
     frames = 1 if arr.ndim <= 1 else int(np.prod(arr.shape[:-1]))
     if np.issubdtype(arr.dtype, np.integer):
         if qformat is None:
@@ -127,7 +149,9 @@ def estimate_snr(
 
 
 def estimate_snr_db(
-    llr: np.ndarray, qformat: QFormat | None = None
+    llr: np.ndarray,
+    qformat: QFormat | None = None,
+    mask: np.ndarray | None = None,
 ) -> float:
-    """Shorthand for ``estimate_snr(llr, qformat).snr_db``."""
-    return estimate_snr(llr, qformat).snr_db
+    """Shorthand for ``estimate_snr(llr, qformat, mask).snr_db``."""
+    return estimate_snr(llr, qformat, mask=mask).snr_db

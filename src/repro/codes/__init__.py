@@ -6,7 +6,8 @@ Public surface:
 - :func:`get_code`, :func:`list_modes`, :func:`describe_mode` — the mode
   registry (the software analogue of the chip's mode ROM);
 - per-standard constructors (:func:`wifi_base_matrix`,
-  :func:`wimax_base_matrix`, :func:`dmbt_base_matrix`);
+  :func:`wimax_base_matrix`, :func:`dmbt_base_matrix`,
+  :func:`nr_base_matrix`);
 - :func:`build_qc_base_matrix` — the synthetic 4-cycle-free constructor;
 - :func:`validate_code` — structural validation.
 """
@@ -18,6 +19,14 @@ from repro.codes.construction import (
     huge_synthetic_code,
 )
 from repro.codes.dmbt import dmbt_base_matrix, dmbt_block_length, dmbt_rates
+from repro.codes.nr import (
+    NR_LIFTING_SIZES,
+    nr_base_matrix,
+    nr_lifting_sizes,
+    nr_mode,
+    nr_rates,
+    parse_nr_mode,
+)
 from repro.codes.qc import QCLDPCCode
 from repro.codes.registry import (
     ModeDescriptor,
@@ -35,6 +44,7 @@ __all__ = [
     "BaseMatrix",
     "BlockEntry",
     "ModeDescriptor",
+    "NR_LIFTING_SIZES",
     "QCLDPCCode",
     "ValidationReport",
     "WIFI_Z_VALUES",
@@ -50,6 +60,11 @@ __all__ = [
     "get_code",
     "huge_synthetic_code",
     "list_modes",
+    "nr_base_matrix",
+    "nr_lifting_sizes",
+    "nr_mode",
+    "nr_rates",
+    "parse_nr_mode",
     "standards_summary",
     "validate_code",
     "wifi_base_matrix",

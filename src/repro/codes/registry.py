@@ -16,6 +16,13 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.codes.dmbt import DMBT_Z, dmbt_base_matrix, dmbt_rates
+from repro.codes.nr import (
+    NR_BG_PARAMS,
+    NR_LIFTING_SIZES,
+    nr_base_matrix,
+    nr_rates,
+    parse_nr_mode,
+)
 from repro.codes.qc import QCLDPCCode
 from repro.codes.wifi import WIFI_Z_VALUES, wifi_base_matrix, wifi_rates
 from repro.codes.wimax import WIMAX_Z_VALUES, wimax_base_matrix, wimax_rates
@@ -60,6 +67,12 @@ def _build_catalogue() -> dict[str, ModeDescriptor]:
     for rate in dmbt_rates():
         mode = f"DMB-T:{rate}:z{DMBT_Z}"
         catalogue[mode] = ModeDescriptor(mode, "DMB-T", rate, DMBT_Z, 59 * DMBT_Z)
+    for bg_label in nr_rates():
+        bg = int(bg_label[2])
+        _, k, _ = NR_BG_PARAMS[bg]
+        for z in NR_LIFTING_SIZES:
+            mode = f"NR:{bg_label}:z{z}"
+            catalogue[mode] = ModeDescriptor(mode, "NR", bg_label, z, k * z)
     return catalogue
 
 
@@ -79,12 +92,19 @@ def describe_mode(mode: str) -> ModeDescriptor:
 
     Raises
     ------
+    ModeParseError
+        For malformed ``"NR:..."`` mode strings — the message names the
+        valid base graphs / 38.212 lifting sizes.
     UnknownCodeError
         If the mode is not in the catalogue.
     """
     try:
         return _CATALOGUE[mode]
     except KeyError:
+        if mode.split(":", 1)[0] == "NR":
+            # Diagnoses the failure with a typed ModeParseError naming
+            # the valid parameters (registry hygiene for the NR family).
+            parse_nr_mode(mode)
         raise UnknownCodeError(
             f"unknown mode {mode!r}; see repro.codes.list_modes()"
         ) from None
@@ -113,6 +133,8 @@ def get_code(mode: str) -> QCLDPCCode:
         base = wifi_base_matrix(descriptor.rate, descriptor.z)
     elif descriptor.standard == "802.16e":
         base = wimax_base_matrix(descriptor.rate, descriptor.z)
+    elif descriptor.standard == "NR":
+        base = nr_base_matrix(int(descriptor.rate[2]), descriptor.z)
     else:
         base = dmbt_base_matrix(descriptor.rate)
     return QCLDPCCode(base)
@@ -142,16 +164,24 @@ def standards_summary() -> list[dict]:
     in the catalogue.
     """
     summary = []
-    for standard in ("802.11n", "802.16e", "DMB-T"):
+    for standard in ("802.11n", "802.16e", "DMB-T", "NR"):
         modes = list_modes(standard)
         js: set[int] = set()
         ks: set[int] = set()
         zs: set[int] = set()
-        for descriptor in modes:
-            code = get_code(descriptor.mode)
-            js.add(code.base.j)
-            ks.add(code.base.k)
-            zs.add(code.z)
+        if standard == "NR":
+            # j/k are fixed per base graph; reading them off the static
+            # parameters avoids expanding all 102 NR codes here.
+            for j, k, _ in NR_BG_PARAMS.values():
+                js.add(j)
+                ks.add(k)
+            zs.update(NR_LIFTING_SIZES)
+        else:
+            for descriptor in modes:
+                code = get_code(descriptor.mode)
+                js.add(code.base.j)
+                ks.add(code.base.k)
+                zs.add(code.z)
         summary.append(
             {
                 "standard": standard,

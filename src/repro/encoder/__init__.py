@@ -1,7 +1,9 @@
 """Encoders for block-structured LDPC codes.
 
-- :class:`SystematicQCEncoder` — O(N) dual-diagonal encoder (all registry
+- :class:`SystematicQCEncoder` — O(N) dual-diagonal encoder (4G registry
   codes);
+- :class:`NRSystematicEncoder` — O(N) two-stage encoder for the NR
+  core + extension base graphs;
 - :class:`GenericEncoder` — GF(2) fallback for arbitrary full-rank H;
 - :func:`make_encoder` — picks the fastest applicable encoder, cached
   per code object.
@@ -10,6 +12,7 @@
 from functools import lru_cache
 
 from repro.encoder.generic import GenericEncoder
+from repro.encoder.nr import NRSystematicEncoder, detect_nr_structure
 from repro.encoder.systematic import SystematicQCEncoder, detect_parity_structure
 from repro.errors import EncodingError
 
@@ -17,6 +20,10 @@ from repro.errors import EncodingError
 def _build_encoder(code):
     try:
         return SystematicQCEncoder(code)
+    except EncodingError:
+        pass
+    try:
+        return NRSystematicEncoder(code)
     except EncodingError:
         return GenericEncoder(code)
 
@@ -62,7 +69,9 @@ def encoder_cache_info() -> dict:
 
 __all__ = [
     "GenericEncoder",
+    "NRSystematicEncoder",
     "SystematicQCEncoder",
+    "detect_nr_structure",
     "detect_parity_structure",
     "encoder_cache_info",
     "make_encoder",

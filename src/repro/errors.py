@@ -13,7 +13,16 @@ class ReproError(Exception):
     """Base class for every error raised by the repro library."""
 
 
-class CodeConstructionError(ReproError):
+class CodeError(ReproError):
+    """Base class for code-definition failures (construction and lookup).
+
+    One ``except CodeError`` covers everything that can go wrong between
+    a mode string and a usable expanded code: malformed mode syntax,
+    unknown catalogue entries, and construction/validation failures.
+    """
+
+
+class CodeConstructionError(CodeError):
     """A parity-check matrix could not be built or failed validation.
 
     Raised when a base matrix has out-of-range shift values, when a
@@ -22,12 +31,44 @@ class CodeConstructionError(ReproError):
     """
 
 
-class UnknownCodeError(ReproError, KeyError):
+class UnknownCodeError(CodeError, KeyError):
     """A registry lookup referenced a code mode that does not exist."""
+
+
+class ModeParseError(CodeError, ValueError):
+    """A mode string is syntactically or parametrically malformed.
+
+    Raised for recognisable-but-wrong mode strings — e.g. ``"NR:bg1:z17"``
+    (17 is not one of the 3GPP lifting sizes) or ``"NR:bg3:z16"`` — where
+    the message names the valid parameters.  Also a :class:`ValueError`
+    (it is an invalid argument, not a missing key), so it is deliberately
+    *not* a :class:`KeyError`: callers formatting user input get a typed,
+    self-explanatory error instead of a bare mapping miss.
+    """
 
 
 class EncodingError(ReproError):
     """Encoding failed (e.g. rank-deficient H with no usable null space)."""
+
+
+class RateMatchError(ReproError, ValueError):
+    """NR rate matching was configured or driven inconsistently.
+
+    Examples: a non-NR code handed to
+    :class:`repro.nr.NRRateMatcher`, a redundancy version outside
+    ``0..3``, more filler bits than the systematic part can hold, or a
+    soft-bit block whose length disagrees with the transmission it
+    claims to de-rate-match.
+    """
+
+
+class HarqError(ReproError, ValueError):
+    """An IR-HARQ session or manager was used inconsistently.
+
+    Examples: combining a retransmission whose batch size disagrees
+    with the soft buffer, or decoding a session that has not received
+    any transmission yet.
+    """
 
 
 class DecoderConfigError(ReproError, ValueError):

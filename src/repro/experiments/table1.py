@@ -12,11 +12,15 @@ from repro.codes.registry import get_code, list_modes, standards_summary
 from repro.utils.tables import Table
 
 #: The paper's own Table 1 values, for side-by-side comparison.
+#: Standards added after the paper (5G NR) are not in this table; their
+#: paper columns render as "—".
 PAPER_TABLE1 = {
     "802.11n": {"j": "4-12", "k": 24, "z": "27-81"},
     "802.16e": {"j": "4-12", "k": 24, "z": "24-96"},
     "DMB-T": {"j": "24-48", "k": 60, "z": "127"},
 }
+
+_NOT_IN_PAPER = {"j": "—", "k": "—", "z": "—"}
 
 
 def run() -> dict:
@@ -28,7 +32,7 @@ def run() -> dict:
         embedded = sum(
             1 for m in modes if not get_code(m.mode).base.synthetic
         )
-        paper = PAPER_TABLE1[standard]
+        paper = PAPER_TABLE1.get(standard, _NOT_IN_PAPER)
         rows.append(
             {
                 "standard": standard,

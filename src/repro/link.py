@@ -45,7 +45,7 @@ import numpy as np
 
 from repro.arch.chip import DecoderChip
 from repro.arch.datapath import DMBT_CHIP, PAPER_CHIP, DatapathParams
-from repro.channel.awgn import AWGNChannel
+from repro.channel.fading import CHANNELS, make_channel
 from repro.channel.llr import ChannelFrontend
 from repro.channel.modulation import BPSKModulator
 from repro.codes.qc import QCLDPCCode
@@ -187,6 +187,11 @@ class Link:
         same generator.
     modulator:
         Defaults to BPSK (the paper's setting).
+    channel:
+        Channel model: ``"awgn"`` (default) or ``"rayleigh"`` (block
+        fading, see :class:`~repro.channel.fading.RayleighBlockFadingChannel`).
+        Drives :meth:`frontend` / :meth:`transmit` / :meth:`run_frames`
+        and :meth:`sweep`.
     cache:
         Plan cache to pull compiled state from (default: the shared
         process-level cache).
@@ -201,11 +206,16 @@ class Link:
         schedule: str = "layered",
         seed: int = 0,
         modulator=None,
+        channel: str = "awgn",
         cache: PlanCache | None = None,
     ):
         if schedule not in LINK_SCHEDULES:
             raise LinkError(
                 f"unknown schedule {schedule!r}; valid: {LINK_SCHEDULES}"
+            )
+        if channel not in CHANNELS:
+            raise LinkError(
+                f"unknown channel {channel!r}; valid: {tuple(CHANNELS)}"
             )
         if isinstance(mode, str):
             describe_mode(mode)  # fail fast on unknown modes
@@ -220,6 +230,7 @@ class Link:
         self.schedule = schedule
         self.seed = seed
         self.modulator = modulator if modulator is not None else BPSKModulator()
+        self.channel = channel
         self.cache = cache if cache is not None else default_plan_cache()
         self._code: QCLDPCCode | None = None
         self._decoder = None
@@ -318,8 +329,10 @@ class Link:
         rng=None,
         quantized: bool | None = None,
     ) -> ChannelFrontend:
-        """A modulator/AWGN frontend at one operating point.
+        """A modulator/channel frontend at one operating point.
 
+        The channel model follows the link's ``channel`` setting (AWGN
+        by default, Rayleigh block fading with ``channel="rayleigh"``).
         By default (``quantized=None``) the frontend quantizes into the
         config's fixed-point format when one is set, so the produced
         LLRs are exactly what :meth:`decode` expects as raw integers.
@@ -330,7 +343,8 @@ class Link:
         """
         if quantized is None:
             quantized = self.config.is_fixed_point
-        channel = AWGNChannel.from_ebn0(
+        channel = make_channel(
+            self.channel,
             self._resolve_ebn0(ebn0),
             self.code.rate,
             self.modulator.bits_per_symbol,
@@ -424,6 +438,7 @@ class Link:
             self.config,
             schedule=self.schedule,
             modulator=self.modulator,
+            channel=self.channel,
             seed=self.seed,
             workers=workers,
             chunk_frames=chunk_frames,
@@ -554,6 +569,42 @@ class Link:
         )
 
     # ------------------------------------------------------------------
+    # NR rate matching + IR-HARQ
+    # ------------------------------------------------------------------
+    def harq(self, n_filler: int = 0):
+        """A local :class:`~repro.nr.HarqSession` for this NR session.
+
+        The session combines rate-matched soft bits across redundancy
+        versions and re-decodes with the link's own (plan-cached)
+        decoder and config — the in-process face of the same workload
+        :meth:`harq_manager` runs through a service.  Only meaningful
+        for ``"NR:..."`` modes (other standards have no 2Z systematic
+        puncture; :class:`~repro.errors.RateMatchError` otherwise).
+        """
+        from repro.nr.harq import HarqSession
+
+        return HarqSession(
+            self.code, self.config, n_filler=n_filler, decoder=self.decoder
+        )
+
+    def harq_manager(self, n_filler: int = 0, service=None):
+        """IR-HARQ over the serving tier: a :class:`~repro.nr.HarqManager`.
+
+        Sessions are keyed ``(client, harq process id)``; every
+        :meth:`~repro.nr.HarqManager.submit` soft-combines one
+        retransmission and queues a decode of the combined buffer on
+        the link's service (created with defaults if needed) with an
+        explicit masked SNR estimate for the decode policy.  Decodes
+        with :attr:`serving_config`, like :meth:`submit`.
+        """
+        from repro.nr.harq import HarqManager
+
+        target = service if service is not None else self.serve()
+        return HarqManager(
+            target, self.mode, config=self.serving_config, n_filler=n_filler
+        )
+
+    # ------------------------------------------------------------------
     # Architecture + power, same mode
     # ------------------------------------------------------------------
     def datapath_params(self) -> DatapathParams:
@@ -622,6 +673,7 @@ def open_link(
     schedule: str = "layered",
     seed: int = 0,
     modulator=None,
+    channel: str = "awgn",
     cache: PlanCache | None = None,
 ) -> Link:
     """Open a :class:`Link` session for one ``(mode, config)`` pair.
@@ -641,6 +693,7 @@ def open_link(
         schedule=schedule,
         seed=seed,
         modulator=modulator,
+        channel=channel,
         cache=cache,
     )
 
@@ -653,6 +706,7 @@ def open_all(
     schedule: str = "layered",
     seed: int = 0,
     modulator=None,
+    channel: str = "awgn",
     cache: PlanCache | None = None,
 ) -> "dict[str, Link]":
     """Open one :class:`Link` per mode, all sharing a plan cache.
@@ -692,6 +746,7 @@ def open_all(
             schedule=schedule,
             seed=seed,
             modulator=modulator,
+            channel=channel,
             cache=shared,
         )
     return links

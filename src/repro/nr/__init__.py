@@ -1,0 +1,35 @@
+"""5G NR workload layer: rate matching and IR-HARQ over the NR codes.
+
+The mother codes live in :mod:`repro.codes.nr` (registry modes
+``"NR:bg1:z..."`` / ``"NR:bg2:z..."``); this package adds what 38.212
+puts between the encoder and the channel — systematic puncturing,
+filler shortening, circular-buffer redundancy versions — and the
+stateful IR-HARQ receive chain built on top of it.
+
+    import repro
+    from repro.nr import HarqSession, NRRateMatcher
+
+    link = repro.open("NR:bg1:z24", ebn0=1.5)
+    rm = NRRateMatcher(link.code)
+    tx = rm.rate_match(codewords, rv=0, e=4000)
+
+See :mod:`repro.nr.ratematch` for the erasure/known-bit conventions
+that keep punctured and filler positions exact through both datapaths.
+"""
+
+from repro.nr.harq import HarqManager, HarqSession
+from repro.nr.ratematch import (
+    FILLER_LLR,
+    FLOAT_ERASURE_LLR,
+    NR_RV_OFFSETS,
+    NRRateMatcher,
+)
+
+__all__ = [
+    "FILLER_LLR",
+    "FLOAT_ERASURE_LLR",
+    "HarqManager",
+    "HarqSession",
+    "NR_RV_OFFSETS",
+    "NRRateMatcher",
+]

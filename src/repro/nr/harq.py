@@ -1,0 +1,268 @@
+"""IR-HARQ soft-buffer sessions over the NR rate-matched chain.
+
+Incremental-redundancy HARQ is the workload that makes 5G NR decoding
+*stateful*: a transport block that fails at rv0 is retransmitted with a
+different redundancy version, the receiver adds the new soft bits into
+its per-process soft buffer, and the decoder runs again over the
+combined buffer — each retransmission both raises the SNR of the
+already-seen positions (chase component) and fills in previously
+punctured ones (incremental redundancy component).
+
+Two layers:
+
+- :class:`HarqSession` — one transport block's soft buffer: float LLR
+  accumulation across retransmissions (:meth:`~HarqSession.push`),
+  erasure-correct decoder conditioning via
+  :meth:`~repro.nr.ratematch.NRRateMatcher.decoder_llrs`, and local
+  re-decode (:meth:`~HarqSession.decode`).
+- :class:`HarqManager` — the same thing as a *service* workload: a
+  dictionary of sessions keyed ``(client, harq process id)`` whose
+  combine step runs in the caller and whose decodes are submitted to a
+  :class:`~repro.service.DecodeService` (deadlines, admission control,
+  policies, sharding — all of it applies).  The operating SNR handed to
+  the service's decode policy is estimated from the *transmitted*
+  positions only: a blind estimate over the zero-filled buffer would be
+  biased low by exactly the puncturing fraction.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.channel.snr_estimate import estimate_snr
+from repro.codes.qc import QCLDPCCode
+from repro.codes.registry import get_code
+from repro.decoder.api import DecoderConfig
+from repro.errors import HarqError
+from repro.nr.ratematch import NRRateMatcher
+
+__all__ = ["HarqManager", "HarqSession"]
+
+
+class HarqSession:
+    """One HARQ process: a soft buffer combined across redundancy versions.
+
+    Parameters
+    ----------
+    code:
+        The NR code (or anything :class:`NRRateMatcher` accepts).
+    config:
+        Decoder settings; drives the fixed-point/float conditioning of
+        :meth:`decoder_llrs` and the locally built decoder.
+    n_filler:
+        Filler bits, forwarded to :class:`NRRateMatcher`.
+    decoder:
+        Optional ready decoder (e.g. a Link's plan-cached one); when
+        omitted, :meth:`decode` builds a
+        :class:`~repro.decoder.LayeredDecoder` on first use.
+    matcher:
+        Optional pre-built rate matcher (shared across sessions by
+        :class:`HarqManager`); overrides ``n_filler``.
+    """
+
+    def __init__(
+        self,
+        code: QCLDPCCode,
+        config: DecoderConfig | None = None,
+        n_filler: int = 0,
+        decoder=None,
+        matcher: NRRateMatcher | None = None,
+    ):
+        self.matcher = matcher if matcher is not None else NRRateMatcher(
+            code, n_filler
+        )
+        self.code = self.matcher.code
+        self.config = config if config is not None else DecoderConfig()
+        self._decoder = decoder
+        self._soft: np.ndarray | None = None
+        self._transmitted = np.zeros(self.code.n, dtype=bool)
+        self.rv_history: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def batch_size(self) -> int:
+        """Frames in the soft buffer (0 before the first transmission)."""
+        return 0 if self._soft is None else int(self._soft.shape[0])
+
+    @property
+    def transmissions(self) -> int:
+        """Number of (re)transmissions combined so far."""
+        return len(self.rv_history)
+
+    @property
+    def transmitted(self) -> np.ndarray:
+        """``(N,)`` bool — positions observed by any transmission so far."""
+        return self._transmitted.copy()
+
+    def combined(self) -> np.ndarray:
+        """``(B, N)`` float copy of the accumulated soft buffer."""
+        if self._soft is None:
+            raise HarqError("HARQ session has received no transmission yet")
+        return self._soft.copy()
+
+    def reset(self) -> "HarqSession":
+        """Flush the soft buffer (ACK received / new transport block)."""
+        self._soft = None
+        self._transmitted = np.zeros(self.code.n, dtype=bool)
+        self.rv_history = []
+        return self
+
+    # ------------------------------------------------------------------
+    # Combine + decode
+    # ------------------------------------------------------------------
+    def push(self, llr: np.ndarray, rv: int) -> "HarqSession":
+        """Soft-combine one ``(B, e)`` transmission at redundancy version ``rv``.
+
+        Float channel LLRs only — combining happens before quantization,
+        as a soft-buffer receiver does; :meth:`decoder_llrs` quantizes
+        the *combined* values for a fixed-point config.
+        """
+        llr = np.atleast_2d(np.asarray(llr, dtype=np.float64))
+        if llr.ndim != 2:
+            raise HarqError(f"expected (B, e) soft bits, got shape {llr.shape}")
+        if self._soft is not None and llr.shape[0] != self._soft.shape[0]:
+            raise HarqError(
+                f"retransmission batch {llr.shape[0]} != soft-buffer "
+                f"batch {self._soft.shape[0]}"
+            )
+        self._soft = self.matcher.derate_match(llr, rv, out=self._soft)
+        self._transmitted |= self.matcher.transmitted_mask(rv, llr.shape[-1])
+        self.rv_history.append((int(rv), int(llr.shape[-1])))
+        return self
+
+    def decoder_llrs(self) -> np.ndarray:
+        """The combined buffer conditioned for this config's datapath."""
+        if self._soft is None:
+            raise HarqError("HARQ session has received no transmission yet")
+        return self.matcher.decoder_llrs(
+            self._soft, self._transmitted, qformat=self.config.qformat
+        )
+
+    def snr_db(self) -> float:
+        """Operating-SNR estimate over *transmitted* positions only.
+
+        The blind service-side estimator sees the zero-filled mother
+        buffer and reads the puncturing fraction as noise; masking to
+        observed positions removes that bias (and naturally reports the
+        combining gain as retransmissions accumulate).
+        """
+        if self._soft is None:
+            raise HarqError("HARQ session has received no transmission yet")
+        mask = self._transmitted & ~self.matcher.filler_mask
+        return estimate_snr(self._soft, mask=mask).snr_db
+
+    @property
+    def decoder(self):
+        """The local decoder (built lazily when none was injected)."""
+        if self._decoder is None:
+            from repro.decoder.layered import LayeredDecoder
+
+            self._decoder = LayeredDecoder(self.code, self.config)
+        return self._decoder
+
+    def decode(self):
+        """Decode the combined soft buffer locally."""
+        return self.decoder.decode(self.decoder_llrs())
+
+    def receive(self, llr: np.ndarray, rv: int):
+        """``push`` + ``decode`` in one call; returns the decode result."""
+        return self.push(llr, rv).decode()
+
+
+class HarqManager:
+    """IR-HARQ as a stateful :class:`~repro.service.DecodeService` workload.
+
+    Keeps one :class:`HarqSession` per ``(client, process)`` key; each
+    :meth:`submit` soft-combines the new transmission into that
+    session's buffer and queues a decode of the *combined* buffer on
+    the service, returning the service future.  All sessions share one
+    :class:`NRRateMatcher` (the selection index cache is per ``(code,
+    n_filler)``, not per process).
+
+    Parameters
+    ----------
+    service:
+        The decode service to submit through.
+    mode:
+        NR registry mode string or expanded code object.
+    config:
+        Decoder settings for conditioning and decoding (default: the
+        service's ``default_config``).
+    n_filler:
+        Filler bits per transport block.
+    """
+
+    def __init__(
+        self,
+        service,
+        mode: "str | QCLDPCCode",
+        config: DecoderConfig | None = None,
+        n_filler: int = 0,
+    ):
+        self.service = service
+        self.mode = mode
+        code = get_code(mode) if isinstance(mode, str) else mode
+        self.config = config if config is not None else service.default_config
+        self.matcher = NRRateMatcher(code, n_filler)
+        self._sessions: dict[tuple[str, int], HarqSession] = {}
+        self._lock = threading.Lock()
+
+    def session(self, client: str = "default", process: int = 0) -> HarqSession:
+        """The (created-on-first-use) session for one HARQ process."""
+        key = (str(client), int(process))
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is None:
+                session = self._sessions[key] = HarqSession(
+                    self.matcher.code, self.config, matcher=self.matcher
+                )
+            return session
+
+    def submit(
+        self,
+        llr: np.ndarray,
+        rv: int,
+        client: str = "default",
+        process: int = 0,
+        timeout: "float | None" = None,
+    ):
+        """Combine one transmission and queue a decode of the combined buffer.
+
+        Returns the service future.  The explicit masked ``snr_db``
+        accompanies every request so a decode policy reasons about the
+        true (post-combining) operating point rather than a blind
+        estimate biased by the zero-filled punctured positions.
+        """
+        session = self.session(client, process)
+        session.push(llr, rv)
+        return self.service.submit(
+            self.mode,
+            session.decoder_llrs(),
+            config=self.config,
+            client=str(client),
+            timeout=timeout,
+            snr_db=session.snr_db(),
+        )
+
+    def release(self, client: str = "default", process: int = 0) -> None:
+        """Drop one HARQ process's soft buffer (ACK / block finished)."""
+        with self._lock:
+            self._sessions.pop((str(client), int(process)), None)
+
+    def release_client(self, client: str) -> int:
+        """Drop every process of one client (disconnect); returns count."""
+        client = str(client)
+        with self._lock:
+            keys = [key for key in self._sessions if key[0] == client]
+            for key in keys:
+                del self._sessions[key]
+        return len(keys)
+
+    @property
+    def active_processes(self) -> int:
+        with self._lock:
+            return len(self._sessions)

@@ -60,7 +60,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.ber import SnrPoint
-from repro.channel.awgn import AWGNChannel
+from repro.channel.fading import CHANNELS, make_channel
 from repro.channel.llr import ChannelFrontend
 from repro.channel.modulation import BPSKModulator
 from repro.codes.qc import QCLDPCCode
@@ -136,19 +136,24 @@ def decode_chunk(
     chunk_index: int,
     frames: int,
     batch_size: int,
+    channel: str = "awgn",
 ) -> SnrPoint:
-    """Simulate one chunk: encode → modulate → AWGN → decode → count.
+    """Simulate one chunk: encode → modulate → channel → decode → count.
 
     Runs exactly ``frames`` frames in batches of ``batch_size`` on the
     chunk's own RNG stream; the error budget is *not* consulted here
     (that happens in the ordered reduction, see module docstring).
+    ``channel`` names a :data:`repro.channel.fading.CHANNELS` factory
+    (``"awgn"`` default, ``"rayleigh"`` block fading); the channel draws
+    from the chunk's own stream, so fading realizations are as
+    deterministic per ``(seed, point, chunk)`` as the noise.
     """
     code = decoder.code
     rng = chunk_rng(seed, ebn0_db, chunk_index)
-    channel = AWGNChannel.from_ebn0(
-        ebn0_db, code.rate, modulator.bits_per_symbol, rng=rng
+    chan = make_channel(
+        channel, ebn0_db, code.rate, modulator.bits_per_symbol, rng=rng
     )
-    frontend = ChannelFrontend(modulator, channel)
+    frontend = ChannelFrontend(modulator, chan)
     point = SnrPoint(ebn0_db=ebn0_db, info_bits_per_frame=code.n_info)
     done = 0
     while done < frames:
@@ -187,6 +192,12 @@ class SweepEngine:
         ``"layered"`` (default) or ``"flooding"``.
     modulator:
         Defaults to BPSK.
+    channel:
+        Channel model by name: ``"awgn"`` (default) or ``"rayleigh"``
+        (per-frame block fading, see
+        :class:`~repro.channel.fading.RayleighBlockFadingChannel`).
+        Fading realizations ride the per-chunk RNG streams, so results
+        stay independent of ``workers``.
     seed:
         Master seed; chunk streams derive from it via
         :func:`chunk_seed_sequence`.
@@ -249,6 +260,7 @@ class SweepEngine:
         config: DecoderConfig | None = None,
         schedule: str = "layered",
         modulator=None,
+        channel: str = "awgn",
         seed: int = 0,
         workers: int = 0,
         chunk_frames: int | None = None,
@@ -264,6 +276,10 @@ class SweepEngine:
             raise SimulationError(
                 f"unknown schedule {schedule!r}; valid: {tuple(SCHEDULES)}"
             )
+        if channel not in CHANNELS:
+            raise SimulationError(
+                f"unknown channel {channel!r}; valid: {tuple(CHANNELS)}"
+            )
         if workers < 0:
             raise SimulationError("workers must be non-negative")
         if chunk_frames is not None and chunk_frames < 1:
@@ -276,6 +292,7 @@ class SweepEngine:
         self.config = config if config is not None else DecoderConfig()
         self.schedule = schedule
         self.modulator = modulator if modulator is not None else BPSKModulator()
+        self.channel = channel
         self.seed = seed
         self.workers = workers
         self.chunk_frames = chunk_frames
@@ -297,6 +314,7 @@ class SweepEngine:
         digest.update(repr(self.config).encode())
         digest.update(schedule.encode())
         digest.update(type(self.modulator).__name__.encode())
+        digest.update(channel.encode())
         self._cache_key = digest.hexdigest()
 
     # ------------------------------------------------------------------
@@ -325,6 +343,7 @@ class SweepEngine:
             "config": self.config,
             "schedule": self.schedule,
             "modulator": self.modulator,
+            "channel": self.channel,
             "seed": self.seed,
             "ebn0_db": ebn0_db,
             "chunks": list(chunks),
@@ -339,6 +358,7 @@ class SweepEngine:
         fingerprint = {
             "seed": self.seed,
             "schedule": self.schedule,
+            "channel": self.channel,
             "code": self._cache_key,
             "code_name": self.code.name,
             "config": repr(self.config),
@@ -513,6 +533,7 @@ class SweepEngine:
         chunk = decode_chunk(
             self._serial_decoder(), self._serial_encoder(), self.modulator,
             self.seed, ebn0_p, c_p, frames_p, batch_size,
+            channel=self.channel,
         )
         elapsed = max(time.perf_counter() - t0, 1e-9)
         if checkpoint is not None:
@@ -598,7 +619,7 @@ class SweepEngine:
                         chunk = decode_chunk(
                             self._serial_decoder(), self._serial_encoder(),
                             self.modulator, self.seed, ebn0, c, frames_c,
-                            batch_size,
+                            batch_size, channel=self.channel,
                         )
                         if checkpoint is not None:
                             unflushed = self._store(

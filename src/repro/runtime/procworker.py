@@ -196,6 +196,7 @@ def _task_sweep_chunks(state, meta, inputs):
             chunk_index,
             frames,
             meta["batch_size"],
+            channel=meta.get("channel", "awgn"),
         )
         results.append((chunk_index, point.to_dict()))
     return results, {}

@@ -68,6 +68,7 @@ class DecodeClient:
         llr: np.ndarray,
         config: DecoderConfig | None = None,
         timeout: "float | None" = None,
+        harq: "dict | None" = None,
     ) -> DecodeResult:
         """Decode one LLR batch remotely; mirrors ``DecodeService.submit``.
 
@@ -75,10 +76,17 @@ class DecodeClient:
         server guarantees a response (result or
         :class:`~repro.errors.DeadlineExceeded`) for it, so no extra
         client-side timer is needed while the connection is healthy.
+
+        ``harq={"process": p, "rv": r}`` (optionally ``"n_filler"``)
+        sends ``llr`` as one NR IR-HARQ (re)transmission — ``(B, e)``
+        rate-matched float soft bits rather than a mother codeword.
+        The server soft-combines it into this connection's buffer for
+        process ``p`` and returns the decode of the *combined* buffer;
+        the buffer dies with the connection.
         """
         frame_id, waiter = self._register()
         frame = protocol.encode_request(
-            frame_id, mode, llr, config=config, timeout=timeout
+            frame_id, mode, llr, config=config, timeout=timeout, harq=harq
         )
         await self._send(frame, frame_id)
         payload = await waiter

@@ -38,9 +38,11 @@ from repro.decoder.api import DecodeResult, DecoderConfig
 from repro.errors import (
     DeadlineExceeded,
     DecoderConfigError,
+    HarqError,
     InjectedFault,
     ProtocolError,
     QuantizationError,
+    RateMatchError,
     ServiceClosedError,
     ServiceError,
     ServiceOverloaded,
@@ -82,6 +84,8 @@ WIRE_ERRORS: dict[str, type] = {
         UnknownCodeError,
         DecoderConfigError,
         QuantizationError,
+        RateMatchError,
+        HarqError,
         ValueError,
         TypeError,
     )
@@ -228,8 +232,19 @@ def encode_request(
     llr: np.ndarray,
     config: DecoderConfig | None = None,
     timeout: "float | None" = None,
+    harq: "dict | None" = None,
 ) -> bytes:
-    """Build a REQUEST frame for one LLR batch."""
+    """Build a REQUEST frame for one LLR batch.
+
+    ``harq`` marks the request as one IR-HARQ (re)transmission instead
+    of a plain mother-codeword decode: ``{"process": int, "rv": int}``
+    (plus optional ``"n_filler": int``, fixed at the process's first
+    transmission).  The payload is then the ``(B, e)`` rate-matched
+    *float* soft bits of that redundancy version; the server combines
+    them into its per-connection soft buffer for ``process`` and
+    decodes the combined mother buffer (see
+    :class:`~repro.server.DecodeServer`).
+    """
     llr = np.ascontiguousarray(llr)
     if llr.ndim == 1:
         llr = llr[None, :]
@@ -241,6 +256,8 @@ def encode_request(
         "shape": list(llr.shape),
         "timeout": timeout,
     }
+    if harq is not None:
+        header["harq"] = dict(harq)
     return encode_frame(FrameType.REQUEST, header, llr.tobytes())
 
 
@@ -293,6 +310,43 @@ def parse_request(header: dict, payload: bytes):
             raise ProtocolError(f"timeout must be positive, got {timeout}")
         timeout = float(timeout)
     return request_id, mode, llr, config, timeout
+
+
+def parse_harq(header: dict) -> "dict | None":
+    """Validate the optional IR-HARQ extension of a REQUEST header.
+
+    Returns ``None`` for plain decode requests, else a dict with keys
+    ``process`` (HARQ process id, ``>= 0``), ``rv`` (redundancy version
+    ``0..3``) and ``n_filler`` (``>= 0``, default 0).  Kept separate
+    from :func:`parse_request` — whose 5-tuple is a stable contract —
+    so HARQ-unaware callers never see the extension.
+    """
+    harq = header.get("harq")
+    if harq is None:
+        return None
+    if not isinstance(harq, dict):
+        raise ProtocolError(
+            f"harq must be an object with process/rv fields, got "
+            f"{type(harq).__name__}"
+        )
+    process = _require(harq, "process", int, "an integer HARQ process id")
+    if process < 0:
+        raise ProtocolError(f"harq process id must be >= 0, got {process}")
+    rv = _require(harq, "rv", int, "a redundancy version integer")
+    if rv not in (0, 1, 2, 3):
+        raise ProtocolError(f"harq rv must be 0..3, got {rv}")
+    n_filler = harq.get("n_filler", 0)
+    if isinstance(n_filler, bool) or not isinstance(n_filler, int) or n_filler < 0:
+        raise ProtocolError(
+            f"harq n_filler must be a non-negative integer, got {n_filler!r}"
+        )
+    unknown = set(harq) - {"process", "rv", "n_filler"}
+    if unknown:
+        raise ProtocolError(
+            f"unknown harq field(s) {sorted(unknown)}; "
+            "valid: process, rv, n_filler"
+        )
+    return {"process": process, "rv": rv, "n_filler": n_filler}
 
 
 # ----------------------------------------------------------------------
@@ -432,6 +486,7 @@ __all__ = [
     "encode_result",
     "llr_dtype",
     "parse_error",
+    "parse_harq",
     "parse_request",
     "parse_result",
     "read_frame",

@@ -17,6 +17,15 @@ clients, plus the transport-level ones that only exist at a socket:
   per connection may be awaiting decode; beyond that the server simply
   stops reading the socket, so TCP flow control pushes back on the
   client — the remote analogue of the service's bounded admission.
+- **Stateful IR-HARQ decode.**  A request carrying the protocol's
+  ``harq`` extension (see :func:`repro.server.protocol.parse_harq`)
+  delivers one rate-matched NR (re)transmission instead of a mother
+  codeword: the server soft-combines it into a per-connection
+  :class:`~repro.nr.HarqSession` keyed ``(mode, process id)`` and
+  decodes the *combined* buffer through the service, handing the
+  decode policy an SNR estimated over transmitted positions only.
+  Soft buffers are purged when the connection closes — HARQ state is
+  connection-scoped, like TCP sequence numbers.
 - **Graceful drain.**  :meth:`close` (and SIGTERM/SIGINT under
   :meth:`serve_forever`) stops accepting connections and new requests,
   waits up to ``drain_timeout`` for in-flight decodes to resolve and
@@ -37,7 +46,11 @@ import contextlib
 import signal
 import threading
 
-from repro.errors import ProtocolError, ServiceClosedError
+import numpy as np
+
+from repro.codes.registry import get_code
+from repro.errors import HarqError, ProtocolError, ServiceClosedError
+from repro.nr.harq import HarqSession
 from repro.server import protocol
 from repro.service.metrics import prometheus_text
 from repro.service.service import DecodeService
@@ -106,6 +119,7 @@ class DecodeServer:
             "errors_sent": 0,
             "malformed_frames": 0,
             "metrics_scrapes": 0,
+            "harq_requests": 0,
         }
 
     # ------------------------------------------------------------------
@@ -236,6 +250,9 @@ class DecodeServer:
         write_lock = asyncio.Lock()
         gate = asyncio.Semaphore(self.max_inflight)
         conn_tasks: set[asyncio.Task] = set()
+        # Per-connection IR-HARQ soft buffers, keyed (mode, process id);
+        # dies with the connection (cleared in the finally below).
+        harq_state: dict = {}
         try:
             while True:
                 try:
@@ -282,7 +299,8 @@ class DecodeServer:
                 await gate.acquire()
                 task = asyncio.get_running_loop().create_task(
                     self._serve_request(
-                        writer, write_lock, gate, conn_id, header, payload
+                        writer, write_lock, gate, conn_id, header, payload,
+                        harq_state,
                     )
                 )
                 conn_tasks.add(task)
@@ -292,6 +310,7 @@ class DecodeServer:
         except (asyncio.CancelledError, ConnectionResetError):
             pass  # server close() cancels us / client vanished
         finally:
+            harq_state.clear()
             if conn_tasks:
                 await asyncio.gather(*conn_tasks, return_exceptions=True)
             writer.close()
@@ -300,7 +319,7 @@ class DecodeServer:
             self.stats["connections_closed"] += 1
 
     async def _serve_request(
-        self, writer, write_lock, gate, conn_id, header, payload
+        self, writer, write_lock, gate, conn_id, header, payload, harq_state
     ) -> None:
         request_id = None
         try:
@@ -309,6 +328,7 @@ class DecodeServer:
                 request_id, mode, llr, config, timeout = protocol.parse_request(
                     header, payload
                 )
+                harq = protocol.parse_harq(header)
             except Exception as exc:
                 self.stats["malformed_frames"] += 1
                 await self._send(
@@ -329,6 +349,23 @@ class DecodeServer:
                     ),
                 )
                 return
+            snr_db = None
+            if harq is not None:
+                # Combine synchronously on the loop: requests of one
+                # connection enter their synchronous prefix in arrival
+                # order, so retransmissions of a process accumulate in
+                # the order the client sent them.
+                try:
+                    llr, snr_db = self._harq_combine(
+                        harq_state, harq, mode, llr, config
+                    )
+                except Exception as exc:
+                    await self._send(
+                        writer, write_lock,
+                        protocol.encode_error(request_id, exc),
+                    )
+                    return
+                self.stats["harq_requests"] += 1
             loop = asyncio.get_running_loop()
             client = f"conn-{conn_id}"
             try:
@@ -337,7 +374,8 @@ class DecodeServer:
                 service_future = await loop.run_in_executor(
                     None,
                     lambda: self.service.submit(
-                        mode, llr, config=config, client=client, timeout=timeout
+                        mode, llr, config=config, client=client,
+                        timeout=timeout, snr_db=snr_db,
                     ),
                 )
                 result = await asyncio.wrap_future(service_future)
@@ -364,6 +402,43 @@ class DecodeServer:
                 )
         finally:
             gate.release()
+
+    def _harq_combine(self, harq_state, harq, mode, llr, config):
+        """Soft-combine one HARQ transmission; returns (decoder LLRs, SNR).
+
+        The per-connection session for ``(mode, process)`` is created on
+        the process's first transmission (fixing its ``n_filler``); each
+        call accumulates the ``(B, e)`` float soft bits at the request's
+        redundancy version and returns the combined mother buffer
+        conditioned for the request config's datapath, plus the masked
+        operating-SNR estimate for the decode policy.
+        """
+        if not np.issubdtype(llr.dtype, np.floating):
+            raise HarqError(
+                f"HARQ soft bits must be float LLRs (combining precedes "
+                f"quantization), got dtype {llr.dtype}"
+            )
+        key = (mode, harq["process"])
+        session = harq_state.get(key)
+        if session is None:
+            code = get_code(mode) if isinstance(mode, str) else mode
+            session = HarqSession(
+                code,
+                config if config is not None else self.service.default_config,
+                n_filler=harq["n_filler"],
+            )
+            harq_state[key] = session
+        else:
+            if harq["n_filler"] != session.matcher.n_filler:
+                raise HarqError(
+                    f"harq process {harq['process']} was opened with "
+                    f"n_filler={session.matcher.n_filler}; a retransmission "
+                    f"cannot change it to {harq['n_filler']}"
+                )
+            if config is not None:
+                session.config = config
+        session.push(llr, harq["rv"])
+        return session.decoder_llrs(), session.snr_db()
 
     async def _send(self, writer, write_lock, frame: bytes) -> None:
         if frame[3:4] == bytes([int(protocol.FrameType.ERROR)]):

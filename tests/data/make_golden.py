@@ -43,6 +43,8 @@ GOLDEN_CODES = (
     ("802.16e:1/2:z24", "wimax_n576"),
     ("802.11n:1/2:z27", "wifi_n648"),
     ("DMB-T:0.6:z127", "dmbt_n7493"),
+    ("NR:bg1:z24", "nr_bg1_n1632"),
+    ("NR:bg2:z24", "nr_bg2_n1248"),
 )
 
 #: Two operating points: one in the waterfall (frames keep iterating),

@@ -583,3 +583,135 @@ def test_incremental_done_mask_monotone():
         assert mask[prev].all(), "a latched frame came back"
         prev = mask.copy()
     assert state.done_mask.all()
+
+
+# ---------------------------------------------------------------------------
+# Property 9: NR rate-matched decode is a first-class matrix citizen
+# ---------------------------------------------------------------------------
+# Channel LLRs that went through the NR chain (puncturing, shortening,
+# repetition, soft combining) are just another decoder input: every
+# backend x schedule x compaction identity must hold on them unchanged,
+# for each redundancy version.  Each rv cell exercises a different
+# rate-match regime -- rv0 puncturing (e < Ncb), rv2 with fillers
+# (shortening), rv3 with repetition (e > Ncb) -- plus a 2-transmission
+# combined buffer.
+def _nr_cells():
+    from repro.codes import get_code
+    from repro.nr import NRRateMatcher
+
+    rng = np.random.default_rng(MASTER_SEED + 38212)
+    cells = []
+    for mode, n_filler in (("NR:bg1:z2", 0), ("NR:bg2:z3", 4)):
+        code = get_code(mode)
+        matcher = NRRateMatcher(code, n_filler=n_filler)
+        encoder = make_encoder(code)
+        payload = rng.integers(
+            0, 2, (3, matcher.n_payload), dtype=np.uint8
+        )
+        codewords = encoder.encode(matcher.place_fillers(payload))
+        signs = 1.0 - 2.0 * codewords.astype(np.float64)
+        plan = [  # (label, [(rv, e), ...]) -- multi-entry = IR combining
+            ("rv0-puncture", [(0, matcher.ncb * 2 // 3)]),
+            ("rv1", [(1, matcher.ncb * 2 // 3)]),
+            ("rv2-shorten", [(2, matcher.ncb * 2 // 3)]),
+            ("rv3-repeat", [(3, matcher.ncb + 11)]),
+            ("rv0+rv2-combined", [(0, matcher.ncb // 2),
+                                  (2, matcher.ncb // 2)]),
+        ]
+        for label, transmissions in plan:
+            soft = None
+            transmitted = np.zeros(code.n, dtype=bool)
+            for rv, e in transmissions:
+                sel = matcher.select(rv, e)
+                noisy = 2.0 * (
+                    signs[:, sel] + 0.7 * rng.standard_normal((3, e))
+                )
+                soft = matcher.derate_match(noisy, rv, out=soft)
+                transmitted |= matcher.transmitted_mask(rv, e)
+            cells.append((f"{mode}-{label}", code, matcher, soft, transmitted))
+    return cells
+
+
+_NR_CELLS = _nr_cells()
+_NR_CONFIG_KWARGS = (
+    {"check_node": "normalized-minsum", "max_iterations": 4,
+     "qformat": QFormat(8, 2)},
+    {"check_node": "bp", "bp_impl": "sum-sub", "max_iterations": 4,
+     "qformat": QFormat(8, 2)},
+)
+
+
+@pytest.mark.parametrize(
+    "cell", _NR_CELLS, ids=[c[0] for c in _NR_CELLS]
+)
+@pytest.mark.parametrize("schedule", sorted(SCHEDULES))
+@pytest.mark.parametrize(
+    "kwargs", _NR_CONFIG_KWARGS,
+    ids=[k["check_node"] for k in _NR_CONFIG_KWARGS],
+)
+def test_nr_rate_matched_fixed_cross_backend_identity(cell, schedule, kwargs):
+    label, code, matcher, soft, transmitted = cell
+    qformat = kwargs["qformat"]
+    llrs = matcher.decoder_llrs(soft, transmitted, qformat=qformat)
+    results = []
+    for backend in BACKENDS:
+        for compact in (True, False):
+            config = DecoderConfig(
+                backend=backend, compact_frames=compact, **kwargs
+            )
+            results.append((
+                f"{backend}/compact={compact}",
+                SCHEDULES[schedule](code, config).decode(llrs),
+            ))
+    head_name, head = results[0]
+    for name, result in results[1:]:
+        _assert_identical(
+            head, result, f"nr-{label}/{schedule} {head_name} vs {name}"
+        )
+
+
+@pytest.mark.parametrize(
+    "cell", _NR_CELLS, ids=[c[0] for c in _NR_CELLS]
+)
+def test_nr_rate_matched_float_compaction_identity(cell):
+    label, code, matcher, soft, transmitted = cell
+    llrs = matcher.decoder_llrs(soft, transmitted)
+    for schedule in sorted(SCHEDULES):
+        config_kwargs = dict(
+            check_node="normalized-minsum", max_iterations=4, llr_clip=256.0
+        )
+        compacted = SCHEDULES[schedule](
+            code, DecoderConfig(compact_frames=True, **config_kwargs)
+        ).decode(llrs)
+        carried = SCHEDULES[schedule](
+            code, DecoderConfig(compact_frames=False, **config_kwargs)
+        ).decode(llrs)
+        _assert_identical(
+            compacted, carried, f"nr-{label}/{schedule} compact vs carry"
+        )
+
+
+def test_nr_harq_redecode_is_fresh_decode():
+    """HARQ sessions add state, never decoder behaviour: after any
+    combining history, session.decode() == a fresh decoder run over the
+    conditioned combined buffer -- both datapaths."""
+    from repro.nr import HarqSession
+
+    label, code, matcher, soft, transmitted = _NR_CELLS[-1]
+    for config in (
+        DecoderConfig(max_iterations=6),
+        DecoderConfig(max_iterations=6, qformat=QFormat(8, 2)),
+    ):
+        session = HarqSession(code, config, matcher=matcher)
+        rng = np.random.default_rng(MASTER_SEED + 1)
+        for rv in (0, 2, 3):
+            e = matcher.ncb // 2
+            session.push(rng.standard_normal((2, e)) * 3.0, rv)
+        fresh_llrs = matcher.decoder_llrs(
+            session.combined(), session.transmitted, qformat=config.qformat
+        )
+        _assert_identical(
+            session.decode(),
+            LayeredDecoder(code, config).decode(fresh_llrs),
+            f"harq redecode ({'fixed' if config.qformat else 'float'})",
+        )

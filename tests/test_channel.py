@@ -158,3 +158,117 @@ class TestFrontend:
     def test_bpsk_llr_rejects_bad_variance(self):
         with pytest.raises(ValueError):
             bpsk_llr(np.array([1.0]), 0.0)
+
+
+class TestQAM64:
+    def test_unit_energy(self, rng):
+        from repro.channel import QAM64Modulator
+
+        bits = rng.integers(0, 2, 6 * 4096, dtype=np.uint8)
+        symbols = QAM64Modulator().modulate(bits)
+        assert np.mean(np.abs(symbols) ** 2) == pytest.approx(1.0, rel=0.05)
+
+    def test_llr_signs_noiseless(self, rng):
+        from repro.channel import QAM64Modulator
+
+        modulator = QAM64Modulator()
+        bits = rng.integers(0, 2, 6 * 256, dtype=np.uint8)
+        symbols = modulator.modulate(bits)
+        llr = modulator.llr(symbols, 1e-4)
+        assert np.array_equal((llr < 0).astype(np.uint8), bits)
+
+    def test_length_multiple_of_six(self):
+        from repro.channel import QAM64Modulator
+
+        with pytest.raises(ValueError):
+            QAM64Modulator().modulate(np.zeros(8, dtype=np.uint8))
+
+    def test_factory_knows_qam64(self):
+        assert make_modulator("qam64").bits_per_symbol == 6
+
+
+class TestRayleighFading:
+    def test_unit_average_power_and_statistics(self):
+        from repro.channel import RayleighBlockFadingChannel
+
+        channel = RayleighBlockFadingChannel(0.0, block_size=1, rng=3)
+        channel.transmit(np.ones((64, 512)))
+        gains = channel.last_gains
+        assert np.mean(np.abs(gains) ** 2) == pytest.approx(1.0, rel=0.05)
+
+    def test_noiseless_equalized_output_is_input(self):
+        from repro.channel import RayleighBlockFadingChannel
+
+        channel = RayleighBlockFadingChannel(0.0, rng=4)
+        symbols = 1.0 - 2.0 * np.random.default_rng(5).integers(
+            0, 2, (3, 64)
+        ).astype(np.float64)
+        out = channel.transmit(symbols)
+        assert np.allclose(out, symbols)
+
+    def test_per_symbol_noise_var_published(self):
+        from repro.channel import RayleighBlockFadingChannel
+
+        channel = RayleighBlockFadingChannel(0.5, block_size=8, rng=6)
+        out = channel.transmit(np.ones(64))
+        assert np.shape(channel.noise_var) == out.shape
+        # Per-block constancy: variance repeats inside a coherence block.
+        nv = np.asarray(channel.noise_var).reshape(8, 8)
+        assert (nv == nv[:, :1]).all()
+
+    def test_block_none_fades_whole_frame(self):
+        from repro.channel import RayleighBlockFadingChannel
+
+        channel = RayleighBlockFadingChannel(0.0, block_size=None, rng=7)
+        channel.transmit(np.ones((4, 100)))
+        assert channel.last_gains.shape == (4, 1)
+
+    def test_complex_symbols_see_complex_gain_and_derotate(self):
+        from repro.channel import RayleighBlockFadingChannel
+
+        channel = RayleighBlockFadingChannel(0.0, rng=8)
+        symbols = np.full((2, 32), 1.0 + 1.0j) / np.sqrt(2.0)
+        out = channel.transmit(symbols)
+        assert np.iscomplexobj(channel.last_gains)
+        assert np.allclose(out, symbols)  # phase removed by equalizer
+
+    def test_deep_fade_floors_instead_of_overflowing(self):
+        from repro.channel import RayleighBlockFadingChannel
+
+        channel = RayleighBlockFadingChannel(0.1, rng=9)
+        channel.transmit(np.ones((200, 4)))
+        assert np.isfinite(np.asarray(channel.noise_var)).all()
+
+    def test_validation(self):
+        from repro.channel import RayleighBlockFadingChannel
+
+        with pytest.raises(ValueError):
+            RayleighBlockFadingChannel(-1.0)
+        with pytest.raises(ValueError):
+            RayleighBlockFadingChannel(0.1, block_size=0)
+
+    def test_make_channel_factory(self):
+        from repro.channel import AWGNChannel, make_channel
+
+        assert isinstance(make_channel("awgn", 2.0, 0.5), AWGNChannel)
+        from repro.channel import RayleighBlockFadingChannel
+
+        assert isinstance(
+            make_channel("rayleigh", 2.0, 0.5, rng=1),
+            RayleighBlockFadingChannel,
+        )
+        with pytest.raises(ValueError):
+            make_channel("underwater", 2.0, 0.5)
+
+    def test_frontend_integration_weakens_faded_llrs(self):
+        """End to end: faded blocks yield proportionally weaker LLRs."""
+        from repro.channel import RayleighBlockFadingChannel
+
+        channel = RayleighBlockFadingChannel(0.2, block_size=None, rng=10)
+        frontend = ChannelFrontend(BPSKModulator(), channel)
+        bits = np.zeros((8, 64), dtype=np.uint8)
+        llr = frontend.run(bits)
+        gains = np.abs(channel.last_gains[:, 0])
+        mean_abs = np.abs(llr).mean(axis=1)
+        # LLR magnitude ordering follows the per-frame gain ordering.
+        assert np.array_equal(np.argsort(mean_abs), np.argsort(gains))

@@ -13,13 +13,15 @@ from repro.errors import UnknownCodeError
 
 class TestCatalogue:
     def test_mode_count(self):
-        # 4 rates x 3 z (11n) + 6 rates x 19 z (16e) + 3 (DMB-T).
-        assert len(list_modes()) == 12 + 114 + 3
+        # 4 rates x 3 z (11n) + 6 rates x 19 z (16e) + 3 (DMB-T)
+        # + 2 base graphs x 51 lifting sizes (NR).
+        assert len(list_modes()) == 12 + 114 + 3 + 102
 
     def test_filter_by_standard(self):
         assert len(list_modes("802.11n")) == 12
         assert len(list_modes("802.16e")) == 114
         assert len(list_modes("DMB-T")) == 3
+        assert len(list_modes("NR")) == 102
 
     def test_descriptor_fields(self):
         descriptor = describe_mode("802.16e:1/2:z96")
@@ -56,13 +58,22 @@ class TestGetCode:
 
 
 class TestSummary:
-    def test_summary_covers_three_standards(self):
+    def test_summary_covers_four_standards(self):
         summary = standards_summary()
         assert {s["standard"] for s in summary} == {
             "802.11n",
             "802.16e",
             "DMB-T",
+            "NR",
         }
+
+    def test_nr_ranges(self):
+        summary = {s["standard"]: s for s in standards_summary()}
+        nr = summary["NR"]
+        assert (nr["j_min"], nr["j_max"]) == (42, 46)
+        assert nr["k"] == 68
+        assert (nr["z_min"], nr["z_max"]) == (2, 384)
+        assert nr["num_modes"] == 102
 
     def test_wimax_ranges_match_paper_table1(self):
         summary = {s["standard"]: s for s in standards_summary()}
@@ -89,8 +100,14 @@ class TestHugeSyntheticCode:
         assert code.n == 19992  # ≈ 2·10⁴, the fabric's target regime
         assert code.z == 833
         assert code.base.j == 6 and code.base.k == 24
-        largest_mode = max(descriptor.n for descriptor in list_modes())
-        assert code.n > 2 * largest_mode
+        # An order of magnitude past the paper's multi-standard modes;
+        # only the largest NR lifts (n = 68·384) exceed it.
+        largest_classic = max(
+            descriptor.n
+            for descriptor in list_modes()
+            if descriptor.standard != "NR"
+        )
+        assert code.n > 2 * largest_classic
 
     def test_structurally_valid(self):
         from repro.codes import (

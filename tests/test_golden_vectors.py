@@ -2,8 +2,9 @@
 
 ``tests/data/golden_*.npz`` (written by ``tests/data/make_golden.py``)
 store channel LLR inputs *and* the reference backend's outputs for one
-code per standard — WiMax N=576, WiFi N=648 and DMB-T N=7493 (the
-registry's biggest mode, z=127) — at two operating points.  These tests decode the
+code per standard — WiMax N=576, WiFi N=648, DMB-T N=7493 (z=127) and
+the NR base graphs BG1 N=1632 / BG2 N=1248 (z=24) — at two operating
+points.  These tests decode the
 stored inputs and diff against the stored outputs, so a kernel/backend/
 schedule refactor is checked against ground truth that predates it —
 no re-derivation, no "both sides drifted together" blind spot.
@@ -49,10 +50,10 @@ def golden(request):
 
 
 def test_golden_files_exist():
-    assert len(GOLDEN_FILES) == 6, (
-        "expected 6 golden vector files (WiMax, WiFi and DMB-T at two "
-        "operating points each); regenerate with "
-        "`PYTHONPATH=src python tests/data/make_golden.py`"
+    assert len(GOLDEN_FILES) == 10, (
+        "expected 10 golden vector files (WiMax, WiFi, DMB-T and the "
+        "NR BG1/BG2 modes at two operating points each); regenerate "
+        "with `PYTHONPATH=src python tests/data/make_golden.py`"
     )
 
 

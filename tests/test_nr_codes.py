@@ -1,0 +1,126 @@
+"""Tests for the 5G NR base-graph codes and their registry hygiene."""
+
+import numpy as np
+import pytest
+
+from repro.codes import get_code
+from repro.codes.nr import (
+    NR_BG_PARAMS,
+    NR_CORE_ROWS,
+    NR_LIFTING_SETS,
+    NR_LIFTING_SIZES,
+    nr_base_matrix,
+    nr_lifting_sizes,
+    nr_mode,
+    parse_nr_mode,
+)
+from repro.codes.registry import describe_mode
+from repro.codes.validation import validate_code
+from repro.encoder import make_encoder
+from repro.encoder.nr import NRSystematicEncoder
+from repro.errors import CodeError, ModeParseError
+
+
+class TestLiftingSets:
+    def test_eight_sets(self):
+        assert sorted(NR_LIFTING_SETS) == [2, 3, 5, 7, 9, 11, 13, 15]
+
+    def test_all_sizes_are_a_times_power_of_two(self):
+        for a, sizes in NR_LIFTING_SETS.items():
+            for z in sizes:
+                ratio = z / a
+                assert ratio == int(ratio)
+                assert int(ratio) & (int(ratio) - 1) == 0  # power of two
+                assert z <= 384
+
+    def test_fifty_one_sizes_total(self):
+        assert len(NR_LIFTING_SIZES) == 51
+        assert NR_LIFTING_SIZES == tuple(sorted(NR_LIFTING_SIZES))
+        assert nr_lifting_sizes() == NR_LIFTING_SIZES
+
+
+class TestModeParsing:
+    def test_round_trip(self):
+        assert parse_nr_mode(nr_mode(1, 24)) == (1, 24)
+        assert parse_nr_mode("NR:bg2:z384") == (2, 384)
+
+    def test_bad_lifting_size_is_typed_and_names_valid_sizes(self):
+        with pytest.raises(ModeParseError) as excinfo:
+            parse_nr_mode("NR:bg1:z17")
+        message = str(excinfo.value)
+        assert "17" in message
+        # The error must name valid sizes, not just reject.
+        assert "384" in message or "lifting" in message.lower()
+
+    def test_bad_base_graph_is_typed(self):
+        with pytest.raises(ModeParseError) as excinfo:
+            parse_nr_mode("NR:bg3:z16")
+        assert "bg" in str(excinfo.value)
+
+    def test_malformed_strings_are_typed(self):
+        for bad in ("NR:bg1", "NR:bg1:z16:extra", "NR:bg1:16", "NR::z16"):
+            with pytest.raises(ModeParseError):
+                parse_nr_mode(bad)
+
+    def test_parse_errors_are_not_bare_keyerrors(self):
+        # Registry hygiene: recognisable-but-wrong NR modes must surface
+        # as ValueError-compatible CodeErrors, never as a mapping miss.
+        with pytest.raises(ModeParseError) as excinfo:
+            get_code("NR:bg1:z17")
+        assert isinstance(excinfo.value, CodeError)
+        assert isinstance(excinfo.value, ValueError)
+        assert not isinstance(excinfo.value, KeyError)
+
+    def test_describe_mode_routes_nr_parse_errors(self):
+        with pytest.raises(ModeParseError):
+            describe_mode("NR:bg2:z100")
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("bg", [1, 2])
+    def test_shapes_match_38212(self, bg):
+        j, k, kb = NR_BG_PARAMS[bg]
+        base = nr_base_matrix(bg, 8)
+        assert (base.j, base.k) == (j, k)
+        assert base.n_info == kb * 8
+
+    def test_deterministic_and_cached(self):
+        assert nr_base_matrix(1, 16) is nr_base_matrix(1, 16)
+        a = nr_base_matrix(2, 16).entries.tolist()
+        b = nr_base_matrix(2, 16).entries.tolist()
+        assert a == b
+
+    @pytest.mark.parametrize("mode", ["NR:bg1:z4", "NR:bg2:z6"])
+    def test_expanded_code_is_full_rank(self, mode):
+        # The dense punctured columns make small-Z NR graphs 4-cycled
+        # (as in real 38.212), so `ok` is not expected — full rank is.
+        code = get_code(mode)
+        report = validate_code(code)
+        assert report.full_rank, report
+
+    def test_punctured_columns_are_densest(self):
+        base = nr_base_matrix(1, 8)
+        degrees = base.column_degrees()
+        kb = NR_BG_PARAMS[1][2]
+        assert degrees[0] == degrees[1]
+        assert degrees[0] > degrees[2:kb].max()
+
+    def test_extension_rows_have_degree_one_parity(self):
+        base = nr_base_matrix(2, 8)
+        _, _, kb = NR_BG_PARAMS[2]
+        for row in range(NR_CORE_ROWS, base.j):
+            cols = base.layer_columns(row)
+            # exactly one extension parity column, at kb + row
+            assert kb + row in cols
+
+
+class TestEncoder:
+    @pytest.mark.parametrize("mode", ["NR:bg1:z4", "NR:bg2:z8"])
+    def test_systematic_encoder_selected_and_valid(self, mode):
+        code = get_code(mode)
+        encoder = make_encoder(code)
+        assert isinstance(encoder, NRSystematicEncoder)
+        rng = np.random.default_rng(11)
+        info, codewords = encoder.random_codewords(5, rng)
+        assert np.array_equal(codewords[:, : code.n_info], info)
+        assert code.is_codeword(codewords).all()

@@ -1,0 +1,239 @@
+"""Tests for NR rate matching: puncturing, shortening, repetition, rv.
+
+The load-bearing property here is the erasure regression: positions the
+channel never carried must enter the decoder as true erasures (exact
+zero in the fixed datapath, a magnitude-~0 placeholder in the float
+datapath), NOT as fabricated +/-1-scale observations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import get_code
+from repro.decoder.api import DecoderConfig
+from repro.decoder.layered import prepare_channel_llrs
+from repro.errors import RateMatchError
+from repro.fixedpoint import QFormat
+from repro.nr import (
+    FILLER_LLR,
+    FLOAT_ERASURE_LLR,
+    NR_RV_OFFSETS,
+    NRRateMatcher,
+)
+
+
+@pytest.fixture(scope="module")
+def bg1_code():
+    return get_code("NR:bg1:z4")
+
+
+@pytest.fixture(scope="module")
+def bg2_code():
+    return get_code("NR:bg2:z6")
+
+
+@pytest.fixture(scope="module")
+def bg1(bg1_code):
+    return NRRateMatcher(bg1_code)
+
+
+@pytest.fixture(scope="module")
+def bg2(bg2_code):
+    return NRRateMatcher(bg2_code)
+
+
+class TestConstruction:
+    def test_bg_detection(self, bg1, bg2):
+        assert bg1.bg == 1 and bg2.bg == 2
+        assert bg1.n_punctured == 2 * bg1.z
+        assert bg1.ncb == bg1.code.n - 2 * bg1.z
+        # circular buffer lengths from 38.212: 66Z (BG1) / 50Z (BG2)
+        assert bg1.ncb == 66 * bg1.z
+        assert bg2.ncb == 50 * bg2.z
+
+    def test_non_nr_code_rejected(self):
+        wimax = get_code("802.16e:1/2:z24")
+        with pytest.raises(RateMatchError):
+            NRRateMatcher(wimax)
+
+    def test_filler_bounds(self, bg1_code):
+        max_fill = bg1_code.n_info - 2 * bg1_code.z
+        NRRateMatcher(bg1_code, n_filler=max_fill)  # boundary ok
+        with pytest.raises(RateMatchError):
+            NRRateMatcher(bg1_code, n_filler=max_fill + 1)
+        with pytest.raises(RateMatchError):
+            NRRateMatcher(bg1_code, n_filler=-1)
+
+    def test_masks(self, bg1):
+        punct = bg1.punctured_mask
+        assert punct[: 2 * bg1.z].all() and not punct[2 * bg1.z :].any()
+        matcher = NRRateMatcher(bg1.code, n_filler=5)
+        filler = matcher.filler_mask
+        k = bg1.code.n_info
+        assert filler[k - 5 : k].all()
+        assert filler.sum() == 5
+
+
+class TestRvOffsets:
+    @pytest.mark.parametrize("rv", [0, 1, 2, 3])
+    def test_k0_from_table(self, bg1, bg2, rv):
+        assert bg1.rv_offset(rv) == NR_RV_OFFSETS[1][rv] * bg1.z
+        assert bg2.rv_offset(rv) == NR_RV_OFFSETS[2][rv] * bg2.z
+
+    def test_bad_rv_typed(self, bg1):
+        for rv in (-1, 4, 7):
+            with pytest.raises(RateMatchError):
+                bg1.rv_offset(rv)
+
+    def test_rv0_starts_at_buffer_head(self, bg1):
+        sel = bg1.select(0, 8)
+        assert sel[0] == 2 * bg1.z  # first unpunctured position
+
+
+class TestSelection:
+    def test_never_selects_punctured(self, bg1):
+        for rv in range(4):
+            sel = bg1.select(rv, bg1.ncb + 17)
+            assert (sel >= 2 * bg1.z).all()
+
+    def test_never_selects_fillers(self, bg1_code):
+        matcher = NRRateMatcher(bg1_code, n_filler=7)
+        k = bg1_code.n_info
+        filler_cols = set(range(k - 7, k))
+        for rv in range(4):
+            sel = matcher.select(rv, matcher.ncb)
+            assert not filler_cols & set(sel.tolist())
+
+    def test_repetition_wraps(self, bg1):
+        e = bg1.ncb + 10
+        sel = bg1.select(0, e)
+        assert len(sel) == e
+        # the first 10 positions come around again at the tail
+        assert np.array_equal(sel[bg1.ncb :], sel[:10])
+
+    def test_puncture_is_prefix(self, bg1):
+        short = bg1.select(0, 100)
+        longer = bg1.select(0, 200)
+        assert np.array_equal(longer[:100], short)
+
+    def test_invalid_e_typed(self, bg1):
+        with pytest.raises(RateMatchError):
+            bg1.select(0, 0)
+
+    def test_transmitted_mask(self, bg1):
+        e = bg1.ncb // 2
+        mask = bg1.transmitted_mask(0, e)
+        assert mask.sum() == e  # no wrap: each position at most once
+        assert not mask[: 2 * bg1.z].any()
+
+
+class TestRoundTrip:
+    def test_rate_then_derate_recovers_positions(self, bg2):
+        rng = np.random.default_rng(3)
+        full = rng.normal(size=(2, bg2.code.n))
+        for rv in range(4):
+            e = bg2.ncb - 31
+            tx = bg2.rate_match(full, rv, e)
+            assert tx.shape == (2, e)
+            sel = bg2.select(rv, e)
+            combined = bg2.derate_match(tx, rv)
+            assert np.allclose(combined[:, sel], tx)
+            untouched = np.ones(bg2.code.n, dtype=bool)
+            untouched[sel] = False
+            assert not combined[:, untouched].any()
+
+    def test_derate_accumulates(self, bg2):
+        rng = np.random.default_rng(4)
+        e = bg2.ncb + 40  # with repetition: wrapped positions add twice
+        tx = np.abs(rng.normal(size=(1, e))) + 0.5
+        combined = bg2.derate_match(tx, 0)
+        sel = bg2.select(0, e)
+        counts = np.bincount(sel, minlength=bg2.code.n)
+        assert (np.abs(combined[0]) > 0).sum() == (counts > 0).sum()
+        assert counts.max() == 2
+
+    def test_place_and_extract_payload(self, bg1_code):
+        matcher = NRRateMatcher(bg1_code, n_filler=6)
+        rng = np.random.default_rng(5)
+        payload = rng.integers(0, 2, (3, matcher.n_payload), dtype=np.uint8)
+        info = matcher.place_fillers(payload)
+        assert info.shape == (3, bg1_code.n_info)
+        assert not info[:, matcher.n_payload :].any()
+        assert np.array_equal(matcher.extract_payload(info), payload)
+
+
+class TestErasureRegression:
+    """Never-transmitted positions must be erasures, not fabrications."""
+
+    def test_float_punctured_positions_are_near_zero(self, bg1):
+        rng = np.random.default_rng(6)
+        e = bg1.ncb // 2
+        tx = rng.normal(size=(2, e)) * 4.0
+        llr = bg1.conditioned(tx, 0)
+        punct = bg1.punctured_mask
+        transmitted = bg1.transmitted_mask(0, e)
+        never = ~transmitted & ~bg1.filler_mask
+        assert punct[never].sum() == punct.sum()  # puncture never sent
+        # Magnitude floor: numerically an erasure, nowhere near a
+        # fabricated +/-1 "observation".
+        assert np.abs(llr[:, never]).max() <= FLOAT_ERASURE_LLR
+        assert FLOAT_ERASURE_LLR < 1e-6
+        # Transmitted positions carry the channel values untouched.
+        sel = bg1.select(0, e)
+        assert np.allclose(llr[:, sel], tx)
+
+    def test_float_survives_decoder_conditioning(self, bg1):
+        config = DecoderConfig(llr_clip=256.0)
+        rng = np.random.default_rng(7)
+        llr = bg1.conditioned(rng.normal(size=(1, bg1.ncb // 2)), 0)
+        prepared, _ = prepare_channel_llrs(config, bg1.code.n, llr)
+        never = ~bg1.transmitted_mask(0, bg1.ncb // 2)
+        assert np.abs(prepared[:, never]).max() <= FLOAT_ERASURE_LLR
+
+    def test_fixed_punctured_positions_are_exact_zero(self, bg1):
+        qformat = QFormat(8, 2)
+        config = DecoderConfig(qformat=qformat)
+        rng = np.random.default_rng(8)
+        e = bg1.ncb // 2
+        llr = bg1.conditioned(rng.normal(size=(2, e)) * 4.0, 0, qformat=qformat)
+        assert llr.dtype == np.int32
+        never = ~bg1.transmitted_mask(0, e)
+        assert not llr[:, never].any()  # exact integer zero
+        # ... and the decoder's own input conditioning preserves them
+        # (integer input port saturates only, never fills zeros).
+        prepared, _ = prepare_channel_llrs(config, bg1.code.n, llr)
+        assert not prepared[:, never].any()
+
+    def test_filler_positions_saturate_as_known_bits(self, bg1_code):
+        matcher = NRRateMatcher(bg1_code, n_filler=9)
+        qformat = QFormat(8, 2)
+        rng = np.random.default_rng(9)
+        e = matcher.ncb // 2
+        tx = rng.normal(size=(1, e))
+        filler = matcher.filler_mask
+        fllr = matcher.conditioned(tx, 0)
+        assert (fllr[:, filler] == FILLER_LLR).all()
+        qllr = matcher.conditioned(tx, 0, qformat=qformat)
+        assert (qllr[:, filler] == qformat.max_int).all()
+
+    def test_no_plus_minus_one_fabrication(self, bg1):
+        """Guard the exact failure mode the issue forbids: filling
+        untransmitted positions with +/-1-scale pseudo-observations."""
+        tx = np.full((1, 96), 3.0)
+        llr = bg1.conditioned(tx, 0)
+        never = ~bg1.transmitted_mask(0, 96) & ~bg1.filler_mask
+        magnitudes = np.abs(llr[:, never])
+        assert (magnitudes < 1e-3).all()
+
+
+class TestDtypeHygiene:
+    def test_derate_rejects_wrong_width(self, bg2):
+        with pytest.raises(RateMatchError):
+            bg2.derate_match(np.zeros((1, 10)), 0, out=np.zeros((2, bg2.code.n)))
+
+    def test_conditioned_batch_shapes(self, bg2):
+        rng = np.random.default_rng(10)
+        for batch in (1, 4):
+            tx = rng.normal(size=(batch, 64))
+            out = bg2.conditioned(tx, 2)
+            assert out.shape == (batch, bg2.code.n)

@@ -478,3 +478,40 @@ class TestExecutorGate:
             SweepEngine(small_code, target_task_s=0.0)
         with pytest.raises(SimulationError):
             SweepEngine(small_code, break_even_s=-1.0)
+
+
+class TestFadingSweeps:
+    def test_rayleigh_sweep_runs_and_degrades(self, small_code):
+        """Same budget, same Eb/N0: Rayleigh block fading must not beat
+        AWGN (per-frame deep fades kill whole codewords)."""
+        budget = dict(max_frames=200, min_frame_errors=50, batch_size=50)
+        awgn = SweepEngine(small_code, seed=5).run([3.0], **budget)
+        faded = SweepEngine(small_code, seed=5, channel="rayleigh").run(
+            [3.0], **budget
+        )
+        assert faded[0].fer >= awgn[0].fer
+
+    def test_rayleigh_sweep_deterministic(self, small_code):
+        budget = dict(max_frames=40, min_frame_errors=8, batch_size=20)
+        a = SweepEngine(small_code, seed=6, channel="rayleigh").run(
+            EBN0, **budget
+        )
+        b = SweepEngine(small_code, seed=6, channel="rayleigh").run(
+            EBN0, **budget
+        )
+        assert _dicts(a) == _dicts(b)
+
+    def test_unknown_channel_is_typed(self, small_code):
+        with pytest.raises(SimulationError):
+            SweepEngine(small_code, channel="underwater")
+
+    def test_parallel_fading_sweep_matches_serial(self, small_code):
+        budget = dict(max_frames=60, min_frame_errors=8, batch_size=20)
+        serial = SweepEngine(small_code, seed=7, channel="rayleigh").run(
+            EBN0, **budget
+        )
+        parallel = SweepEngine(
+            small_code, seed=7, channel="rayleigh", workers=2,
+            force_parallel=True,
+        ).run(EBN0, **budget)
+        assert _dicts(serial) == _dicts(parallel)

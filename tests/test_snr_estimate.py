@@ -136,3 +136,76 @@ def test_result_is_frozen():
     assert isinstance(est, SnrEstimate)
     with pytest.raises(AttributeError):
         est.snr_db = 0.0
+
+
+class TestTransmittedMask:
+    """The mask restricts the estimate to on-channel positions — the
+    de-biasing hook for rate-matched NR payloads."""
+
+    def test_mask_removes_puncture_bias(self):
+        rng = np.random.default_rng(SEED + 10)
+        llr = _consistent_llrs(4.0, (8, 1024), rng)
+        padded = np.concatenate(
+            [np.zeros((8, 256)), llr], axis=-1  # zero-filled puncturing
+        )
+        mask = np.concatenate(
+            [np.zeros(256, dtype=bool), np.ones(1024, dtype=bool)]
+        )
+        blind = estimate_snr(padded)
+        masked = estimate_snr(padded, mask=mask)
+        unbiased = estimate_snr(llr)
+        assert masked.snr_db == pytest.approx(unbiased.snr_db)
+        assert blind.snr_db < masked.snr_db  # zeros read as noise
+
+    def test_mask_applies_to_raw_fixed_point(self):
+        qformat = QFormat(8, 2)
+        rng = np.random.default_rng(SEED + 11)
+        llr = _consistent_llrs(3.0, (4, 512), rng)
+        raw = qformat.quantize_nonzero(llr)
+        padded = np.concatenate(
+            [np.zeros((4, 128), dtype=raw.dtype), raw], axis=-1
+        )
+        mask = np.concatenate(
+            [np.zeros(128, dtype=bool), np.ones(512, dtype=bool)]
+        )
+        a = estimate_snr(padded, qformat=qformat, mask=mask)
+        b = estimate_snr(raw, qformat=qformat)
+        assert a.snr_db == pytest.approx(b.snr_db)
+
+    def test_bad_masks_raise(self):
+        llr = np.ones((2, 16))
+        with pytest.raises(ValueError):
+            estimate_snr(llr, mask=np.ones(8, dtype=bool))  # wrong length
+        with pytest.raises(ValueError):
+            estimate_snr(llr, mask=np.zeros(16, dtype=bool))  # empty select
+        with pytest.raises(ValueError):
+            estimate_snr(llr, mask=np.ones((2, 16), dtype=bool))  # 2-D
+
+    def test_estimate_snr_db_forwards_mask(self):
+        rng = np.random.default_rng(SEED + 12)
+        llr = _consistent_llrs(2.0, (2, 512), rng)
+        padded = np.concatenate([np.zeros((2, 64)), llr], axis=-1)
+        mask = np.concatenate(
+            [np.zeros(64, dtype=bool), np.ones(512, dtype=bool)]
+        )
+        assert estimate_snr_db(padded, mask=mask) == pytest.approx(
+            estimate_snr(llr).snr_db
+        )
+
+    def test_harq_session_estimate_is_masked(self):
+        """End-to-end: HarqSession.snr_db() must not be dragged down by
+        the untransmitted (zero) region of a fresh rv0 buffer."""
+        from repro.codes import get_code
+        from repro.nr import HarqSession, NRRateMatcher
+
+        matcher = NRRateMatcher(get_code("NR:bg2:z6"))
+        session = HarqSession(matcher.code)
+        rng = np.random.default_rng(SEED + 13)
+        e = matcher.ncb // 2
+        tx = _consistent_llrs(4.0, (2, e), rng)
+        session.push(tx, 0)
+        blind = estimate_snr(session.combined()).snr_db
+        assert session.snr_db() == pytest.approx(
+            estimate_snr(tx).snr_db, abs=1e-9
+        )
+        assert blind < session.snr_db()
